@@ -1,0 +1,60 @@
+// Ablation: sensitivity of RUBIC to the α (multiplicative-decrease factor)
+// and β (cubic growth scale) constants. The paper fixes α = 0.8, β = 0.1
+// "to obtain the best results" (§4.3) without showing the sweep — this
+// bench regenerates it over the full pairwise suite (geomean NSBP across
+// the three workload pairs).
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "src/sim/experiment.hpp"
+#include "src/util/cli.hpp"
+
+using namespace rubic;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  sim::ExperimentConfig config;
+  config.repetitions = static_cast<int>(cli.get_int("reps", 20));
+  config.duration_s = cli.get_double("seconds", 10.0);
+  cli.check_unknown();
+
+  const double alphas[] = {0.5, 0.6, 0.7, 0.8, 0.9};
+  const double betas[] = {0.05, 0.1, 0.2, 0.4};
+  const char* const pairs[3][2] = {
+      {"intruder", "vacation"}, {"intruder", "rbt"}, {"vacation", "rbt"}};
+
+  bench::section("Ablation: pairwise geomean NSBP over (alpha, beta)");
+  std::printf("%8s", "alpha\\beta");
+  for (const double beta : betas) std::printf(" %9.2f", beta);
+  std::printf("\n");
+
+  double best = 0, best_alpha = 0, best_beta = 0;
+  double paper_value = 0;
+  for (const double alpha : alphas) {
+    std::printf("%8.2f  ", alpha);
+    for (const double beta : betas) {
+      config.cubic.alpha = alpha;
+      config.cubic.beta = beta;
+      double product = 1;
+      for (const auto& pair : pairs) {
+        product *= sim::run_pair(config, "rubic", pair[0], pair[1]).nsbp.mean();
+      }
+      const double geomean = std::cbrt(product);
+      std::printf(" %9.2f", geomean);
+      if (geomean > best) {
+        best = geomean;
+        best_alpha = alpha;
+        best_beta = beta;
+      }
+      if (alpha == 0.8 && beta == 0.1) paper_value = geomean;
+    }
+    std::printf("\n");
+  }
+  std::printf("\nbest grid point: alpha=%.2f beta=%.2f (geomean %.2f)\n",
+              best_alpha, best_beta, best);
+  std::printf("paper's choice alpha=0.8 beta=0.1: geomean %.2f "
+              "(%.1f%% of grid best)\n",
+              paper_value, 100.0 * paper_value / best);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Shared helpers for the figure-reproduction bench binaries.
+//
+// Every bench prints (a) the series/rows the corresponding paper figure
+// plots, and (b) the summary statistics quoted in the paper's text, so
+// EXPERIMENTS.md can record paper-vs-measured side by side.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "src/sim/sim_system.hpp"
+
+namespace rubic::bench {
+
+inline void section(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void subsection(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+// Mean level of a trace restricted to time >= from_s.
+inline double tail_mean_level(const sim::SimProcessResult& process,
+                              double from_s) {
+  double sum = 0;
+  int count = 0;
+  for (const auto& point : process.trace) {
+    if (point.time_s >= from_s) {
+      sum += point.level;
+      ++count;
+    }
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+// Renders `value` as a proportional text bar of up to `width` characters.
+inline std::string text_bar(double value, double max_value, int width = 40) {
+  if (max_value <= 0) return "";
+  int filled = static_cast<int>(value / max_value * width + 0.5);
+  if (filled < 0) filled = 0;
+  if (filled > width) filled = width;
+  return std::string(static_cast<std::size_t>(filled), '#');
+}
+
+}  // namespace rubic::bench

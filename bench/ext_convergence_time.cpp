@@ -1,0 +1,120 @@
+// Extension: distribution of convergence times (the paper says RUBIC's
+// convergence is "impressively fast" without quantifying it).
+//
+// Two metrics, each over many seeds of the §4.6 staggered-arrival scenario:
+//   * cold-start time — rounds for a lone process to first reach 90% of the
+//     machine capacity;
+//   * re-fair time — after P2's arrival, rounds until both processes stay
+//     within ±25% of the fair share for 50 consecutive rounds.
+// Reported as min / median / p90 / max across seeds, per policy.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "src/control/factory.hpp"
+#include "src/sim/sim_system.hpp"
+#include "src/util/cli.hpp"
+
+using namespace rubic;
+
+namespace {
+
+struct Quantiles {
+  double min, median, p90, max;
+};
+
+Quantiles quantiles(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  auto at = [&](double q) {
+    return values[static_cast<std::size_t>(q * (values.size() - 1) + 0.5)];
+  };
+  return {values.front(), at(0.5), at(0.9), values.back()};
+}
+
+void report(const char* label, const std::vector<double>& samples,
+            int never_count) {
+  if (samples.empty()) {
+    std::printf("  %-22s never converged in any run\n", label);
+    return;
+  }
+  const auto q = quantiles(samples);
+  std::printf("  %-22s min %5.2fs  median %5.2fs  p90 %5.2fs  max %5.2fs"
+              "  (never: %d)\n",
+              label, q.min, q.median, q.p90, q.max, never_count);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto seeds = static_cast<int>(cli.get_int("seeds", 30));
+  const auto contexts = static_cast<int>(cli.get_int("contexts", 64));
+  cli.check_unknown();
+
+  bench::section("Extension: convergence-time distribution over " +
+                 std::to_string(seeds) + " seeds (rbt-readonly, arrival at 5s)");
+
+  for (const char* policy : {"rubic", "ebs", "f2c2"}) {
+    std::vector<double> cold_start;
+    std::vector<double> refair;
+    int cold_never = 0, refair_never = 0;
+    for (int seed = 0; seed < seeds; ++seed) {
+      control::PolicyConfig policy_config;
+      policy_config.contexts = contexts;
+      auto c1 = control::make_controller(policy, policy_config);
+      auto c2 = control::make_controller(policy, policy_config);
+      sim::SimProcessSpec specs[2] = {
+          {"p1", sim::rbt_readonly_profile(), c1.get(), 0.0,
+           std::numeric_limits<double>::infinity()},
+          {"p2", sim::rbt_readonly_profile(), c2.get(), 5.0,
+           std::numeric_limits<double>::infinity()},
+      };
+      sim::SimConfig config;
+      config.contexts = contexts;
+      config.duration_s = 10.0;
+      config.seed = 1000 + static_cast<std::uint64_t>(seed);
+      const auto result = sim::run_simulation(config, specs);
+      const auto& t1 = result.processes[0].trace;
+      const auto& t2 = result.processes[1].trace;
+
+      // Cold start: first time P1 ≥ 90% of contexts.
+      bool found = false;
+      for (const auto& point : t1) {
+        if (point.level >= contexts * 9 / 10) {
+          cold_start.push_back(point.time_s);
+          found = true;
+          break;
+        }
+      }
+      if (!found) ++cold_never;
+
+      // Re-fair: both within ±25% of contexts/2 for 50 consecutive rounds
+      // after the arrival.
+      const int fair = contexts / 2;
+      const int tolerance = fair / 4;
+      int streak = 0;
+      found = false;
+      for (std::size_t i = 0; i < t2.size(); ++i) {
+        // Align P1's post-arrival trace with P2's (P2's trace starts at
+        // its arrival round).
+        const auto p1_index = t1.size() - t2.size() + i;
+        const bool both_fair =
+            std::abs(t1[p1_index].level - fair) <= tolerance &&
+            std::abs(t2[i].level - fair) <= tolerance;
+        streak = both_fair ? streak + 1 : 0;
+        if (streak == 50) {
+          refair.push_back(t2[i].time_s - 5.0 - 0.5);
+          found = true;
+          break;
+        }
+      }
+      if (!found) ++refair_never;
+    }
+    std::printf("%s:\n", policy);
+    report("cold start to 90%", cold_start, cold_never);
+    report("re-fair after arrival", refair, refair_never);
+  }
+  return 0;
+}

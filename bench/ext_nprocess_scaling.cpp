@@ -1,0 +1,46 @@
+// Extension (beyond the paper): N co-located processes, N = 1..8.
+//
+// The paper evaluates pairs; RUBIC's decentralized design claims nothing
+// special about N = 2. This bench sweeps the process count on the same
+// machine and reports the NSBP product, Jain fairness across speed-ups,
+// and the total thread count vs. the oversubscription line, for RUBIC and
+// the adaptive baselines.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "src/sim/experiment.hpp"
+#include "src/util/cli.hpp"
+
+using namespace rubic;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  sim::ExperimentConfig config;
+  config.repetitions = static_cast<int>(cli.get_int("reps", 20));
+  config.duration_s = cli.get_double("seconds", 10.0);
+  config.contexts = static_cast<int>(cli.get_int("contexts", 64));
+  const auto max_n = static_cast<int>(cli.get_int("max-n", 8));
+  cli.check_unknown();
+
+  bench::section("Extension: N identical rbt-readonly processes on " +
+                 std::to_string(config.contexts) + " contexts");
+  std::printf("%-10s %4s %12s %10s %12s\n", "policy", "N", "NSBP", "Jain",
+              "total thr");
+  for (const char* policy : {"rubic", "ebs", "f2c2", "equalshare"}) {
+    for (int n = 1; n <= max_n; n *= 2) {
+      std::vector<sim::ProcessSetup> setups(
+          static_cast<std::size_t>(n),
+          sim::ProcessSetup{policy, "rbt-readonly", 0.0,
+                            std::numeric_limits<double>::infinity()});
+      const auto aggregate = sim::run_experiment(config, setups);
+      std::printf("%-10s %4d %12.3g %10.3f %12.1f\n", policy, n,
+                  aggregate.nsbp.mean(), aggregate.jain.mean(),
+                  aggregate.total_threads.mean());
+    }
+  }
+  std::printf("\n(ideal for N processes on 64 contexts: total ≈ 64, Jain ≈ 1,"
+              " NSBP ≈ S(64/N)^N)\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Figure 1: Intruder's throughput vs. thread count on a 64-context machine.
+//
+// Paper claims: the peak is at 7 parallel threads; past the peak the
+// throughput deteriorates until, at 64 threads, it is less than half of the
+// sequential execution's.
+//
+// Default mode evaluates the simulated machine model (the substrate all
+// multi-process figures run on). --real sweeps the actual STM Intruder
+// workload on this host with a fixed-level pool; on a 1-core container the
+// real curve is flat-to-declining and is reported for completeness only
+// (see EXPERIMENTS.md).
+#include <chrono>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "src/runtime/malleable_pool.hpp"
+#include "src/sim/machine_model.hpp"
+#include "src/util/cli.hpp"
+#include "src/workloads/intruder/intruder_workload.hpp"
+
+using namespace rubic;
+
+namespace {
+
+void run_simulated(int contexts) {
+  bench::section("Figure 1 (simulated machine): Intruder commit-rate vs threads");
+  const auto profile = sim::intruder_profile();
+  sim::MachineModel machine(contexts);
+  const int peak = profile.curve->peak_level(contexts);
+  const double peak_throughput =
+      machine.throughput(profile, peak, peak);
+  std::printf("%8s %14s %10s  %s\n", "threads", "commits/s", "norm", "");
+  for (int level = 1; level <= contexts; ++level) {
+    const double throughput = machine.throughput(profile, level, level);
+    std::printf("%8d %14.0f %9.3f  %s\n", level, throughput,
+                throughput / peak_throughput,
+                bench::text_bar(throughput, peak_throughput).c_str());
+  }
+  std::printf("\npeak at %d threads (paper: 7)\n", peak);
+  std::printf("throughput at %d threads = %.2fx sequential (paper: < 0.5x)\n",
+              contexts, profile.curve->speedup(contexts));
+}
+
+void run_real(int max_threads, int ms_per_level) {
+  bench::section("Figure 1 (real STM on this host): Intruder tasks/s vs threads");
+  std::printf("(host parallelism is what it is — on a 1-core container this "
+              "curve cannot show the 64-core shape)\n");
+  std::printf("%8s %14s\n", "threads", "tasks/s");
+  double best = 0;
+  int best_level = 1;
+  for (int level = 1; level <= max_threads; ++level) {
+    stm::Runtime rt;
+    workloads::intruder::StreamParams params;
+    params.flow_count = 1024;
+    workloads::intruder::IntruderWorkload workload(rt, params);
+    runtime::PoolConfig pool_config;
+    pool_config.pool_size = level;
+    pool_config.initial_level = level;
+    runtime::MalleablePool pool(rt, workload, pool_config);
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms_per_level / 4));
+    const auto start_tasks = pool.total_completed();
+    const auto start = std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms_per_level));
+    const auto tasks = pool.total_completed() - start_tasks;
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    pool.stop();
+    const double rate = static_cast<double>(tasks) / seconds;
+    std::printf("%8d %14.0f\n", level, rate);
+    if (rate > best) {
+      best = rate;
+      best_level = level;
+    }
+  }
+  std::printf("\nmeasured peak at %d threads on this host\n", best_level);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto contexts = static_cast<int>(cli.get_int("contexts", 64));
+  const bool real = cli.get_bool("real", false);
+  const auto real_threads = static_cast<int>(cli.get_int("real-threads", 8));
+  const auto ms_per_level = static_cast<int>(cli.get_int("ms-per-level", 200));
+  cli.check_unknown();
+
+  run_simulated(contexts);
+  if (real) run_real(real_threads, ms_per_level);
+  return 0;
+}

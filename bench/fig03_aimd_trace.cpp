@@ -1,0 +1,48 @@
+// Figure 3: the AIMD sawtooth of a single highly-scalable process on a
+// 64-context machine (alpha = 0.5).
+//
+// Paper claims: every time the level exceeds 64 an MD halves it back to
+// ~32; the resulting average parallelism is 48 — a quarter of the machine
+// (16 of 64 cores) is left unused.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "src/control/aimd.hpp"
+#include "src/sim/sim_system.hpp"
+#include "src/util/cli.hpp"
+
+using namespace rubic;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto contexts = static_cast<int>(cli.get_int("contexts", 64));
+  const auto seconds = cli.get_double("seconds", 30.0);
+  const auto warmup = cli.get_double("warmup", 10.0);
+  cli.check_unknown();
+
+  bench::section("Figure 3: AIMD (alpha=0.5) level trace, one process, " +
+                 std::to_string(contexts) + " contexts");
+
+  control::AimdController aimd(control::LevelBounds{1, 2 * contexts}, 0.5);
+  sim::SimProcessSpec spec{"p", sim::rbt_readonly_profile(), &aimd, 0.0,
+                           std::numeric_limits<double>::infinity()};
+  sim::SimConfig config;
+  config.contexts = contexts;
+  config.duration_s = seconds;
+  config.noise_sigma = 0.0;  // Fig. 3 is the idealized model behaviour
+  const auto result =
+      sim::run_simulation(config, std::span<sim::SimProcessSpec>(&spec, 1));
+
+  const auto& trace = result.processes[0].trace;
+  std::printf("%8s %6s  %s\n", "t[s]", "level", "");
+  for (std::size_t i = 0; i < trace.size(); i += 10) {
+    std::printf("%8.2f %6d  %s\n", trace[i].time_s, trace[i].level,
+                bench::text_bar(trace[i].level, contexts, 48).c_str());
+  }
+
+  const double steady = bench::tail_mean_level(result.processes[0], warmup);
+  std::printf("\nsteady-state average level = %.1f (paper: 48)\n", steady);
+  std::printf("utilization = %.0f%% of %d contexts (paper: 75%%)\n",
+              100.0 * steady / contexts, contexts);
+  return 0;
+}

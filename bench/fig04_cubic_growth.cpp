@@ -1,0 +1,50 @@
+// Figure 4: the cubic growth function of Equation (1) — steady-state phase
+// below L_max, probing phase above it.
+//
+// Prints L(Δt) after a multiplicative decrease at L_max = 64, for the
+// paper's parameters (alpha = 0.8, beta = 0.1), in both interpretations of
+// the printed equation (DESIGN.md D1).
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "src/control/cubic_function.hpp"
+#include "src/util/cli.hpp"
+
+using namespace rubic;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto l_max = cli.get_double("lmax", 64.0);
+  const auto alpha = cli.get_double("alpha", 0.8);
+  const auto beta = cli.get_double("beta", 0.1);
+  const auto rounds = static_cast<int>(cli.get_int("rounds", 16));
+  cli.check_unknown();
+
+  bench::section("Figure 4: cubic growth after an MD at L_max=" +
+                 std::to_string(static_cast<int>(l_max)));
+
+  const control::CubicParams consistent{alpha, beta,
+                                        control::CubicMode::kTcpConsistent};
+  const control::CubicParams literal{alpha, beta,
+                                     control::CubicMode::kPaperLiteral};
+  std::printf("K (plateau offset): consistent=%.2f rounds, literal=%.2f rounds\n\n",
+              control::cubic_plateau_offset(l_max, consistent),
+              control::cubic_plateau_offset(l_max, literal));
+
+  std::printf("%6s %14s %14s   phase\n", "dt", "L (consistent)", "L (literal)");
+  for (int dt = 0; dt <= rounds; ++dt) {
+    const double lc = control::cubic_level(l_max, dt, consistent);
+    const double ll = control::cubic_level(l_max, dt, literal);
+    const char* phase = lc < l_max - 0.5   ? "steady-state (below L_max)"
+                        : lc <= l_max + 0.5 ? "plateau (~L_max)"
+                                            : "probing (above L_max)";
+    std::printf("%6d %14.2f %14.2f   %s\n", dt, lc, ll, phase);
+  }
+  std::printf("\nL(0) with consistent mode = alpha*L_max = %.1f"
+              " (matches the MD restart level)\n",
+              control::cubic_level(l_max, 0, consistent));
+  std::printf("L(0) with literal mode   = (1-alpha)*L_max = %.1f"
+              " (the printed equation's inconsistency, DESIGN.md D1)\n",
+              control::cubic_level(l_max, 0, literal));
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Figure 6: normalized scalability graphs of the three evaluated workloads
+// (Vacation, Intruder, RBT with 98% look-ups), commit-rate vs. threads,
+// each normalized to its own peak.
+//
+// Default mode prints the simulated machine's curves (the profiles every
+// multi-process experiment runs on). --real additionally sweeps the actual
+// STM workloads on this host (flat on a 1-core container; recorded for
+// completeness).
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "bench/common.hpp"
+#include "src/runtime/malleable_pool.hpp"
+#include "src/sim/machine_model.hpp"
+#include "src/util/cli.hpp"
+#include "src/workloads/intruder/intruder_workload.hpp"
+#include "src/workloads/rbset_workload.hpp"
+#include "src/workloads/vacation/vacation_workload.hpp"
+
+using namespace rubic;
+
+namespace {
+
+void run_simulated(int contexts) {
+  bench::section("Figure 6 (simulated): normalized commit-rate vs threads");
+  const sim::WorkloadProfile profiles[] = {
+      sim::vacation_profile(), sim::intruder_profile(), sim::rbt98_profile()};
+  double peaks[3];
+  for (int i = 0; i < 3; ++i) {
+    peaks[i] = profiles[i].curve->peak_speedup(contexts) *
+               profiles[i].sequential_rate;
+  }
+  std::printf("%8s %10s %10s %10s\n", "threads", "vacation", "intruder",
+              "rbt-98");
+  for (int level = 1; level <= contexts; ++level) {
+    std::printf("%8d", level);
+    for (int i = 0; i < 3; ++i) {
+      const double throughput =
+          profiles[i].curve->speedup(level) * profiles[i].sequential_rate;
+      std::printf(" %10.3f", throughput / peaks[i]);
+    }
+    std::printf("\n");
+  }
+  std::printf("\npeaks: vacation at %d, intruder at %d, rbt-98 at %d threads\n",
+              profiles[0].curve->peak_level(contexts),
+              profiles[1].curve->peak_level(contexts),
+              profiles[2].curve->peak_level(contexts));
+}
+
+double measure_real(stm::Runtime& rt, workloads::Workload& workload,
+                    int level, int ms) {
+  runtime::PoolConfig config;
+  config.pool_size = level;
+  config.initial_level = level;
+  runtime::MalleablePool pool(rt, workload, config);
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms / 4));
+  const auto start_tasks = pool.total_completed();
+  const auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  const auto tasks = pool.total_completed() - start_tasks;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  pool.stop();
+  return static_cast<double>(tasks) / seconds;
+}
+
+void run_real(int max_threads, int ms_per_level) {
+  bench::section("Figure 6 (real STM on this host): tasks/s vs threads");
+  std::printf("%8s %12s %12s %12s\n", "threads", "vacation", "intruder",
+              "rbt-98");
+  for (int level = 1; level <= max_threads; ++level) {
+    double rates[3];
+    {
+      stm::Runtime rt;
+      workloads::vacation::VacationParams params =
+          workloads::vacation::VacationParams::low_contention();
+      params.rows_per_relation = 4096;
+      params.customers = 4096;
+      workloads::vacation::VacationWorkload workload(rt, params);
+      rates[0] = measure_real(rt, workload, level, ms_per_level);
+    }
+    {
+      stm::Runtime rt;
+      workloads::intruder::StreamParams params;
+      params.flow_count = 1024;
+      workloads::intruder::IntruderWorkload workload(rt, params);
+      rates[1] = measure_real(rt, workload, level, ms_per_level);
+    }
+    {
+      stm::Runtime rt;
+      workloads::RbSetParams params;
+      params.initial_size = 16 * 1024;
+      workloads::RbSetWorkload workload(rt, params);
+      rates[2] = measure_real(rt, workload, level, ms_per_level);
+    }
+    std::printf("%8d %12.0f %12.0f %12.0f\n", level, rates[0], rates[1],
+                rates[2]);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto contexts = static_cast<int>(cli.get_int("contexts", 64));
+  const bool real = cli.get_bool("real", false);
+  const auto real_threads = static_cast<int>(cli.get_int("real-threads", 4));
+  const auto ms_per_level = static_cast<int>(cli.get_int("ms-per-level", 200));
+  cli.check_unknown();
+
+  run_simulated(contexts);
+  if (real) run_real(real_threads, ms_per_level);
+  return 0;
+}

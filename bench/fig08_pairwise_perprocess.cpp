@@ -1,0 +1,98 @@
+// Figure 8: per-process metrics of the pairwise co-location — (a) each
+// process's speed-up, (b) the standard deviation of its allocation across
+// the 50 repetitions, (c) its mean thread count.
+//
+// Paper claims: Greedy gives RBT its highest speed-up while crushing its
+// counterpart; RUBIC trades a sliver of the scalable process's speed-up for
+// a large gain on the less scalable one (proportional fairness); RUBIC has
+// the lowest allocation std-dev, F2C2 the highest; under F2C2 Vacation's
+// level escapes past the context count.
+#include <cstdio>
+#include <string>
+
+#include "bench/common.hpp"
+#include "src/sim/experiment.hpp"
+#include "src/util/cli.hpp"
+
+using namespace rubic;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  sim::ExperimentConfig config;
+  config.repetitions = static_cast<int>(cli.get_int("reps", 50));
+  config.duration_s = cli.get_double("seconds", 10.0);
+  config.contexts = static_cast<int>(cli.get_int("contexts", 64));
+  cli.check_unknown();
+
+  const char* const pairs[3][2] = {
+      {"intruder", "vacation"}, {"intruder", "rbt"}, {"vacation", "rbt"}};
+  const auto policies = control::evaluated_policies();
+
+  // aggregates[pair][policy]
+  std::vector<std::vector<sim::ExperimentAggregate>> aggregates(3);
+  for (int p = 0; p < 3; ++p) {
+    for (const auto policy : policies) {
+      aggregates[static_cast<std::size_t>(p)].push_back(
+          sim::run_pair(config, std::string(policy), pairs[p][0], pairs[p][1]));
+    }
+  }
+
+  const auto print_metric = [&](const char* title, auto field) {
+    bench::section(title);
+    for (int p = 0; p < 3; ++p) {
+      std::printf("pair %s/%s:\n", pairs[p][0], pairs[p][1]);
+      std::printf("  %-12s %14s %14s\n", "policy", pairs[p][0], pairs[p][1]);
+      for (std::size_t i = 0; i < policies.size(); ++i) {
+        const auto& aggregate = aggregates[static_cast<std::size_t>(p)][i];
+        std::printf("  %-12s %14.2f %14.2f\n",
+                    std::string(policies[i]).c_str(),
+                    field(aggregate.processes[0]),
+                    field(aggregate.processes[1]));
+      }
+    }
+  };
+
+  print_metric("Figure 8a: per-process speed-up",
+               [](const sim::ProcessAggregate& process) {
+                 return process.speedup.mean();
+               });
+  print_metric(
+      "Figure 8b: allocation std-dev across repetitions (lower = stabler)",
+      [](const sim::ProcessAggregate& process) {
+        return process.mean_level.stddev();
+      });
+  print_metric("Figure 8c: per-process mean thread count",
+               [](const sim::ProcessAggregate& process) {
+                 return process.mean_level.mean();
+               });
+
+  bench::section("Quoted claims");
+  // Proportional fairness: compare RBT's counterpart speed-ups, RUBIC vs EBS
+  // on the Int/RBT pair (paper: "1% of RBT's speed-up in exchange for 10%
+  // improvement in Intruder").
+  const std::size_t ebs_index = 3, rubic_index = 4;  // factory order
+  const auto& int_rbt_ebs = aggregates[1][ebs_index];
+  const auto& int_rbt_rubic = aggregates[1][rubic_index];
+  std::printf(
+      "Int/RBT — RUBIC vs EBS: intruder %+.1f%%, rbt %+.1f%%"
+      "  (paper: RUBIC sacrifices a little RBT for a big intruder gain)\n",
+      100.0 * (int_rbt_rubic.processes[0].speedup.mean() /
+                   int_rbt_ebs.processes[0].speedup.mean() - 1.0),
+      100.0 * (int_rbt_rubic.processes[1].speedup.mean() /
+                   int_rbt_ebs.processes[1].speedup.mean() - 1.0));
+  double rubic_sd = 0, f2c2_sd = 0;
+  for (int p = 0; p < 3; ++p) {
+    for (int side = 0; side < 2; ++side) {
+      rubic_sd += aggregates[static_cast<std::size_t>(p)][rubic_index]
+                      .processes[static_cast<std::size_t>(side)]
+                      .mean_level.stddev();
+      f2c2_sd += aggregates[static_cast<std::size_t>(p)][2]
+                     .processes[static_cast<std::size_t>(side)]
+                     .mean_level.stddev();
+    }
+  }
+  std::printf("mean allocation std-dev: RUBIC %.2f vs F2C2 %.2f"
+              "  (paper: RUBIC most stable, F2C2 least)\n",
+              rubic_sd / 6.0, f2c2_sd / 6.0);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 9: single-process execution — per-workload speed-up, thread count
+// and allocation std-dev for every policy. (Greedy and EqualShare are
+// identical here: both give the lone process the whole machine.)
+//
+// Paper claims: RUBIC's speed-up is always comparable to the best policy,
+// with slightly fewer threads, and it is on average the most stable;
+// EBS's stability is close behind.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "src/sim/experiment.hpp"
+#include "src/util/cli.hpp"
+
+using namespace rubic;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  sim::ExperimentConfig config;
+  config.repetitions = static_cast<int>(cli.get_int("reps", 50));
+  config.duration_s = cli.get_double("seconds", 10.0);
+  config.contexts = static_cast<int>(cli.get_int("contexts", 64));
+  cli.check_unknown();
+
+  const char* const workloads[] = {"vacation", "intruder", "rbt"};
+  const char* const policies[] = {"greedy", "f2c2", "ebs", "rubic"};
+
+  struct Cell {
+    double speedup, level, stddev;
+  };
+  Cell cells[4][3];
+  for (int pi = 0; pi < 4; ++pi) {
+    for (int wi = 0; wi < 3; ++wi) {
+      const auto aggregate =
+          sim::run_single(config, policies[pi], workloads[wi]);
+      cells[pi][wi] = {aggregate.processes[0].speedup.mean(),
+                       aggregate.processes[0].mean_level.mean(),
+                       aggregate.processes[0].mean_level.stddev()};
+    }
+  }
+
+  const auto print_table = [&](const char* title, auto select,
+                               const char* fmt) {
+    bench::section(title);
+    std::printf("%-12s %12s %12s %12s\n", "policy", workloads[0], workloads[1],
+                workloads[2]);
+    for (int pi = 0; pi < 4; ++pi) {
+      std::printf("%-12s", policies[pi]);
+      for (int wi = 0; wi < 3; ++wi) std::printf(fmt, select(cells[pi][wi]));
+      std::printf("\n");
+    }
+  };
+
+  print_table("Figure 9a: single-process speed-up (greedy == equalshare)",
+              [](const Cell& cell) { return cell.speedup; }, " %12.2f");
+  print_table("Figure 9b: mean thread count",
+              [](const Cell& cell) { return cell.level; }, " %12.1f");
+  print_table("Figure 9c: allocation std-dev across reps (lower is better)",
+              [](const Cell& cell) { return cell.stddev; }, " %12.2f");
+
+  bench::section("Quoted claims");
+  for (int wi = 0; wi < 3; ++wi) {
+    double best = 0;
+    for (int pi = 0; pi < 4; ++pi) best = std::max(best, cells[pi][wi].speedup);
+    std::printf("%-10s RUBIC speed-up = %.0f%% of best policy"
+                " (paper: always comparable to the best)\n",
+                workloads[wi], 100.0 * cells[3][wi].speedup / best);
+  }
+  double rubic_sd = 0, ebs_sd = 0, f2c2_sd = 0;
+  for (int wi = 0; wi < 3; ++wi) {
+    rubic_sd += cells[3][wi].stddev;
+    ebs_sd += cells[2][wi].stddev;
+    f2c2_sd += cells[1][wi].stddev;
+  }
+  std::printf("mean std-dev: RUBIC %.2f, EBS %.2f, F2C2 %.2f"
+              " (paper: RUBIC most stable on average)\n",
+              rubic_sd / 3, ebs_sd / 3, f2c2_sd / 3);
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Figure 10: number of active threads over time for two homogeneous
+// processes with staggered arrival (P2 joins at t=5s of a 10s run),
+// conflict-free red-black-tree workload, under F2C2 / EBS / RUBIC.
+//
+// Paper claims: (a) F2C2 overshoots past the context count, gets stuck on
+// the plateau, and after P2's arrival both race; (b) EBS converges to 64
+// alone but post-arrival the pair never finds the fair 32/32 allocation;
+// (c) RUBIC converges alone to ~64 quickly, and on arrival P2's cubic
+// probing coincides with P1's multiplicative decreases so both settle
+// around 32 almost immediately.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench/common.hpp"
+#include "src/control/factory.hpp"
+#include "src/metrics/timeseries.hpp"
+#include "src/sim/sim_system.hpp"
+#include "src/util/cli.hpp"
+
+using namespace rubic;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto contexts = static_cast<int>(cli.get_int("contexts", 64));
+  const auto seconds = cli.get_double("seconds", 10.0);
+  const auto arrival = cli.get_double("arrival", 5.0);
+  const auto stride_s = cli.get_double("stride", 0.1);
+  // --csv PREFIX writes PREFIX_<policy>.csv with the full-resolution traces.
+  const auto csv_prefix = cli.get_string("csv", "");
+  cli.check_unknown();
+
+  for (const char* policy : {"f2c2", "ebs", "rubic"}) {
+    control::PolicyConfig policy_config;
+    policy_config.contexts = contexts;
+    auto c1 = control::make_controller(policy, policy_config);
+    auto c2 = control::make_controller(policy, policy_config);
+    sim::SimProcessSpec specs[2] = {
+        {"P1", sim::rbt_readonly_profile(), c1.get(), 0.0,
+         std::numeric_limits<double>::infinity()},
+        {"P2", sim::rbt_readonly_profile(), c2.get(), arrival,
+         std::numeric_limits<double>::infinity()},
+    };
+    sim::SimConfig config;
+    config.contexts = contexts;
+    config.duration_s = seconds;
+    const auto result = sim::run_simulation(config, specs);
+
+    bench::section("Figure 10" +
+                   std::string(policy == std::string("f2c2")  ? "a"
+                               : policy == std::string("ebs") ? "b"
+                                                              : "c") +
+                   ": " + policy + " — active threads over time");
+    std::printf("%8s %6s %6s %7s\n", "t[s]", "P1", "P2", "total");
+    const auto& t1 = result.processes[0].trace;
+    const auto& t2 = result.processes[1].trace;
+    if (!csv_prefix.empty()) {
+      metrics::TimeSeries series({"t", "p1_level", "p2_level", "total"});
+      for (std::size_t i = 0; i < t1.size(); ++i) {
+        const double now = t1[i].time_s;
+        int l2 = 0;
+        for (const auto& point : t2) {
+          if (point.time_s <= now) l2 = point.level; else break;
+        }
+        if (now < arrival) l2 = 0;
+        series.append({now, static_cast<double>(t1[i].level),
+                       static_cast<double>(l2),
+                       static_cast<double>(t1[i].level + l2)});
+      }
+      const std::string path = csv_prefix + "_" + policy + ".csv";
+      if (series.write_csv_file(path)) {
+        std::printf("(full trace written to %s)\n", path.c_str());
+      }
+    }
+    const auto stride = static_cast<std::size_t>(stride_s / config.period_s);
+    for (std::size_t i = 0; i < t1.size(); i += stride) {
+      const double now = t1[i].time_s;
+      int l2 = 0;
+      for (const auto& point : t2) {
+        if (point.time_s <= now) l2 = point.level; else break;
+      }
+      if (now < arrival) l2 = 0;
+      std::printf("%8.2f %6d %6d %7d\n", now, t1[i].level, l2,
+                  t1[i].level + l2);
+    }
+    const double p1_before =
+        bench::tail_mean_level(result.processes[0], arrival - 2.0) -
+        bench::tail_mean_level(result.processes[0], arrival);
+    (void)p1_before;
+    double pre_sum = 0;
+    int pre_count = 0;
+    for (const auto& point : t1) {
+      if (point.time_s >= arrival - 3.0 && point.time_s < arrival) {
+        pre_sum += point.level;
+        ++pre_count;
+      }
+    }
+    std::printf(
+        "summary: P1 pre-arrival mean %.1f; post-arrival tail means "
+        "P1 %.1f, P2 %.1f (fair point: %d each)\n",
+        pre_sum / pre_count,
+        bench::tail_mean_level(result.processes[0], seconds - 2.0),
+        bench::tail_mean_level(result.processes[1], seconds - 2.0),
+        contexts / 2);
+  }
+  return 0;
+}

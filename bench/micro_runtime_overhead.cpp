@@ -1,0 +1,85 @@
+// Microbenchmarks of the malleable-runtime hot paths (google-benchmark).
+//
+// The paper's Algorithm 1 promises a syscall-free task-acquisition fast
+// path and an O(workers) monitor sampling step; these benches measure both,
+// plus the controller's per-round decision cost (which bounds the monitor's
+// CPU footprint at the 10 ms period).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "src/control/rubic.hpp"
+#include "src/runtime/malleable_pool.hpp"
+#include "src/stm/stm.hpp"
+#include "src/util/cache_aligned.hpp"
+#include "src/workloads/workload.hpp"
+
+namespace {
+
+using namespace rubic;
+
+// The worker's gate check (Alg. 1 line 8): one acquire load + compare.
+void BM_GateCheck(benchmark::State& state) {
+  alignas(util::kCacheLineSize) std::atomic<int> level{4};
+  const int tid = 2;
+  bool active = false;
+  for (auto _ : state) {
+    active = tid < level.load(std::memory_order_acquire);
+    benchmark::DoNotOptimize(active);
+  }
+}
+BENCHMARK(BM_GateCheck);
+
+// Monitor-side throughput sampling: summing S padded per-worker counters.
+void BM_MonitorSampleCounters(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  std::vector<util::CacheAligned<std::atomic<std::uint64_t>>> counters(workers);
+  for (auto& counter : counters) counter.value.store(123);
+  for (auto _ : state) {
+    std::uint64_t total = 0;
+    for (auto& counter : counters) {
+      total += counter.value.load(std::memory_order_relaxed);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_MonitorSampleCounters)->Arg(8)->Arg(64)->Arg(128);
+
+// One full RUBIC decision round.
+void BM_RubicOnSample(benchmark::State& state) {
+  control::RubicController controller(control::LevelBounds{1, 128});
+  double throughput = 1000.0;
+  for (auto _ : state) {
+    throughput = throughput * 1.001;
+    benchmark::DoNotOptimize(controller.on_sample(throughput));
+  }
+}
+BENCHMARK(BM_RubicOnSample);
+
+// Level change applied to a live pool (signal path, no waiting).
+class NopWorkload final : public workloads::Workload {
+ public:
+  std::string_view name() const override { return "nop"; }
+  void run_task(stm::TxnDesc&, util::Xoshiro256&) override {
+    std::this_thread::yield();
+  }
+  bool verify(std::string*) override { return true; }
+};
+
+void BM_PoolSetLevel(benchmark::State& state) {
+  static stm::Runtime rt;
+  static NopWorkload workload;
+  static runtime::MalleablePool pool(
+      rt, workload, runtime::PoolConfig{.pool_size = 16, .initial_level = 1});
+  int level = 1;
+  for (auto _ : state) {
+    level = level == 1 ? 9 : 1;  // swing 8 workers up/down per iteration
+    pool.set_level(level);
+  }
+  pool.set_level(1);
+}
+BENCHMARK(BM_PoolSetLevel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Bank: a classic TM correctness demo on the RUBIC stack.
+//
+// Worker tasks transfer money between accounts inside transactions while a
+// RUBIC-tuned pool adapts the parallelism level; an auditor task
+// periodically snapshots the total balance transactionally. The invariant —
+// the total never changes — holds at every point despite concurrent
+// transfers, aborts and pool resizing.
+//
+// Run:  ./bank [--accounts 32] [--seconds 2] [--pool 8]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "src/control/rubic.hpp"
+#include "src/runtime/process.hpp"
+#include "src/stm/stm.hpp"
+#include "src/util/cli.hpp"
+#include "src/workloads/workload.hpp"
+
+namespace {
+
+using namespace rubic;
+
+constexpr std::int64_t kInitialBalance = 1000;
+
+class BankWorkload final : public workloads::Workload {
+ public:
+  explicit BankWorkload(std::size_t accounts) : accounts_(accounts) {
+    for (auto& account : accounts_) account.unsafe_write(kInitialBalance);
+  }
+
+  std::string_view name() const override { return "bank"; }
+
+  void run_task(stm::TxnDesc& ctx, util::Xoshiro256& rng) override {
+    // 1-in-64 tasks audits; the rest transfer.
+    if (rng.below(64) == 0) {
+      const std::int64_t total = stm::atomically(ctx, [&](stm::Txn& tx) {
+        std::int64_t sum = 0;
+        for (auto& account : accounts_) sum += account.read(tx);
+        return sum;
+      });
+      if (total != expected_total()) torn_audits_.fetch_add(1);
+      audits_.fetch_add(1);
+      return;
+    }
+    const auto from = rng.below(accounts_.size());
+    auto to = rng.below(accounts_.size());
+    if (to == from) to = (to + 1) % accounts_.size();
+    const auto amount = static_cast<std::int64_t>(rng.below(100));
+    stm::atomically(ctx, [&](stm::Txn& tx) {
+      const auto balance = accounts_[from].read(tx);
+      // Allow negative balances: the invariant is conservation, not credit.
+      accounts_[from].write(tx, balance - amount);
+      accounts_[to].write(tx, accounts_[to].read(tx) + amount);
+    });
+  }
+
+  bool verify(std::string* error) override {
+    std::int64_t total = 0;
+    for (auto& account : accounts_) total += account.unsafe_read();
+    if (total != expected_total()) {
+      if (error != nullptr) *error = "total balance drifted";
+      return false;
+    }
+    if (torn_audits_.load() != 0) {
+      if (error != nullptr) *error = "an audit saw a torn snapshot";
+      return false;
+    }
+    return true;
+  }
+
+  std::int64_t expected_total() const {
+    return static_cast<std::int64_t>(accounts_.size()) * kInitialBalance;
+  }
+  std::uint64_t audits() const { return audits_.load(); }
+
+ private:
+  std::vector<stm::TVar<std::int64_t>> accounts_;
+  std::atomic<std::uint64_t> audits_{0};
+  std::atomic<std::uint64_t> torn_audits_{0};
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto accounts = static_cast<std::size_t>(cli.get_int("accounts", 32));
+  const auto seconds = cli.get_int("seconds", 2);
+  const auto pool_size = static_cast<int>(cli.get_int("pool", 8));
+  cli.check_unknown();
+
+  stm::Runtime rt;
+  BankWorkload workload(accounts);
+  control::RubicController controller(control::LevelBounds{1, pool_size});
+
+  runtime::ProcessConfig config;
+  config.pool.pool_size = pool_size;
+  runtime::TunedProcess process(rt, workload, controller, config);
+  const auto report = process.run_for(std::chrono::milliseconds(1000 * seconds));
+
+  std::printf("transfers+audits: %llu tasks (%.0f/s), %llu audits\n",
+              static_cast<unsigned long long>(report.tasks_completed),
+              report.tasks_per_second,
+              static_cast<unsigned long long>(workload.audits()));
+  std::printf("aborts          : %llu\n",
+              static_cast<unsigned long long>(report.stm_stats.total_aborts()));
+  std::printf("final level     : %d\n", report.final_level);
+
+  std::string error;
+  if (!workload.verify(&error)) {
+    std::printf("INVARIANT VIOLATED: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("conservation invariant verified: total == %lld\n",
+              static_cast<long long>(workload.expected_total()));
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Mini-STAMP driver: runs every workload in the library under one tuning
+// policy, prints a results table, and verifies each workload's invariants —
+// a one-command demonstration that the whole stack (STM, containers,
+// workloads, malleable runtime, controllers) composes.
+//
+// Run:  ./stamp_suite [--seconds-each 1] [--pool 8] [--policy rubic]
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/control/factory.hpp"
+#include "src/runtime/process.hpp"
+#include "src/util/cli.hpp"
+#include "src/workloads/genome/genome_workload.hpp"
+#include "src/workloads/intruder/intruder_workload.hpp"
+#include "src/workloads/kmeans/kmeans_workload.hpp"
+#include "src/workloads/labyrinth/labyrinth_workload.hpp"
+#include "src/workloads/montecarlo.hpp"
+#include "src/workloads/rbset_workload.hpp"
+#include "src/workloads/ssca2/graph_workload.hpp"
+#include "src/workloads/vacation/vacation_workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rubic;
+  util::Cli cli(argc, argv);
+  const auto seconds_each = cli.get_int("seconds-each", 1);
+  const auto pool_size = static_cast<int>(cli.get_int("pool", 8));
+  const auto policy = cli.get_string("policy", "rubic");
+  cli.check_unknown();
+
+  struct Entry {
+    const char* name;
+    std::function<std::unique_ptr<workloads::Workload>(stm::Runtime&)> make;
+  };
+  const std::vector<Entry> suite = {
+      {"rbset-98",
+       [](stm::Runtime& rt) {
+         workloads::RbSetParams params;
+         params.initial_size = 16 * 1024;
+         return std::make_unique<workloads::RbSetWorkload>(rt, params);
+       }},
+      {"vacation-low",
+       [](stm::Runtime& rt) {
+         auto params = workloads::vacation::VacationParams::low_contention();
+         params.rows_per_relation = 4096;
+         params.customers = 4096;
+         return std::make_unique<workloads::vacation::VacationWorkload>(
+             rt, params);
+       }},
+      {"vacation-high",
+       [](stm::Runtime& rt) {
+         auto params = workloads::vacation::VacationParams::high_contention();
+         params.rows_per_relation = 4096;
+         params.customers = 4096;
+         return std::make_unique<workloads::vacation::VacationWorkload>(
+             rt, params);
+       }},
+      {"intruder",
+       [](stm::Runtime& rt) {
+         workloads::intruder::StreamParams params;
+         params.flow_count = 2048;
+         return std::make_unique<workloads::intruder::IntruderWorkload>(
+             rt, params);
+       }},
+      {"genome",
+       [](stm::Runtime& rt) {
+         workloads::genome::GenomeParams params;
+         return std::make_unique<workloads::genome::GenomeWorkload>(rt,
+                                                                    params);
+       }},
+      {"kmeans",
+       [](stm::Runtime& rt) {
+         workloads::kmeans::KmeansParams params;
+         return std::make_unique<workloads::kmeans::KmeansWorkload>(rt,
+                                                                    params);
+       }},
+      {"labyrinth",
+       [](stm::Runtime& rt) {
+         workloads::labyrinth::LabyrinthParams params;
+         return std::make_unique<workloads::labyrinth::LabyrinthWorkload>(
+             rt, params);
+       }},
+      {"ssca2-graph",
+       [](stm::Runtime& rt) {
+         workloads::ssca2::GraphParams params;
+         return std::make_unique<workloads::ssca2::GraphWorkload>(rt, params);
+       }},
+      {"montecarlo-pi",
+       [](stm::Runtime&) {
+         return std::make_unique<workloads::MonteCarloPiWorkload>();
+       }},
+  };
+
+  std::printf("%-15s %14s %10s %12s %12s  %s\n", "workload", "tasks/s",
+              "mean lvl", "commits", "aborts", "verified");
+  bool all_ok = true;
+  for (const auto& entry : suite) {
+    stm::Runtime rt;
+    auto workload = entry.make(rt);
+    control::PolicyConfig policy_config;
+    policy_config.contexts = pool_size;
+    policy_config.pool_size = pool_size;
+    if (policy == "equalshare") {
+      policy_config.allocator =
+          std::make_shared<control::CentralAllocator>(pool_size);
+      policy_config.allocator->register_process();
+    }
+    auto controller = control::make_controller(policy, policy_config);
+    runtime::ProcessConfig config;
+    config.pool.pool_size = pool_size;
+    runtime::TunedProcess process(rt, *workload, *controller, config);
+    const auto report =
+        process.run_for(std::chrono::milliseconds(1000 * seconds_each));
+    std::string error;
+    const bool ok = workload->verify(&error);
+    all_ok = all_ok && ok;
+    std::printf("%-15s %14.0f %10.1f %12llu %12llu  %s\n", entry.name,
+                report.tasks_per_second, report.mean_level,
+                static_cast<unsigned long long>(report.stm_stats.commits),
+                static_cast<unsigned long long>(
+                    report.stm_stats.total_aborts()),
+                ok ? "OK" : ("FAIL: " + error).c_str());
+  }
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Regenerates every figure of the paper plus the extension studies, with
+# optional CSV traces, into an output directory.
+#
+# Usage: scripts/run_all_figures.sh [BUILD_DIR] [OUT_DIR]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-results}"
+mkdir -p "$OUT_DIR"
+
+if [[ ! -d "$BUILD_DIR/bench" ]]; then
+  echo "error: $BUILD_DIR/bench not found — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -G Ninja && cmake --build $BUILD_DIR" >&2
+  exit 1
+fi
+
+for bench in "$BUILD_DIR"/bench/*; do
+  [[ -x "$bench" && -f "$bench" ]] || continue
+  name="$(basename "$bench")"
+  echo "=== $name ==="
+  case "$name" in
+    fig10_convergence)
+      "$bench" --csv "$OUT_DIR/fig10" | tee "$OUT_DIR/$name.txt"
+      ;;
+    micro_*)
+      "$bench" --benchmark_out="$OUT_DIR/$name.json" \
+               --benchmark_out_format=json | tee "$OUT_DIR/$name.txt"
+      ;;
+    *)
+      "$bench" | tee "$OUT_DIR/$name.txt"
+      ;;
+  esac
+done
+
+echo
+echo "All outputs in $OUT_DIR/"

@@ -1,0 +1,63 @@
+// AIMD — additive increase / multiplicative decrease (§2.1, Fig. 2b/Fig. 3;
+// the SPAA'15 brief-announcement controller [Mohtasham & Barreto]):
+// +1 on non-loss, L ← αL on loss. Converges to fairness in multi-process
+// systems but leaves the machine ~25% undersubscribed on average (Fig. 3),
+// which is what motivates RUBIC's cubic growth.
+#pragma once
+
+#include <cmath>
+#include <string_view>
+
+#include "src/control/controller.hpp"
+
+namespace rubic::control {
+
+class AimdController final : public Controller {
+ public:
+  AimdController(LevelBounds bounds, double alpha = 0.5,
+                 int initial_level = 0)
+      : bounds_(bounds),
+        alpha_(alpha),
+        initial_level_(bounds.clamp(initial_level > 0 ? initial_level
+                                                      : bounds.min_level)) {
+    RUBIC_CHECK_MSG(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+    reset();
+  }
+
+  int initial_level() const override { return initial_level_; }
+
+  int on_sample(double throughput) override {
+    if (throughput >= t_p_) {
+      level_ = bounds_.clamp(level_ + 1);
+      t_p_ = throughput;
+    } else {
+      level_ = bounds_.clamp(static_cast<int>(std::llround(alpha_ * level_)));
+      // Reset the comparison baseline after a multiplicative drop: the next
+      // measurement (at a far lower level) must not be judged against the
+      // pre-drop throughput, or every MD would cascade into further MDs.
+      // RUBIC inherits exactly this device as Algorithm 2's line 35
+      // (T_p ← 0 / observation round).
+      t_p_ = 0.0;
+    }
+    return level_;
+  }
+
+  void reset() override {
+    level_ = initial_level_;
+    t_p_ = 0.0;
+  }
+
+  std::string_view name() const override { return "AIMD"; }
+
+  int level() const noexcept { return level_; }
+  double alpha() const noexcept { return alpha_; }
+
+ private:
+  LevelBounds bounds_;
+  double alpha_;
+  int initial_level_ = 1;
+  int level_ = 1;
+  double t_p_ = 0.0;
+};
+
+}  // namespace rubic::control

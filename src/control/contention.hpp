@@ -1,0 +1,68 @@
+// Contention-ratio controller (related work, §5: Ansari et al. / Chan et
+// al.): keeps the *commit ratio* — commits / (commits + aborts) — above a
+// threshold by shedding threads, and grows when contention is low.
+//
+// Unlike the throughput-feedback policies, this needs a second signal; the
+// real runtime's monitor can supply it from the STM statistics (the
+// simulator cannot, as the machine model does not model aborts — this
+// controller is therefore exercised against the real runtime only). The
+// paper's criticism applies: bounding wasted work is not the same as
+// maximizing throughput, and the policy is oblivious to co-runners.
+#pragma once
+
+#include <string_view>
+
+#include "src/control/controller.hpp"
+
+namespace rubic::control {
+
+// Interface for controllers that consume a contention signal in addition to
+// (or instead of) throughput. The runtime monitor detects it by type and
+// feeds the commit ratio of the period that just ended.
+class ContentionSignalConsumer {
+ public:
+  virtual ~ContentionSignalConsumer() = default;
+  virtual int on_commit_ratio(double ratio) = 0;
+};
+
+class ContentionRatioController final : public Controller,
+                                        public ContentionSignalConsumer {
+ public:
+  ContentionRatioController(LevelBounds bounds, double low_watermark = 0.70,
+                            double high_watermark = 0.90)
+      : bounds_(bounds),
+        low_watermark_(low_watermark),
+        high_watermark_(high_watermark) {
+    RUBIC_CHECK(0.0 < low_watermark && low_watermark < high_watermark &&
+                high_watermark <= 1.0);
+    reset();
+  }
+
+  int initial_level() const override { return bounds_.min_level; }
+
+  // Throughput-only fallback: without a contention signal, hold level (the
+  // policy is defined on the commit ratio, not the rate).
+  int on_sample(double) override { return level_; }
+
+  // Full signal: commit ratio for the period that just ended.
+  int on_commit_ratio(double ratio) override {
+    if (ratio < low_watermark_) {
+      level_ = bounds_.clamp(level_ - 1);
+    } else if (ratio > high_watermark_) {
+      level_ = bounds_.clamp(level_ + 1);
+    }
+    return level_;
+  }
+
+  void reset() override { level_ = bounds_.min_level; }
+  std::string_view name() const override { return "ContentionRatio"; }
+  int level() const noexcept { return level_; }
+
+ private:
+  LevelBounds bounds_;
+  double low_watermark_;
+  double high_watermark_;
+  int level_ = 1;
+};
+
+}  // namespace rubic::control

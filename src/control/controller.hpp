@@ -1,0 +1,49 @@
+// Parallelism-tuning controller interface (paper §2).
+//
+// A controller is a feedback loop: once per measurement period it receives
+// the throughput of the period that just ended and answers with the
+// parallelism level (number of active worker threads) for the next period.
+// The same objects drive both the real malleable runtime (src/runtime/) and
+// the co-location simulator (src/sim/), so the policies evaluated in the
+// figures are byte-for-byte the policies running on real threads.
+#pragma once
+
+#include <string_view>
+
+#include "src/util/check.hpp"
+
+namespace rubic::control {
+
+// Level bounds shared by all controllers: at least one worker must stay
+// active; the ceiling is the process' thread-pool size (paper §3, Alg. 1:
+// tid ∈ [0..S-1]).
+struct LevelBounds {
+  int min_level = 1;
+  int max_level = 64;
+
+  int clamp(int level) const noexcept {
+    if (level < min_level) return min_level;
+    if (level > max_level) return max_level;
+    return level;
+  }
+};
+
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  // Level to start with, before any feedback arrives.
+  virtual int initial_level() const = 0;
+
+  // One feedback round: `throughput` is the measurement for the period that
+  // just completed (commit-rate in the paper, tasks/period in our runtime).
+  // Returns the level for the next period, already clamped to the bounds.
+  virtual int on_sample(double throughput) = 0;
+
+  // Forgets all learned state (fresh run, same parameters).
+  virtual void reset() = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace rubic::control

@@ -1,0 +1,47 @@
+// The cubic growth function of Equation (1) (paper §2.2), lifted from TCP
+// CUBIC [Ha, Rhee, Xu 2008]:
+//
+//     L(Δt) = L_max + β · (Δt − K)³
+//
+// where K is the plateau offset: the number of rounds after a multiplicative
+// decrease at which the level re-reaches L_max.
+//
+// The paper prints K = ∛(L_max·α/β) while its MD step sets L ← α·L_max;
+// with α = 0.8 those disagree (the curve would restart at 0.2·L_max, far
+// below the post-MD level). TCP CUBIC uses the *drop fraction* under the
+// root — K = ∛(L_max·(1−α)/β) — which makes L(0) = α·L_max exactly. We
+// implement both readings (DESIGN.md D1) and default to the consistent one;
+// bench/ablation_cubic_mode quantifies the difference.
+#pragma once
+
+#include <cmath>
+
+namespace rubic::control {
+
+enum class CubicMode {
+  kPaperLiteral,   // K = cbrt(L_max * alpha / beta), as printed in Eq. (1)
+  kTcpConsistent,  // K = cbrt(L_max * (1 - alpha) / beta), as in TCP CUBIC
+};
+
+struct CubicParams {
+  double alpha = 0.8;  // multiplicative-decrease factor (L ← αL), §4.3
+  double beta = 0.1;   // growth-rate scale, §4.3
+  CubicMode mode = CubicMode::kTcpConsistent;
+};
+
+// Plateau offset K for the given L_max.
+inline double cubic_plateau_offset(double l_max, const CubicParams& p) noexcept {
+  const double drop =
+      p.mode == CubicMode::kPaperLiteral ? p.alpha : (1.0 - p.alpha);
+  return std::cbrt(l_max * drop / p.beta);
+}
+
+// L(Δt) per Equation (1). `dt` counts controller rounds since the last
+// multiplicative decrease.
+inline double cubic_level(double l_max, double dt, const CubicParams& p) noexcept {
+  const double k = cubic_plateau_offset(l_max, p);
+  const double d = dt - k;
+  return l_max + p.beta * d * d * d;
+}
+
+}  // namespace rubic::control

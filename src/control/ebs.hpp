@@ -1,0 +1,58 @@
+// EBS — exploration-based scaling [Didona et al. 2013], the paper's AIAD
+// baseline (§4.3): hill climbing with ±1 steps on the commit-rate signal.
+//
+// Note the `>=` tie rule (shared with Alg. 2): on a flat throughput plateau
+// the controller keeps drifting upward — the greedy behaviour behind the
+// oversubscription races of Fig. 7b and Fig. 10b.
+#pragma once
+
+#include <string_view>
+
+#include "src/control/controller.hpp"
+
+namespace rubic::control {
+
+class EbsController : public Controller {
+ public:
+  // `initial_level` defaults to the minimum; the Fig. 2 geometry bench
+  // starts the two processes from an arbitrary asymmetric point X0.
+  explicit EbsController(LevelBounds bounds, int initial_level = 0)
+      : bounds_(bounds),
+        initial_level_(bounds.clamp(initial_level > 0 ? initial_level
+                                                      : bounds.min_level)) {
+    reset();
+  }
+
+  int initial_level() const override { return initial_level_; }
+
+  int on_sample(double throughput) override {
+    level_ = bounds_.clamp(throughput >= t_p_ ? level_ + 1 : level_ - 1);
+    t_p_ = throughput;
+    return level_;
+  }
+
+  void reset() override {
+    level_ = initial_level_;
+    t_p_ = 0.0;
+  }
+
+  std::string_view name() const override { return "EBS"; }
+
+  int level() const noexcept { return level_; }
+
+ protected:
+  LevelBounds bounds_;
+  int initial_level_ = 1;
+  int level_ = 1;
+  double t_p_ = 0.0;
+};
+
+// The abstract AIAD model of §2.1 (Fig. 2a) is exactly EBS's control law;
+// the alias keeps bench code self-describing.
+class AiadController final : public EbsController {
+ public:
+  using EbsController::EbsController;
+  std::string_view name() const override { return "AIAD"; }
+};
+
+}  // namespace rubic::control

@@ -1,0 +1,52 @@
+// F2C2-STM [Ravichandran & Pande 2014] (§4.3): identical to EBS except for
+// an initial exponential ("flux") phase — the level doubles every round
+// until the first throughput loss, is halved once, and the controller then
+// continues as pure AIAD for the rest of the run.
+#pragma once
+
+#include <string_view>
+
+#include "src/control/controller.hpp"
+
+namespace rubic::control {
+
+class F2c2Controller final : public Controller {
+ public:
+  explicit F2c2Controller(LevelBounds bounds) : bounds_(bounds) { reset(); }
+
+  int initial_level() const override { return bounds_.min_level; }
+
+  int on_sample(double throughput) override {
+    if (exponential_phase_) {
+      if (throughput >= t_p_) {
+        level_ = bounds_.clamp(level_ * 2);
+      } else {
+        level_ = bounds_.clamp(level_ / 2);
+        exponential_phase_ = false;
+      }
+    } else {
+      level_ = bounds_.clamp(throughput >= t_p_ ? level_ + 1 : level_ - 1);
+    }
+    t_p_ = throughput;
+    return level_;
+  }
+
+  void reset() override {
+    level_ = bounds_.min_level;
+    t_p_ = 0.0;
+    exponential_phase_ = true;
+  }
+
+  std::string_view name() const override { return "F2C2"; }
+
+  int level() const noexcept { return level_; }
+  bool in_exponential_phase() const noexcept { return exponential_phase_; }
+
+ private:
+  LevelBounds bounds_;
+  int level_ = 1;
+  double t_p_ = 0.0;
+  bool exponential_phase_ = true;
+};
+
+}  // namespace rubic::control

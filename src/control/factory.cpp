@@ -1,0 +1,52 @@
+#include "src/control/factory.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "src/control/aimd.hpp"
+#include "src/control/ebs.hpp"
+#include "src/control/f2c2.hpp"
+#include "src/control/profiled.hpp"
+#include "src/control/rubic.hpp"
+
+namespace rubic::control {
+
+std::unique_ptr<Controller> make_controller(std::string_view policy,
+                                            const PolicyConfig& config) {
+  const LevelBounds bounds{1, config.effective_pool()};
+  if (policy == "rubic") {
+    return std::make_unique<RubicController>(bounds, config.cubic);
+  }
+  if (policy == "ebs") {
+    return std::make_unique<EbsController>(bounds);
+  }
+  if (policy == "aiad") {
+    return std::make_unique<AiadController>(bounds);
+  }
+  if (policy == "f2c2") {
+    return std::make_unique<F2c2Controller>(bounds);
+  }
+  if (policy == "profiled") {
+    return std::make_unique<ProfiledController>(bounds);
+  }
+  if (policy == "aimd") {
+    return std::make_unique<AimdController>(bounds, config.aimd_alpha);
+  }
+  if (policy == "greedy") {
+    return make_greedy(config.contexts);
+  }
+  if (policy == "equalshare") {
+    if (config.allocator == nullptr) {
+      throw std::invalid_argument(
+          "equalshare requires a CentralAllocator in PolicyConfig");
+    }
+    return std::make_unique<EqualShareController>(config.allocator);
+  }
+  throw std::invalid_argument("unknown policy '" + std::string(policy) + "'");
+}
+
+std::vector<std::string_view> evaluated_policies() {
+  return {"greedy", "equalshare", "f2c2", "ebs", "rubic"};
+}
+
+}  // namespace rubic::control

@@ -1,0 +1,41 @@
+// Policy factory: builds any evaluated controller by name, as used by the
+// bench binaries' --policy flags and the experiment harness.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/control/controller.hpp"
+#include "src/control/cubic_function.hpp"
+#include "src/control/fixed.hpp"
+
+namespace rubic::control {
+
+struct PolicyConfig {
+  // Hardware context count of the (real or simulated) machine.
+  int contexts = 64;
+  // Per-process thread-pool size; adaptive policies may exceed `contexts`
+  // up to this cap (DESIGN.md D3). Defaults to 2x contexts.
+  int pool_size = 0;
+  // RUBIC / AIMD parameters.
+  CubicParams cubic;
+  double aimd_alpha = 0.5;
+  // Shared central entity, required for "equalshare".
+  std::shared_ptr<CentralAllocator> allocator;
+
+  int effective_pool() const noexcept {
+    return pool_size > 0 ? pool_size : 2 * contexts;
+  }
+};
+
+// Known names: "rubic", "ebs", "aiad", "f2c2", "aimd", "greedy",
+// "equalshare". Throws std::invalid_argument on anything else.
+std::unique_ptr<Controller> make_controller(std::string_view policy,
+                                            const PolicyConfig& config);
+
+// All adaptive + fixed policies evaluated in §4.5, in the paper's plotting
+// order.
+std::vector<std::string_view> evaluated_policies();
+
+}  // namespace rubic::control

@@ -1,0 +1,85 @@
+// Non-adaptive allocation policies (§4.3).
+//
+// Greedy: every process pins its level to the full hardware context count,
+// ignoring both its own workload and its neighbours.
+//
+// EqualShare: a central entity divides the contexts evenly among the
+// currently-registered processes — the simplest oversubscription-free
+// heuristic, still workload-oblivious. The CentralAllocator models that
+// central entity; processes consult it every round so shares track arrivals
+// and departures (Fig. 10's staggered-arrival scenario).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string_view>
+
+#include "src/control/controller.hpp"
+
+namespace rubic::control {
+
+class FixedController final : public Controller {
+ public:
+  FixedController(LevelBounds bounds, int level, std::string_view label = "Fixed")
+      : bounds_(bounds), level_(bounds.clamp(level)), label_(label) {}
+
+  int initial_level() const override { return level_; }
+  int on_sample(double) override { return level_; }
+  void reset() override {}
+  std::string_view name() const override { return label_; }
+
+ private:
+  LevelBounds bounds_;
+  int level_;
+  std::string_view label_;
+};
+
+// Makes the Greedy policy for a machine with `contexts` hardware contexts.
+inline std::unique_ptr<Controller> make_greedy(int contexts) {
+  return std::make_unique<FixedController>(
+      LevelBounds{1, contexts}, contexts, "Greedy");
+}
+
+// The "central entity" of EqualShare: tracks how many processes are alive
+// and answers the per-process share. Thread-safe (the real runtime would
+// place this in shared memory or a daemon; process arrival/departure is the
+// only cross-process communication EqualShare needs — RUBIC needs none).
+class CentralAllocator {
+ public:
+  explicit CentralAllocator(int contexts) : contexts_(contexts) {
+    RUBIC_CHECK(contexts > 0);
+  }
+
+  void register_process() noexcept { processes_.fetch_add(1); }
+  void unregister_process() noexcept { processes_.fetch_sub(1); }
+
+  int share() const noexcept {
+    const int n = processes_.load();
+    return n <= 0 ? contexts_ : std::max(1, contexts_ / n);
+  }
+  int contexts() const noexcept { return contexts_; }
+  int processes() const noexcept { return processes_.load(); }
+
+ private:
+  const int contexts_;
+  std::atomic<int> processes_{0};
+};
+
+class EqualShareController final : public Controller {
+ public:
+  explicit EqualShareController(std::shared_ptr<CentralAllocator> allocator)
+      : allocator_(std::move(allocator)) {
+    RUBIC_CHECK(allocator_ != nullptr);
+  }
+
+  int initial_level() const override { return allocator_->share(); }
+  int on_sample(double) override { return allocator_->share(); }
+  void reset() override {}
+  std::string_view name() const override { return "EqualShare"; }
+
+ private:
+  std::shared_ptr<CentralAllocator> allocator_;
+};
+
+}  // namespace rubic::control

@@ -1,0 +1,87 @@
+#include "src/control/profiled.hpp"
+
+#include <algorithm>
+
+namespace rubic::control {
+
+void ProfiledController::reset() {
+  phase_ = Phase::kGeometricSweep;
+  current_level_ = bounds_.min_level;
+  rounds_at_level_ = 0;
+  sum_at_level_ = 0.0;
+  measurements_.clear();
+  best_level_ = bounds_.min_level;
+  best_throughput_ = -1.0;
+  refine_queue_.clear();
+  pinned_level_ = bounds_.min_level;
+}
+
+void ProfiledController::start_level(int level) {
+  current_level_ = bounds_.clamp(level);
+  rounds_at_level_ = 0;
+  sum_at_level_ = 0.0;
+}
+
+void ProfiledController::finish_level() {
+  const double mean =
+      sum_at_level_ / static_cast<double>(rounds_at_level_);
+  measurements_.emplace_back(current_level_, mean);
+  if (mean > best_throughput_) {
+    best_throughput_ = mean;
+    best_level_ = current_level_;
+  }
+}
+
+int ProfiledController::on_sample(double throughput) {
+  if (phase_ == Phase::kPinned) return pinned_level_;
+
+  sum_at_level_ += throughput;
+  if (++rounds_at_level_ < rounds_per_level_) return current_level_;
+  finish_level();
+
+  if (phase_ == Phase::kGeometricSweep) {
+    const int next = current_level_ * 2;
+    if (next <= bounds_.max_level) {
+      start_level(next);
+      return current_level_;
+    }
+    // Sweep done: refine around the best geometric point with its
+    // untested neighbours (best/2 .. best*2 interior, ±1 steps bounded to
+    // a handful of candidates).
+    phase_ = Phase::kRefine;
+    for (const int candidate :
+         {best_level_ - best_level_ / 4, best_level_ + best_level_ / 4,
+          best_level_ - 1, best_level_ + 1}) {
+      const int clamped = bounds_.clamp(candidate);
+      const bool already_measured =
+          std::any_of(measurements_.begin(), measurements_.end(),
+                      [&](const auto& m) { return m.first == clamped; });
+      if (!already_measured &&
+          std::find(refine_queue_.begin(), refine_queue_.end(), clamped) ==
+              refine_queue_.end()) {
+        refine_queue_.push_back(clamped);
+      }
+    }
+    if (!refine_queue_.empty()) {
+      start_level(refine_queue_.back());
+      refine_queue_.pop_back();
+      return current_level_;
+    }
+    // Nothing to refine: pin immediately.
+    phase_ = Phase::kPinned;
+    pinned_level_ = best_level_;
+    return pinned_level_;
+  }
+
+  // Phase::kRefine
+  if (!refine_queue_.empty()) {
+    start_level(refine_queue_.back());
+    refine_queue_.pop_back();
+    return current_level_;
+  }
+  phase_ = Phase::kPinned;
+  pinned_level_ = best_level_;
+  return pinned_level_;
+}
+
+}  // namespace rubic::control

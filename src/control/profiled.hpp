@@ -1,0 +1,63 @@
+// Profile-then-pin controller (related work, §5: Pusukuri et al.'s Thread
+// Reinforcer): an initial profiling phase samples each candidate level for
+// a few rounds, then the level with the best observed throughput is pinned
+// for the rest of the run.
+//
+// The paper's critique, demonstrable with bench/ext_workload_change: being
+// offline, the pinned level never adapts to workload changes or co-runner
+// arrivals. To keep the profiling phase affordable the sweep is geometric
+// (1, 2, 4, ...) followed by a local ±1 refinement around the best point,
+// mirroring how profilers bound their search in practice.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "src/control/controller.hpp"
+
+namespace rubic::control {
+
+class ProfiledController final : public Controller {
+ public:
+  // `rounds_per_level`: samples averaged per candidate level.
+  ProfiledController(LevelBounds bounds, int rounds_per_level = 5)
+      : bounds_(bounds), rounds_per_level_(rounds_per_level) {
+    RUBIC_CHECK(rounds_per_level >= 1);
+    reset();
+  }
+
+  int initial_level() const override { return bounds_.min_level; }
+
+  int on_sample(double throughput) override;
+
+  void reset() override;
+
+  std::string_view name() const override { return "Profiled"; }
+
+  bool profiling_done() const noexcept { return phase_ == Phase::kPinned; }
+  int pinned_level() const noexcept { return pinned_level_; }
+
+ private:
+  enum class Phase { kGeometricSweep, kRefine, kPinned };
+
+  void start_level(int level);
+  void finish_level();
+
+  LevelBounds bounds_;
+  int rounds_per_level_;
+
+  Phase phase_ = Phase::kGeometricSweep;
+  int current_level_ = 1;
+  int rounds_at_level_ = 0;
+  double sum_at_level_ = 0.0;
+
+  // Measured (level, mean throughput) samples.
+  std::vector<std::pair<int, double>> measurements_;
+  int best_level_ = 1;
+  double best_throughput_ = -1.0;
+  // Refinement candidates around the geometric best.
+  std::vector<int> refine_queue_;
+  int pinned_level_ = 1;
+};
+
+}  // namespace rubic::control

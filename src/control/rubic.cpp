@@ -1,0 +1,53 @@
+#include "src/control/rubic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rubic::control {
+
+int RubicController::on_sample(double throughput) {
+  const double t_c = throughput;
+  if (t_c >= t_p_) {
+    // --- increase path (Alg. 2 lines 5-23) ---
+    if (growth_ == GrowthPhase::kCubic) {
+      dt_max_ += 1.0;  // line 8
+      const double l_cubic = cubic_level(l_max_, dt_max_, params_);  // 9-10
+      const auto l_cubic_rounded = static_cast<int>(std::llround(l_cubic));
+      level_ = std::max(l_cubic_rounded, level_ + 1);  // line 11
+      growth_ = GrowthPhase::kLinear;                  // line 12
+    } else {
+      level_ = level_ + 1;             // line 14
+      growth_ = GrowthPhase::kCubic;   // line 15
+    }
+    if (t_p_ != 0.0) {
+      // line 17-19: a genuine improvement over a real measurement disarms a
+      // pending multiplicative reduction. T_p == 0 marks an observation
+      // round right after a reduction, where the MD must stay armed.
+      reduction_ = ReductionPhase::kLinear;
+    }
+    t_p_ = t_c;  // line 23
+  } else {
+    // --- decrease path (Alg. 2 lines 24-36) ---
+    dt_max_ = 0.0;  // line 25
+    // Ablation overrides of the hybrid interleave (§3.3): force the phase.
+    if (reduction_mode_ == ReductionMode::kAlwaysMultiplicative) {
+      reduction_ = ReductionPhase::kMultiplicative;
+    } else if (reduction_mode_ == ReductionMode::kAlwaysLinear) {
+      reduction_ = ReductionPhase::kLinear;
+    }
+    if (reduction_ == ReductionPhase::kMultiplicative) {
+      l_max_ = level_;  // line 27: remember where the loss was observed
+      level_ = static_cast<int>(std::llround(params_.alpha * level_));  // 28
+      reduction_ = ReductionPhase::kLinear;  // line 29
+    } else {
+      level_ = level_ - 2;                          // line 31
+      reduction_ = ReductionPhase::kMultiplicative; // line 32
+    }
+    growth_ = GrowthPhase::kLinear;  // line 34
+    t_p_ = 0.0;                      // line 35: force an observation round
+  }
+  level_ = bounds_.clamp(level_);
+  return level_;
+}
+
+}  // namespace rubic::control

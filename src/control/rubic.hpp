@@ -1,0 +1,77 @@
+// The RUBIC controller: cubic-increase / multiplicative-decrease with
+// interleaved linear phases — a literal implementation of Algorithm 2.
+//
+// Growth interleaves a cubic jump with a +1 linear round (so adjacent levels
+// get compared, §3.2); reduction interleaves a −2 linear round with an
+// α-multiplicative round (so transient dips don't trigger a full MD, §3.3).
+// After any reduction T_p is cleared, which forces the next round onto the
+// increase path: that round is the "observation round" whose measurement
+// decides — via the still-armed MULTIPLICATIVE reduction flag — whether the
+// loss persists and an MD must follow.
+#pragma once
+
+#include <string_view>
+
+#include "src/control/controller.hpp"
+#include "src/control/cubic_function.hpp"
+
+namespace rubic::control {
+
+class RubicController final : public Controller {
+ public:
+  enum class GrowthPhase { kCubic, kLinear };
+  enum class ReductionPhase { kLinear, kMultiplicative };
+
+  // Reduction-policy variants for the §3.3 ablation
+  // (bench/ablation_hybrid_reduction): the paper's hybrid interleaving vs.
+  // always-MD (no linear first chance) vs. never-MD (cubic growth with
+  // AIAD-style decrease).
+  enum class ReductionMode {
+    kHybridPaper,           // Algorithm 2, lines 26-33
+    kAlwaysMultiplicative,  // every loss triggers an MD
+    kAlwaysLinear,          // losses only ever subtract 2
+  };
+
+  RubicController(LevelBounds bounds, CubicParams params = {},
+                  ReductionMode reduction_mode = ReductionMode::kHybridPaper)
+      : bounds_(bounds), params_(params), reduction_mode_(reduction_mode) {
+    reset();
+  }
+
+  int initial_level() const override { return bounds_.min_level; }
+
+  int on_sample(double throughput) override;
+
+  void reset() override {
+    level_ = bounds_.min_level;
+    l_max_ = 1.0;  // §2.2: "At the beginning, L_max is set to 1"
+    dt_max_ = 0.0;
+    t_p_ = 0.0;
+    growth_ = GrowthPhase::kCubic;        // Alg. 2 line 1
+    reduction_ = ReductionPhase::kLinear; // Alg. 2 line 1
+  }
+
+  std::string_view name() const override { return "RUBIC"; }
+
+  // --- introspection (state-machine tests, trace benches) ---
+  GrowthPhase growth_phase() const noexcept { return growth_; }
+  ReductionPhase reduction_phase() const noexcept { return reduction_; }
+  double l_max() const noexcept { return l_max_; }
+  double dt_max() const noexcept { return dt_max_; }
+  int level() const noexcept { return level_; }
+  const CubicParams& params() const noexcept { return params_; }
+
+ private:
+  LevelBounds bounds_;
+  CubicParams params_;
+  ReductionMode reduction_mode_ = ReductionMode::kHybridPaper;
+
+  int level_ = 1;
+  double l_max_ = 1.0;
+  double dt_max_ = 0.0;
+  double t_p_ = 0.0;
+  GrowthPhase growth_ = GrowthPhase::kCubic;
+  ReductionPhase reduction_ = ReductionPhase::kLinear;
+};
+
+}  // namespace rubic::control

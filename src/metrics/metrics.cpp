@@ -1,0 +1,17 @@
+#include "src/metrics/metrics.hpp"
+
+namespace rubic::metrics {
+
+double nsbp_product(std::span<const double> speedups) noexcept {
+  double product = 1.0;
+  for (double s : speedups) product *= s;
+  return product;
+}
+
+double efficiency_product(std::span<const double> efficiencies) noexcept {
+  double product = 1.0;
+  for (double e : efficiencies) product *= e;
+  return product;
+}
+
+}  // namespace rubic::metrics

@@ -1,0 +1,41 @@
+// Evaluation metrics (paper §4.1, §4.2).
+//
+//   speed-up      S_ρ(ω) = T_ρ(ω) / T_seq(ω)
+//   NSBP system performance = Π_ρ S_ρ      (Nash bargaining product, §4.1)
+//   efficiency    E_ρ(ω) = S_ρ(ω) / L_ρ(ω) (per allocated thread, §4.2)
+//   system efficiency = Π_ρ E_ρ
+//
+// plus Jain's index as an auxiliary fairness measure (not in the paper but
+// standard next to proportional fairness).
+#pragma once
+
+#include <span>
+
+#include "src/util/stats.hpp"
+
+namespace rubic::metrics {
+
+// Speed-up of one process: measured throughput over the workload's
+// single-threaded, single-process throughput. Returns 0 for a non-positive
+// baseline (undefined experiment).
+inline double speedup(double throughput, double sequential_throughput) noexcept {
+  return sequential_throughput > 0.0 ? throughput / sequential_throughput : 0.0;
+}
+
+// Efficiency of one process: speed-up per allocated thread.
+inline double efficiency(double speedup_value, double mean_level) noexcept {
+  return mean_level > 0.0 ? speedup_value / mean_level : 0.0;
+}
+
+// Nash-bargaining system performance: product of per-process speed-ups.
+double nsbp_product(std::span<const double> speedups) noexcept;
+
+// System efficiency: product of per-process efficiencies.
+double efficiency_product(std::span<const double> efficiencies) noexcept;
+
+// Jain's fairness index over per-process speed-ups.
+inline double jain_fairness(std::span<const double> speedups) noexcept {
+  return util::jain_index(speedups);
+}
+
+}  // namespace rubic::metrics

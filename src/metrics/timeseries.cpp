@@ -1,0 +1,69 @@
+#include "src/metrics/timeseries.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "src/util/check.hpp"
+
+namespace rubic::metrics {
+
+TimeSeries::TimeSeries(std::vector<std::string> column_names)
+    : names_(std::move(column_names)) {
+  RUBIC_CHECK_MSG(!names_.empty(), "a time series needs at least a time axis");
+}
+
+void TimeSeries::append(const std::vector<double>& values) {
+  RUBIC_CHECK_MSG(values.size() == names_.size(),
+                  "row width must match the declared columns");
+  rows_.push_back(values);
+}
+
+double TimeSeries::column_mean(std::size_t column, double from,
+                               double to) const {
+  double sum = 0;
+  std::size_t count = 0;
+  for (const auto& row : rows_) {
+    if (row[0] >= from && row[0] < to) {
+      sum += row.at(column);
+      ++count;
+    }
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+void TimeSeries::write_csv(std::ostream& out) const {
+  for (std::size_t c = 0; c < names_.size(); ++c) {
+    if (c > 0) out << ',';
+    // Quote anything containing a comma or quote (labels are simple, but
+    // be correct anyway).
+    const std::string& name = names_[c];
+    if (name.find_first_of(",\"\n") != std::string::npos) {
+      out << '"';
+      for (const char ch : name) {
+        if (ch == '"') out << '"';
+        out << ch;
+      }
+      out << '"';
+    } else {
+      out << name;
+    }
+  }
+  out << '\n';
+  out.precision(10);
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  }
+}
+
+bool TimeSeries::write_csv_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_csv(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace rubic::metrics

@@ -1,0 +1,46 @@
+// Multi-column time series with CSV export.
+//
+// The figure benches print human-readable tables; passing --csv lets them
+// also emit machine-readable series (one row per sample, one column per
+// process metric) for external plotting. Kept dependency-free: plain
+// streams, RFC-4180-enough quoting for the simple labels we use.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rubic::metrics {
+
+class TimeSeries {
+ public:
+  // Column 0 is always the time axis.
+  explicit TimeSeries(std::vector<std::string> column_names);
+
+  // Appends one row; `values` must match the column count.
+  void append(const std::vector<double>& values);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t columns() const noexcept { return names_.size(); }
+  const std::vector<std::string>& names() const noexcept { return names_; }
+  const std::vector<double>& row(std::size_t i) const { return rows_.at(i); }
+  double at(std::size_t row_index, std::size_t column) const {
+    return rows_.at(row_index).at(column);
+  }
+
+  // Column statistics over an optional time window [from, to) on column 0.
+  double column_mean(std::size_t column, double from = 0.0,
+                     double to = 1e300) const;
+
+  void write_csv(std::ostream& out) const;
+  // Writes to `path`; returns false (and leaves no partial file guarantees)
+  // on I/O failure.
+  bool write_csv_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace rubic::metrics

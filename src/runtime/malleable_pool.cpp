@@ -1,0 +1,87 @@
+#include "src/runtime/malleable_pool.hpp"
+
+#include <algorithm>
+
+#include "src/util/check.hpp"
+
+namespace rubic::runtime {
+
+MalleablePool::MalleablePool(stm::Runtime& rt, workloads::Workload& workload,
+                             PoolConfig config)
+    : rt_(rt),
+      workload_(workload),
+      seed_(config.seed),
+      level_(std::clamp(config.initial_level, 1, config.pool_size)) {
+  RUBIC_CHECK(config.pool_size >= 1);
+  workers_.reserve(static_cast<std::size_t>(config.pool_size));
+  for (int tid = 0; tid < config.pool_size; ++tid) {
+    workers_.push_back(std::make_unique<Worker>(tid));
+  }
+  // Launch after the vector is fully built: worker_loop only touches its
+  // own Worker slot plus the pool-level atomics.
+  for (auto& worker : workers_) {
+    worker->thread = std::thread([this, w = worker.get()] { worker_loop(*w); });
+  }
+}
+
+MalleablePool::~MalleablePool() { stop(); }
+
+void MalleablePool::worker_loop(Worker& worker) {
+  stm::TxnDesc& ctx = rt_.register_thread();
+  util::Xoshiro256 rng(seed_ ^ (0x9e3779b97f4a7c15ULL *
+                                static_cast<std::uint64_t>(worker.tid + 1)));
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // Alg. 1 lines 8-10: the parallelism gate, checked before each task.
+    if (worker.tid >= level_.load(std::memory_order_acquire)) {
+      blocked_.fetch_add(1, std::memory_order_acq_rel);
+      worker.semaphore.acquire();
+      blocked_.fetch_sub(1, std::memory_order_acq_rel);
+      continue;  // re-check the gate (the level may have dropped again)
+    }
+    // Finite workloads: the bag is empty, this worker retires (§3: the
+    // worker "can then terminate"). run_task is never called after done().
+    if (workload_.done()) break;
+    workload_.run_task(ctx, rng);
+    // Single-writer counter (§3.1): plain load+store, no RMW.
+    auto& counter = worker.completed.value;
+    counter.store(counter.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_relaxed);
+  }
+}
+
+void MalleablePool::set_level(int new_level) {
+  new_level = std::clamp(new_level, 1, pool_size());
+  const int old_level = level_.exchange(new_level, std::memory_order_acq_rel);
+  // Alg. 2 lines 20-22: wake exactly the workers entering the active range.
+  for (int tid = old_level; tid < new_level; ++tid) {
+    workers_[static_cast<std::size_t>(tid)]->semaphore.release();
+  }
+}
+
+std::uint64_t MalleablePool::total_completed() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& worker : workers_) {
+    total += worker->completed.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> MalleablePool::per_worker_completed() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    out.push_back(worker->completed.value.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+void MalleablePool::stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  // Unblock every parked worker so it can observe the stop flag.
+  for (auto& worker : workers_) worker->semaphore.release();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+}  // namespace rubic::runtime

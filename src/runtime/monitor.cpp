@@ -1,0 +1,91 @@
+#include "src/runtime/monitor.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+
+namespace rubic::runtime {
+
+namespace {
+
+// Best-effort priority raise. SCHED_RR needs privileges; failing that, the
+// monitor still works — it just competes with the workers like any thread
+// (acceptable here because it sleeps ~100% of the time).
+bool try_raise_priority() {
+  sched_param param{};
+  param.sched_priority = 1;
+  return pthread_setschedparam(pthread_self(), SCHED_RR, &param) == 0;
+}
+
+}  // namespace
+
+Monitor::Monitor(MalleablePool& pool, control::Controller& controller,
+                 MonitorConfig config)
+    : pool_(pool), controller_(controller), config_(config) {
+  pool_.set_level(controller_.initial_level());
+  thread_ = std::thread([this] { loop(); });
+}
+
+Monitor::~Monitor() { stop(); }
+
+void Monitor::stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+void Monitor::loop() {
+  if (config_.raise_priority) priority_raised_ = try_raise_priority();
+
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  std::uint64_t last_completed = pool_.total_completed();
+  auto last_time = start;
+
+  auto* contention_consumer =
+      config_.stm_runtime != nullptr
+          ? dynamic_cast<control::ContentionSignalConsumer*>(&controller_)
+          : nullptr;
+  stm::TxnStatsSnapshot last_stm;
+  if (contention_consumer != nullptr) {
+    last_stm = config_.stm_runtime->aggregate_stats();
+  }
+
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(config_.period);  // Alg. 2 line 3
+    const auto now = Clock::now();
+    const std::uint64_t completed = pool_.total_completed();
+    const double seconds =
+        std::chrono::duration<double>(now - last_time).count();
+    // Tasks per second over the period that just ended (commit-rate
+    // analogue). Guard against a pathological zero-length period.
+    const double throughput =
+        seconds > 0.0
+            ? static_cast<double>(completed - last_completed) / seconds
+            : 0.0;
+    int next_level;
+    if (contention_consumer != nullptr) {
+      const stm::TxnStatsSnapshot now_stm =
+          config_.stm_runtime->aggregate_stats();
+      const std::uint64_t commits = now_stm.commits - last_stm.commits;
+      const std::uint64_t aborts =
+          now_stm.total_aborts() - last_stm.total_aborts();
+      last_stm = now_stm;
+      const double ratio =
+          commits + aborts == 0
+              ? 1.0
+              : static_cast<double>(commits) /
+                    static_cast<double>(commits + aborts);
+      next_level = contention_consumer->on_commit_ratio(ratio);
+    } else {
+      next_level = controller_.on_sample(throughput);
+    }
+    pool_.set_level(next_level);
+    if (config_.record_trace) {
+      trace_.push_back(MonitorSample{now - start, throughput, next_level});
+    }
+    last_completed = completed;
+    last_time = now;
+    rounds_.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+}  // namespace rubic::runtime

@@ -1,0 +1,77 @@
+// The monitoring thread (paper §3.1).
+//
+// Runs at elevated scheduling priority (best effort — the paper gives the
+// monitor a higher priority so it keeps running when the machine is
+// oversubscribed), wakes every TIME_PERIOD (10 ms in the paper), computes
+// the process throughput from the workers' counters, feeds it to the
+// controller and applies the returned parallelism level to the pool.
+// Records a (time, level, throughput) trace for the convergence figures.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/control/contention.hpp"
+#include "src/control/controller.hpp"
+#include "src/runtime/malleable_pool.hpp"
+
+namespace rubic::runtime {
+
+struct MonitorSample {
+  std::chrono::nanoseconds elapsed;
+  double throughput;  // tasks completed in the period, scaled to tasks/sec
+  int level;          // level chosen for the NEXT period
+};
+
+struct MonitorConfig {
+  std::chrono::milliseconds period{10};  // TIME_PERIOD (§4.4)
+  bool raise_priority = true;
+  bool record_trace = true;
+  // When set and the controller implements ContentionSignalConsumer, the
+  // monitor also derives the commit ratio from this STM runtime's aggregate
+  // statistics and feeds it instead of the raw throughput (used by the
+  // related-work ContentionRatioController, §5).
+  stm::Runtime* stm_runtime = nullptr;
+};
+
+class Monitor {
+ public:
+  // Applies controller.initial_level() to the pool and starts sampling.
+  Monitor(MalleablePool& pool, control::Controller& controller,
+          MonitorConfig config = {});
+  ~Monitor();
+
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  // Stops the monitoring loop (workers keep running at the last level).
+  void stop();
+
+  // Trace access is only valid after stop().
+  const std::vector<MonitorSample>& trace() const noexcept { return trace_; }
+
+  // Whether the priority raise actually succeeded on this host.
+  bool priority_raised() const noexcept { return priority_raised_; }
+
+  std::uint64_t rounds() const noexcept {
+    return rounds_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void loop();
+
+  MalleablePool& pool_;
+  control::Controller& controller_;
+  const MonitorConfig config_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> rounds_{0};
+  bool priority_raised_ = false;
+  std::vector<MonitorSample> trace_;
+  std::thread thread_;
+};
+
+}  // namespace rubic::runtime

@@ -1,0 +1,65 @@
+// TunedProcess: one "process" of the paper — a malleable workload, its STM
+// runtime, the worker pool and the monitoring thread wired to a tuning
+// policy. This is the top-level object an application embeds (see
+// examples/quickstart.cpp) and the unit the co-location experiments run two
+// of.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/control/controller.hpp"
+#include "src/runtime/malleable_pool.hpp"
+#include "src/runtime/monitor.hpp"
+#include "src/stm/stm.hpp"
+#include "src/workloads/workload.hpp"
+
+namespace rubic::runtime {
+
+struct ProcessConfig {
+  PoolConfig pool;
+  MonitorConfig monitor;
+};
+
+struct RunReport {
+  std::uint64_t tasks_completed = 0;
+  double seconds = 0.0;
+  double tasks_per_second = 0.0;
+  int final_level = 0;
+  double mean_level = 0.0;  // over monitor rounds
+  stm::TxnStatsSnapshot stm_stats;
+  std::vector<MonitorSample> trace;
+};
+
+class TunedProcess {
+ public:
+  // The workload must already be set up against `rt`. The controller is
+  // owned by the caller and must outlive the process.
+  TunedProcess(stm::Runtime& rt, workloads::Workload& workload,
+               control::Controller& controller, ProcessConfig config);
+
+  // Runs for `duration`, then freezes the monitor and the pool and reports.
+  RunReport run_for(std::chrono::milliseconds duration);
+
+  // Finite workloads: runs until Workload::done() (or `timeout`, whichever
+  // first) and reports; RunReport::seconds is then the makespan — STAMP's
+  // natural time-to-completion measurement. `completed` tells which.
+  RunReport run_to_completion(std::chrono::milliseconds timeout,
+                              bool* completed = nullptr);
+
+  MalleablePool& pool() noexcept { return *pool_; }
+  Monitor& monitor() noexcept { return *monitor_; }
+
+ private:
+  RunReport finalize_report(std::chrono::steady_clock::time_point start,
+                            std::uint64_t completed_before);
+
+  stm::Runtime& rt_;
+  workloads::Workload& workload_;
+  std::unique_ptr<MalleablePool> pool_;
+  std::unique_ptr<Monitor> monitor_;
+};
+
+}  // namespace rubic::runtime

@@ -1,0 +1,104 @@
+#include "src/sim/experiment.hpp"
+
+#include <memory>
+
+namespace rubic::sim {
+
+ExperimentAggregate run_experiment(const ExperimentConfig& config,
+                                   std::span<const ProcessSetup> setups) {
+  return run_experiment(
+      config, setups,
+      [](const control::PolicyConfig& policy_config, const ProcessSetup& setup,
+         std::size_t) {
+        return control::make_controller(setup.policy, policy_config);
+      });
+}
+
+ExperimentAggregate run_experiment(const ExperimentConfig& config,
+                                   std::span<const ProcessSetup> setups,
+                                   const ControllerFactory& make) {
+  ExperimentAggregate aggregate;
+  aggregate.processes.resize(setups.size());
+  for (std::size_t i = 0; i < setups.size(); ++i) {
+    aggregate.processes[i].workload = setups[i].workload;
+  }
+
+  const bool needs_allocator = [&] {
+    for (const auto& setup : setups) {
+      if (setup.policy == "equalshare") return true;
+    }
+    return false;
+  }();
+
+  for (int rep = 0; rep < config.repetitions; ++rep) {
+    control::PolicyConfig policy_config;
+    policy_config.contexts = config.contexts;
+    policy_config.pool_size = config.pool_size;
+    policy_config.cubic = config.cubic;
+    policy_config.aimd_alpha = config.aimd_alpha;
+    if (needs_allocator) {
+      policy_config.allocator =
+          std::make_shared<control::CentralAllocator>(config.contexts);
+    }
+
+    std::vector<std::unique_ptr<control::Controller>> controllers;
+    std::vector<SimProcessSpec> specs;
+    controllers.reserve(setups.size());
+    specs.reserve(setups.size());
+    for (std::size_t i = 0; i < setups.size(); ++i) {
+      const auto& setup = setups[i];
+      controllers.push_back(make(policy_config, setup, i));
+      specs.push_back(SimProcessSpec{
+          .name = setup.policy + ":" + setup.workload,
+          .profile = profile_by_name(setup.workload),
+          .controller = controllers.back().get(),
+          .arrival_s = setup.arrival_s,
+          .departure_s = setup.departure_s,
+      });
+    }
+
+    SimConfig sim_config;
+    sim_config.contexts = config.contexts;
+    sim_config.period_s = config.period_s;
+    sim_config.duration_s = config.duration_s;
+    sim_config.noise_sigma = config.noise_sigma;
+    sim_config.seed = config.base_seed + static_cast<std::uint64_t>(rep);
+    sim_config.allocator = policy_config.allocator;
+
+    const SimResult result =
+        run_simulation(sim_config, specs, /*record_traces=*/false);
+
+    aggregate.nsbp.add(result.nsbp);
+    aggregate.total_threads.add(result.total_mean_threads);
+    aggregate.efficiency_product.add(result.efficiency_product);
+    aggregate.jain.add(result.jain);
+    for (std::size_t i = 0; i < result.processes.size(); ++i) {
+      const auto& process = result.processes[i];
+      aggregate.processes[i].speedup.add(process.speedup);
+      aggregate.processes[i].mean_level.add(process.mean_level);
+      aggregate.processes[i].efficiency.add(process.efficiency);
+    }
+  }
+  return aggregate;
+}
+
+ExperimentAggregate run_single(const ExperimentConfig& config,
+                               const std::string& policy,
+                               const std::string& workload) {
+  const ProcessSetup setup{policy, workload, 0.0,
+                           std::numeric_limits<double>::infinity()};
+  return run_experiment(config, std::span<const ProcessSetup>(&setup, 1));
+}
+
+ExperimentAggregate run_pair(const ExperimentConfig& config,
+                             const std::string& policy,
+                             const std::string& workload_a,
+                             const std::string& workload_b) {
+  const ProcessSetup setups[2] = {
+      {policy, workload_a, 0.0, std::numeric_limits<double>::infinity()},
+      {policy, workload_b, 0.0, std::numeric_limits<double>::infinity()},
+  };
+  return run_experiment(config, setups);
+}
+
+}  // namespace rubic::sim

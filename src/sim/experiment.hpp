@@ -1,0 +1,79 @@
+// Repetition harness: builds fresh controllers per repetition, runs the
+// simulator with per-repetition seeds, and aggregates the paper's metrics —
+// mean/std of per-process speed-up, thread allocation (Fig. 8b/9c report
+// the allocation's standard deviation across the 50 repetitions), NSBP
+// product, total threads and efficiency product.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/control/factory.hpp"
+#include "src/sim/sim_system.hpp"
+#include "src/util/stats.hpp"
+
+namespace rubic::sim {
+
+struct ProcessSetup {
+  std::string policy;    // factory name: rubic/ebs/f2c2/aimd/greedy/equalshare
+  std::string workload;  // profile name: intruder/vacation/rbt/rbt-readonly
+  double arrival_s = 0.0;
+  double departure_s = std::numeric_limits<double>::infinity();
+};
+
+struct ExperimentConfig {
+  int contexts = 64;
+  int pool_size = 0;  // 0 → controller factory default (2× contexts)
+  double period_s = 0.01;
+  double duration_s = 10.0;
+  double noise_sigma = 0.009;
+  int repetitions = 50;  // §4.4
+  std::uint64_t base_seed = 0x5eed;
+  control::CubicParams cubic;  // RUBIC parameters (α=0.8, β=0.1 per §4.3)
+  double aimd_alpha = 0.5;
+};
+
+struct ProcessAggregate {
+  std::string workload;
+  util::Welford speedup;
+  util::Welford mean_level;
+  util::Welford efficiency;
+};
+
+struct ExperimentAggregate {
+  util::Welford nsbp;
+  util::Welford total_threads;
+  util::Welford efficiency_product;
+  util::Welford jain;
+  std::vector<ProcessAggregate> processes;
+};
+
+// Runs `config.repetitions` independent simulations of the given co-located
+// processes, all using `policy` semantics from ProcessSetup.
+ExperimentAggregate run_experiment(const ExperimentConfig& config,
+                                   std::span<const ProcessSetup> setups);
+
+// Custom-controller variant (ablation benches): `make` is called once per
+// process per repetition with the repetition's policy configuration; the
+// ProcessSetup::policy string is passed through for labeling only.
+using ControllerFactory = std::function<std::unique_ptr<control::Controller>(
+    const control::PolicyConfig&, const ProcessSetup&, std::size_t index)>;
+ExperimentAggregate run_experiment(const ExperimentConfig& config,
+                                   std::span<const ProcessSetup> setups,
+                                   const ControllerFactory& make);
+
+// Convenience: one process, one policy (Fig. 9).
+ExperimentAggregate run_single(const ExperimentConfig& config,
+                               const std::string& policy,
+                               const std::string& workload);
+
+// Convenience: two processes with the same policy (Fig. 7/8).
+ExperimentAggregate run_pair(const ExperimentConfig& config,
+                             const std::string& policy,
+                             const std::string& workload_a,
+                             const std::string& workload_b);
+
+}  // namespace rubic::sim

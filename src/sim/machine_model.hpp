@@ -1,0 +1,70 @@
+// Machine model: turns (per-process level, total system load) into
+// per-process throughput — the substitute for the paper's 64-core testbed
+// (DESIGN.md §2-§3).
+//
+// Undersubscribed (ΣL ≤ C): each process runs on dedicated contexts and
+// gets its curve value; co-running processes do not interact (no shared-
+// cache modelling — the paper's controllers never rely on it).
+//
+// Oversubscribed (T = ΣL > C): the OS timeslices, so a process with L
+// threads effectively runs at L·C/T contexts, further scaled by the convex
+// penalty φ(x) = 1/(1 + δ(x−1)), x = T/C, for context-switch and TM-
+// specific losses. This yields the three behaviours the paper's narrative
+// depends on:
+//   * throughput strictly degrades as the system crosses the
+//     oversubscription line (controllers can detect the crossing);
+//   * near the line the per-±1-thread slope is tiny — a plateau that
+//     measurement noise hides from AIAD's ±1 probes (the F2C2/EBS traps of
+//     §4.6);
+//   * growing your own level while oversubscribed steals share from peers
+//     (slightly raising your own throughput), so greedy policies race —
+//     and unilateral de-escalation is punished, which is exactly why
+//     converging requires the multiplicative phases (§2.1).
+#pragma once
+
+#include "src/sim/workload_profiles.hpp"
+#include "src/util/check.hpp"
+
+namespace rubic::sim {
+
+class MachineModel {
+ public:
+  explicit MachineModel(int contexts) : contexts_(contexts) {
+    RUBIC_CHECK(contexts > 0);
+  }
+
+  int contexts() const noexcept { return contexts_; }
+
+  // Throughput (tasks/sec) of a process running `profile` with `level`
+  // threads while the whole system (including this process) has
+  // `total_threads` runnable threads.
+  double throughput(const WorkloadProfile& profile, int level,
+                    int total_threads) const {
+    RUBIC_CHECK(level >= 0);
+    RUBIC_CHECK(total_threads >= level);
+    if (level == 0) return 0.0;
+    const double l = static_cast<double>(level);
+    const double c = static_cast<double>(contexts_);
+    const double t = static_cast<double>(total_threads);
+    if (t <= c) {
+      return profile.sequential_rate * profile.curve->speedup(l);
+    }
+    const double effective_level = l * c / t;
+    const double x = t / c;
+    const double penalty = 1.0 / (1.0 + profile.oversub_delta * (x - 1.0));
+    return profile.sequential_rate * profile.curve->speedup(effective_level) *
+           penalty;
+  }
+
+  // Speed-up convenience: throughput normalized by the sequential rate.
+  double speedup(const WorkloadProfile& profile, int level,
+                 int total_threads) const {
+    return throughput(profile, level, total_threads) /
+           profile.sequential_rate;
+  }
+
+ private:
+  int contexts_;
+};
+
+}  // namespace rubic::sim

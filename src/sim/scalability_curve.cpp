@@ -1,0 +1,61 @@
+#include "src/sim/scalability_curve.hpp"
+
+#include <algorithm>
+
+#include "src/util/check.hpp"
+
+namespace rubic::sim {
+
+int ScalabilityCurve::peak_level(int max_level) const {
+  int best = 1;
+  double best_speedup = speedup(1.0);
+  for (int level = 2; level <= max_level; ++level) {
+    const double s = speedup(static_cast<double>(level));
+    if (s > best_speedup) {
+      best_speedup = s;
+      best = level;
+    }
+  }
+  return best;
+}
+
+double ScalabilityCurve::peak_speedup(int max_level) const {
+  return speedup(static_cast<double>(peak_level(max_level)));
+}
+
+double ExtendedUslCurve::speedup(double level) const {
+  if (level <= 0.0) return 0.0;
+  const double l = level;
+  const double denom = 1.0 + sigma_ * (l - 1.0) + kappa_ * l * (l - 1.0) +
+                       lambda_ * l * (l - 1.0) * (l - 2.0);
+  RUBIC_CHECK_MSG(denom > 0.0, "USL denominator must stay positive");
+  return l / denom;
+}
+
+TableCurve::TableCurve(std::vector<std::pair<double, double>> samples)
+    : samples_(std::move(samples)) {
+  RUBIC_CHECK_MSG(!samples_.empty(), "table curve needs samples");
+  RUBIC_CHECK_MSG(std::is_sorted(samples_.begin(), samples_.end(),
+                                 [](const auto& a, const auto& b) {
+                                   return a.first < b.first;
+                                 }),
+                  "table curve samples must be sorted by level");
+  RUBIC_CHECK_MSG(samples_.front().first <= 1.0,
+                  "table curve must cover level 1");
+}
+
+double TableCurve::speedup(double level) const {
+  if (level <= samples_.front().first) {
+    // Below the first sample: scale linearly down to S(0) = 0.
+    return samples_.front().second * level / samples_.front().first;
+  }
+  if (level >= samples_.back().first) return samples_.back().second;
+  const auto upper = std::upper_bound(
+      samples_.begin(), samples_.end(), level,
+      [](double l, const auto& s) { return l < s.first; });
+  const auto lower = upper - 1;
+  const double t = (level - lower->first) / (upper->first - lower->first);
+  return lower->second + t * (upper->second - lower->second);
+}
+
+}  // namespace rubic::sim

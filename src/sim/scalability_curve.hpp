@@ -1,0 +1,71 @@
+// Scalability curves: throughput of a workload as a function of its
+// parallelism level on a *dedicated* machine.
+//
+// The paper's whole argument rests on one property of its workloads (§4.4):
+// "the scalability graph of the workloads must monotonically increase until
+// its peak point" — the controllers observe nothing but this curve (plus
+// co-location interference, which src/sim/machine_model.hpp adds on top).
+//
+// We model curves with an extended Universal Scalability Law,
+//
+//   S(L) = L / (1 + σ(L−1) + κ·L(L−1) + λ·L(L−1)(L−2))
+//
+// σ: serial fraction (Amdahl), κ: pairwise coherence/abort cost (Gunther's
+// USL), λ: super-linear conflict growth — TM workloads whose abort rate
+// explodes with concurrency (Intruder, Fig. 1) need the cubic term to drop
+// below sequential throughput at high thread counts. A table-based curve
+// (piecewise-linear over measured samples) is provided for replaying real
+// hardware measurements.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace rubic::sim {
+
+class ScalabilityCurve {
+ public:
+  virtual ~ScalabilityCurve() = default;
+
+  // Speed-up over sequential execution at (possibly fractional, for
+  // timeslice-shared) parallelism level. speedup(1) == 1 by construction.
+  virtual double speedup(double level) const = 0;
+
+  // Level maximizing speedup over [1, max_level] (scanned at integers).
+  int peak_level(int max_level) const;
+  double peak_speedup(int max_level) const;
+};
+
+class ExtendedUslCurve final : public ScalabilityCurve {
+ public:
+  ExtendedUslCurve(double sigma, double kappa, double lambda)
+      : sigma_(sigma), kappa_(kappa), lambda_(lambda) {}
+
+  double speedup(double level) const override;
+
+  double sigma() const noexcept { return sigma_; }
+  double kappa() const noexcept { return kappa_; }
+  double lambda() const noexcept { return lambda_; }
+
+ private:
+  double sigma_;
+  double kappa_;
+  double lambda_;
+};
+
+// Piecewise-linear interpolation over (level, speedup) samples, e.g.
+// measured on real hardware with bench/fig06_workload_scalability --real.
+class TableCurve final : public ScalabilityCurve {
+ public:
+  // Samples must be sorted by level and include level 1.
+  explicit TableCurve(std::vector<std::pair<double, double>> samples);
+
+  double speedup(double level) const override;
+
+ private:
+  std::vector<std::pair<double, double>> samples_;
+};
+
+}  // namespace rubic::sim

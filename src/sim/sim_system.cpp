@@ -1,0 +1,134 @@
+#include "src/sim/sim_system.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/metrics/metrics.hpp"
+#include "src/util/check.hpp"
+#include "src/util/rng.hpp"
+
+namespace rubic::sim {
+
+namespace {
+
+struct ProcessState {
+  bool active = false;
+  bool departed = false;
+  int level = 0;
+  int next_level = 0;
+  util::Xoshiro256 noise;
+
+  explicit ProcessState(std::uint64_t seed) : noise(seed) {}
+};
+
+}  // namespace
+
+SimResult run_simulation(const SimConfig& config,
+                         std::span<SimProcessSpec> processes,
+                         bool record_traces) {
+  RUBIC_CHECK(config.period_s > 0.0);
+  RUBIC_CHECK(config.duration_s >= config.period_s);
+  MachineModel machine(config.contexts);
+
+  std::vector<ProcessState> states;
+  std::vector<SimProcessResult> results;
+  states.reserve(processes.size());
+  results.reserve(processes.size());
+  util::SplitMix64 seeder(config.seed);
+  for (const auto& spec : processes) {
+    RUBIC_CHECK_MSG(spec.controller != nullptr, "process needs a controller");
+    states.emplace_back(seeder.next());
+    SimProcessResult result;
+    result.name = spec.name;
+    results.push_back(std::move(result));
+  }
+
+  const auto rounds =
+      static_cast<std::size_t>(config.duration_s / config.period_s + 0.5);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const double now = static_cast<double>(round) * config.period_s;
+
+    // Arrivals and departures at round granularity.
+    for (std::size_t i = 0; i < processes.size(); ++i) {
+      const auto& spec = processes[i];
+      auto& state = states[i];
+      if (!state.active && !state.departed && now >= spec.arrival_s &&
+          now < spec.departure_s) {
+        state.active = true;
+        if (config.allocator) config.allocator->register_process();
+        state.level = spec.controller->initial_level();
+      } else if (state.active && now >= spec.departure_s) {
+        state.active = false;
+        state.departed = true;
+        state.level = 0;
+        if (config.allocator) config.allocator->unregister_process();
+      }
+    }
+
+    int total_threads = 0;
+    for (const auto& state : states) total_threads += state.level;
+
+    // Observe, account, decide.
+    for (std::size_t i = 0; i < processes.size(); ++i) {
+      auto& state = states[i];
+      if (!state.active) continue;
+      const auto& spec = processes[i];
+      const WorkloadProfile& profile =
+          (spec.profile_after.has_value() && now >= spec.change_s)
+              ? *spec.profile_after
+              : spec.profile;
+      const double throughput =
+          machine.throughput(profile, state.level, total_threads);
+      auto& result = results[i];
+      result.tasks_completed += throughput * config.period_s;
+      result.active_seconds += config.period_s;
+      result.mean_level += state.level * config.period_s;  // normalized below
+      if (record_traces) {
+        result.trace.push_back(
+            ProcessTracePoint{now, state.level, throughput});
+      }
+      // A starved monitor misses the whole round: no sample, no decision.
+      // Only meaningful while oversubscribed (an idle machine always runs
+      // the monitor on time).
+      if (config.monitor_drop_prob > 0.0 && total_threads > config.contexts &&
+          state.noise.uniform() < config.monitor_drop_prob) {
+        state.next_level = state.level;
+        continue;
+      }
+      const double measured =
+          throughput *
+          std::max(0.0, 1.0 + config.noise_sigma * state.noise.normal());
+      state.next_level = spec.controller->on_sample(measured);
+    }
+    for (auto& state : states) {
+      if (state.active) state.level = state.next_level;
+    }
+  }
+
+  // Per-process aggregates.
+  for (auto& result : results) {
+    if (result.active_seconds > 0.0) {
+      result.mean_throughput = result.tasks_completed / result.active_seconds;
+      result.mean_level /= result.active_seconds;
+    }
+  }
+  std::vector<double> speedups;
+  std::vector<double> efficiencies;
+  SimResult out;
+  for (std::size_t i = 0; i < processes.size(); ++i) {
+    auto& result = results[i];
+    result.speedup = metrics::speedup(result.mean_throughput,
+                                      processes[i].profile.sequential_rate);
+    result.efficiency = metrics::efficiency(result.speedup, result.mean_level);
+    speedups.push_back(result.speedup);
+    efficiencies.push_back(result.efficiency);
+    out.total_mean_threads += result.mean_level;
+  }
+  out.nsbp = metrics::nsbp_product(speedups);
+  out.efficiency_product = metrics::efficiency_product(efficiencies);
+  out.jain = metrics::jain_fairness(speedups);
+  out.processes = std::move(results);
+  return out;
+}
+
+}  // namespace rubic::sim

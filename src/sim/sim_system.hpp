@@ -1,0 +1,86 @@
+// The co-location simulator: N controlled processes time-sharing one
+// simulated machine, advanced in rounds of the monitoring period.
+//
+// Each round, every active process observes its own throughput for the
+// period that just ended (with multiplicative measurement noise from a
+// per-process deterministic stream) and lets its controller choose the next
+// level — precisely the unilateral, communication-free feedback loop of §3.
+// Arrivals and departures model the staggered-start scenario of §4.6.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/control/controller.hpp"
+#include "src/control/fixed.hpp"
+#include "src/sim/machine_model.hpp"
+#include "src/sim/workload_profiles.hpp"
+
+namespace rubic::sim {
+
+struct SimProcessSpec {
+  std::string name;
+  WorkloadProfile profile;
+  control::Controller* controller = nullptr;  // caller-owned
+  double arrival_s = 0.0;
+  double departure_s = std::numeric_limits<double>::infinity();
+  // Dynamic workloads (§3.3 motivation (ii)): the process switches to
+  // `profile_after` at `change_s`. The controller is NOT told — it must
+  // discover the new scalability curve from its throughput signal alone.
+  double change_s = std::numeric_limits<double>::infinity();
+  std::optional<WorkloadProfile> profile_after;
+};
+
+struct SimConfig {
+  int contexts = 64;
+  double period_s = 0.01;    // TIME_PERIOD (§4.4: 10 ms)
+  double duration_s = 10.0;  // experiment length (§4.4: 10 s)
+  double noise_sigma = 0.009; // multiplicative measurement noise (1σ)
+  // Probability that a process's monitor misses a round entirely (its
+  // controller is not consulted; the level holds). Models an
+  // un-prioritized monitoring thread being preempted on an oversubscribed
+  // machine — the failure §3.1's priority raise exists to prevent. The
+  // paper's configuration corresponds to 0.
+  double monitor_drop_prob = 0.0;
+  std::uint64_t seed = 1;
+  // The EqualShare "central entity", if any process uses that policy;
+  // arrivals/departures are registered on it.
+  std::shared_ptr<control::CentralAllocator> allocator;
+};
+
+struct ProcessTracePoint {
+  double time_s;
+  int level;          // level during this round
+  double throughput;  // true (noise-free) throughput during this round
+};
+
+struct SimProcessResult {
+  std::string name;
+  double tasks_completed = 0.0;
+  double active_seconds = 0.0;
+  double mean_throughput = 0.0;  // tasks_completed / active_seconds
+  double speedup = 0.0;          // mean_throughput / sequential_rate
+  double mean_level = 0.0;       // time-averaged active level
+  double efficiency = 0.0;       // speedup / mean_level
+  std::vector<ProcessTracePoint> trace;
+};
+
+struct SimResult {
+  std::vector<SimProcessResult> processes;
+  double nsbp = 0.0;                // Π speedups (§4.1)
+  double efficiency_product = 0.0;  // Π efficiencies (§4.2)
+  double total_mean_threads = 0.0;  // Σ mean levels (Fig. 7b)
+  double jain = 1.0;                // auxiliary fairness index
+};
+
+// Runs one simulation. Controllers are used as-is (call reset() between
+// repetitions); `record_traces` can be disabled for the 50-rep harness.
+SimResult run_simulation(const SimConfig& config,
+                         std::span<SimProcessSpec> processes,
+                         bool record_traces = true);
+
+}  // namespace rubic::sim

@@ -1,0 +1,82 @@
+#include "src/sim/usl_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.hpp"
+
+namespace rubic::sim {
+
+namespace {
+
+double relative_rmse(std::span<const std::pair<double, double>> samples,
+                     double sigma, double kappa, double lambda) {
+  const ExtendedUslCurve curve(sigma, kappa, lambda);
+  double sum = 0;
+  for (const auto& [level, speedup] : samples) {
+    const double predicted = curve.speedup(level);
+    const double reference = std::max(speedup, 1e-9);
+    const double err = (predicted - speedup) / reference;
+    sum += err * err;
+  }
+  return std::sqrt(sum / static_cast<double>(samples.size()));
+}
+
+}  // namespace
+
+UslFit fit_extended_usl(
+    std::span<const std::pair<double, double>> samples) {
+  RUBIC_CHECK_MSG(samples.size() >= 3, "need at least 3 samples");
+
+  // Log-spaced candidate grids (0 included for kappa/lambda: pure-Amdahl
+  // and pure-USL workloads are common).
+  std::vector<double> sigma_grid{0.0};
+  std::vector<double> kappa_grid{0.0};
+  std::vector<double> lambda_grid{0.0};
+  for (double v = 1e-4; v < 0.5; v *= 2.0) sigma_grid.push_back(v);
+  for (double v = 1e-6; v < 0.1; v *= 2.0) kappa_grid.push_back(v);
+  for (double v = 1e-9; v < 1e-2; v *= 2.0) lambda_grid.push_back(v);
+
+  UslFit best;
+  best.relative_rmse = relative_rmse(samples, 0, 0, 0);
+  for (const double sigma : sigma_grid) {
+    for (const double kappa : kappa_grid) {
+      for (const double lambda : lambda_grid) {
+        const double err = relative_rmse(samples, sigma, kappa, lambda);
+        if (err < best.relative_rmse) {
+          best = UslFit{sigma, kappa, lambda, err};
+        }
+      }
+    }
+  }
+
+  // Coordinate descent: shrink multiplicative steps around the grid best.
+  double step = 1.6;
+  for (int round = 0; round < 60; ++round) {
+    bool improved = false;
+    const double candidates[3][2] = {
+        {best.sigma / step, best.sigma * step},
+        {best.kappa / step, best.kappa * step},
+        {best.lambda / step, best.lambda * step},
+    };
+    for (int parameter = 0; parameter < 3; ++parameter) {
+      for (const double value : candidates[parameter]) {
+        double sigma = best.sigma, kappa = best.kappa, lambda = best.lambda;
+        (parameter == 0 ? sigma : parameter == 1 ? kappa : lambda) = value;
+        // Also allow collapsing to exactly zero from tiny values.
+        const double err = relative_rmse(samples, sigma, kappa, lambda);
+        if (err < best.relative_rmse) {
+          best = UslFit{sigma, kappa, lambda, err};
+          improved = true;
+        }
+      }
+    }
+    if (!improved) {
+      step = 1.0 + (step - 1.0) / 2.0;
+      if (step < 1.001) break;
+    }
+  }
+  return best;
+}
+
+}  // namespace rubic::sim

@@ -1,0 +1,37 @@
+// Least-squares fitting of the extended USL to measured scalability
+// samples.
+//
+// Closes the loop between real hardware and the simulator: sweep a real
+// workload (bench/fig06 --real), fit (σ, κ, λ) to the (level, speedup)
+// samples, and hand the resulting ExtendedUslCurve to the machine model —
+// so the co-location figures can be regenerated against *your* machine's
+// measured curves instead of the paper-shaped defaults.
+//
+// The fit minimizes relative squared error on a log-spaced coordinate
+// search (coarse grid, then coordinate-descent refinement). The landscape
+// is benign — S(L) is monotone in each parameter at every L — so this
+// converges reliably without gradients.
+#pragma once
+
+#include <span>
+#include <utility>
+
+#include "src/sim/scalability_curve.hpp"
+
+namespace rubic::sim {
+
+struct UslFit {
+  double sigma = 0.0;
+  double kappa = 0.0;
+  double lambda = 0.0;
+  double relative_rmse = 0.0;  // of the returned parameters
+
+  ExtendedUslCurve curve() const { return {sigma, kappa, lambda}; }
+};
+
+// Fits the extended USL to samples of (level, speedup). Requires at least
+// 3 samples spanning more than one level; samples need not include level 1
+// (the model pins S(1) = 1 by construction).
+UslFit fit_extended_usl(std::span<const std::pair<double, double>> samples);
+
+}  // namespace rubic::sim

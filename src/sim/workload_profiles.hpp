@@ -1,0 +1,41 @@
+// Simulated workload profiles, fit to the paper's measured shapes.
+//
+// Each profile bundles a scalability curve, a sequential task rate (sets the
+// absolute commit-rate scale; only ratios matter to the controllers and the
+// metrics), and an oversubscription sensitivity δ (how much extra damage
+// timeslicing does beyond the lost share: preempted lock holders, prolonged
+// transactions, cache trashing — §1 "Oversubscription").
+//
+// Fit targets on a 64-context machine (paper Fig. 1 / Fig. 6):
+//   intruder      peak ≈ 7, throughput at 64 threads < 0.55× sequential
+//   vacation      peak ≈ 32, gentle decline afterwards
+//   rbt-98        peak ≈ 56-64 (scales almost to the machine size)
+//   rbt-readonly  conflict-free, scales to the machine size (§4.6)
+// tests/test_sim_curves.cpp asserts all of these.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "src/sim/scalability_curve.hpp"
+
+namespace rubic::sim {
+
+struct WorkloadProfile {
+  std::string_view name;
+  std::shared_ptr<const ScalabilityCurve> curve;
+  double sequential_rate;  // tasks/sec at level 1 on an idle machine
+  double oversub_delta;    // penalty slope in φ(x) = 1/(1 + δ(x−1)), x = T/C
+};
+
+// The four profiles used across the figures.
+WorkloadProfile intruder_profile();
+WorkloadProfile vacation_profile();
+WorkloadProfile rbt98_profile();
+WorkloadProfile rbt_readonly_profile();
+
+// Lookup by name ("intruder", "vacation", "rbt", "rbt-readonly");
+// throws std::invalid_argument otherwise.
+WorkloadProfile profile_by_name(std::string_view name);
+
+}  // namespace rubic::sim

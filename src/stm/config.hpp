@@ -1,0 +1,57 @@
+// Compile-time and runtime configuration of the STM runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rubic::stm {
+
+// Number of ownership records. Power of two so the address hash is a mask.
+// 2^20 orecs * 8 B = 8 MiB, matching the sizing used by word-based STMs
+// (TL2 uses 2^20, SwissTM 2^22); collisions are false conflicts, not bugs.
+inline constexpr std::size_t kOrecCountLog2 = 20;
+inline constexpr std::size_t kOrecCount = std::size_t{1} << kOrecCountLog2;
+
+// Granularity of conflict detection: one orec covers a 2^kStripeShift-byte
+// stripe. 8 bytes = word granularity, the SwissTM default for write-dominated
+// STAMP workloads (coarser stripes inflate false conflicts in the RB tree).
+inline constexpr std::size_t kStripeShift = 3;
+
+// When write locks are acquired. Encounter-time (SwissTM) detects
+// write/write conflicts at the first write — doomed transactions stop
+// early, which wins on write-dominated STAMP workloads. Commit-time (TL2)
+// buffers writes without touching orecs and acquires all locks (in sorted
+// orec order, deadlock-free) only at commit — shorter lock hold times,
+// later conflict detection.
+enum class LockTiming : std::uint8_t {
+  kEncounterTime,
+  kCommitTime,
+};
+
+// Contention-management policy, selectable per runtime instance.
+enum class CmPolicy : std::uint8_t {
+  // Abort self on any conflict and retry after randomized exponential
+  // backoff. Livelock-free in practice and robust under oversubscription
+  // (a preempted lock holder cannot wedge waiters for long).
+  kTimidBackoff,
+  // Greedy-style timestamp priority: the older transaction wins; the younger
+  // one aborts itself, and an older transaction may remotely doom a younger
+  // lock holder. Bounds the wait of long transactions under contention.
+  kGreedyTimestamp,
+};
+
+struct RuntimeConfig {
+  CmPolicy cm = CmPolicy::kTimidBackoff;
+  LockTiming lock_timing = LockTiming::kEncounterTime;
+  // Backoff parameters for kTimidBackoff: wait is uniform in
+  // [0, min(kMax, base << attempts)) iterations of a pause loop.
+  std::uint32_t backoff_base = 32;
+  std::uint32_t backoff_max = 1u << 16;
+  // Abort-and-retry attempts before atomically() gives up and throws
+  // stm::RetriesExhausted. 0 (default) = retry forever; forward progress is
+  // then ensured by randomized backoff (timid CM) or by priority aging
+  // (greedy CM, where a retried transaction eventually becomes the oldest).
+  std::uint32_t max_retries = 0;
+};
+
+}  // namespace rubic::stm

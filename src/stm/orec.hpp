@@ -1,0 +1,71 @@
+// Ownership records (orecs) and the versioned-lock word encoding.
+//
+// Each orec guards a stripe of memory and holds a single 64-bit word that is
+// either
+//   * a version     — (timestamp << 1), LSB = 0: the commit timestamp of the
+//                     last writer of the stripe; or
+//   * a write lock  — (TxnDesc* | 1),   LSB = 1: the stripe is owned by an
+//                     in-flight writing transaction.
+//
+// Encoding the owner pointer (rather than a thread id) lets the contention
+// manager reach the victim descriptor directly for remote dooming.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/util/check.hpp"
+
+namespace rubic::stm {
+
+class TxnDesc;
+
+using LockWord = std::uint64_t;
+
+inline constexpr LockWord kLockBit = 1;
+
+constexpr bool is_locked(LockWord w) noexcept { return (w & kLockBit) != 0; }
+
+constexpr LockWord make_version(std::uint64_t timestamp) noexcept {
+  return timestamp << 1;
+}
+
+constexpr std::uint64_t version_of(LockWord w) noexcept { return w >> 1; }
+
+inline LockWord make_lock(const TxnDesc* owner) noexcept {
+  const auto bits = reinterpret_cast<std::uintptr_t>(owner);
+  RUBIC_CHECK_MSG((bits & kLockBit) == 0, "TxnDesc must be 2-byte aligned");
+  return static_cast<LockWord>(bits) | kLockBit;
+}
+
+inline TxnDesc* owner_of(LockWord w) noexcept {
+  return reinterpret_cast<TxnDesc*>(static_cast<std::uintptr_t>(w & ~kLockBit));
+}
+
+struct Orec {
+  std::atomic<LockWord> word{make_version(0)};
+
+  LockWord load(std::memory_order mo = std::memory_order_acquire) const noexcept {
+    return word.load(mo);
+  }
+
+  bool try_lock(LockWord expected_version, const TxnDesc* owner) noexcept {
+    return word.compare_exchange_strong(expected_version, make_lock(owner),
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire);
+  }
+
+  // Release after a successful commit: publish the new version.
+  void release(std::uint64_t commit_timestamp) noexcept {
+    word.store(make_version(commit_timestamp), std::memory_order_release);
+  }
+
+  // Release after an abort: restore the pre-lock version.
+  void restore(LockWord pre_lock_word) noexcept {
+    word.store(pre_lock_word, std::memory_order_release);
+  }
+};
+
+static_assert(sizeof(Orec) == 8, "orec table density matters for cache use");
+
+}  // namespace rubic::stm

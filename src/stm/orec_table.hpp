@@ -1,0 +1,38 @@
+// The global orec table: maps addresses to ownership records.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/stm/config.hpp"
+#include "src/stm/orec.hpp"
+
+namespace rubic::stm {
+
+class OrecTable {
+ public:
+  OrecTable() : orecs_(std::make_unique<Orec[]>(kOrecCount)) {}
+
+  OrecTable(const OrecTable&) = delete;
+  OrecTable& operator=(const OrecTable&) = delete;
+
+  // Fibonacci-hash the stripe index so that arrays of adjacent words spread
+  // across the table instead of marching through it in lockstep with other
+  // arrays at the same page offset (a classic source of clustered false
+  // conflicts with plain modulo mapping).
+  Orec& for_address(const void* addr) noexcept {
+    const auto stripe =
+        reinterpret_cast<std::uintptr_t>(addr) >> kStripeShift;
+    const std::uint64_t h =
+        static_cast<std::uint64_t>(stripe) * 0x9e3779b97f4a7c15ULL;
+    return orecs_[h >> (64 - kOrecCountLog2)];
+  }
+
+  Orec& at(std::size_t index) noexcept { return orecs_[index]; }
+  static constexpr std::size_t size() noexcept { return kOrecCount; }
+
+ private:
+  std::unique_ptr<Orec[]> orecs_;
+};
+
+}  // namespace rubic::stm

@@ -1,0 +1,31 @@
+// Raw word access to transactional memory.
+//
+// Data words are read/written through std::atomic_ref so that the unavoidable
+// races between a committing writer's write-back and a concurrent reader's
+// speculative load are defined behaviour (the reader detects them via the
+// orec re-check and discards the value).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/util/check.hpp"
+
+namespace rubic::stm {
+
+inline void check_word_aligned(const void* addr) noexcept {
+  RUBIC_CHECK_MSG((reinterpret_cast<std::uintptr_t>(addr) & 7u) == 0,
+                  "transactional accesses must be 8-byte aligned");
+}
+
+inline std::uint64_t load_raw(const std::uint64_t* addr) noexcept {
+  // atomic_ref requires a mutable reference even for loads (until C++26).
+  return std::atomic_ref<std::uint64_t>(*const_cast<std::uint64_t*>(addr))
+      .load(std::memory_order_acquire);
+}
+
+inline void store_raw(std::uint64_t* addr, std::uint64_t value) noexcept {
+  std::atomic_ref<std::uint64_t>(*addr).store(value, std::memory_order_release);
+}
+
+}  // namespace rubic::stm

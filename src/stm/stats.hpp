@@ -1,0 +1,87 @@
+// Per-thread STM statistics.
+//
+// Counters are written only by the owning thread and read by aggregators
+// (tests, benches, the runtime monitor), mirroring the paper's observation
+// (§3.1) that single-writer counters need no atomic RMW instructions. We
+// still use relaxed atomics for the loads/stores so cross-thread reads are
+// well-defined.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/util/cache_aligned.hpp"
+
+namespace rubic::stm {
+
+enum class AbortCause : std::uint8_t {
+  kReadConflict,       // read found a stripe locked by another txn
+  kWriteConflict,      // write lock acquisition lost to another txn
+  kValidationFailed,   // read-set validation failed (at extension or commit)
+  kDoomed,             // remotely doomed by a higher-priority txn (greedy CM)
+  kUserRetry,          // explicit Txn::retry() from workload code
+  kCount,
+};
+
+struct TxnStats {
+  std::atomic<std::uint64_t> commits{0};
+  std::atomic<std::uint64_t> read_only_commits{0};
+  std::atomic<std::uint64_t> aborts[static_cast<std::size_t>(AbortCause::kCount)]{};
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<std::uint64_t> writes{0};
+  std::atomic<std::uint64_t> extensions{0};
+
+  void bump_abort(AbortCause cause) noexcept {
+    auto& c = aborts[static_cast<std::size_t>(cause)];
+    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t total_aborts() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& a : aborts) sum += a.load(std::memory_order_relaxed);
+    return sum;
+  }
+};
+
+// Snapshot with plain integers, for aggregation and test assertions.
+struct TxnStatsSnapshot {
+  std::uint64_t commits = 0;
+  std::uint64_t read_only_commits = 0;
+  std::uint64_t aborts[static_cast<std::size_t>(AbortCause::kCount)]{};
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t extensions = 0;
+
+  std::uint64_t total_aborts() const noexcept {
+    std::uint64_t sum = 0;
+    for (auto a : aborts) sum += a;
+    return sum;
+  }
+
+  TxnStatsSnapshot& operator+=(const TxnStatsSnapshot& o) noexcept {
+    commits += o.commits;
+    read_only_commits += o.read_only_commits;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(AbortCause::kCount); ++i) {
+      aborts[i] += o.aborts[i];
+    }
+    reads += o.reads;
+    writes += o.writes;
+    extensions += o.extensions;
+    return *this;
+  }
+};
+
+inline TxnStatsSnapshot snapshot(const TxnStats& s) noexcept {
+  TxnStatsSnapshot out;
+  out.commits = s.commits.load(std::memory_order_relaxed);
+  out.read_only_commits = s.read_only_commits.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(AbortCause::kCount); ++i) {
+    out.aborts[i] = s.aborts[i].load(std::memory_order_relaxed);
+  }
+  out.reads = s.reads.load(std::memory_order_relaxed);
+  out.writes = s.writes.load(std::memory_order_relaxed);
+  out.extensions = s.extensions.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace rubic::stm

@@ -1,0 +1,18 @@
+// Umbrella header for the RUBIC STM runtime.
+//
+// A word-based software transactional memory in the SwissTM/TL2 family:
+// global version clock, per-stripe ownership records, invisible validated
+// reads with timestamp extension, encounter-time write locking with
+// write-back buffering, epoch-based transactional memory reclamation, and
+// pluggable contention management. See DESIGN.md §1 (system #7).
+#pragma once
+
+#include "src/stm/config.hpp"        // IWYU pragma: export
+#include "src/stm/global_clock.hpp"  // IWYU pragma: export
+#include "src/stm/orec.hpp"          // IWYU pragma: export
+#include "src/stm/orec_table.hpp"    // IWYU pragma: export
+#include "src/stm/runtime.hpp"       // IWYU pragma: export
+#include "src/stm/stats.hpp"         // IWYU pragma: export
+#include "src/stm/transaction.hpp"   // IWYU pragma: export
+#include "src/stm/tvar.hpp"          // IWYU pragma: export
+#include "src/stm/txn_desc.hpp"      // IWYU pragma: export

@@ -1,0 +1,133 @@
+// Public transaction API: the Txn facade handed to transaction bodies and
+// the atomically() retry loop.
+//
+// Usage:
+//   stm::Runtime rt;
+//   stm::TxnDesc& ctx = rt.register_thread();   // once per worker thread
+//   int v = stm::atomically(ctx, [&](stm::Txn& tx) {
+//     int x = counter.read(tx);
+//     counter.write(tx, x + 1);
+//     return x;
+//   });
+//
+// Aborts (conflicts, validation failures, Txn::retry) are internal control
+// flow: the body is re-executed after contention-manager backoff. Ordinary
+// C++ exceptions thrown by the body roll the transaction back and propagate.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <new>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <utility>
+
+#include "src/stm/runtime.hpp"
+#include "src/stm/txn_desc.hpp"
+
+namespace rubic::stm {
+
+// Thrown by atomically() when RuntimeConfig::max_retries is non-zero and a
+// transaction failed to commit within that many attempts.
+class RetriesExhausted : public std::runtime_error {
+ public:
+  explicit RetriesExhausted(std::uint32_t attempts)
+      : std::runtime_error("transaction aborted " + std::to_string(attempts) +
+                           " times; retry budget exhausted") {}
+};
+
+class Txn {
+ public:
+  explicit Txn(TxnDesc& desc) noexcept : desc_(&desc) {}
+
+  std::uint64_t read_word(const std::uint64_t* addr) {
+    return desc_->read_word(addr);
+  }
+  void write_word(std::uint64_t* addr, std::uint64_t value) {
+    desc_->write_word(addr, value);
+  }
+
+  // Allocates and constructs a T whose lifetime follows the transaction:
+  // reclaimed on abort, permanent on commit. T must be trivially
+  // destructible because tx_free-based reclamation never runs destructors.
+  template <typename T, typename... Args>
+  T* make(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "transactional objects are reclaimed without destruction");
+    void* p = desc_->tx_alloc(sizeof(T));
+    return ::new (p) T(std::forward<Args>(args)...);
+  }
+
+  // Schedules ptr for reclamation if (and only if) this transaction commits,
+  // after an epoch grace period protecting concurrent readers.
+  void free(void* ptr) { desc_->tx_free(ptr); }
+
+  // Aborts and re-executes the transaction (used by workloads to wait for a
+  // state change, e.g. a queue becoming non-empty).
+  [[noreturn]] void retry() { desc_->user_retry(); }
+
+  TxnDesc& desc() noexcept { return *desc_; }
+
+ private:
+  TxnDesc* desc_;
+};
+
+namespace detail {
+
+// Randomized exponential backoff between retry attempts.
+inline void backoff(TxnDesc& ctx, std::uint32_t attempt) {
+  const RuntimeConfig& cfg = ctx.runtime().config();
+  const std::uint32_t shift = attempt < 16 ? attempt : 16;
+  const std::uint64_t ceiling =
+      std::min<std::uint64_t>(cfg.backoff_max,
+                              std::uint64_t{cfg.backoff_base} << shift);
+  const std::uint64_t iterations = ctx.rng().below(ceiling + 1);
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    // Compiler barrier so the loop is not optimized away; on an
+    // oversubscribed host long waits must yield, not spin.
+    asm volatile("" ::: "memory");
+    if ((i & 4095u) == 4095u) std::this_thread::yield();
+  }
+}
+
+}  // namespace detail
+
+template <typename F>
+std::invoke_result_t<F&, Txn&> atomically(TxnDesc& ctx, F&& body) {
+  using Result = std::invoke_result_t<F&, Txn&>;
+  Txn tx(ctx);
+  if (ctx.active()) {
+    // Flat nesting: the inner body joins the enclosing transaction.
+    return body(tx);
+  }
+  const std::uint32_t max_retries = ctx.runtime().config().max_retries;
+  std::uint32_t attempts = 0;
+  for (;;) {
+    ctx.begin(/*first_attempt=*/attempts == 0);
+    try {
+      if constexpr (std::is_void_v<Result>) {
+        body(tx);
+        ctx.commit();  // may throw AbortTx on validation failure
+        return;
+      } else {
+        Result result = body(tx);
+        ctx.commit();
+        return result;
+      }
+    } catch (const detail::AbortTx& abort) {
+      ctx.rollback(abort.cause);
+      ++attempts;
+      if (max_retries != 0 && attempts >= max_retries) {
+        throw RetriesExhausted(attempts);
+      }
+      detail::backoff(ctx, attempts);
+    } catch (...) {
+      // A user exception aborts the transaction and propagates unchanged.
+      ctx.rollback(AbortCause::kUserRetry);
+      throw;
+    }
+  }
+}
+
+}  // namespace rubic::stm

@@ -1,0 +1,55 @@
+// TVar<T>: a typed transactional variable.
+//
+// Stores any trivially-copyable T of at most 8 bytes in a word-aligned slot
+// so every access maps to exactly one orec stripe. This is the primary
+// building block of the transactional data structures in src/workloads/.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "src/stm/raw_access.hpp"
+#include "src/stm/transaction.hpp"
+
+namespace rubic::stm {
+
+template <typename T>
+concept TransactionalValue =
+    std::is_trivially_copyable_v<T> && sizeof(T) <= 8;
+
+template <TransactionalValue T>
+class TVar {
+ public:
+  constexpr TVar() noexcept : word_(0) {}
+  explicit TVar(T initial) noexcept : word_(encode(initial)) {}
+
+  // TVars are addressed by identity; copying one would silently duplicate
+  // what workloads treat as a single shared location.
+  TVar(const TVar&) = delete;
+  TVar& operator=(const TVar&) = delete;
+
+  T read(Txn& tx) const { return decode(tx.read_word(&word_)); }
+  void write(Txn& tx, T value) { tx.write_word(&word_, encode(value)); }
+
+  // Non-transactional access: only valid while no transaction can touch the
+  // variable (initialization, quiescent verification in tests).
+  T unsafe_read() const noexcept { return decode(load_raw(&word_)); }
+  void unsafe_write(T value) noexcept { store_raw(&word_, encode(value)); }
+
+ private:
+  static std::uint64_t encode(T value) noexcept {
+    std::uint64_t w = 0;
+    std::memcpy(&w, &value, sizeof(T));
+    return w;
+  }
+  static T decode(std::uint64_t w) noexcept {
+    T value;
+    std::memcpy(&value, &w, sizeof(T));
+    return value;
+  }
+
+  alignas(8) std::uint64_t word_;
+};
+
+}  // namespace rubic::stm

@@ -1,0 +1,173 @@
+// Transaction descriptor: all per-transaction state plus the word-level
+// read/write/commit/rollback machinery.
+//
+// Concurrency design (SwissTM/TL2 hybrid):
+//   * invisible reads, validated against a global version clock, with
+//     timestamp extension to cut false aborts on long read phases;
+//   * encounter-time write locking (eager write/write conflict detection,
+//     which SwissTM showed is decisive for STAMP-style workloads);
+//   * write-back buffering: memory is only updated at commit, so aborts
+//     never undo shared state;
+//   * contention management on conflict: timid backoff (default) or
+//     greedy timestamp priority with remote dooming.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/stm/config.hpp"
+#include "src/stm/orec.hpp"
+#include "src/stm/read_write_set.hpp"
+#include "src/stm/stats.hpp"
+#include "src/util/cache_aligned.hpp"
+#include "src/util/rng.hpp"
+
+namespace rubic::stm {
+
+class Runtime;
+
+namespace detail {
+// Control-flow exception that unwinds the user transaction body back to the
+// retry loop in atomically(). Never escapes the STM layer.
+struct AbortTx {
+  AbortCause cause;
+};
+}  // namespace detail
+
+enum class TxnStatus : std::uint32_t {
+  kInactive,
+  kActive,
+  kDoomed,  // set remotely by a higher-priority transaction (greedy CM)
+};
+
+class alignas(util::kCacheLineSize) TxnDesc {
+ public:
+  TxnDesc(Runtime& rt, std::uint32_t ctx_id, std::uint64_t rng_seed);
+
+  TxnDesc(const TxnDesc&) = delete;
+  TxnDesc& operator=(const TxnDesc&) = delete;
+
+  // --- lifecycle (driven by atomically()) ---
+
+  // Starts an attempt. `first_attempt` keeps the greedy priority stable
+  // across retries so a much-retried transaction eventually becomes oldest.
+  void begin(bool first_attempt);
+
+  // Validates, writes back, releases locks. Throws detail::AbortTx on
+  // validation failure (caller rolls back and retries).
+  void commit();
+
+  // Releases locks (restoring pre-lock versions), frees transaction-local
+  // allocations, discards deferred frees, clears all sets.
+  void rollback(AbortCause cause);
+
+  bool active() const noexcept {
+    return status_.load(std::memory_order_relaxed) != TxnStatus::kInactive;
+  }
+
+  // --- data access ---
+
+  std::uint64_t read_word(const std::uint64_t* addr);
+  void write_word(std::uint64_t* addr, std::uint64_t value);
+
+  // --- transactional memory management ---
+
+  // Raw storage whose lifetime is tied to the transaction outcome: freed on
+  // abort, kept on commit. Objects placed here must be trivially
+  // destructible (reclamation after tx_free never runs destructors).
+  void* tx_alloc(std::size_t bytes);
+  // Defers reclamation to commit time + an epoch grace period (other
+  // in-flight transactions may still hold invisible references).
+  void tx_free(void* ptr);
+
+  [[noreturn]] void user_retry();
+
+  // --- contention management hooks ---
+
+  // Called by a conflicting peer under CmPolicy::kGreedyTimestamp.
+  // Returns true if this transaction was successfully doomed.
+  bool try_doom() noexcept {
+    TxnStatus expected = TxnStatus::kActive;
+    return status_.compare_exchange_strong(expected, TxnStatus::kDoomed,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire);
+  }
+
+  bool doomed() const noexcept {
+    return status_.load(std::memory_order_acquire) == TxnStatus::kDoomed;
+  }
+
+  // Priority: lower value = older = wins. Start timestamp in the high bits,
+  // context id breaks ties.
+  std::uint64_t priority() const noexcept {
+    return priority_.load(std::memory_order_acquire);
+  }
+
+  TxnStats& stats() noexcept { return stats_; }
+  std::uint32_t ctx_id() const noexcept { return ctx_id_; }
+  Runtime& runtime() noexcept { return rt_; }
+  util::Xoshiro256& rng() noexcept { return rng_; }
+
+  std::size_t read_set_size() const noexcept { return read_set_.size(); }
+  std::size_t write_set_size() const noexcept { return write_set_.size(); }
+
+  // Serialization-point diagnostics, valid after a successful commit and
+  // until the next begin(): the commit timestamp of the last writing
+  // transaction (0 if it was read-only), and the final read timestamp
+  // (after any extensions). A writing transaction serializes at
+  // last_commit_timestamp(); a read-only one at last_read_timestamp().
+  // tests/test_stm_serializability.cpp replays the global commit order
+  // against these to verify serializability end-to-end.
+  std::uint64_t last_commit_timestamp() const noexcept {
+    return last_commit_ts_;
+  }
+  std::uint64_t last_read_timestamp() const noexcept { return rv_; }
+
+ private:
+  [[noreturn]] void conflict_abort(AbortCause cause);
+  void check_doomed();
+  // Re-validates the read set against current orec state; throws on failure.
+  void validate_read_set();
+  // Attempts to advance the read timestamp past `needed_version`.
+  void extend(std::uint64_t needed_version);
+  // Blocks (bounded) or aborts according to the contention policy.
+  // Postcondition on return: caller should re-load the orec and retry.
+  void on_conflict(Orec& orec, LockWord observed, AbortCause cause);
+  // Commit-time locking (LockTiming::kCommitTime): acquires all written
+  // stripes' locks in sorted orec order.
+  void acquire_commit_locks();
+
+  Runtime& rt_;
+  const std::uint32_t ctx_id_;
+
+  std::atomic<TxnStatus> status_{TxnStatus::kInactive};
+  std::atomic<std::uint64_t> priority_{~std::uint64_t{0}};
+
+  std::uint64_t rv_ = 0;  // read (validity) timestamp
+  std::uint64_t last_commit_ts_ = 0;
+
+  ReadSet read_set_;
+  WriteSet write_set_;
+  OwnedSet owned_;
+
+  std::vector<void*> allocs_;
+  std::vector<void*> frees_;
+
+  TxnStats stats_;
+  util::Xoshiro256 rng_;
+
+  // --- epoch-based reclamation state (owned here, orchestrated by Runtime;
+  //     see Runtime::try_advance_epoch) ---
+  friend class Runtime;
+  struct LimboEntry {
+    std::uint64_t epoch;
+    void* ptr;
+  };
+  std::atomic<std::uint64_t> local_epoch_{0};  // 0 = quiescent
+  std::vector<LimboEntry> limbo_;              // FIFO, owner-thread only
+  std::size_t limbo_head_ = 0;
+  std::uint64_t defers_since_advance_ = 0;
+};
+
+}  // namespace rubic::stm

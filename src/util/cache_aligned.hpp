@@ -1,0 +1,54 @@
+// Cache-line alignment helpers.
+//
+// Hot shared state (the global commit clock, per-worker commit counters, the
+// parallelism-level word read by every worker) must live on its own cache
+// line, otherwise false sharing between workers dominates the very overheads
+// RUBIC is trying to keep "negligible" (paper §4, single-process results).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rubic::util {
+
+// std::hardware_destructive_interference_size is not universally available;
+// 64 bytes is correct for every x86-64 and most AArch64 parts. 128 would be
+// needed for Apple M-series / POWER9 L2 pairs, so we keep it configurable.
+#ifdef RUBIC_CACHELINE_SIZE
+inline constexpr std::size_t kCacheLineSize = RUBIC_CACHELINE_SIZE;
+#else
+inline constexpr std::size_t kCacheLineSize = 64;
+#endif
+
+// Wraps a value so that it occupies (at least) one full cache line.
+// Used for arrays of per-thread counters indexed by worker id.
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  static_assert(alignof(T) <= kCacheLineSize,
+                "over-aligned payloads would silently lose their alignment");
+
+  T value{};
+
+  CacheAligned() = default;
+  template <typename... Args>
+  explicit CacheAligned(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+
+ private:
+  // Pad up to a full line even when sizeof(T) is an exact multiple already;
+  // alignas on the struct handles the rest.
+  char pad_[kCacheLineSize - (sizeof(T) % kCacheLineSize == 0
+                                  ? kCacheLineSize
+                                  : sizeof(T) % kCacheLineSize)]{};
+};
+
+static_assert(sizeof(CacheAligned<char>) == kCacheLineSize);
+static_assert(sizeof(CacheAligned<long double>) % kCacheLineSize == 0);
+
+}  // namespace rubic::util

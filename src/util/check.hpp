@@ -1,0 +1,35 @@
+// Internal invariant checking.
+//
+// RUBIC_CHECK stays on in release builds: the STM and the controller state
+// machines have invariants (lock ownership, level bounds) whose violation
+// must surface as a crash with a message, not as silent corruption of a
+// 50-repetition experiment. The cost is a predictable branch per check.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rubic::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "RUBIC_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace rubic::util
+
+#define RUBIC_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) [[unlikely]] {                                            \
+      ::rubic::util::check_failed(#expr, __FILE__, __LINE__, "");          \
+    }                                                                      \
+  } while (false)
+
+#define RUBIC_CHECK_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) [[unlikely]] {                                            \
+      ::rubic::util::check_failed(#expr, __FILE__, __LINE__, (msg));       \
+    }                                                                      \
+  } while (false)

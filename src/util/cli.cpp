@@ -1,0 +1,92 @@
+#include "src/util/cli.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace rubic::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::invalid_argument("cli: " + msg);
+}
+
+}  // namespace
+
+Cli::Cli(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!arg.starts_with("--")) fail("positional arguments are not supported: " + std::string(arg));
+    arg.remove_prefix(2);
+    std::string name;
+    std::string value;
+    if (auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+    } else {
+      name = std::string(arg);
+      // `--flag value` unless the next token is another flag (then boolean).
+      if (i + 1 < argc && std::string_view(argv[i + 1]).starts_with("--") == false) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    if (name.empty()) fail("empty flag name");
+    if (!values_.emplace(name, value).second) fail("duplicate flag --" + name);
+  }
+  for (const auto& [k, v] : values_) seen_[k] = false;
+}
+
+std::optional<std::string> Cli::lookup(std::string_view name) {
+  auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  seen_[it->first] = true;
+  return it->second;
+}
+
+std::string Cli::get_string(std::string_view name, std::string_view def) {
+  auto v = lookup(name);
+  return v ? *v : std::string(def);
+}
+
+std::int64_t Cli::get_int(std::string_view name, std::int64_t def) {
+  auto v = lookup(name);
+  if (!v) return def;
+  std::int64_t out = 0;
+  auto [ptr, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+  if (ec != std::errc{} || ptr != v->data() + v->size()) {
+    fail("--" + std::string(name) + " expects an integer, got '" + *v + "'");
+  }
+  return out;
+}
+
+double Cli::get_double(std::string_view name, double def) {
+  auto v = lookup(name);
+  if (!v) return def;
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(*v, &pos);
+    if (pos != v->size()) throw std::invalid_argument("trailing junk");
+    return out;
+  } catch (const std::exception&) {
+    fail("--" + std::string(name) + " expects a number, got '" + *v + "'");
+  }
+}
+
+bool Cli::get_bool(std::string_view name, bool def) {
+  auto v = lookup(name);
+  if (!v) return def;
+  if (*v == "true" || *v == "1" || *v == "yes") return true;
+  if (*v == "false" || *v == "0" || *v == "no") return false;
+  fail("--" + std::string(name) + " expects a boolean, got '" + *v + "'");
+}
+
+void Cli::check_unknown() const {
+  for (const auto& [name, used] : seen_) {
+    if (!used) fail("unknown flag --" + name);
+  }
+}
+
+}  // namespace rubic::util

@@ -1,0 +1,42 @@
+// Minimal command-line parsing for the bench and example binaries.
+//
+// Flags are `--name value` or `--name=value`; `--flag` with no value is a
+// boolean. Unknown flags are an error so experiment scripts fail loudly
+// instead of silently running the default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rubic::util {
+
+class Cli {
+ public:
+  // Parses argv. Throws std::invalid_argument on malformed input.
+  Cli(int argc, const char* const* argv);
+
+  // Declared-flag accessors: each call also marks the flag as known.
+  std::string get_string(std::string_view name, std::string_view def);
+  std::int64_t get_int(std::string_view name, std::int64_t def);
+  double get_double(std::string_view name, double def);
+  bool get_bool(std::string_view name, bool def = false);
+
+  // Call after all get_* declarations; throws on flags that were passed but
+  // never declared (typo protection).
+  void check_unknown() const;
+
+  const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::optional<std::string> lookup(std::string_view name);
+
+  std::string program_;
+  std::map<std::string, std::string, std::less<>> values_;
+  mutable std::map<std::string, bool, std::less<>> seen_;
+};
+
+}  // namespace rubic::util

@@ -1,0 +1,63 @@
+// Streaming statistics used by the experiment harness.
+//
+// The paper reports averages over 50 repetitions plus the standard deviation
+// of the allocation (Fig. 8b / Fig. 9c) and geometric means across workload
+// pairs (Fig. 7a). Welford's algorithm keeps the accumulation numerically
+// stable without storing samples.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rubic::util {
+
+class Welford {
+ public:
+  void add(double x) noexcept;
+  void merge(const Welford& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  // Population variance; the paper's error bars do not specify Bessel
+  // correction, and with n = 50 the difference is immaterial.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Geometric mean of positive values; zero/negative inputs are clamped to a
+// tiny epsilon so a starved process shows up as ~0 instead of poisoning the
+// whole aggregate with a NaN.
+double geometric_mean(std::span<const double> values) noexcept;
+
+// Arithmetic mean over a span (0 for empty).
+double mean(std::span<const double> values) noexcept;
+
+// Population standard deviation over a span (0 for fewer than 2 samples).
+double stddev(std::span<const double> values) noexcept;
+
+// Jain's fairness index: (sum x)^2 / (n * sum x^2). 1.0 == perfectly fair.
+// Used alongside the paper's NSBP product as an auxiliary fairness metric.
+double jain_index(std::span<const double> values) noexcept;
+
+// Summary of a sample vector, convenient for bench output tables.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> values) noexcept;
+
+}  // namespace rubic::util

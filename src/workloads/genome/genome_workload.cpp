@@ -1,0 +1,127 @@
+#include "src/workloads/genome/genome_workload.hpp"
+
+#include <unordered_set>
+
+#include "src/util/check.hpp"
+
+namespace rubic::workloads::genome {
+
+using stm::Txn;
+
+namespace {
+
+constexpr int kOverlapShards = 64;
+constexpr std::uint64_t kContentMask = (1ULL << 48) - 1;
+
+// FNV-1a over the segment bytes, folded to 48 bits so it composes with the
+// 16-bit epoch tag into one map key. Ground truth uses the same folded hash,
+// so fold collisions (≈ 10⁻⁷ at these sizes) cannot cause a verify mismatch.
+std::uint64_t content_hash(const char* data, int length) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (int i = 0; i < length; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return (h ^ (h >> 48)) & kContentMask;
+}
+
+}  // namespace
+
+GenomeWorkload::GenomeWorkload(stm::Runtime& rt, GenomeParams params)
+    : params_(params), dedup_(static_cast<std::size_t>(params.segment_count)) {
+  (void)rt;
+  RUBIC_CHECK(params_.genome_length > params_.segment_length);
+  util::Xoshiro256 rng(params_.seed);
+
+  // Synthetic genome over a 4-letter alphabet.
+  static constexpr char kBases[] = "acgt";
+  genome_.reserve(static_cast<std::size_t>(params_.genome_length));
+  for (std::int64_t i = 0; i < params_.genome_length; ++i) {
+    genome_.push_back(kBases[rng.below(4)]);
+  }
+
+  // Sample overlapping segments with replacement (duplicates expected).
+  const auto max_position = static_cast<std::uint64_t>(
+      params_.genome_length - params_.segment_length);
+  segments_.reserve(static_cast<std::size_t>(params_.segment_count));
+  std::unordered_set<std::uint64_t> unique_hashes;
+  for (std::int64_t i = 0; i < params_.segment_count; ++i) {
+    const auto position = static_cast<std::int64_t>(rng.below(max_position + 1));
+    const std::uint64_t hash =
+        content_hash(genome_.data() + position, params_.segment_length);
+    segments_.push_back(Segment{position, hash});
+    unique_hashes.insert(hash);
+  }
+  unique_expected_ = static_cast<std::int64_t>(unique_hashes.size());
+
+  overlap_shards_.reserve(kOverlapShards);
+  for (int i = 0; i < kOverlapShards; ++i) {
+    overlap_shards_.push_back(std::make_unique<TList>());
+  }
+  cursor_.unsafe_write(0);
+  unique_epoch0_.unsafe_write(0);
+}
+
+void GenomeWorkload::run_task(stm::TxnDesc& ctx, util::Xoshiro256& rng) {
+  (void)rng;
+  // Capture: claim the next segment (shared cursor, as in Intruder).
+  const std::int64_t index = stm::atomically(ctx, [&](Txn& tx) {
+    const std::int64_t i = cursor_.read(tx);
+    cursor_.write(tx, i + 1);
+    return i;
+  });
+  const auto count = static_cast<std::int64_t>(segments_.size());
+  const Segment& segment =
+      segments_[static_cast<std::size_t>(index % count)];
+  const std::int64_t epoch = index / count;
+  const auto key = static_cast<std::int64_t>(
+      (static_cast<std::uint64_t>(epoch) << 48) | segment.content_hash);
+
+  // Deduplicate; first inserter of a content also registers the overlap
+  // marker for the segment's genome position.
+  stm::atomically(ctx, [&](Txn& tx) {
+    if (!dedup_.insert(tx, key, segment.position)) return;
+    if (epoch == 0) {
+      unique_epoch0_.write(tx, unique_epoch0_.read(tx) + 1);
+    }
+    const auto shard = static_cast<std::size_t>(
+        static_cast<std::uint64_t>(segment.position) *
+            static_cast<std::uint64_t>(kOverlapShards) /
+        static_cast<std::uint64_t>(params_.genome_length));
+    overlap_shards_[shard]->insert(tx, segment.position, key);
+  });
+}
+
+bool GenomeWorkload::verify(std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  std::string inner;
+  if (!dedup_.check_invariants(&inner)) return fail("dedup map: " + inner);
+  std::size_t overlap_total = 0;
+  for (const auto& shard : overlap_shards_) {
+    if (!shard->check_invariants(&inner)) {
+      return fail("overlap shard: " + inner);
+    }
+    overlap_total += shard->unsafe_size();
+  }
+  // Once the first epoch completed, its unique count must equal the
+  // generator's ground truth exactly.
+  if (cursor_.unsafe_read() >= static_cast<std::int64_t>(segments_.size()) &&
+      unique_epoch0_.unsafe_read() != unique_expected_) {
+    return fail("epoch-0 dedup found " +
+                std::to_string(unique_epoch0_.unsafe_read()) +
+                " uniques, generator produced " +
+                std::to_string(unique_expected_));
+  }
+  // Overlap markers are keyed by position (stable across epochs): there can
+  // never be more than one per distinct sampled position, and every unique
+  // content contributes at most one.
+  if (overlap_total > static_cast<std::size_t>(params_.segment_count)) {
+    return fail("more overlap markers than sampled segments");
+  }
+  return true;
+}
+
+}  // namespace rubic::workloads::genome

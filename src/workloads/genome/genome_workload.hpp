@@ -1,0 +1,68 @@
+// Genome (STAMP-style), segment-deduplication phase as a streaming workload.
+//
+// STAMP's genome assembles a genome from overlapping segments in phases; the
+// dominant transactional phase inserts every extracted segment into a shared
+// hash set to deduplicate it. We reproduce that phase as an indefinite task
+// bag (like Intruder): a synthetic genome is sampled into `segment_count`
+// segments (with duplicates, since sampling overlaps), workers claim segment
+// indices from a shared cursor and insert the segment's content hash into a
+// transactional hash set; the first inserter also appends the segment to a
+// per-bucket overlap list (a TList keyed by genome position), giving the
+// workload Genome's two-structure transaction shape. Replays are
+// epoch-renamed exactly as in Intruder.
+//
+// Ground truth (the number of *unique* segments) is known from generation,
+// so verify() checks the dedup logic end-to-end.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/workloads/thashmap.hpp"
+#include "src/workloads/tlist.hpp"
+#include "src/workloads/workload.hpp"
+
+namespace rubic::workloads::genome {
+
+struct GenomeParams {
+  std::int64_t genome_length = 16 * 1024;
+  int segment_length = 32;
+  std::int64_t segment_count = 8 * 1024;  // sampled with replacement
+  std::uint64_t seed = 0x6e0;
+};
+
+class GenomeWorkload final : public Workload {
+ public:
+  GenomeWorkload(stm::Runtime& rt, GenomeParams params);
+
+  std::string_view name() const override { return "genome"; }
+  void run_task(stm::TxnDesc& ctx, util::Xoshiro256& rng) override;
+  bool verify(std::string* error = nullptr) override;
+
+  std::int64_t unique_expected() const noexcept { return unique_expected_; }
+  std::int64_t segments_processed() const noexcept {
+    return cursor_.unsafe_read();
+  }
+
+ private:
+  struct Segment {
+    std::int64_t position;   // genome offset (stable identity)
+    std::uint64_t content_hash;
+  };
+
+  GenomeParams params_;
+  std::string genome_;
+  std::vector<Segment> segments_;
+  std::int64_t unique_expected_ = 0;
+
+  stm::TVar<std::int64_t> cursor_;  // shared claim index (capture hotspot)
+  THashMap dedup_;                  // epoch-scoped content key → position
+  // Overlap markers sharded by genome position so a single list does not
+  // serialize the whole phase (STAMP genome uses a per-bucket structure).
+  std::vector<std::unique_ptr<TList>> overlap_shards_;
+  stm::TVar<std::int64_t> unique_epoch0_;  // uniques seen in the first epoch
+};
+
+}  // namespace rubic::workloads::genome

@@ -1,0 +1,107 @@
+#include "src/workloads/intruder/aho_corasick.hpp"
+
+#include <deque>
+
+#include "src/util/check.hpp"
+
+namespace rubic::workloads::intruder {
+
+AhoCorasick::AhoCorasick(std::span<const std::string_view> patterns)
+    : pattern_count_(patterns.size()) {
+  nodes_.emplace_back();
+  for (int ch = 0; ch < kAlphabet; ++ch) nodes_[0].next[ch] = 0;
+
+  // Trie construction. next[] temporarily holds child links (0 = absent,
+  // since the root cannot be a child).
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    RUBIC_CHECK_MSG(!patterns[p].empty(), "empty pattern");
+    std::int32_t state = 0;
+    for (const char c : patterns[p]) {
+      const auto ch = static_cast<unsigned char>(c);
+      if (nodes_[static_cast<std::size_t>(state)].next[ch] == 0) {
+        nodes_[static_cast<std::size_t>(state)].next[ch] =
+            static_cast<std::int32_t>(nodes_.size());
+        nodes_.emplace_back();
+        Node& fresh = nodes_.back();
+        for (int i = 0; i < kAlphabet; ++i) fresh.next[i] = 0;
+      }
+      state = nodes_[static_cast<std::size_t>(state)].next[ch];
+    }
+    Node& end = nodes_[static_cast<std::size_t>(state)];
+    if (end.pattern < 0) {
+      end.pattern = static_cast<std::int32_t>(p);
+    } else {
+      // Duplicate pattern text: keep the first index (match_all reports
+      // distinct node hits; identical patterns are indistinguishable).
+    }
+    end.terminal_or_suffix = true;
+  }
+
+  // BFS to fill failure links and convert the trie into a full automaton
+  // (next[] becomes the goto function for every state × character).
+  std::deque<std::int32_t> queue;
+  for (int ch = 0; ch < kAlphabet; ++ch) {
+    const std::int32_t child = nodes_[0].next[ch];
+    if (child != 0) {
+      nodes_[static_cast<std::size_t>(child)].fail = 0;
+      queue.push_back(child);
+    }
+  }
+  while (!queue.empty()) {
+    const std::int32_t state = queue.front();
+    queue.pop_front();
+    Node& node = nodes_[static_cast<std::size_t>(state)];
+    const Node& fail_node = nodes_[static_cast<std::size_t>(node.fail)];
+    // Output link: nearest proper-suffix state that ends a pattern.
+    node.output_link =
+        fail_node.pattern >= 0 ? node.fail : fail_node.output_link;
+    node.terminal_or_suffix =
+        node.terminal_or_suffix || fail_node.terminal_or_suffix;
+    for (int ch = 0; ch < kAlphabet; ++ch) {
+      const std::int32_t child = node.next[ch];
+      if (child != 0) {
+        nodes_[static_cast<std::size_t>(child)].fail = fail_node.next[ch];
+        queue.push_back(child);
+      } else {
+        node.next[ch] = fail_node.next[ch];
+      }
+    }
+  }
+}
+
+bool AhoCorasick::matches_any(std::string_view text) const {
+  std::int32_t state = 0;
+  for (const char c : text) {
+    state = step(state, static_cast<unsigned char>(c));
+    if (nodes_[static_cast<std::size_t>(state)].terminal_or_suffix) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::size_t> AhoCorasick::match_all(std::string_view text) const {
+  std::vector<std::size_t> found;
+  std::vector<bool> seen(pattern_count_, false);
+  std::int32_t state = 0;
+  for (const char c : text) {
+    state = step(state, static_cast<unsigned char>(c));
+    const Node& current = nodes_[static_cast<std::size_t>(state)];
+    if (!current.terminal_or_suffix) continue;  // fast path: nothing ends here
+    // Walk the output chain: the state itself (if it ends a pattern), then
+    // every proper-suffix state that ends one. Chains terminate at -1.
+    std::int32_t s = current.pattern >= 0 ? state : current.output_link;
+    while (s >= 0) {
+      const Node& node = nodes_[static_cast<std::size_t>(s)];
+      const auto index = static_cast<std::size_t>(node.pattern);
+      if (!seen[index]) {
+        seen[index] = true;
+        found.push_back(index);
+      }
+      s = node.output_link;
+    }
+  }
+  return found;
+}
+
+}  // namespace rubic::workloads::intruder

@@ -1,0 +1,58 @@
+// Aho-Corasick multi-pattern matcher.
+//
+// The detector originally scanned payloads with one substring search per
+// signature (O(signatures × payload)); real intrusion detectors — and
+// STAMP's, which matches against a dictionary of exploit strings — use an
+// Aho-Corasick automaton to match every signature in one O(payload) pass.
+// The automaton is built once at startup and is immutable afterwards, so
+// detection needs no transactions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace rubic::workloads::intruder {
+
+class AhoCorasick {
+ public:
+  // Builds the automaton over the given patterns (indices are preserved:
+  // match results refer to positions in `patterns`). Empty patterns are
+  // rejected.
+  explicit AhoCorasick(std::span<const std::string_view> patterns);
+
+  // True iff any pattern occurs in `text`.
+  bool matches_any(std::string_view text) const;
+
+  // Indices of all distinct patterns occurring in `text`, in first-match
+  // order (each reported once).
+  std::vector<std::size_t> match_all(std::string_view text) const;
+
+  std::size_t pattern_count() const noexcept { return pattern_count_; }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+ private:
+  static constexpr int kAlphabet = 256;
+
+  struct Node {
+    // Dense goto table: memory-for-speed, matching the startup-built /
+    // query-forever usage. 256 × 4 B per node.
+    std::int32_t next[kAlphabet];
+    std::int32_t fail = 0;
+    // Index of one pattern ending here, or -1; additional patterns ending
+    // at the same node chain through output_link.
+    std::int32_t pattern = -1;
+    std::int32_t output_link = -1;  // nearest suffix node with a pattern
+    bool terminal_or_suffix = false;  // any pattern ends here or at a suffix
+  };
+
+  std::int32_t step(std::int32_t state, unsigned char ch) const noexcept {
+    return nodes_[static_cast<std::size_t>(state)].next[ch];
+  }
+
+  std::vector<Node> nodes_;
+  std::size_t pattern_count_ = 0;
+};
+
+}  // namespace rubic::workloads::intruder

@@ -1,0 +1,55 @@
+#include "src/workloads/intruder/detector.hpp"
+
+#include <array>
+
+#include "src/workloads/intruder/aho_corasick.hpp"
+
+namespace rubic::workloads::intruder {
+
+namespace {
+
+// Condensed signature dictionary (shell metacharacter abuse, traversal,
+// injection, shellcode markers — the flavour of STAMP's list).
+constexpr std::array<std::string_view, 16> kSignatures = {
+    "ABOUT_TO_OVERFLOW!",
+    "/../../../etc/passwd",
+    "CMD.EXE?/c+dir",
+    "<SCRIPT>ALERT(1)</SCRIPT>",
+    "UNION SELECT 1,2,3--",
+    "%u9090%u6858",
+    "\\x90\\x90\\x90\\x90",
+    "EXEC xp_cmdshell",
+    "() { :;}; /bin/bash",
+    "GET /NULL.printer",
+    "jmp esp; INT3",
+    "DROP TABLE users;",
+    "PHF?Qalias=x%0a/bin/cat",
+    "A1B2C3D4_NOPSLED",
+    "REVERSE_SHELL:4444",
+    "FORMAT C: /Y",
+};
+
+// One automaton over the whole dictionary, built on first use: a single
+// O(payload) pass replaces one substring scan per signature, as in real
+// intrusion detectors.
+const AhoCorasick& signature_automaton() {
+  static const AhoCorasick automaton{
+      std::span<const std::string_view>(kSignatures)};
+  return automaton;
+}
+
+}  // namespace
+
+std::span<const std::string_view> attack_signatures() noexcept {
+  return kSignatures;
+}
+
+bool contains_attack(std::string_view payload) noexcept {
+  return signature_automaton().matches_any(payload);
+}
+
+std::vector<std::size_t> matched_signatures(std::string_view payload) {
+  return signature_automaton().match_all(payload);
+}
+
+}  // namespace rubic::workloads::intruder

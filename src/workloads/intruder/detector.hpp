@@ -1,0 +1,22 @@
+// Signature-based payload detector for Intruder.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace rubic::workloads::intruder {
+
+// The known attack signatures (a condensed stand-in for STAMP's dictionary
+// of 71 exploit strings; the computational profile — repeated substring
+// scans over reassembled payloads — is the same).
+std::span<const std::string_view> attack_signatures() noexcept;
+
+// True if the payload contains any known signature (one Aho-Corasick pass).
+bool contains_attack(std::string_view payload) noexcept;
+
+// Indices (into attack_signatures()) of every distinct signature present.
+std::vector<std::size_t> matched_signatures(std::string_view payload);
+
+}  // namespace rubic::workloads::intruder

@@ -1,0 +1,142 @@
+#include "src/workloads/intruder/intruder_workload.hpp"
+
+#include <string>
+
+#include "src/util/check.hpp"
+
+namespace rubic::workloads::intruder {
+
+using stm::Txn;
+
+IntruderWorkload::IntruderWorkload(stm::Runtime& rt, StreamParams params,
+                                   std::int64_t epochs_limit)
+    : stream_(params) {
+  (void)rt;  // all shared state is TVar-initialized; nothing to pre-commit
+  if (epochs_limit > 0) {
+    max_packets_ =
+        epochs_limit * static_cast<std::int64_t>(stream_.packets().size());
+  }
+  cursor_.unsafe_write(0);
+  flows_completed_.unsafe_write(0);
+  attacks_expected_.unsafe_write(0);
+  attacks_found_.unsafe_write(0);
+}
+
+IntruderWorkload::~IntruderWorkload() {
+  // Quiescent teardown of in-flight flow states.
+  reassembly_.unsafe_for_each([](std::int64_t, std::int64_t value) {
+    ::operator delete(
+        reinterpret_cast<FlowState*>(static_cast<std::uintptr_t>(value)));
+  });
+}
+
+void IntruderWorkload::run_task(stm::TxnDesc& ctx, util::Xoshiro256& rng) {
+  (void)rng;  // the stream, not the worker, is the randomness source
+
+  // Phase 1 (capture): claim the next packet. A single shared cursor —
+  // every concurrent task conflicts here, as with STAMP's packet queue.
+  const std::int64_t index = stm::atomically(ctx, [&](Txn& tx) {
+    const std::int64_t i = cursor_.read(tx);
+    cursor_.write(tx, i + 1);
+    return i;
+  });
+  // Finite mode: claims racing past the boundary (between the last real
+  // packet and workers observing done()) are no-ops.
+  if (max_packets_ > 0 && index >= max_packets_) return;
+  const auto stream_len = static_cast<std::int64_t>(stream_.packets().size());
+  const Packet& packet =
+      stream_.packets()[static_cast<std::size_t>(index % stream_len)];
+  const std::int64_t epoch = index / stream_len;
+  const std::int64_t flow_key =
+      epoch * stream_.flow_count() + packet.flow_id;
+
+  // Phase 2 (reassembly): transactional fragment insertion; on completion,
+  // capture the fragment list and retire the flow state.
+  const Packet* assembled[kMaxFragmentsPerFlow] = {};
+  const bool completed = stm::atomically(ctx, [&](Txn& tx) {
+    FlowState* state;
+    if (auto existing = reassembly_.get(tx, flow_key)) {
+      state = reinterpret_cast<FlowState*>(
+          static_cast<std::uintptr_t>(*existing));
+    } else {
+      state = tx.make<FlowState>();
+      state->received.unsafe_write(0);
+      for (auto& frag : state->fragments) frag.unsafe_write(nullptr);
+      reassembly_.insert(
+          tx, flow_key,
+          static_cast<std::int64_t>(reinterpret_cast<std::uintptr_t>(state)));
+    }
+    const auto slot = static_cast<std::size_t>(packet.fragment_index);
+    RUBIC_CHECK(slot < kMaxFragmentsPerFlow);
+    RUBIC_CHECK_MSG(state->fragments[slot].read(tx) == nullptr,
+                    "duplicate fragment delivery");
+    state->fragments[slot].write(tx, &packet);
+    const std::int64_t received = state->received.read(tx) + 1;
+    state->received.write(tx, received);
+    if (received < packet.fragment_count) return false;
+    // Flow complete: snapshot fragments, drop the state, account it.
+    for (std::int32_t f = 0; f < packet.fragment_count; ++f) {
+      assembled[f] = state->fragments[static_cast<std::size_t>(f)].read(tx);
+      RUBIC_CHECK(assembled[f] != nullptr);
+    }
+    reassembly_.erase(tx, flow_key);
+    tx.free(state);
+    flows_completed_.write(tx, flows_completed_.read(tx) + 1);
+    if (stream_.flow(packet.flow_id).is_attack) {
+      attacks_expected_.write(tx, attacks_expected_.read(tx) + 1);
+    }
+    return true;
+  });
+
+  if (!completed) return;
+
+  // Phase 3 (detection): reassemble and scan outside any transaction —
+  // payload bytes are immutable, only the verdict counter is shared.
+  std::string payload;
+  for (std::int32_t f = 0; f < packet.fragment_count; ++f) {
+    payload.append(assembled[f]->data, assembled[f]->length);
+  }
+  if (contains_attack(payload)) {
+    stm::atomically(ctx, [&](Txn& tx) {
+      attacks_found_.write(tx, attacks_found_.read(tx) + 1);
+    });
+  }
+}
+
+bool IntruderWorkload::verify(std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  std::string tree_error;
+  if (!reassembly_.check_invariants(&tree_error)) {
+    return fail("reassembly map: " + tree_error);
+  }
+  const std::int64_t found = attacks_found_.unsafe_read();
+  const std::int64_t expected = attacks_expected_.unsafe_read();
+  if (found != expected) {
+    return fail("detector found " + std::to_string(found) +
+                " attacks, ground truth says " + std::to_string(expected));
+  }
+  // Every in-flight flow must be strictly incomplete.
+  bool ok = true;
+  reassembly_.unsafe_for_each([&](std::int64_t, std::int64_t value) {
+    const auto* state =
+        reinterpret_cast<const FlowState*>(static_cast<std::uintptr_t>(value));
+    std::int64_t present = 0;
+    std::int32_t frag_count = 0;
+    for (const auto& frag : state->fragments) {
+      const Packet* p = frag.unsafe_read();
+      if (p != nullptr) {
+        ++present;
+        frag_count = p->fragment_count;
+      }
+    }
+    if (state->received.unsafe_read() != present) ok = false;
+    if (frag_count != 0 && present >= frag_count) ok = false;
+  });
+  if (!ok) return fail("inconsistent in-flight flow state");
+  return true;
+}
+
+}  // namespace rubic::workloads::intruder

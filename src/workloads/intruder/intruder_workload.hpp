@@ -1,0 +1,64 @@
+// The Intruder workload: transactional capture → reassembly → detection.
+//
+// Tasks claim packets from a shared cursor (the capture hotspot — STAMP uses
+// a shared queue with the same serializing effect), transactionally insert
+// fragments into the reassembly map, and when a flow completes run the
+// signature detector on the reassembled payload. The shared cursor plus the
+// hot reassembly map give Intruder its signature early scalability peak
+// (paper Fig. 1: peak at ~7 threads on 64 cores).
+//
+// The pre-generated stream is replayed in epochs (cursor index modulo stream
+// length); flow keys are namespaced by epoch so replays never collide in the
+// reassembly map. This turns STAMP's finite trace into the indefinite task
+// bag the malleable runtime needs (documented in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+
+#include "src/workloads/intruder/detector.hpp"
+#include "src/workloads/intruder/stream.hpp"
+#include "src/workloads/rbtree.hpp"
+#include "src/workloads/workload.hpp"
+
+namespace rubic::workloads::intruder {
+
+class IntruderWorkload final : public Workload {
+ public:
+  // `epochs_limit` = 0 streams forever; N > 0 makes the workload finite
+  // (exactly N replays of the trace), enabling STAMP-style makespan runs
+  // via runtime::TunedProcess::run_to_completion.
+  IntruderWorkload(stm::Runtime& rt, StreamParams params,
+                   std::int64_t epochs_limit = 0);
+  ~IntruderWorkload() override;
+
+  std::string_view name() const override { return "intruder"; }
+  void run_task(stm::TxnDesc& ctx, util::Xoshiro256& rng) override;
+  bool verify(std::string* error = nullptr) override;
+  bool done() const override {
+    return max_packets_ > 0 && cursor_.unsafe_read() >= max_packets_;
+  }
+
+  std::int64_t flows_completed() const noexcept {
+    return flows_completed_.unsafe_read();
+  }
+  std::int64_t attacks_found() const noexcept {
+    return attacks_found_.unsafe_read();
+  }
+  const Stream& stream() const noexcept { return stream_; }
+
+ private:
+  struct FlowState {
+    stm::TVar<std::int64_t> received;
+    stm::TVar<const Packet*> fragments[kMaxFragmentsPerFlow];
+  };
+
+  Stream stream_;
+  std::int64_t max_packets_ = 0;             // 0 = stream forever
+  stm::TVar<std::int64_t> cursor_;           // shared claim index (hotspot)
+  RbTree reassembly_;                        // epoch-scoped flow key → FlowState*
+  stm::TVar<std::int64_t> flows_completed_;  // decoder-side completions
+  stm::TVar<std::int64_t> attacks_expected_; // generator ground truth
+  stm::TVar<std::int64_t> attacks_found_;    // detector results
+};
+
+}  // namespace rubic::workloads::intruder

@@ -1,0 +1,30 @@
+// Packet/flow model for the Intruder workload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rubic::workloads::intruder {
+
+// One fragment of a flow, as it appears on the wire. Payload bytes are
+// immutable after generation, so tasks read them without instrumentation;
+// only the reassembly metadata is transactional.
+struct Packet {
+  std::int64_t flow_id = 0;
+  std::int32_t fragment_index = 0;
+  std::int32_t fragment_count = 0;
+  const char* data = nullptr;
+  std::size_t length = 0;
+};
+
+// Generator-side ground truth about a flow.
+struct FlowInfo {
+  std::string payload;   // full reassembled payload
+  bool is_attack = false;
+  std::int32_t fragment_count = 0;
+};
+
+inline constexpr std::int32_t kMaxFragmentsPerFlow = 8;
+
+}  // namespace rubic::workloads::intruder

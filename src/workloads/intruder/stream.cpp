@@ -1,0 +1,82 @@
+#include "src/workloads/intruder/stream.hpp"
+
+#include <algorithm>
+
+#include "src/util/check.hpp"
+#include "src/workloads/intruder/detector.hpp"
+
+namespace rubic::workloads::intruder {
+
+namespace {
+
+// Benign payload alphabet deliberately excludes characters that could form
+// a signature by accident (signatures contain '!', digits and uppercase).
+constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz ";
+
+std::string random_payload(util::Xoshiro256& rng, int max_length) {
+  const auto len = 16 + rng.below(static_cast<std::uint64_t>(
+                            std::max(1, max_length - 16)));
+  std::string payload;
+  payload.reserve(len);
+  for (std::uint64_t i = 0; i < len; ++i) {
+    payload.push_back(kAlphabet[rng.below(sizeof(kAlphabet) - 1)]);
+  }
+  return payload;
+}
+
+}  // namespace
+
+Stream::Stream(StreamParams params) {
+  RUBIC_CHECK(params.flow_count > 0);
+  util::Xoshiro256 rng(params.seed);
+  flows_.resize(static_cast<std::size_t>(params.flow_count));
+
+  for (std::int64_t id = 0; id < params.flow_count; ++id) {
+    FlowInfo& flow = flows_[static_cast<std::size_t>(id)];
+    flow.payload = random_payload(rng, params.max_payload_length);
+    flow.is_attack = rng.below(100) < static_cast<std::uint64_t>(params.attack_pct);
+    if (flow.is_attack) {
+      const auto signatures = attack_signatures();
+      const std::string_view sig =
+          signatures[rng.below(signatures.size())];
+      const auto pos = rng.below(flow.payload.size() + 1);
+      flow.payload.insert(pos, sig);
+      ++attack_flows_;
+    }
+    flow.fragment_count = static_cast<std::int32_t>(
+        1 + rng.below(kMaxFragmentsPerFlow));
+  }
+
+  // Fragment each flow into contiguous payload slices.
+  for (std::int64_t id = 0; id < params.flow_count; ++id) {
+    const FlowInfo& flow = flows_[static_cast<std::size_t>(id)];
+    const std::size_t total = flow.payload.size();
+    const auto n = static_cast<std::size_t>(flow.fragment_count);
+    std::size_t offset = 0;
+    for (std::size_t f = 0; f < n; ++f) {
+      const std::size_t remaining_frags = n - f;
+      const std::size_t remaining_bytes = total - offset;
+      // Even split with remainder spread over the first fragments.
+      const std::size_t this_len =
+          remaining_bytes / remaining_frags +
+          (f < remaining_bytes % remaining_frags ? 1 : 0);
+      packets_.push_back(Packet{
+          .flow_id = id,
+          .fragment_index = static_cast<std::int32_t>(f),
+          .fragment_count = flow.fragment_count,
+          .data = flow.payload.data() + offset,
+          .length = this_len,
+      });
+      offset += this_len;
+    }
+    RUBIC_CHECK(offset == total);
+  }
+
+  // Fisher-Yates shuffle: fragments of different flows interleave, and a
+  // flow's fragments arrive out of order — the decoder must cope with both.
+  for (std::size_t i = packets_.size(); i > 1; --i) {
+    std::swap(packets_[i - 1], packets_[rng.below(i)]);
+  }
+}
+
+}  // namespace rubic::workloads::intruder

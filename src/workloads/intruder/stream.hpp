@@ -1,0 +1,44 @@
+// Synthetic packet-stream generator for Intruder.
+//
+// STAMP's intruder replays a pre-generated trace of fragmented flows, a
+// configurable fraction of which embed a known attack signature; fragments
+// of different flows are interleaved in a shuffled arrival order. We
+// reproduce that: flows → random payloads (attacks get a signature spliced
+// in) → fragmentation → deterministic shuffle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.hpp"
+#include "src/workloads/intruder/packet.hpp"
+
+namespace rubic::workloads::intruder {
+
+struct StreamParams {
+  std::int64_t flow_count = 4096;
+  int attack_pct = 10;          // STAMP -a
+  int max_payload_length = 128; // STAMP -l
+  std::uint64_t seed = 0x1d7;
+};
+
+class Stream {
+ public:
+  explicit Stream(StreamParams params);
+
+  const std::vector<Packet>& packets() const noexcept { return packets_; }
+  const FlowInfo& flow(std::int64_t flow_id) const {
+    return flows_[static_cast<std::size_t>(flow_id)];
+  }
+  std::int64_t flow_count() const noexcept {
+    return static_cast<std::int64_t>(flows_.size());
+  }
+  std::int64_t attack_flow_count() const noexcept { return attack_flows_; }
+
+ private:
+  std::vector<FlowInfo> flows_;
+  std::vector<Packet> packets_;
+  std::int64_t attack_flows_ = 0;
+};
+
+}  // namespace rubic::workloads::intruder

@@ -1,0 +1,205 @@
+#include "src/workloads/kmeans/kmeans_workload.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "src/util/check.hpp"
+
+namespace rubic::workloads::kmeans {
+
+using stm::Txn;
+
+KmeansWorkload::KmeansWorkload(stm::Runtime& rt, KmeansParams params)
+    : params_(params) {
+  (void)rt;
+  RUBIC_CHECK(params_.clusters > 0);
+  RUBIC_CHECK(params_.dimensions > 0);
+  RUBIC_CHECK(params_.batch_size > 0);
+  // Round the dataset to whole batches so the accounting below is exact.
+  params_.point_count =
+      (params_.point_count / params_.batch_size) * params_.batch_size;
+  RUBIC_CHECK(params_.point_count > 0);
+
+  util::Xoshiro256 rng(params_.seed);
+  const auto d = static_cast<std::size_t>(params_.dimensions);
+  const auto k = static_cast<std::size_t>(params_.clusters);
+
+  // Clustered synthetic data: K true centers plus noise, so the algorithm
+  // has real structure to find.
+  std::vector<double> true_centers(k * d);
+  for (auto& c : true_centers) c = rng.uniform() * 10.0;
+  points_.resize(static_cast<std::size_t>(params_.point_count) * d);
+  for (std::int64_t p = 0; p < params_.point_count; ++p) {
+    const std::size_t center = rng.below(k);
+    for (std::size_t dim = 0; dim < d; ++dim) {
+      points_[static_cast<std::size_t>(p) * d + dim] =
+          true_centers[center * d + dim] + rng.normal() * 0.5;
+    }
+  }
+
+  centroids_.resize(k);
+  // vector(n) default-constructs in place; Accumulator itself is immovable
+  // (TVars pin their address, which is their identity to the orec table).
+  accumulators_ = std::vector<Accumulator>(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    centroids_[c] = std::vector<stm::TVar<double>>(d);
+    accumulators_[c].sums = std::vector<stm::TVar<double>>(d);
+    accumulators_[c].count.unsafe_write(0);
+    // Initialize centroids from the first K points (standard seeding).
+    for (std::size_t dim = 0; dim < d; ++dim) {
+      centroids_[c][dim].unsafe_write(points_[c * d + dim]);
+      accumulators_[c].sums[dim].unsafe_write(0.0);
+    }
+  }
+  cursor_.unsafe_write(0);
+  epochs_completed_.unsafe_write(0);
+  points_accumulated_.unsafe_write(0);
+}
+
+std::size_t KmeansWorkload::nearest_centroid(const double* point) const {
+  // Only used by the quiescent accessor; the hot path classifies inside the
+  // transaction against transactionally-read centroids.
+  std::size_t best = 0;
+  double best_distance = std::numeric_limits<double>::infinity();
+  const auto d = static_cast<std::size_t>(params_.dimensions);
+  for (std::size_t c = 0; c < centroids_.size(); ++c) {
+    double distance = 0;
+    for (std::size_t dim = 0; dim < d; ++dim) {
+      const double delta = point[dim] - centroids_[c][dim].unsafe_read();
+      distance += delta * delta;
+    }
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = c;
+    }
+  }
+  return best;
+}
+
+void KmeansWorkload::run_task(stm::TxnDesc& ctx, util::Xoshiro256& rng) {
+  (void)rng;
+  const std::int64_t batch = stm::atomically(ctx, [&](Txn& tx) {
+    const std::int64_t b = cursor_.read(tx);
+    cursor_.write(tx, b + 1);
+    return b;
+  });
+  const std::int64_t batches_per_epoch =
+      params_.point_count / params_.batch_size;
+  const std::int64_t batch_in_epoch = batch % batches_per_epoch;
+  const bool epoch_tail = batch_in_epoch == batches_per_epoch - 1;
+  const auto d = static_cast<std::size_t>(params_.dimensions);
+  const auto k = centroids_.size();
+
+  stm::atomically(ctx, [&](Txn& tx) {
+    // Classification against a transactionally-consistent centroid snapshot.
+    std::vector<double> snapshot(k * d);
+    for (std::size_t c = 0; c < k; ++c) {
+      for (std::size_t dim = 0; dim < d; ++dim) {
+        snapshot[c * d + dim] = centroids_[c][dim].read(tx);
+      }
+    }
+    // Batch-local reduction first, so the shared accumulators see one
+    // read-modify-write per touched cluster, not one per point.
+    std::vector<double> local_sums(k * d, 0.0);
+    std::vector<std::int64_t> local_counts(k, 0);
+    const std::int64_t first_point = batch_in_epoch * params_.batch_size;
+    for (int i = 0; i < params_.batch_size; ++i) {
+      const double* point =
+          points_.data() +
+          static_cast<std::size_t>(first_point + i) * d;
+      std::size_t best = 0;
+      double best_distance = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < k; ++c) {
+        double distance = 0;
+        for (std::size_t dim = 0; dim < d; ++dim) {
+          const double delta = point[dim] - snapshot[c * d + dim];
+          distance += delta * delta;
+        }
+        if (distance < best_distance) {
+          best_distance = distance;
+          best = c;
+        }
+      }
+      ++local_counts[best];
+      for (std::size_t dim = 0; dim < d; ++dim) {
+        local_sums[best * d + dim] += point[dim];
+      }
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (local_counts[c] == 0) continue;
+      Accumulator& acc = accumulators_[c];
+      acc.count.write(tx, acc.count.read(tx) + local_counts[c]);
+      for (std::size_t dim = 0; dim < d; ++dim) {
+        acc.sums[dim].write(tx,
+                            acc.sums[dim].read(tx) + local_sums[c * d + dim]);
+      }
+    }
+    points_accumulated_.write(
+        tx, points_accumulated_.read(tx) + params_.batch_size);
+
+    if (epoch_tail) {
+      // Fold: recompute centroids from whatever has been accumulated so
+      // far and reset (in-flight stragglers land in the next epoch, as in
+      // any asynchronous k-means).
+      for (std::size_t c = 0; c < k; ++c) {
+        Accumulator& acc = accumulators_[c];
+        const std::int64_t count = acc.count.read(tx);
+        for (std::size_t dim = 0; dim < d; ++dim) {
+          if (count > 0) {
+            centroids_[c][dim].write(
+                tx, acc.sums[dim].read(tx) / static_cast<double>(count));
+          }
+          acc.sums[dim].write(tx, 0.0);
+        }
+        acc.count.write(tx, 0);
+      }
+      points_accumulated_.write(tx, 0);
+      epochs_completed_.write(tx, epochs_completed_.read(tx) + 1);
+    }
+  });
+}
+
+bool KmeansWorkload::verify(std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  // Quiescent: per-cluster counts must sum to the points accumulated since
+  // the last fold.
+  std::int64_t counted = 0;
+  for (const auto& acc : accumulators_) {
+    const std::int64_t count = acc.count.unsafe_read();
+    if (count < 0) return fail("negative cluster count");
+    counted += count;
+  }
+  if (counted != points_accumulated_.unsafe_read()) {
+    return fail("cluster counts sum to " + std::to_string(counted) +
+                " but accumulator says " +
+                std::to_string(points_accumulated_.unsafe_read()));
+  }
+  // Every centroid coordinate must be finite (folds never divide by zero).
+  for (const auto& centroid : centroids_) {
+    for (const auto& coordinate : centroid) {
+      if (!std::isfinite(coordinate.unsafe_read())) {
+        return fail("non-finite centroid coordinate");
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<std::vector<double>> KmeansWorkload::unsafe_centroids() const {
+  std::vector<std::vector<double>> out;
+  out.reserve(centroids_.size());
+  for (const auto& centroid : centroids_) {
+    std::vector<double> row;
+    row.reserve(centroid.size());
+    for (const auto& coordinate : centroid) {
+      row.push_back(coordinate.unsafe_read());
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace rubic::workloads::kmeans

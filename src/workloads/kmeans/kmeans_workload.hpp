@@ -1,0 +1,66 @@
+// K-means (STAMP-style) as a streaming workload.
+//
+// STAMP's kmeans alternates a parallel assignment step (pure compute: find
+// each point's nearest centroid) with transactional accumulation into the
+// centroid statistics. We run it as an indefinite stream: workers claim
+// point batches from a shared cursor, classify the batch against a snapshot
+// of the centroids (non-transactional read of stable data), then
+// transactionally add the batch's per-centroid sums and counts. Whenever an
+// epoch (one full pass over the dataset) completes, the claiming worker
+// folds the accumulators into new centroids and resets them — all in one
+// transaction, as STAMP's barrier step would.
+//
+// Transaction profile: K shared accumulator rows → scalability is capped by
+// K (the paper's "poorly to moderately scalable" regime when K is small).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/workloads/workload.hpp"
+
+namespace rubic::workloads::kmeans {
+
+struct KmeansParams {
+  std::int64_t point_count = 16 * 1024;
+  int dimensions = 4;      // kept small: TVar-per-coordinate accumulators
+  int clusters = 8;        // K
+  int batch_size = 16;     // points classified per task
+  std::uint64_t seed = 0x43a;
+};
+
+class KmeansWorkload final : public Workload {
+ public:
+  KmeansWorkload(stm::Runtime& rt, KmeansParams params);
+
+  std::string_view name() const override { return "kmeans"; }
+  void run_task(stm::TxnDesc& ctx, util::Xoshiro256& rng) override;
+  bool verify(std::string* error = nullptr) override;
+
+  std::int64_t epochs_completed() const noexcept {
+    return epochs_completed_.unsafe_read();
+  }
+  // Current centroids (quiescent read).
+  std::vector<std::vector<double>> unsafe_centroids() const;
+
+ private:
+  struct Accumulator {
+    // sums[d] and count for one cluster; written under contention by every
+    // worker whose batch touched the cluster.
+    std::vector<stm::TVar<double>> sums;
+    stm::TVar<std::int64_t> count;
+  };
+
+  std::size_t nearest_centroid(const double* point) const;
+
+  KmeansParams params_;
+  std::vector<double> points_;     // point_count × dimensions, immutable
+  std::vector<std::vector<stm::TVar<double>>> centroids_;  // K × D
+  std::vector<Accumulator> accumulators_;
+
+  stm::TVar<std::int64_t> cursor_;            // batch claim index
+  stm::TVar<std::int64_t> epochs_completed_;  // folded epochs
+  stm::TVar<std::int64_t> points_accumulated_;  // since last fold
+};
+
+}  // namespace rubic::workloads::kmeans

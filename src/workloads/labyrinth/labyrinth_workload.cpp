@@ -1,0 +1,178 @@
+#include "src/workloads/labyrinth/labyrinth_workload.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/util/check.hpp"
+
+namespace rubic::workloads::labyrinth {
+
+using stm::Txn;
+
+LabyrinthWorkload::LabyrinthWorkload(stm::Runtime& rt, LabyrinthParams params)
+    : params_(params) {
+  (void)rt;
+  RUBIC_CHECK(params_.width >= 4 && params_.height >= 4);
+  const auto cell_count =
+      static_cast<std::size_t>(params_.width) *
+      static_cast<std::size_t>(params_.height);
+  grid_ = std::vector<stm::TVar<std::int64_t>>(cell_count);
+
+  util::Xoshiro256 rng(params_.seed);
+  pairs_.reserve(static_cast<std::size_t>(params_.pair_count));
+  for (std::int64_t i = 0; i < params_.pair_count; ++i) {
+    const auto src = static_cast<int>(rng.below(cell_count));
+    auto dst = static_cast<int>(rng.below(cell_count));
+    if (dst == src) dst = (dst + 1) % static_cast<int>(cell_count);
+    pairs_.emplace_back(src, dst);
+  }
+  cursor_.unsafe_write(0);
+  routed_.unsafe_write(0);
+  failed_.unsafe_write(0);
+}
+
+std::vector<int> LabyrinthWorkload::try_route(stm::TxnDesc& ctx, int src,
+                                              int dst,
+                                              std::int64_t route_id) {
+  return stm::atomically(ctx, [&](Txn& tx) -> std::vector<int> {
+    const int w = params_.width;
+    const int h = params_.height;
+    const auto cell_count = static_cast<std::size_t>(w * h);
+    // BFS over transactionally-read occupancy. `parent` doubles as the
+    // visited set (-1 = unvisited, otherwise predecessor index; src points
+    // to itself).
+    std::vector<int> parent(cell_count, -1);
+
+    auto occupied = [&](int index) {
+      const std::int64_t owner =
+          grid_[static_cast<std::size_t>(index)].read(tx);
+      return owner != 0;
+    };
+
+    if (occupied(src) || occupied(dst)) return {};
+    std::deque<int> frontier{src};
+    parent[static_cast<std::size_t>(src)] = src;
+    bool found = false;
+    while (!frontier.empty() && !found) {
+      const int cell = frontier.front();
+      frontier.pop_front();
+      const int x = cell % w;
+      const int y = cell / w;
+      const int neighbors[4] = {
+          x > 0 ? cell - 1 : -1,
+          x + 1 < w ? cell + 1 : -1,
+          y > 0 ? cell - w : -1,
+          y + 1 < h ? cell + w : -1,
+      };
+      for (const int next : neighbors) {
+        if (next < 0 || parent[static_cast<std::size_t>(next)] != -1) continue;
+        if (next == dst) {
+          parent[static_cast<std::size_t>(next)] = cell;
+          found = true;
+          break;
+        }
+        if (occupied(next)) continue;
+        parent[static_cast<std::size_t>(next)] = cell;
+        frontier.push_back(next);
+      }
+    }
+    if (!found) return {};
+
+    // Walk back and claim the path. Every claimed cell was read free above,
+    // so a concurrent claim aborts this transaction (and vice versa).
+    std::vector<int> path;
+    for (int cell = dst; cell != src;
+         cell = parent[static_cast<std::size_t>(cell)]) {
+      path.push_back(cell);
+    }
+    path.push_back(src);
+    std::reverse(path.begin(), path.end());
+    for (const int cell : path) {
+      grid_[static_cast<std::size_t>(cell)].write(tx, route_id);
+    }
+    routed_.write(tx, routed_.read(tx) + 1);
+    return path;
+  });
+}
+
+void LabyrinthWorkload::run_task(stm::TxnDesc& ctx, util::Xoshiro256& rng) {
+  const std::int64_t claim = stm::atomically(ctx, [&](Txn& tx) {
+    const std::int64_t c = cursor_.read(tx);
+    cursor_.write(tx, c + 1);
+    return c;
+  });
+
+  int src, dst;
+  if (claim < params_.pair_count) {
+    src = pairs_[static_cast<std::size_t>(claim)].first;
+    dst = pairs_[static_cast<std::size_t>(claim)].second;
+  } else {
+    // Pair list exhausted: keep the load stationary with random probes
+    // into the crowded grid.
+    const auto cell_count = static_cast<std::uint64_t>(grid_.size());
+    src = static_cast<int>(rng.below(cell_count));
+    dst = static_cast<int>(rng.below(cell_count));
+    if (dst == src) dst = (dst + 1) % static_cast<int>(cell_count);
+  }
+
+  const std::int64_t route_id = claim + 1;  // 0 means free
+  std::vector<int> path = try_route(ctx, src, dst, route_id);
+  if (path.empty()) {
+    stm::atomically(ctx, [&](Txn& tx) {
+      failed_.write(tx, failed_.read(tx) + 1);
+    });
+    return;
+  }
+  std::lock_guard lock(routes_mutex_);
+  routes_.push_back(Route{route_id, std::move(path)});
+}
+
+bool LabyrinthWorkload::verify(std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  std::lock_guard lock(routes_mutex_);
+  // 1. Accounting: every claim either routed or failed (quiescent).
+  if (routed_.unsafe_read() + failed_.unsafe_read() !=
+      cursor_.unsafe_read()) {
+    return fail("routed + failed != claims");
+  }
+  if (static_cast<std::int64_t>(routes_.size()) != routed_.unsafe_read()) {
+    return fail("route log disagrees with routed counter");
+  }
+  // 2. Every logged route is connected, starts/ends correctly, and owns
+  //    exactly its cells in the grid.
+  std::vector<std::int64_t> expected_owner(grid_.size(), 0);
+  for (const Route& route : routes_) {
+    if (route.cells.empty()) return fail("empty route logged");
+    for (std::size_t i = 0; i < route.cells.size(); ++i) {
+      const int cell = route.cells[i];
+      if (cell < 0 || static_cast<std::size_t>(cell) >= grid_.size()) {
+        return fail("route cell out of bounds");
+      }
+      if (expected_owner[static_cast<std::size_t>(cell)] != 0) {
+        return fail("two routes share a cell");
+      }
+      expected_owner[static_cast<std::size_t>(cell)] = route.id;
+      if (i > 0) {
+        const int prev = route.cells[i - 1];
+        const int dx = std::abs(cell % params_.width - prev % params_.width);
+        const int dy = std::abs(cell / params_.width - prev / params_.width);
+        if (dx + dy != 1) return fail("route not 4-connected");
+      }
+    }
+  }
+  // 3. The grid matches the log exactly.
+  for (std::size_t i = 0; i < grid_.size(); ++i) {
+    if (grid_[i].unsafe_read() != expected_owner[i]) {
+      return fail("grid cell " + std::to_string(i) +
+                  " owner mismatch: grid says " +
+                  std::to_string(grid_[i].unsafe_read()) + ", log says " +
+                  std::to_string(expected_owner[i]));
+    }
+  }
+  return true;
+}
+
+}  // namespace rubic::workloads::labyrinth

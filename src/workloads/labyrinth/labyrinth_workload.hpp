@@ -1,0 +1,76 @@
+// Labyrinth (STAMP-style): transactional maze routing.
+//
+// A shared 2D grid of cells; each task claims a (source, destination) pair
+// from a shared cursor and tries to route a path between them: it
+// breadth-first-searches the grid *transactionally* (every visited cell
+// joins the read set — Labyrinth's famously huge transactions), then claims
+// the found path's cells by writing its route id into them. Any concurrent
+// task that grabbed an overlapping cell invalidates the transaction, which
+// re-routes around the new obstacle on retry — the canonical TM success
+// story STAMP built the workload around.
+//
+// Once the pre-generated pair list is exhausted, tasks keep the load
+// stationary by attempting random extra routes into the now-crowded grid
+// (mostly short failures). There is no grid reset; the workload is meant
+// for correctness/integration coverage and the examples, not the paper's
+// 10-second throughput figures.
+//
+// STAMP's labyrinth is 3D and copies the whole grid per transaction; we
+// route in 2D and read only the visited frontier — the conflict-detection
+// semantics are identical (a path is valid iff every cell it saw is still
+// unclaimed at commit), the constant factors differ.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/workloads/workload.hpp"
+
+namespace rubic::workloads::labyrinth {
+
+struct LabyrinthParams {
+  int width = 48;
+  int height = 48;
+  std::int64_t pair_count = 96;
+  std::uint64_t seed = 0x1ab;
+};
+
+class LabyrinthWorkload final : public Workload {
+ public:
+  LabyrinthWorkload(stm::Runtime& rt, LabyrinthParams params);
+
+  std::string_view name() const override { return "labyrinth"; }
+  void run_task(stm::TxnDesc& ctx, util::Xoshiro256& rng) override;
+  bool verify(std::string* error = nullptr) override;
+
+  std::int64_t routed() const noexcept { return routed_.unsafe_read(); }
+  std::int64_t failed() const noexcept { return failed_.unsafe_read(); }
+  std::int64_t pairs_claimed() const noexcept { return cursor_.unsafe_read(); }
+
+ private:
+  struct Route {
+    std::int64_t id;
+    std::vector<int> cells;  // linear indices, source → destination
+  };
+
+  int index_of(int x, int y) const noexcept { return y * params_.width + x; }
+
+  // Routes pair (src, dst) with route id `route_id`. Returns the claimed
+  // path (empty if unroutable).
+  std::vector<int> try_route(stm::TxnDesc& ctx, int src, int dst,
+                             std::int64_t route_id);
+
+  LabyrinthParams params_;
+  std::vector<std::pair<int, int>> pairs_;  // (src, dst) linear indices
+
+  std::vector<stm::TVar<std::int64_t>> grid_;  // 0 = free, else route id
+  stm::TVar<std::int64_t> cursor_;
+  stm::TVar<std::int64_t> routed_;
+  stm::TVar<std::int64_t> failed_;
+
+  std::mutex routes_mutex_;  // protects the verification log only
+  std::vector<Route> routes_;
+};
+
+}  // namespace rubic::workloads::labyrinth

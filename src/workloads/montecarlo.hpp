@@ -1,0 +1,67 @@
+// Monte-Carlo π — a *non-transactional* malleable workload.
+//
+// The paper's conclusion (§6): "RUBIC is extensible to any type of
+// malleable application … as long as there are meaningful and precise ways
+// of measuring the throughput of each process". This workload has no
+// transactions at all — each task draws a block of samples and folds the
+// hit count into a relaxed atomic — demonstrating that the runtime,
+// monitor, and every controller operate on the Workload interface alone.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <numbers>
+#include <string>
+
+#include "src/workloads/workload.hpp"
+
+namespace rubic::workloads {
+
+class MonteCarloPiWorkload final : public Workload {
+ public:
+  explicit MonteCarloPiWorkload(std::int64_t samples_per_task = 4096)
+      : samples_per_task_(samples_per_task) {}
+
+  std::string_view name() const override { return "montecarlo-pi"; }
+
+  void run_task(stm::TxnDesc& ctx, util::Xoshiro256& rng) override {
+    (void)ctx;  // deliberately unused: no transactions here
+    std::int64_t hits = 0;
+    for (std::int64_t i = 0; i < samples_per_task_; ++i) {
+      const double x = rng.uniform();
+      const double y = rng.uniform();
+      if (x * x + y * y <= 1.0) ++hits;
+    }
+    total_hits_.fetch_add(hits, std::memory_order_relaxed);
+    total_samples_.fetch_add(samples_per_task_, std::memory_order_relaxed);
+  }
+
+  bool verify(std::string* error = nullptr) override {
+    const auto samples = total_samples_.load();
+    if (samples < 64 * samples_per_task_) return true;  // not enough data yet
+    const double estimate = pi_estimate();
+    if (std::abs(estimate - std::numbers::pi) > 0.05) {
+      if (error != nullptr) {
+        *error = "pi estimate " + std::to_string(estimate) +
+                 " out of tolerance";
+      }
+      return false;
+    }
+    return true;
+  }
+
+  double pi_estimate() const {
+    const auto samples = total_samples_.load();
+    if (samples == 0) return 0.0;
+    return 4.0 * static_cast<double>(total_hits_.load()) /
+           static_cast<double>(samples);
+  }
+  std::int64_t total_samples() const { return total_samples_.load(); }
+
+ private:
+  const std::int64_t samples_per_task_;
+  std::atomic<std::int64_t> total_hits_{0};
+  std::atomic<std::int64_t> total_samples_{0};
+};
+
+}  // namespace rubic::workloads

@@ -1,0 +1,393 @@
+#include "src/workloads/rbtree.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/util/check.hpp"
+
+namespace rubic::workloads {
+
+using stm::Txn;
+
+RbTree::RbTree() {
+  nil_ = static_cast<Node*>(::operator new(sizeof(Node)));
+  ::new (nil_) Node{};
+  nil_->key.unsafe_write(0);
+  nil_->value.unsafe_write(0);
+  nil_->left.unsafe_write(nil_);
+  nil_->right.unsafe_write(nil_);
+  nil_->parent.unsafe_write(nil_);
+  nil_->color.unsafe_write(kBlack);
+  root_.unsafe_write(nil_);
+  size_.unsafe_write(0);
+}
+
+RbTree::~RbTree() {
+  // Quiescent teardown: iterative post-order free without recursion (trees
+  // hold 64K+ nodes in the paper's configuration).
+  std::vector<Node*> stack;
+  Node* root = root_.unsafe_read();
+  if (!is_nil(root)) stack.push_back(root);
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    Node* l = n->left.unsafe_read();
+    Node* r = n->right.unsafe_read();
+    if (!is_nil(l)) stack.push_back(l);
+    if (!is_nil(r)) stack.push_back(r);
+    ::operator delete(n);
+  }
+  ::operator delete(nil_);
+}
+
+RbTree::Node* RbTree::find_node(Txn& tx, std::int64_t key) const {
+  Node* n = root_.read(tx);
+  while (!is_nil(n)) {
+    const std::int64_t k = n->key.read(tx);
+    if (key == k) return n;
+    n = key < k ? n->left.read(tx) : n->right.read(tx);
+  }
+  return nullptr;
+}
+
+bool RbTree::contains(Txn& tx, std::int64_t key) const {
+  return find_node(tx, key) != nullptr;
+}
+
+std::optional<std::int64_t> RbTree::get(Txn& tx, std::int64_t key) const {
+  Node* n = find_node(tx, key);
+  if (n == nullptr) return std::nullopt;
+  return n->value.read(tx);
+}
+
+std::optional<std::int64_t> RbTree::lower_bound_key(Txn& tx,
+                                                    std::int64_t key) const {
+  Node* n = root_.read(tx);
+  std::optional<std::int64_t> best;
+  while (!is_nil(n)) {
+    const std::int64_t k = n->key.read(tx);
+    if (k == key) return k;
+    if (k > key) {
+      best = k;
+      n = n->left.read(tx);
+    } else {
+      n = n->right.read(tx);
+    }
+  }
+  return best;
+}
+
+std::int64_t RbTree::size(Txn& tx) const { return size_.read(tx); }
+
+void RbTree::rotate_left(Txn& tx, Node* x) {
+  Node* y = x->right.read(tx);
+  Node* yl = y->left.read(tx);
+  x->right.write(tx, yl);
+  if (!is_nil(yl)) yl->parent.write(tx, x);
+  Node* xp = x->parent.read(tx);
+  y->parent.write(tx, xp);
+  if (is_nil(xp)) {
+    root_.write(tx, y);
+  } else if (xp->left.read(tx) == x) {
+    xp->left.write(tx, y);
+  } else {
+    xp->right.write(tx, y);
+  }
+  y->left.write(tx, x);
+  x->parent.write(tx, y);
+}
+
+void RbTree::rotate_right(Txn& tx, Node* x) {
+  Node* y = x->left.read(tx);
+  Node* yr = y->right.read(tx);
+  x->left.write(tx, yr);
+  if (!is_nil(yr)) yr->parent.write(tx, x);
+  Node* xp = x->parent.read(tx);
+  y->parent.write(tx, xp);
+  if (is_nil(xp)) {
+    root_.write(tx, y);
+  } else if (xp->right.read(tx) == x) {
+    xp->right.write(tx, y);
+  } else {
+    xp->left.write(tx, y);
+  }
+  y->right.write(tx, x);
+  x->parent.write(tx, y);
+}
+
+bool RbTree::insert(Txn& tx, std::int64_t key, std::int64_t value) {
+  Node* parent = nil_;
+  Node* cursor = root_.read(tx);
+  while (!is_nil(cursor)) {
+    parent = cursor;
+    const std::int64_t k = cursor->key.read(tx);
+    if (key == k) return false;
+    cursor = key < k ? cursor->left.read(tx) : cursor->right.read(tx);
+  }
+  Node* z = tx.make<Node>();
+  // Fresh node: initialize fields non-transactionally; the node becomes
+  // visible to peers only through the transactional link below.
+  z->key.unsafe_write(key);
+  z->value.unsafe_write(value);
+  z->left.unsafe_write(nil_);
+  z->right.unsafe_write(nil_);
+  z->parent.unsafe_write(parent);
+  z->color.unsafe_write(kRed);
+  if (is_nil(parent)) {
+    root_.write(tx, z);
+  } else if (key < parent->key.read(tx)) {
+    parent->left.write(tx, z);
+  } else {
+    parent->right.write(tx, z);
+  }
+  insert_fixup(tx, z);
+  size_.write(tx, size_.read(tx) + 1);
+  return true;
+}
+
+bool RbTree::update(Txn& tx, std::int64_t key, std::int64_t value) {
+  Node* n = find_node(tx, key);
+  if (n == nullptr) return false;
+  n->value.write(tx, value);
+  return true;
+}
+
+void RbTree::insert_fixup(Txn& tx, Node* z) {
+  while (true) {
+    Node* zp = z->parent.read(tx);
+    if (is_nil(zp) || zp->color.read(tx) != kRed) break;
+    Node* zpp = zp->parent.read(tx);
+    if (zp == zpp->left.read(tx)) {
+      Node* uncle = zpp->right.read(tx);
+      if (!is_nil(uncle) && uncle->color.read(tx) == kRed) {
+        zp->color.write(tx, kBlack);
+        uncle->color.write(tx, kBlack);
+        zpp->color.write(tx, kRed);
+        z = zpp;
+      } else {
+        if (z == zp->right.read(tx)) {
+          z = zp;
+          rotate_left(tx, z);
+          zp = z->parent.read(tx);
+          zpp = zp->parent.read(tx);
+        }
+        zp->color.write(tx, kBlack);
+        zpp->color.write(tx, kRed);
+        rotate_right(tx, zpp);
+      }
+    } else {
+      Node* uncle = zpp->left.read(tx);
+      if (!is_nil(uncle) && uncle->color.read(tx) == kRed) {
+        zp->color.write(tx, kBlack);
+        uncle->color.write(tx, kBlack);
+        zpp->color.write(tx, kRed);
+        z = zpp;
+      } else {
+        if (z == zp->left.read(tx)) {
+          z = zp;
+          rotate_right(tx, z);
+          zp = z->parent.read(tx);
+          zpp = zp->parent.read(tx);
+        }
+        zp->color.write(tx, kBlack);
+        zpp->color.write(tx, kRed);
+        rotate_left(tx, zpp);
+      }
+    }
+  }
+  Node* root = root_.read(tx);
+  if (root->color.read(tx) != kBlack) root->color.write(tx, kBlack);
+}
+
+void RbTree::transplant(Txn& tx, Node* u, Node* v) {
+  Node* up = u->parent.read(tx);
+  if (is_nil(up)) {
+    root_.write(tx, v);
+  } else if (u == up->left.read(tx)) {
+    up->left.write(tx, v);
+  } else {
+    up->right.write(tx, v);
+  }
+  v->parent.write(tx, up);  // sentinel's parent is deliberately mutated
+}
+
+RbTree::Node* RbTree::minimum(Txn& tx, Node* n) const {
+  Node* l = n->left.read(tx);
+  while (!is_nil(l)) {
+    n = l;
+    l = n->left.read(tx);
+  }
+  return n;
+}
+
+bool RbTree::erase(Txn& tx, std::int64_t key) {
+  Node* z = find_node(tx, key);
+  if (z == nullptr) return false;
+
+  Node* y = z;
+  std::uint64_t y_original_color = y->color.read(tx);
+  Node* x;
+  Node* zl = z->left.read(tx);
+  Node* zr = z->right.read(tx);
+  if (is_nil(zl)) {
+    x = zr;
+    transplant(tx, z, zr);
+  } else if (is_nil(zr)) {
+    x = zl;
+    transplant(tx, z, zl);
+  } else {
+    y = minimum(tx, zr);
+    y_original_color = y->color.read(tx);
+    x = y->right.read(tx);
+    if (y->parent.read(tx) == z) {
+      x->parent.write(tx, y);
+    } else {
+      transplant(tx, y, x);
+      Node* zr2 = z->right.read(tx);
+      y->right.write(tx, zr2);
+      zr2->parent.write(tx, y);
+    }
+    transplant(tx, z, y);
+    Node* zl2 = z->left.read(tx);
+    y->left.write(tx, zl2);
+    zl2->parent.write(tx, y);
+    y->color.write(tx, z->color.read(tx));
+  }
+  if (y_original_color == kBlack) erase_fixup(tx, x);
+  tx.free(z);
+  size_.write(tx, size_.read(tx) - 1);
+  return true;
+}
+
+void RbTree::erase_fixup(Txn& tx, Node* x) {
+  while (x != root_.read(tx) && x->color.read(tx) == kBlack) {
+    Node* xp = x->parent.read(tx);
+    if (x == xp->left.read(tx)) {
+      Node* w = xp->right.read(tx);
+      if (w->color.read(tx) == kRed) {
+        w->color.write(tx, kBlack);
+        xp->color.write(tx, kRed);
+        rotate_left(tx, xp);
+        xp = x->parent.read(tx);
+        w = xp->right.read(tx);
+      }
+      if (w->left.read(tx)->color.read(tx) == kBlack &&
+          w->right.read(tx)->color.read(tx) == kBlack) {
+        w->color.write(tx, kRed);
+        x = xp;
+      } else {
+        if (w->right.read(tx)->color.read(tx) == kBlack) {
+          w->left.read(tx)->color.write(tx, kBlack);
+          w->color.write(tx, kRed);
+          rotate_right(tx, w);
+          xp = x->parent.read(tx);
+          w = xp->right.read(tx);
+        }
+        w->color.write(tx, xp->color.read(tx));
+        xp->color.write(tx, kBlack);
+        w->right.read(tx)->color.write(tx, kBlack);
+        rotate_left(tx, xp);
+        x = root_.read(tx);
+      }
+    } else {
+      Node* w = xp->left.read(tx);
+      if (w->color.read(tx) == kRed) {
+        w->color.write(tx, kBlack);
+        xp->color.write(tx, kRed);
+        rotate_right(tx, xp);
+        xp = x->parent.read(tx);
+        w = xp->left.read(tx);
+      }
+      if (w->right.read(tx)->color.read(tx) == kBlack &&
+          w->left.read(tx)->color.read(tx) == kBlack) {
+        w->color.write(tx, kRed);
+        x = xp;
+      } else {
+        if (w->left.read(tx)->color.read(tx) == kBlack) {
+          w->right.read(tx)->color.write(tx, kBlack);
+          w->color.write(tx, kRed);
+          rotate_left(tx, w);
+          xp = x->parent.read(tx);
+          w = xp->left.read(tx);
+        }
+        w->color.write(tx, xp->color.read(tx));
+        xp->color.write(tx, kBlack);
+        w->left.read(tx)->color.write(tx, kBlack);
+        rotate_right(tx, xp);
+        x = root_.read(tx);
+      }
+    }
+  }
+  if (x->color.read(tx) != kBlack) x->color.write(tx, kBlack);
+}
+
+std::size_t RbTree::unsafe_size() const {
+  return static_cast<std::size_t>(size_.unsafe_read());
+}
+
+bool RbTree::check_invariants(std::string* error) const {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  if (nil_->color.unsafe_read() != kBlack) return fail("sentinel is not black");
+  Node* root = root_.unsafe_read();
+  if (is_nil(root)) {
+    if (size_.unsafe_read() != 0) return fail("empty tree with non-zero size");
+    return true;
+  }
+  if (root->color.unsafe_read() != kBlack) return fail("root is not black");
+
+  // Iterative DFS computing black heights and verifying order/colors.
+  struct Frame {
+    const Node* node;
+    std::int64_t lo;
+    std::int64_t hi;
+    bool has_lo;
+    bool has_hi;
+  };
+  std::vector<Frame> stack{{root, 0, 0, false, false}};
+  std::size_t count = 0;
+  long expected_black_height = -1;
+  // Black height is validated by walking to each nil leaf; to avoid
+  // exponential revisits we compute it along the DFS path.
+  struct PathFrame {
+    const Node* node;
+    int black_depth;
+    std::int64_t lo, hi;
+    bool has_lo, has_hi;
+  };
+  std::vector<PathFrame> dfs{{root, 0, 0, 0, false, false}};
+  stack.clear();
+  while (!dfs.empty()) {
+    auto [n, bd, lo, hi, has_lo, has_hi] = dfs.back();
+    dfs.pop_back();
+    if (is_nil(n)) {
+      if (expected_black_height < 0) expected_black_height = bd;
+      if (bd != expected_black_height) return fail("black heights differ");
+      continue;
+    }
+    ++count;
+    const std::int64_t k = n->key.unsafe_read();
+    if (has_lo && k <= lo) return fail("BST order violated (low bound)");
+    if (has_hi && k >= hi) return fail("BST order violated (high bound)");
+    const bool red = n->color.unsafe_read() == kRed;
+    if (red) {
+      const Node* l = n->left.unsafe_read();
+      const Node* r = n->right.unsafe_read();
+      if ((!is_nil(l) && l->color.unsafe_read() == kRed) ||
+          (!is_nil(r) && r->color.unsafe_read() == kRed)) {
+        return fail("red node with red child");
+      }
+    }
+    const int child_bd = bd + (red ? 0 : 1);
+    dfs.push_back({n->left.unsafe_read(), child_bd, lo, k, has_lo, true});
+    dfs.push_back({n->right.unsafe_read(), child_bd, k, hi, true, has_hi});
+  }
+  if (count != static_cast<std::size_t>(size_.unsafe_read())) {
+    return fail("size counter does not match node count");
+  }
+  return true;
+}
+
+}  // namespace rubic::workloads

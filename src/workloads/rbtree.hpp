@@ -1,0 +1,98 @@
+// Transactional red-black tree (CLRS structure, STM-mediated accesses).
+//
+// This is simultaneously (a) the Red-Black-Tree microbenchmark of the paper
+// (§4.4: 64K elements, 98% look-ups; §4.6: 100% read-only variant) and
+// (b) the ordered-map substrate under the Vacation workload's relations,
+// mirroring how STAMP builds vacation on its own rbtree.
+//
+// All node fields are TVars, so every traversal/rotation is fully covered by
+// the STM's conflict detection; structural deletes reclaim nodes through the
+// epoch-based tx_free, which keeps concurrent readers safe.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/stm/stm.hpp"
+
+namespace rubic::workloads {
+
+class RbTree {
+ public:
+  RbTree();
+  ~RbTree();
+
+  RbTree(const RbTree&) = delete;
+  RbTree& operator=(const RbTree&) = delete;
+
+  // --- transactional operations ---
+
+  bool contains(stm::Txn& tx, std::int64_t key) const;
+  std::optional<std::int64_t> get(stm::Txn& tx, std::int64_t key) const;
+  // Inserts key→value; returns false (no change) if the key already exists.
+  bool insert(stm::Txn& tx, std::int64_t key, std::int64_t value);
+  // Updates an existing key; returns false if absent.
+  bool update(stm::Txn& tx, std::int64_t key, std::int64_t value);
+  // Removes key; returns false if absent.
+  bool erase(stm::Txn& tx, std::int64_t key);
+  std::int64_t size(stm::Txn& tx) const;
+
+  // Smallest key >= key, if any (used by Vacation's resource queries).
+  std::optional<std::int64_t> lower_bound_key(stm::Txn& tx,
+                                              std::int64_t key) const;
+
+  // --- quiescent helpers (no concurrent transactions may run) ---
+
+  std::size_t unsafe_size() const;
+  // In-order visit of (key, value) pairs; quiescent use only.
+  template <typename Fn>
+  void unsafe_for_each(Fn&& fn) const {
+    const Node* n = root_.unsafe_read();
+    std::vector<const Node*> stack;
+    while (!is_nil(n) || !stack.empty()) {
+      while (!is_nil(n)) {
+        stack.push_back(n);
+        n = n->left.unsafe_read();
+      }
+      n = stack.back();
+      stack.pop_back();
+      fn(n->key.unsafe_read(), n->value.unsafe_read());
+      n = n->right.unsafe_read();
+    }
+  }
+  // Validates BST order, red-red absence, black-height balance, sentinel
+  // blackness and the size counter. On failure writes a diagnostic to
+  // `error` (if given) and returns false.
+  bool check_invariants(std::string* error = nullptr) const;
+
+ private:
+  struct Node {
+    stm::TVar<std::int64_t> key;
+    stm::TVar<std::int64_t> value;
+    stm::TVar<Node*> left;
+    stm::TVar<Node*> right;
+    stm::TVar<Node*> parent;
+    stm::TVar<std::uint64_t> color;  // kRed / kBlack
+  };
+
+  static constexpr std::uint64_t kBlack = 0;
+  static constexpr std::uint64_t kRed = 1;
+
+  Node* find_node(stm::Txn& tx, std::int64_t key) const;
+  void rotate_left(stm::Txn& tx, Node* x);
+  void rotate_right(stm::Txn& tx, Node* x);
+  void insert_fixup(stm::Txn& tx, Node* z);
+  void erase_fixup(stm::Txn& tx, Node* x);
+  void transplant(stm::Txn& tx, Node* u, Node* v);
+  Node* minimum(stm::Txn& tx, Node* n) const;
+
+  bool is_nil(const Node* n) const noexcept { return n == nil_; }
+
+  Node* nil_;  // shared sentinel: black, fields mutated during fixups
+  stm::TVar<Node*> root_;
+  stm::TVar<std::int64_t> size_;
+};
+
+}  // namespace rubic::workloads

@@ -1,0 +1,128 @@
+#include "src/workloads/ssca2/graph_workload.hpp"
+
+#include <unordered_set>
+
+#include "src/util/check.hpp"
+
+namespace rubic::workloads::ssca2 {
+
+using stm::Txn;
+
+namespace {
+
+// Packs an epoch-scoped undirected edge into one map key:
+// [epoch:22][u:14][v:14] — vertex ids are bounded by GraphParams.
+std::int64_t edge_key(std::int64_t epoch, int u, int v) {
+  return static_cast<std::int64_t>(
+      (static_cast<std::uint64_t>(epoch) << 28) |
+      (static_cast<std::uint64_t>(u) << 14) | static_cast<std::uint64_t>(v));
+}
+
+}  // namespace
+
+GraphWorkload::GraphWorkload(stm::Runtime& rt, GraphParams params)
+    : params_(params),
+      edge_set_(static_cast<std::size_t>(params.edge_count)) {
+  (void)rt;
+  RUBIC_CHECK(params_.vertex_count >= 4 && params_.vertex_count < (1 << 14));
+  util::Xoshiro256 rng(params_.seed);
+
+  // Skewed sampling: with probability `skew`, draw from the low-id eighth
+  // of the vertex range (hubs); else uniformly. Guarantees hot counters.
+  auto draw_vertex = [&]() -> int {
+    const auto n = static_cast<std::uint64_t>(params_.vertex_count);
+    if (rng.uniform() < params_.skew) {
+      return static_cast<int>(rng.below(std::max<std::uint64_t>(1, n / 8)));
+    }
+    return static_cast<int>(rng.below(n));
+  };
+
+  expected_degree_.assign(static_cast<std::size_t>(params_.vertex_count), 0);
+  std::unordered_set<std::int64_t> unique;
+  edges_.reserve(static_cast<std::size_t>(params_.edge_count));
+  for (std::int64_t i = 0; i < params_.edge_count; ++i) {
+    int u = draw_vertex();
+    int v = draw_vertex();
+    if (u == v) v = (v + 1) % params_.vertex_count;
+    if (u > v) std::swap(u, v);
+    edges_.emplace_back(u, v);
+    if (unique.insert(edge_key(0, u, v)).second) {
+      ++expected_degree_[static_cast<std::size_t>(u)];
+      ++expected_degree_[static_cast<std::size_t>(v)];
+    }
+  }
+  unique_expected_ = static_cast<std::int64_t>(unique.size());
+
+  degree_ = std::vector<stm::TVar<std::int64_t>>(
+      static_cast<std::size_t>(params_.vertex_count));
+  cursor_.unsafe_write(0);
+  unique_epoch0_.unsafe_write(0);
+}
+
+void GraphWorkload::run_task(stm::TxnDesc& ctx, util::Xoshiro256& rng) {
+  (void)rng;
+  const std::int64_t index = stm::atomically(ctx, [&](Txn& tx) {
+    const std::int64_t i = cursor_.read(tx);
+    cursor_.write(tx, i + 1);
+    return i;
+  });
+  const auto count = static_cast<std::int64_t>(edges_.size());
+  const auto [u, v] = edges_[static_cast<std::size_t>(index % count)];
+  const std::int64_t epoch = index / count;
+
+  stm::atomically(ctx, [&](Txn& tx) {
+    if (!edge_set_.insert(tx, edge_key(epoch, u, v), 1)) return;
+    auto& du = degree_[static_cast<std::size_t>(u)];
+    auto& dv = degree_[static_cast<std::size_t>(v)];
+    du.write(tx, du.read(tx) + 1);
+    dv.write(tx, dv.read(tx) + 1);
+    if (epoch == 0) {
+      unique_epoch0_.write(tx, unique_epoch0_.read(tx) + 1);
+    }
+  });
+}
+
+bool GraphWorkload::verify(std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  std::string inner;
+  if (!edge_set_.check_invariants(&inner)) return fail("edge set: " + inner);
+
+  const std::int64_t cursor = cursor_.unsafe_read();
+  const auto total = static_cast<std::int64_t>(edges_.size());
+  const std::int64_t full_epochs = cursor / total;
+
+  // Degree sum is twice the unique-edge count in the set (handshake lemma).
+  std::int64_t degree_sum = 0;
+  for (const auto& d : degree_) degree_sum += d.unsafe_read();
+  if (degree_sum != 2 * static_cast<std::int64_t>(edge_set_.unsafe_size())) {
+    return fail("degree sum " + std::to_string(degree_sum) +
+                " != 2 x edges " + std::to_string(edge_set_.unsafe_size()));
+  }
+
+  if (full_epochs >= 1) {
+    // Epoch 0 completed: its dedup count must match ground truth exactly.
+    if (unique_epoch0_.unsafe_read() != unique_expected_) {
+      return fail("epoch-0 unique edges " +
+                  std::to_string(unique_epoch0_.unsafe_read()) + " != " +
+                  std::to_string(unique_expected_));
+    }
+    // If exactly epoch 0 has run, the degree sequence is exactly known.
+    if (cursor == total) {
+      for (std::size_t vertex = 0; vertex < degree_.size(); ++vertex) {
+        if (degree_[vertex].unsafe_read() !=
+            expected_degree_[vertex]) {
+          return fail("vertex " + std::to_string(vertex) + " degree " +
+                      std::to_string(degree_[vertex].unsafe_read()) +
+                      " != expected " +
+                      std::to_string(expected_degree_[vertex]));
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace rubic::workloads::ssca2

@@ -1,0 +1,57 @@
+// SSCA2-style graph construction (kernel 1) as a streaming workload.
+//
+// A pre-generated, heavily skewed (R-MAT-like) edge list is inserted into a
+// shared undirected graph: a transactional edge set plus per-vertex degree
+// counters. The skew concentrates updates on a few hub vertices' counters —
+// a contention profile distinct from every other workload in the library
+// (hot *counters* rather than a hot cursor or hot tree paths).
+//
+// As with Intruder/Genome, the edge list replays in epoch-renamed rounds so
+// the task bag is indefinite, and the first epoch's result is verified
+// against generation-time ground truth (unique edge count and exact degree
+// sequence).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/workloads/thashmap.hpp"
+#include "src/workloads/workload.hpp"
+
+namespace rubic::workloads::ssca2 {
+
+struct GraphParams {
+  int vertex_count = 1024;       // must fit in 14 bits with room for epochs
+  std::int64_t edge_count = 8 * 1024;  // sampled with skew, duplicates likely
+  double skew = 0.6;             // probability mass on the low-id quadrant
+  std::uint64_t seed = 0x55ca2;
+};
+
+class GraphWorkload final : public Workload {
+ public:
+  GraphWorkload(stm::Runtime& rt, GraphParams params);
+
+  std::string_view name() const override { return "ssca2-graph"; }
+  void run_task(stm::TxnDesc& ctx, util::Xoshiro256& rng) override;
+  bool verify(std::string* error = nullptr) override;
+
+  std::int64_t unique_edges_expected() const noexcept {
+    return unique_expected_;
+  }
+  std::int64_t edges_processed() const noexcept {
+    return cursor_.unsafe_read();
+  }
+
+ private:
+  GraphParams params_;
+  std::vector<std::pair<int, int>> edges_;  // u < v, undirected
+  std::int64_t unique_expected_ = 0;
+  std::vector<std::int64_t> expected_degree_;  // epoch-0 ground truth
+
+  stm::TVar<std::int64_t> cursor_;
+  THashMap edge_set_;  // epoch-scoped (u,v) key → 1
+  std::vector<stm::TVar<std::int64_t>> degree_;  // cumulative across epochs
+  stm::TVar<std::int64_t> unique_epoch0_;
+};
+
+}  // namespace rubic::workloads::ssca2

@@ -1,0 +1,131 @@
+#include "src/workloads/thashmap.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <string>
+
+namespace rubic::workloads {
+
+using stm::Txn;
+
+THashMap::THashMap(std::size_t buckets, std::size_t counter_shards) {
+  const std::size_t bucket_count = std::bit_ceil(std::max<std::size_t>(buckets, 2));
+  const std::size_t shard_count =
+      std::bit_ceil(std::max<std::size_t>(counter_shards, 1));
+  buckets_ = std::vector<Bucket>(bucket_count);
+  shards_ = std::vector<stm::TVar<std::int64_t>>(shard_count);
+  shift_ = 64 - std::countr_zero(bucket_count);
+  shard_shift_ = std::countr_zero(shard_count);
+}
+
+THashMap::~THashMap() {
+  for (const auto& bucket : buckets_) {
+    Node* node = bucket.head.unsafe_read();
+    while (node != nullptr) {
+      Node* next = node->next.unsafe_read();
+      ::operator delete(node);
+      node = next;
+    }
+  }
+}
+
+THashMap::Node* THashMap::find_node(Txn& tx, std::int64_t key) const {
+  const Bucket& bucket = buckets_[bucket_index(key)];
+  for (Node* node = bucket.head.read(tx); node != nullptr;
+       node = node->next.read(tx)) {
+    if (node->key.read(tx) == key) return node;
+  }
+  return nullptr;
+}
+
+std::optional<std::int64_t> THashMap::get(Txn& tx, std::int64_t key) const {
+  Node* node = find_node(tx, key);
+  if (node == nullptr) return std::nullopt;
+  return node->value.read(tx);
+}
+
+bool THashMap::contains(Txn& tx, std::int64_t key) const {
+  return find_node(tx, key) != nullptr;
+}
+
+bool THashMap::insert(Txn& tx, std::int64_t key, std::int64_t value) {
+  if (find_node(tx, key) != nullptr) return false;
+  Bucket& bucket = buckets_[bucket_index(key)];
+  Node* node = tx.make<Node>();
+  node->key.unsafe_write(key);
+  node->value.unsafe_write(value);
+  node->next.unsafe_write(bucket.head.read(tx));
+  bucket.head.write(tx, node);
+  auto& shard = shard_for(key);
+  shard.write(tx, shard.read(tx) + 1);
+  return true;
+}
+
+bool THashMap::put(Txn& tx, std::int64_t key, std::int64_t value) {
+  if (Node* node = find_node(tx, key)) {
+    node->value.write(tx, value);
+    return false;
+  }
+  return insert(tx, key, value);
+}
+
+bool THashMap::erase(Txn& tx, std::int64_t key) {
+  Bucket& bucket = buckets_[bucket_index(key)];
+  Node* prev = nullptr;
+  for (Node* node = bucket.head.read(tx); node != nullptr;
+       node = node->next.read(tx)) {
+    if (node->key.read(tx) == key) {
+      Node* next = node->next.read(tx);
+      if (prev == nullptr) {
+        bucket.head.write(tx, next);
+      } else {
+        prev->next.write(tx, next);
+      }
+      tx.free(node);
+      auto& shard = shard_for(key);
+      shard.write(tx, shard.read(tx) - 1);
+      return true;
+    }
+    prev = node;
+  }
+  return false;
+}
+
+std::int64_t THashMap::size(Txn& tx) const {
+  std::int64_t total = 0;
+  for (const auto& shard : shards_) total += shard.read(tx);
+  return total;
+}
+
+std::size_t THashMap::unsafe_size() const {
+  std::int64_t total = 0;
+  for (const auto& shard : shards_) total += shard.unsafe_read();
+  return static_cast<std::size_t>(total);
+}
+
+bool THashMap::check_invariants(std::string* error) const {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  std::size_t counted = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    for (const Node* node = buckets_[b].head.unsafe_read(); node != nullptr;
+         node = node->next.unsafe_read()) {
+      ++counted;
+      if (bucket_index(node->key.unsafe_read()) != b) {
+        return fail("key hashed to a different bucket than it lives in");
+      }
+      if (counted > unsafe_size() + buckets_.size() * 4 + 1024) {
+        return fail("chain cycle suspected");
+      }
+    }
+  }
+  if (counted != unsafe_size()) {
+    return fail("sharded size " + std::to_string(unsafe_size()) +
+                " != counted nodes " + std::to_string(counted));
+  }
+  return true;
+}
+
+}  // namespace rubic::workloads

@@ -1,0 +1,110 @@
+#include "src/workloads/tlist.hpp"
+
+namespace rubic::workloads {
+
+using stm::Txn;
+
+TList::TList() {
+  head_ = static_cast<Node*>(::operator new(sizeof(Node)));
+  ::new (head_) Node{};
+  head_->key.unsafe_write(INT64_MIN);
+  head_->value.unsafe_write(0);
+  head_->next.unsafe_write(nullptr);
+  size_.unsafe_write(0);
+}
+
+TList::~TList() {
+  Node* node = head_;
+  while (node != nullptr) {
+    Node* next = node->next.unsafe_read();
+    ::operator delete(node);
+    node = next;
+  }
+}
+
+TList::Node* TList::find_predecessor(Txn& tx, std::int64_t key) const {
+  Node* prev = head_;
+  for (Node* node = prev->next.read(tx); node != nullptr;
+       node = node->next.read(tx)) {
+    if (node->key.read(tx) >= key) break;
+    prev = node;
+  }
+  return prev;
+}
+
+bool TList::contains(Txn& tx, std::int64_t key) const {
+  Node* prev = find_predecessor(tx, key);
+  Node* node = prev->next.read(tx);
+  return node != nullptr && node->key.read(tx) == key;
+}
+
+std::optional<std::int64_t> TList::get(Txn& tx, std::int64_t key) const {
+  Node* prev = find_predecessor(tx, key);
+  Node* node = prev->next.read(tx);
+  if (node == nullptr || node->key.read(tx) != key) return std::nullopt;
+  return node->value.read(tx);
+}
+
+bool TList::insert(Txn& tx, std::int64_t key, std::int64_t value) {
+  Node* prev = find_predecessor(tx, key);
+  Node* next = prev->next.read(tx);
+  if (next != nullptr && next->key.read(tx) == key) return false;
+  Node* node = tx.make<Node>();
+  node->key.unsafe_write(key);
+  node->value.unsafe_write(value);
+  node->next.unsafe_write(next);
+  prev->next.write(tx, node);
+  size_.write(tx, size_.read(tx) + 1);
+  return true;
+}
+
+bool TList::erase(Txn& tx, std::int64_t key) {
+  Node* prev = find_predecessor(tx, key);
+  Node* node = prev->next.read(tx);
+  if (node == nullptr || node->key.read(tx) != key) return false;
+  prev->next.write(tx, node->next.read(tx));
+  tx.free(node);
+  size_.write(tx, size_.read(tx) - 1);
+  return true;
+}
+
+std::int64_t TList::size(Txn& tx) const { return size_.read(tx); }
+
+std::optional<std::int64_t> TList::next_key(Txn& tx, std::int64_t key) const {
+  Node* prev = find_predecessor(tx, key);
+  Node* node = prev->next.read(tx);
+  if (node != nullptr && node->key.read(tx) == key) {
+    node = node->next.read(tx);
+  }
+  if (node == nullptr) return std::nullopt;
+  return node->key.read(tx);
+}
+
+std::size_t TList::unsafe_size() const {
+  return static_cast<std::size_t>(size_.unsafe_read());
+}
+
+bool TList::check_invariants(std::string* error) const {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  std::size_t counted = 0;
+  std::int64_t last_key = INT64_MIN;
+  bool first = true;
+  for (const Node* node = head_->next.unsafe_read(); node != nullptr;
+       node = node->next.unsafe_read()) {
+    const std::int64_t key = node->key.unsafe_read();
+    if (!first && key <= last_key) return fail("keys not strictly ascending");
+    first = false;
+    last_key = key;
+    if (++counted > unsafe_size() + 1) return fail("more nodes than size");
+  }
+  if (counted != unsafe_size()) {
+    return fail("size counter mismatch: counted " + std::to_string(counted) +
+                " vs " + std::to_string(unsafe_size()));
+  }
+  return true;
+}
+
+}  // namespace rubic::workloads

@@ -1,0 +1,75 @@
+// Transactional FIFO queue of pointers.
+//
+// Singly-linked list with transactional head/tail, in the style of STAMP's
+// queue_t: deliberately a serialization hotspot (every enqueue and dequeue
+// conflicts on tail/head), which is one of the structural reasons Intruder
+// stops scaling after a handful of threads (paper Fig. 1).
+#pragma once
+
+#include <cstdint>
+
+#include "src/stm/stm.hpp"
+
+namespace rubic::workloads {
+
+template <typename T>
+class TQueue {
+ public:
+  TQueue() {
+    // Dummy node so head/tail are never null.
+    auto* dummy = new Node{};
+    head_.unsafe_write(dummy);
+    tail_.unsafe_write(dummy);
+  }
+
+  ~TQueue() {
+    // Quiescent teardown; payloads are owned by the caller.
+    Node* n = head_.unsafe_read();
+    while (n != nullptr) {
+      Node* next = n->next.unsafe_read();
+      ::operator delete(n);
+      n = next;
+    }
+  }
+
+  TQueue(const TQueue&) = delete;
+  TQueue& operator=(const TQueue&) = delete;
+
+  void enqueue(stm::Txn& tx, T* item) {
+    auto* node = tx.make<Node>();
+    node->item.unsafe_write(item);
+    node->next.unsafe_write(nullptr);
+    Node* tail = tail_.read(tx);
+    tail->next.write(tx, node);
+    tail_.write(tx, node);
+    size_.write(tx, size_.read(tx) + 1);
+  }
+
+  // Returns nullptr when empty.
+  T* try_dequeue(stm::Txn& tx) {
+    Node* dummy = head_.read(tx);
+    Node* first = dummy->next.read(tx);
+    if (first == nullptr) return nullptr;
+    head_.write(tx, first);
+    T* item = first->item.read(tx);
+    // `first` becomes the new dummy; the old dummy is garbage.
+    tx.free(dummy);
+    size_.write(tx, size_.read(tx) - 1);
+    return item;
+  }
+
+  std::int64_t size(stm::Txn& tx) const { return size_.read(tx); }
+  std::int64_t unsafe_size() const { return size_.unsafe_read(); }
+
+ private:
+  struct Node {
+    stm::TVar<T*> item;
+    stm::TVar<Node*> next;
+  };
+
+  stm::TVar<Node*> head_;  // dummy node
+  stm::TVar<Node*> tail_;
+  stm::TVar<std::int64_t> size_;
+};
+
+}  // namespace rubic::workloads

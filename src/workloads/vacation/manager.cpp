@@ -1,0 +1,202 @@
+#include "src/workloads/vacation/manager.hpp"
+
+#include <map>
+#include <utility>
+
+namespace rubic::workloads::vacation {
+
+using stm::Txn;
+
+namespace {
+
+std::int64_t to_value(const void* p) noexcept {
+  return static_cast<std::int64_t>(reinterpret_cast<std::uintptr_t>(p));
+}
+
+template <typename T>
+T* from_value(std::int64_t v) noexcept {
+  return reinterpret_cast<T*>(static_cast<std::uintptr_t>(v));
+}
+
+}  // namespace
+
+Manager::~Manager() {
+  for (auto& rel : relations_) {
+    rel.unsafe_for_each([](std::int64_t, std::int64_t value) {
+      ::operator delete(from_value<Reservation>(value));
+    });
+  }
+  customers_.unsafe_for_each([](std::int64_t, std::int64_t value) {
+    Customer* c = from_value<Customer>(value);
+    ReservationInfo* info = c->reservations.unsafe_read();
+    while (info != nullptr) {
+      ReservationInfo* next = info->next.unsafe_read();
+      ::operator delete(info);
+      info = next;
+    }
+    ::operator delete(c);
+  });
+}
+
+bool Manager::add_resource(Txn& tx, ResourceType t, std::int64_t id,
+                           std::int64_t count, std::int64_t price) {
+  if (count < 0 || price < 0) return false;
+  RbTree& rel = relation(t);
+  if (auto existing = rel.get(tx, id)) {
+    auto* row = from_value<Reservation>(*existing);
+    row->total.write(tx, row->total.read(tx) + count);
+    row->free.write(tx, row->free.read(tx) + count);
+    row->price.write(tx, price);
+    return true;
+  }
+  auto* row = tx.make<Reservation>();
+  row->total.unsafe_write(count);
+  row->used.unsafe_write(0);
+  row->free.unsafe_write(count);
+  row->price.unsafe_write(price);
+  return rel.insert(tx, id, to_value(row));
+}
+
+bool Manager::delete_resource(Txn& tx, ResourceType t, std::int64_t id,
+                              std::int64_t count) {
+  if (count < 0) return false;
+  RbTree& rel = relation(t);
+  auto existing = rel.get(tx, id);
+  if (!existing) return false;
+  auto* row = from_value<Reservation>(*existing);
+  const std::int64_t free_units = row->free.read(tx);
+  if (free_units < count) return false;
+  row->free.write(tx, free_units - count);
+  row->total.write(tx, row->total.read(tx) - count);
+  // Rows are kept even at zero capacity, as in STAMP (ids are never reused
+  // for a different resource).
+  return true;
+}
+
+bool Manager::add_customer(Txn& tx, std::int64_t customer_id) {
+  if (customers_.contains(tx, customer_id)) return false;
+  auto* customer = tx.make<Customer>();
+  customer->reservations.unsafe_write(nullptr);
+  return customers_.insert(tx, customer_id, to_value(customer));
+}
+
+std::optional<std::int64_t> Manager::delete_customer(Txn& tx,
+                                                     std::int64_t customer_id) {
+  auto existing = customers_.get(tx, customer_id);
+  if (!existing) return std::nullopt;
+  auto* customer = from_value<Customer>(*existing);
+  std::int64_t released_total = 0;
+  ReservationInfo* info = customer->reservations.read(tx);
+  while (info != nullptr) {
+    const auto t = static_cast<ResourceType>(info->type.read(tx));
+    const std::int64_t id = info->id.read(tx);
+    released_total += info->price.read(tx);
+    // The row must exist: reservations pin their resource row's identity.
+    auto row_value = relation(t).get(tx, id);
+    RUBIC_CHECK_MSG(row_value.has_value(),
+                    "customer holds a reservation on a missing resource row");
+    auto* row = from_value<Reservation>(*row_value);
+    row->used.write(tx, row->used.read(tx) - 1);
+    row->free.write(tx, row->free.read(tx) + 1);
+    ReservationInfo* next = info->next.read(tx);
+    tx.free(info);
+    info = next;
+  }
+  customers_.erase(tx, customer_id);
+  tx.free(customer);
+  return released_total;
+}
+
+std::optional<std::int64_t> Manager::query_free(Txn& tx, ResourceType t,
+                                                std::int64_t id) const {
+  auto existing = relation(t).get(tx, id);
+  if (!existing) return std::nullopt;
+  return from_value<Reservation>(*existing)->free.read(tx);
+}
+
+std::optional<std::int64_t> Manager::query_price(Txn& tx, ResourceType t,
+                                                 std::int64_t id) const {
+  auto existing = relation(t).get(tx, id);
+  if (!existing) return std::nullopt;
+  return from_value<Reservation>(*existing)->price.read(tx);
+}
+
+bool Manager::reserve(Txn& tx, std::int64_t customer_id, ResourceType t,
+                      std::int64_t id) {
+  auto customer_value = customers_.get(tx, customer_id);
+  if (!customer_value) return false;
+  auto row_value = relation(t).get(tx, id);
+  if (!row_value) return false;
+  auto* row = from_value<Reservation>(*row_value);
+  const std::int64_t free_units = row->free.read(tx);
+  if (free_units <= 0) return false;
+  row->free.write(tx, free_units - 1);
+  row->used.write(tx, row->used.read(tx) + 1);
+
+  auto* customer = from_value<Customer>(*customer_value);
+  auto* info = tx.make<ReservationInfo>();
+  info->type.unsafe_write(static_cast<std::int64_t>(t));
+  info->id.unsafe_write(id);
+  info->price.unsafe_write(row->price.read(tx));
+  info->next.unsafe_write(customer->reservations.read(tx));
+  customer->reservations.write(tx, info);
+  return true;
+}
+
+bool Manager::check_tables(std::string* error) const {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  for (std::size_t t = 0; t < kResourceTypes; ++t) {
+    std::string tree_error;
+    if (!relations_[t].check_invariants(&tree_error)) {
+      return fail("relation " + std::to_string(t) + ": " + tree_error);
+    }
+  }
+  {
+    std::string tree_error;
+    if (!customers_.check_invariants(&tree_error)) {
+      return fail("customers: " + tree_error);
+    }
+  }
+
+  // Count reservations held per (type, id).
+  std::map<std::pair<std::int64_t, std::int64_t>, std::int64_t> held;
+  bool ok = true;
+  std::string msg;
+  customers_.unsafe_for_each([&](std::int64_t, std::int64_t value) {
+    const Customer* c = from_value<Customer>(value);
+    const ReservationInfo* info = c->reservations.unsafe_read();
+    while (info != nullptr) {
+      ++held[{info->type.unsafe_read(), info->id.unsafe_read()}];
+      info = info->next.unsafe_read();
+    }
+  });
+  for (std::size_t t = 0; t < kResourceTypes; ++t) {
+    relations_[t].unsafe_for_each([&](std::int64_t id, std::int64_t value) {
+      const Reservation* row = from_value<Reservation>(value);
+      const std::int64_t total = row->total.unsafe_read();
+      const std::int64_t used = row->used.unsafe_read();
+      const std::int64_t free_units = row->free.unsafe_read();
+      if (total < 0 || used < 0 || free_units < 0) {
+        ok = false;
+        msg = "negative counts on row " + std::to_string(id);
+      } else if (used + free_units != total) {
+        ok = false;
+        msg = "used+free != total on row " + std::to_string(id);
+      }
+      const auto it = held.find({static_cast<std::int64_t>(t), id});
+      const std::int64_t held_count = it == held.end() ? 0 : it->second;
+      if (used != held_count) {
+        ok = false;
+        msg = "row " + std::to_string(id) + " used=" + std::to_string(used) +
+              " but customers hold " + std::to_string(held_count);
+      }
+    });
+  }
+  if (!ok) return fail(msg);
+  return true;
+}
+
+}  // namespace rubic::workloads::vacation

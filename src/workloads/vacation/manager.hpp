@@ -1,0 +1,101 @@
+// Vacation's travel-reservation manager (STAMP-style).
+//
+// Four relations on transactional red-black trees: cars, flights and rooms
+// map resource id → Reservation row (total/used/free/price); customers map
+// customer id → Customer record holding a linked list of the reservations it
+// currently holds. All mutations run inside the caller's transaction, so a
+// whole client action (query several resources, pick the best, reserve) is
+// one atomic unit — exactly the transaction profile whose limited
+// scalability the paper measures (Fig. 6).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/stm/stm.hpp"
+#include "src/workloads/rbtree.hpp"
+
+namespace rubic::workloads::vacation {
+
+enum class ResourceType : std::uint8_t { kCar = 0, kFlight = 1, kRoom = 2 };
+inline constexpr std::size_t kResourceTypes = 3;
+
+// One row of a resource relation.
+struct Reservation {
+  stm::TVar<std::int64_t> total;
+  stm::TVar<std::int64_t> used;
+  stm::TVar<std::int64_t> free;
+  stm::TVar<std::int64_t> price;
+};
+
+// Element of a customer's reservation list.
+struct ReservationInfo {
+  stm::TVar<std::int64_t> type;  // ResourceType as integer
+  stm::TVar<std::int64_t> id;
+  stm::TVar<std::int64_t> price;
+  stm::TVar<ReservationInfo*> next;
+};
+
+struct Customer {
+  stm::TVar<ReservationInfo*> reservations;  // singly-linked, newest first
+};
+
+class Manager {
+ public:
+  Manager() = default;
+  ~Manager();
+
+  Manager(const Manager&) = delete;
+  Manager& operator=(const Manager&) = delete;
+
+  // --- resource administration (paper's "update tables" action) ---
+
+  // Adds `count` units of resource `id`, creating the row (with `price`) if
+  // absent; on an existing row only capacity grows and the price is updated.
+  bool add_resource(stm::Txn& tx, ResourceType t, std::int64_t id,
+                    std::int64_t count, std::int64_t price);
+  // Retires up to `count` unused units; fails if the row does not exist or
+  // has fewer free units than requested.
+  bool delete_resource(stm::Txn& tx, ResourceType t, std::int64_t id,
+                       std::int64_t count);
+
+  // --- customers ---
+
+  bool add_customer(stm::Txn& tx, std::int64_t customer_id);
+  // Releases every reservation the customer holds, then removes the record.
+  // Returns the total price released, or nullopt if the customer is unknown.
+  std::optional<std::int64_t> delete_customer(stm::Txn& tx,
+                                              std::int64_t customer_id);
+
+  // --- reservations (paper's "make reservation" action) ---
+
+  std::optional<std::int64_t> query_free(stm::Txn& tx, ResourceType t,
+                                         std::int64_t id) const;
+  std::optional<std::int64_t> query_price(stm::Txn& tx, ResourceType t,
+                                          std::int64_t id) const;
+  // Books one unit of (t, id) for the customer. Fails if the customer or
+  // resource is missing or no unit is free.
+  bool reserve(stm::Txn& tx, std::int64_t customer_id, ResourceType t,
+               std::int64_t id);
+
+  // --- quiescent verification (STAMP's checkTables analogue) ---
+  //
+  // For every resource row: used + free == total, all non-negative, and
+  // `used` equals the number of reservations customers hold on that row.
+  bool check_tables(std::string* error = nullptr) const;
+
+ private:
+  const RbTree& relation(ResourceType t) const noexcept {
+    return relations_[static_cast<std::size_t>(t)];
+  }
+  RbTree& relation(ResourceType t) noexcept {
+    return relations_[static_cast<std::size_t>(t)];
+  }
+
+  std::array<RbTree, kResourceTypes> relations_;
+  RbTree customers_;  // id → Customer*
+};
+
+}  // namespace rubic::workloads::vacation

@@ -1,0 +1,141 @@
+#include "src/workloads/vacation/vacation_workload.hpp"
+
+#include <algorithm>
+#include <array>
+#include <utility>
+
+namespace rubic::workloads::vacation {
+
+using stm::Txn;
+
+VacationWorkload::VacationWorkload(stm::Runtime& rt, VacationParams params)
+    : params_(params) {
+  stm::TxnDesc& ctx = rt.register_thread();
+  util::Xoshiro256 rng(params_.seed);
+  // Populate relations and customers in batches to keep setup transactions
+  // short (one giant transaction would blow up the write set needlessly).
+  constexpr std::int64_t kBatch = 64;
+  for (std::size_t t = 0; t < kResourceTypes; ++t) {
+    for (std::int64_t id = 0; id < params_.rows_per_relation; id += kBatch) {
+      stm::atomically(ctx, [&](Txn& tx) {
+        const std::int64_t end =
+            std::min(id + kBatch, params_.rows_per_relation);
+        for (std::int64_t i = id; i < end; ++i) {
+          const auto units = static_cast<std::int64_t>(100 + rng.below(100));
+          const auto price = static_cast<std::int64_t>(50 + rng.below(500));
+          manager_.add_resource(tx, static_cast<ResourceType>(t), i, units,
+                                price);
+        }
+      });
+    }
+  }
+  for (std::int64_t id = 0; id < params_.customers; id += kBatch) {
+    stm::atomically(ctx, [&](Txn& tx) {
+      const std::int64_t end = std::min(id + kBatch, params_.customers);
+      for (std::int64_t i = id; i < end; ++i) manager_.add_customer(tx, i);
+    });
+  }
+}
+
+std::int64_t VacationWorkload::random_row(util::Xoshiro256& rng) const {
+  const auto range = std::max<std::int64_t>(
+      1, params_.rows_per_relation * params_.query_range_pct / 100);
+  return static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(range)));
+}
+
+void VacationWorkload::run_task(stm::TxnDesc& ctx, util::Xoshiro256& rng) {
+  const auto roll = static_cast<int>(rng.below(100));
+  if (roll < params_.user_pct) {
+    make_reservation(ctx, rng);
+  } else if ((roll - params_.user_pct) % 2 == 0) {
+    delete_and_recreate_customer(ctx, rng);
+  } else {
+    update_tables(ctx, rng);
+  }
+}
+
+void VacationWorkload::make_reservation(stm::TxnDesc& ctx,
+                                        util::Xoshiro256& rng) {
+  const auto customer_id = static_cast<std::int64_t>(
+      rng.below(static_cast<std::uint64_t>(params_.customers)));
+  // Pre-draw the query plan outside the transaction so a retry re-runs the
+  // identical action (keeps per-task work deterministic under conflicts).
+  std::array<std::pair<ResourceType, std::int64_t>, 16> queries;
+  const int n = std::min<int>(params_.queries_per_task,
+                              static_cast<int>(queries.size()));
+  for (int i = 0; i < n; ++i) {
+    queries[static_cast<std::size_t>(i)] = {
+        static_cast<ResourceType>(rng.below(kResourceTypes)), random_row(rng)};
+  }
+  stm::atomically(ctx, [&](Txn& tx) {
+    // Highest-priced available candidate per resource type (STAMP picks the
+    // max-price row among those it queried — customers want the best).
+    std::array<std::int64_t, kResourceTypes> best_id;
+    std::array<std::int64_t, kResourceTypes> best_price;
+    best_id.fill(-1);
+    best_price.fill(-1);
+    for (int i = 0; i < n; ++i) {
+      const auto [type, id] = queries[static_cast<std::size_t>(i)];
+      const auto idx = static_cast<std::size_t>(type);
+      const auto free_units = manager_.query_free(tx, type, id);
+      if (!free_units || *free_units <= 0) continue;
+      const auto price = manager_.query_price(tx, type, id);
+      if (price && *price > best_price[idx]) {
+        best_price[idx] = *price;
+        best_id[idx] = id;
+      }
+    }
+    for (std::size_t t = 0; t < kResourceTypes; ++t) {
+      if (best_id[t] >= 0) {
+        manager_.reserve(tx, customer_id, static_cast<ResourceType>(t),
+                         best_id[t]);
+      }
+    }
+  });
+}
+
+void VacationWorkload::delete_and_recreate_customer(stm::TxnDesc& ctx,
+                                                    util::Xoshiro256& rng) {
+  const auto customer_id = static_cast<std::int64_t>(
+      rng.below(static_cast<std::uint64_t>(params_.customers)));
+  stm::atomically(ctx, [&](Txn& tx) {
+    if (manager_.delete_customer(tx, customer_id).has_value()) {
+      manager_.add_customer(tx, customer_id);
+    }
+  });
+}
+
+void VacationWorkload::update_tables(stm::TxnDesc& ctx,
+                                     util::Xoshiro256& rng) {
+  const int n = params_.queries_per_task;
+  // As with make_reservation, draw the plan outside the transaction.
+  struct Op {
+    ResourceType type;
+    std::int64_t id;
+    bool add;
+    std::int64_t price;
+  };
+  std::array<Op, 16> ops;
+  const int count = std::min<int>(n, static_cast<int>(ops.size()));
+  for (int i = 0; i < count; ++i) {
+    ops[static_cast<std::size_t>(i)] = {
+        static_cast<ResourceType>(rng.below(kResourceTypes)), random_row(rng),
+        rng.below(2) == 0, static_cast<std::int64_t>(50 + rng.below(500))};
+  }
+  stm::atomically(ctx, [&](Txn& tx) {
+    for (int i = 0; i < count; ++i) {
+      const Op& op = ops[static_cast<std::size_t>(i)];
+      if (op.add) {
+        manager_.add_resource(tx, op.type, op.id, 100, op.price);
+      } else {
+        manager_.delete_resource(tx, op.type, op.id, 100);
+      }
+    }
+  });
+}
+
+bool VacationWorkload::verify(std::string* error) {
+  return manager_.check_tables(error);
+}
+
+}  // namespace rubic::workloads::vacation

@@ -1,0 +1,76 @@
+// The Vacation client workload (STAMP-style travel reservation mix).
+//
+// Each task is one client action, distributed as in STAMP:
+//   * make-reservation (user_pct %): query `queries_per_task` random
+//     resources, remember the highest-priced available one per type, then
+//     book them for a random customer — all in one transaction;
+//   * delete-customer ((100-user_pct)/2 %): release every reservation a
+//     random customer holds (the record is re-created in the same
+//     transaction so the customer population stays stationary across a
+//     10-second throughput run — a deliberate deviation from STAMP's
+//     finite-run semantics, documented in DESIGN.md);
+//   * update-tables (rest): grow or retire capacity on random rows.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/workloads/vacation/manager.hpp"
+#include "src/workloads/workload.hpp"
+
+namespace rubic::workloads::vacation {
+
+struct VacationParams {
+  std::int64_t rows_per_relation = 16 * 1024;
+  std::int64_t customers = 16 * 1024;
+  int queries_per_task = 2;   // STAMP -n
+  int query_range_pct = 90;   // STAMP -q: fraction of rows touched
+  int user_pct = 80;          // STAMP -u: share of make-reservation tasks
+  std::uint64_t seed = 0x7aca710eULL;
+
+  // STAMP's canonical contention presets, scaled to this repo's row counts.
+  static VacationParams low_contention() {
+    VacationParams p;
+    p.queries_per_task = 2;
+    p.query_range_pct = 90;
+    p.user_pct = 98;
+    return p;
+  }
+  static VacationParams high_contention() {
+    VacationParams p;
+    p.queries_per_task = 4;
+    p.query_range_pct = 60;
+    p.user_pct = 90;
+    return p;
+  }
+  static VacationParams tiny() {
+    VacationParams p;
+    p.rows_per_relation = 128;
+    p.customers = 128;
+    p.user_pct = 60;  // heavier structural churn for the consistency tests
+    return p;
+  }
+};
+
+class VacationWorkload final : public Workload {
+ public:
+  VacationWorkload(stm::Runtime& rt, VacationParams params);
+
+  std::string_view name() const override { return "vacation"; }
+  void run_task(stm::TxnDesc& ctx, util::Xoshiro256& rng) override;
+  bool verify(std::string* error = nullptr) override;
+
+  const Manager& manager() const noexcept { return manager_; }
+
+ private:
+  void make_reservation(stm::TxnDesc& ctx, util::Xoshiro256& rng);
+  void delete_and_recreate_customer(stm::TxnDesc& ctx, util::Xoshiro256& rng);
+  void update_tables(stm::TxnDesc& ctx, util::Xoshiro256& rng);
+
+  std::int64_t random_row(util::Xoshiro256& rng) const;
+
+  VacationParams params_;
+  Manager manager_;
+};
+
+}  // namespace rubic::workloads::vacation

@@ -1,0 +1,158 @@
+// Aho-Corasick matcher tests: single and overlapping patterns, suffix
+// (output-link) chains, duplicates, randomized differential testing against
+// naive per-pattern search, and equivalence of the upgraded detector.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.hpp"
+#include "src/workloads/intruder/aho_corasick.hpp"
+#include "src/workloads/intruder/detector.hpp"
+
+namespace rubic::workloads::intruder {
+namespace {
+
+AhoCorasick build(std::initializer_list<std::string_view> patterns) {
+  std::vector<std::string_view> v(patterns);
+  return AhoCorasick(v);
+}
+
+TEST(AhoCorasick, SinglePattern) {
+  const auto ac = build({"abc"});
+  EXPECT_TRUE(ac.matches_any("xxabcxx"));
+  EXPECT_TRUE(ac.matches_any("abc"));
+  EXPECT_FALSE(ac.matches_any("ab"));
+  EXPECT_FALSE(ac.matches_any(""));
+  EXPECT_FALSE(ac.matches_any("acb"));
+}
+
+TEST(AhoCorasick, PatternIsSuffixOfAnother) {
+  // Classic output-link case: "she" contains "he" ending at the same spot.
+  const auto ac = build({"he", "she", "his", "hers"});
+  const auto found = ac.match_all("ushers");
+  // "ushers" contains "she" (1), "he" (0), "hers" (3).
+  EXPECT_EQ(found.size(), 3u);
+  EXPECT_NE(std::find(found.begin(), found.end(), 0u), found.end());
+  EXPECT_NE(std::find(found.begin(), found.end(), 1u), found.end());
+  EXPECT_NE(std::find(found.begin(), found.end(), 3u), found.end());
+  EXPECT_EQ(std::find(found.begin(), found.end(), 2u), found.end());
+}
+
+TEST(AhoCorasick, OverlappingOccurrences) {
+  const auto ac = build({"aa"});
+  EXPECT_TRUE(ac.matches_any("aaa"));
+  EXPECT_EQ(ac.match_all("aaaa").size(), 1u) << "distinct patterns, not hits";
+}
+
+TEST(AhoCorasick, PatternEqualsWholeAlphabetBytes) {
+  // Bytes above 127 must be handled (unsigned char indexing).
+  const std::string high = "\xff\xfe\x80";
+  const std::vector<std::string_view> patterns{high};
+  const AhoCorasick ac(patterns);
+  EXPECT_TRUE(ac.matches_any(std::string("xx") + high + "yy"));
+  EXPECT_FALSE(ac.matches_any("xxyy"));
+}
+
+TEST(AhoCorasick, MatchAllFirstMatchOrder) {
+  const auto ac = build({"late", "ate", "a"});
+  const auto found = ac.match_all("plate");
+  // "a" first (at 'a'), then "late"/"ate" complete together at 'e' —
+  // the state's own (deepest) pattern reports before its suffixes.
+  ASSERT_EQ(found.size(), 3u);
+  EXPECT_EQ(found[0], 2u);
+  EXPECT_EQ(found[1], 0u);
+  EXPECT_EQ(found[2], 1u);
+}
+
+TEST(AhoCorasick, DifferentialAgainstNaiveSearch) {
+  util::Xoshiro256 rng(0xac0);
+  const char alphabet[] = "abc";  // tiny alphabet → dense overlaps
+  for (int trial = 0; trial < 200; ++trial) {
+    // Random pattern set.
+    std::vector<std::string> pattern_storage;
+    const auto pattern_count = 1 + rng.below(6);
+    for (std::uint64_t p = 0; p < pattern_count; ++p) {
+      std::string pattern;
+      const auto len = 1 + rng.below(5);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        pattern.push_back(alphabet[rng.below(3)]);
+      }
+      pattern_storage.push_back(std::move(pattern));
+    }
+    std::vector<std::string_view> patterns(pattern_storage.begin(),
+                                           pattern_storage.end());
+    const AhoCorasick ac(patterns);
+
+    std::string text;
+    const auto text_len = rng.below(40);
+    for (std::uint64_t i = 0; i < text_len; ++i) {
+      text.push_back(alphabet[rng.below(3)]);
+    }
+
+    bool naive_any = false;
+    std::vector<std::size_t> naive_found;
+    for (std::size_t p = 0; p < patterns.size(); ++p) {
+      if (text.find(pattern_storage[p]) != std::string::npos) {
+        naive_any = true;
+        naive_found.push_back(p);
+      }
+    }
+    EXPECT_EQ(ac.matches_any(text), naive_any)
+        << "trial " << trial << " text '" << text << "'";
+    auto ac_found = ac.match_all(text);
+    std::sort(ac_found.begin(), ac_found.end());
+    // Duplicate pattern *texts* fold onto one index in the automaton;
+    // canonicalize the naive result the same way.
+    std::vector<std::size_t> canonical;
+    for (const std::size_t p : naive_found) {
+      std::size_t first = p;
+      for (std::size_t q = 0; q < p; ++q) {
+        if (pattern_storage[q] == pattern_storage[p]) {
+          first = q;
+          break;
+        }
+      }
+      canonical.push_back(first);
+    }
+    std::sort(canonical.begin(), canonical.end());
+    canonical.erase(std::unique(canonical.begin(), canonical.end()),
+                    canonical.end());
+    EXPECT_EQ(ac_found, canonical) << "trial " << trial;
+  }
+}
+
+TEST(Detector, AutomatonAgreesWithPerSignatureSearch) {
+  // The public detector must behave exactly as the naive implementation
+  // did, over generated payloads and crafted corner cases.
+  const auto signatures = attack_signatures();
+  std::vector<std::string> cases;
+  for (const auto sig : signatures) {
+    cases.push_back(std::string(sig));
+    cases.push_back("pre " + std::string(sig));
+    cases.push_back(std::string(sig) + " post");
+    cases.push_back(std::string(sig).substr(0, sig.size() - 1));  // truncated
+  }
+  cases.push_back("wholly innocent payload");
+  for (const auto& payload : cases) {
+    bool naive = false;
+    for (const auto sig : signatures) {
+      if (payload.find(sig) != std::string::npos) naive = true;
+    }
+    EXPECT_EQ(contains_attack(payload), naive) << payload;
+  }
+}
+
+TEST(Detector, MatchedSignaturesIdentifiesWhich) {
+  const auto signatures = attack_signatures();
+  const std::string payload =
+      std::string(signatures[3]) + " filler " + std::string(signatures[7]);
+  const auto found = matched_signatures(payload);
+  EXPECT_EQ(found.size(), 2u);
+  EXPECT_NE(std::find(found.begin(), found.end(), 3u), found.end());
+  EXPECT_NE(std::find(found.begin(), found.end(), 7u), found.end());
+}
+
+}  // namespace
+}  // namespace rubic::workloads::intruder

@@ -1,0 +1,115 @@
+// Tests for the contention-ratio controller (related-work baseline, §5):
+// watermark state machine, and integration with the real runtime where the
+// monitor derives the commit ratio from live STM statistics.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/control/contention.hpp"
+#include "src/runtime/monitor.hpp"
+#include "src/runtime/process.hpp"
+#include "src/workloads/workload.hpp"
+
+namespace rubic::control {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ContentionRatio, WatermarkStateMachine) {
+  ContentionRatioController c(LevelBounds{1, 16}, 0.7, 0.9);
+  EXPECT_EQ(c.initial_level(), 1);
+  EXPECT_EQ(c.on_commit_ratio(0.95), 2) << "low contention grows";
+  EXPECT_EQ(c.on_commit_ratio(0.95), 3);
+  EXPECT_EQ(c.on_commit_ratio(0.80), 3) << "between watermarks holds";
+  EXPECT_EQ(c.on_commit_ratio(0.50), 2) << "high contention sheds";
+  EXPECT_EQ(c.on_commit_ratio(0.00), 1);
+  EXPECT_EQ(c.on_commit_ratio(0.00), 1) << "clamped at the floor";
+  c.reset();
+  EXPECT_EQ(c.level(), 1);
+}
+
+TEST(ContentionRatio, ThroughputFallbackHoldsLevel) {
+  ContentionRatioController c(LevelBounds{1, 16});
+  c.on_commit_ratio(0.99);
+  c.on_commit_ratio(0.99);
+  const int level = c.level();
+  EXPECT_EQ(c.on_sample(12345.0), level)
+      << "without a contention signal the policy has no opinion";
+}
+
+TEST(ContentionRatio, RejectsBadWatermarks) {
+  EXPECT_DEATH(ContentionRatioController(LevelBounds{1, 4}, 0.9, 0.7), "");
+}
+
+// A workload whose abort rate is directly controlled: every task touches
+// the same two words in opposite orders half the time, so adding threads
+// floods the commit ratio.
+class ConflictStormWorkload final : public workloads::Workload {
+ public:
+  std::string_view name() const override { return "conflict-storm"; }
+  void run_task(stm::TxnDesc& ctx, util::Xoshiro256& rng) override {
+    const bool forward = rng.below(2) == 0;
+    stm::atomically(ctx, [&](stm::Txn& tx) {
+      if (forward) {
+        a_.write(tx, a_.read(tx) + 1);
+        b_.write(tx, b_.read(tx) + 1);
+      } else {
+        b_.write(tx, b_.read(tx) + 1);
+        a_.write(tx, a_.read(tx) + 1);
+      }
+    });
+  }
+  bool verify(std::string* error) override {
+    if (a_.unsafe_read() != b_.unsafe_read()) {
+      if (error != nullptr) *error = "a and b diverged";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  stm::TVar<std::int64_t> a_{0};
+  stm::TVar<std::int64_t> b_{0};
+};
+
+TEST(ContentionRatio, MonitorFeedsLiveCommitRatio) {
+  stm::Runtime rt;
+  ConflictStormWorkload workload;
+  runtime::MalleablePool pool(
+      rt, workload, runtime::PoolConfig{.pool_size = 4, .initial_level = 1});
+  ContentionRatioController controller(LevelBounds{1, 4}, 0.10, 0.99);
+  runtime::MonitorConfig mcfg;
+  mcfg.period = 5ms;
+  mcfg.stm_runtime = &rt;
+  runtime::Monitor monitor(pool, controller, mcfg);
+  std::this_thread::sleep_for(200ms);
+  monitor.stop();
+  pool.stop();
+  EXPECT_GE(monitor.rounds(), 10u);
+  // The controller actually received ratio signals: its level moved off the
+  // initial value at some point (1-core runs are mostly commit-clean, so
+  // with a 0.99 high watermark it ratchets up; any movement proves wiring).
+  EXPECT_GT(pool.level(), 1);
+  std::string error;
+  EXPECT_TRUE(workload.verify(&error)) << error;
+}
+
+TEST(ContentionRatio, EndToEndTunedProcess) {
+  stm::Runtime rt;
+  ConflictStormWorkload workload;
+  ContentionRatioController controller(LevelBounds{1, 4});
+  runtime::ProcessConfig config;
+  config.pool.pool_size = 4;
+  config.monitor.period = 5ms;
+  config.monitor.stm_runtime = &rt;
+  runtime::TunedProcess process(rt, workload, controller, config);
+  const auto report = process.run_for(200ms);
+  EXPECT_GT(report.tasks_completed, 100u);
+  std::string error;
+  EXPECT_TRUE(workload.verify(&error)) << error;
+}
+
+}  // namespace
+}  // namespace rubic::control

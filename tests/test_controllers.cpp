@@ -1,0 +1,342 @@
+// Controller tests: the cubic growth function of Eq. (1), a line-by-line
+// state-machine trace of Algorithm 2 (RUBIC), and the behaviour of every
+// baseline policy (EBS/AIAD, F2C2, AIMD, Greedy, EqualShare).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "src/control/aimd.hpp"
+#include "src/control/cubic_function.hpp"
+#include "src/control/ebs.hpp"
+#include "src/control/f2c2.hpp"
+#include "src/control/factory.hpp"
+#include "src/control/fixed.hpp"
+#include "src/control/rubic.hpp"
+
+namespace rubic::control {
+namespace {
+
+constexpr LevelBounds kBounds{1, 128};
+
+// ---------- Equation (1) ----------
+
+TEST(CubicFunction, TcpConsistentRestartsAtPostMdLevel) {
+  const CubicParams p{0.8, 0.1, CubicMode::kTcpConsistent};
+  for (double l_max : {8.0, 64.0, 100.0}) {
+    // L(0) must equal α·L_max: the curve picks up exactly where the
+    // multiplicative decrease left the level.
+    EXPECT_NEAR(cubic_level(l_max, 0.0, p), p.alpha * l_max, 1e-9) << l_max;
+  }
+}
+
+TEST(CubicFunction, PaperLiteralRestartsLower) {
+  const CubicParams p{0.8, 0.1, CubicMode::kPaperLiteral};
+  // Literal Eq. (1): L(0) = L_max − α·L_max = (1−α)·L_max — the printed
+  // formula disagrees with the MD step (DESIGN.md D1).
+  EXPECT_NEAR(cubic_level(64.0, 0.0, p), 0.2 * 64.0, 1e-9);
+}
+
+TEST(CubicFunction, PlateauAtLmax) {
+  const CubicParams p{0.8, 0.1, CubicMode::kTcpConsistent};
+  const double k = cubic_plateau_offset(64.0, p);
+  EXPECT_NEAR(cubic_level(64.0, k, p), 64.0, 1e-9);
+  // Growth slows approaching the plateau and accelerates past it (Fig. 4).
+  const double before = cubic_level(64.0, k - 1.0, p);
+  const double just_after = cubic_level(64.0, k + 1.0, p);
+  const double later = cubic_level(64.0, k + 5.0, p);
+  EXPECT_LT(64.0 - before, 1.0) << "steady-state: nearly flat below L_max";
+  EXPECT_LT(just_after - 64.0, 1.0) << "steady-state: nearly flat above L_max";
+  EXPECT_GT(later - 64.0, 10.0) << "probing: accelerating past L_max";
+}
+
+TEST(CubicFunction, MonotonicallyIncreasingInDt) {
+  const CubicParams p{0.8, 0.1, CubicMode::kTcpConsistent};
+  double prev = cubic_level(32.0, 0.0, p);
+  for (double dt = 0.5; dt < 20.0; dt += 0.5) {
+    const double cur = cubic_level(32.0, dt, p);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+// ---------- Algorithm 2 state machine ----------
+
+TEST(Rubic, InitialStatePerAlgorithm2Line1) {
+  RubicController c(kBounds);
+  EXPECT_EQ(c.initial_level(), 1);
+  EXPECT_EQ(c.growth_phase(), RubicController::GrowthPhase::kCubic);
+  EXPECT_EQ(c.reduction_phase(), RubicController::ReductionPhase::kLinear);
+  EXPECT_DOUBLE_EQ(c.l_max(), 1.0);
+  EXPECT_DOUBLE_EQ(c.dt_max(), 0.0);
+}
+
+TEST(Rubic, GrowthInterleavesCubicAndLinear) {
+  RubicController c(kBounds);
+  // Monotonically improving throughput: growth phases must alternate
+  // CUBIC → LINEAR → CUBIC → ... (§3.2: compare adjacent levels).
+  double throughput = 100.0;
+  for (int round = 0; round < 10; ++round) {
+    const bool was_cubic =
+        c.growth_phase() == RubicController::GrowthPhase::kCubic;
+    c.on_sample(throughput);
+    const bool is_cubic =
+        c.growth_phase() == RubicController::GrowthPhase::kCubic;
+    EXPECT_NE(was_cubic, is_cubic) << "round " << round;
+    throughput += 10.0;
+  }
+}
+
+TEST(Rubic, GrowthIsAtLeastPlusOne) {
+  RubicController c(kBounds);
+  int level = c.initial_level();
+  double throughput = 100.0;
+  for (int round = 0; round < 20; ++round) {
+    const int next = c.on_sample(throughput);
+    EXPECT_GE(next, level + 1) << "line 11: max(L_cubic, L+1), round " << round;
+    level = next;
+    throughput += 1.0;
+  }
+}
+
+TEST(Rubic, ProbingAcceleratesCubically) {
+  // With L_max stuck at 1 and no losses, the probing phase must reach a
+  // 64-context machine's capacity within a few dozen 10ms rounds — this is
+  // the "impressively fast" initial convergence of Fig. 10c.
+  RubicController c(kBounds);
+  double throughput = 1.0;
+  int rounds = 0;
+  int level = 1;
+  while (level < 64 && rounds < 40) {
+    level = c.on_sample(throughput);
+    throughput += 1.0;
+    ++rounds;
+  }
+  EXPECT_GE(level, 64) << "probing took " << rounds << " rounds";
+  EXPECT_LT(rounds, 40);
+}
+
+TEST(Rubic, FirstLossIsLinearMinusTwo) {
+  RubicController c(kBounds);
+  c.on_sample(100.0);  // grow
+  c.on_sample(110.0);
+  c.on_sample(120.0);
+  const int before = c.level();
+  const int after = c.on_sample(50.0);  // loss
+  EXPECT_EQ(after, before - 2) << "line 31: linear reduction first";
+  EXPECT_EQ(c.reduction_phase(),
+            RubicController::ReductionPhase::kMultiplicative)
+      << "line 32: MD armed for a persisting loss";
+  EXPECT_EQ(c.growth_phase(), RubicController::GrowthPhase::kLinear)
+      << "line 34";
+  EXPECT_DOUBLE_EQ(c.dt_max(), 0.0) << "line 25";
+}
+
+TEST(Rubic, PersistingLossTriggersMultiplicativeDecrease) {
+  RubicController c(kBounds);
+  // Drive the level up to a known point.
+  for (int i = 0; i < 12; ++i) c.on_sample(100.0 + i);
+  const int peak = c.level();
+  ASSERT_GT(peak, 10);
+
+  // Loss 1: linear −2, T_p cleared.
+  const int after_linear = c.on_sample(10.0);
+  EXPECT_EQ(after_linear, peak - 2);
+
+  // Observation round: T_p == 0 forces the increase path (line 5 with
+  // T_c >= 0) and must NOT disarm the pending MD (line 17 guard).
+  const int after_observation = c.on_sample(9.0);
+  EXPECT_EQ(after_observation, after_linear + 1)
+      << "growth was LINEAR after a reduction (line 34)";
+  EXPECT_EQ(c.reduction_phase(),
+            RubicController::ReductionPhase::kMultiplicative)
+      << "T_p == 0 round must keep the MD armed";
+
+  // Loss persists: multiplicative decrease to α·L, L_max remembered.
+  const int before_md = c.level();
+  const int after_md = c.on_sample(5.0);
+  EXPECT_EQ(after_md,
+            static_cast<int>(std::llround(c.params().alpha * before_md)))
+      << "line 28";
+  EXPECT_DOUBLE_EQ(c.l_max(), before_md) << "line 27";
+  EXPECT_EQ(c.reduction_phase(), RubicController::ReductionPhase::kLinear)
+      << "line 29";
+}
+
+TEST(Rubic, RecoveryDisarmsPendingMultiplicativeDecrease) {
+  RubicController c(kBounds);
+  for (int i = 0; i < 12; ++i) c.on_sample(100.0 + i);
+  c.on_sample(10.0);  // loss → linear −2, MD armed
+  c.on_sample(50.0);  // observation round (T_p was 0): MD stays armed
+  ASSERT_EQ(c.reduction_phase(),
+            RubicController::ReductionPhase::kMultiplicative);
+  c.on_sample(60.0);  // genuine improvement over T_p=50: line 17 disarms MD
+  EXPECT_EQ(c.reduction_phase(), RubicController::ReductionPhase::kLinear);
+  // The next loss must therefore be linear again, not multiplicative.
+  const int before = c.level();
+  EXPECT_EQ(c.on_sample(1.0), before - 2);
+}
+
+TEST(Rubic, SteadyStateHoversNearLmax) {
+  // After an MD at L_max, alternating good rounds keep the level governed
+  // by the cubic plateau: it re-approaches L_max quickly, then crawls.
+  RubicController c(kBounds);
+  for (int i = 0; i < 14; ++i) c.on_sample(100.0);  // probe upwards
+  // Force an MD cycle at a known L_max.
+  c.on_sample(10.0);  // linear
+  c.on_sample(10.0);  // observation (T_p=0 → increase), MD armed
+  c.on_sample(5.0);   // multiplicative: L_max = level before this round
+  const double l_max = c.l_max();
+  ASSERT_GT(l_max, 8.0);
+  // Recovery: throughput is flat-good again; within ~K rounds the level is
+  // back near L_max and stays within a small band for a while.
+  int level = c.level();
+  for (int i = 0; i < 8; ++i) level = c.on_sample(100.0);
+  EXPECT_GT(level, static_cast<int>(0.9 * l_max));
+  EXPECT_LT(level, static_cast<int>(l_max) + 6);
+}
+
+TEST(Rubic, ClampsToBounds) {
+  RubicController c(LevelBounds{1, 8});
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_LE(c.on_sample(100.0 + i), 8);
+  }
+  EXPECT_EQ(c.level(), 8);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_GE(c.on_sample(i % 2 == 0 ? 1.0 : 0.5), 1);
+  }
+}
+
+TEST(Rubic, ResetRestoresInitialState) {
+  RubicController c(kBounds);
+  for (int i = 0; i < 10; ++i) c.on_sample(100.0 + i);
+  c.on_sample(1.0);
+  c.reset();
+  EXPECT_EQ(c.level(), 1);
+  EXPECT_DOUBLE_EQ(c.l_max(), 1.0);
+  EXPECT_DOUBLE_EQ(c.dt_max(), 0.0);
+  EXPECT_EQ(c.growth_phase(), RubicController::GrowthPhase::kCubic);
+  EXPECT_EQ(c.reduction_phase(), RubicController::ReductionPhase::kLinear);
+}
+
+// ---------- baselines ----------
+
+TEST(Ebs, HillClimbsByOne) {
+  EbsController c(kBounds);
+  EXPECT_EQ(c.on_sample(10.0), 2);  // tie/improvement over T_p=0
+  EXPECT_EQ(c.on_sample(20.0), 3);
+  EXPECT_EQ(c.on_sample(15.0), 2);  // loss → −1
+  EXPECT_EQ(c.on_sample(15.0), 3);  // tie counts as non-loss (>= rule)
+}
+
+TEST(Ebs, PlateauDriftsUpward) {
+  // The `>=` tie rule makes AIAD policies greedy on flat plateaus — the
+  // mechanism behind the paper's oversubscription races (§4.6).
+  EbsController c(kBounds);
+  for (int i = 0; i < 30; ++i) c.on_sample(42.0);
+  EXPECT_EQ(c.level(), 31);
+}
+
+TEST(Ebs, ClampsAtBothEnds) {
+  EbsController c(LevelBounds{1, 4});
+  for (int i = 0; i < 10; ++i) c.on_sample(100.0);
+  EXPECT_EQ(c.level(), 4);
+  double t = 100.0;
+  for (int i = 0; i < 10; ++i) c.on_sample(t -= 1.0);
+  EXPECT_EQ(c.level(), 1);
+}
+
+TEST(F2c2, ExponentialThenHalveThenAiad) {
+  F2c2Controller c(kBounds);
+  EXPECT_EQ(c.on_sample(10.0), 2);
+  EXPECT_EQ(c.on_sample(20.0), 4);
+  EXPECT_EQ(c.on_sample(30.0), 8);
+  EXPECT_EQ(c.on_sample(40.0), 16);
+  EXPECT_TRUE(c.in_exponential_phase());
+  EXPECT_EQ(c.on_sample(35.0), 8) << "first loss halves";
+  EXPECT_FALSE(c.in_exponential_phase());
+  EXPECT_EQ(c.on_sample(36.0), 9) << "then pure AIAD";
+  EXPECT_EQ(c.on_sample(30.0), 8);
+}
+
+TEST(F2c2, ExponentialPhaseCapsAtPool) {
+  F2c2Controller c(LevelBounds{1, 100});
+  int level = 1;
+  for (int i = 0; i < 12; ++i) level = c.on_sample(100.0 + i);
+  EXPECT_EQ(level, 100) << "doubling clamps at the pool size";
+  EXPECT_TRUE(c.in_exponential_phase());
+}
+
+TEST(Aimd, AlphaHalvesOnLoss) {
+  AimdController c(kBounds, 0.5);
+  for (int i = 0; i < 63; ++i) c.on_sample(100.0 + i);
+  EXPECT_EQ(c.level(), 64);
+  EXPECT_EQ(c.on_sample(1.0), 32) << "multiplicative drop to α·L";
+  EXPECT_EQ(c.on_sample(50.0), 33) << "back to additive growth";
+}
+
+TEST(Aimd, RejectsBadAlpha) {
+  EXPECT_DEATH(AimdController(kBounds, 1.5), "alpha");
+}
+
+TEST(Fixed, GreedyPinsToContexts) {
+  auto c = make_greedy(64);
+  EXPECT_EQ(c->initial_level(), 64);
+  EXPECT_EQ(c->on_sample(1.0), 64);
+  EXPECT_EQ(c->on_sample(1000.0), 64);
+  EXPECT_EQ(c->name(), "Greedy");
+}
+
+TEST(EqualShare, TracksProcessCount) {
+  auto allocator = std::make_shared<CentralAllocator>(64);
+  EqualShareController c1(allocator), c2(allocator);
+  allocator->register_process();
+  EXPECT_EQ(c1.on_sample(0.0), 64);
+  allocator->register_process();
+  EXPECT_EQ(c1.on_sample(0.0), 32);
+  EXPECT_EQ(c2.on_sample(0.0), 32);
+  allocator->unregister_process();
+  EXPECT_EQ(c2.on_sample(0.0), 64);
+}
+
+TEST(EqualShare, NeverBelowOne) {
+  auto allocator = std::make_shared<CentralAllocator>(4);
+  for (int i = 0; i < 8; ++i) allocator->register_process();
+  EXPECT_EQ(allocator->share(), 1);
+}
+
+// ---------- factory ----------
+
+TEST(Factory, BuildsEveryEvaluatedPolicy) {
+  PolicyConfig cfg;
+  cfg.contexts = 64;
+  cfg.allocator = std::make_shared<CentralAllocator>(64);
+  for (const auto policy : evaluated_policies()) {
+    auto c = make_controller(policy, cfg);
+    ASSERT_NE(c, nullptr) << policy;
+    EXPECT_GE(c->initial_level(), 1) << policy;
+  }
+  EXPECT_NE(make_controller("aimd", cfg), nullptr);
+  EXPECT_NE(make_controller("aiad", cfg), nullptr);
+}
+
+TEST(Factory, PoolDefaultsToTwiceContexts) {
+  PolicyConfig cfg;
+  cfg.contexts = 64;
+  auto c = make_controller("ebs", cfg);
+  for (int i = 0; i < 300; ++i) c->on_sample(100.0 + i);
+  EXPECT_EQ(c->on_sample(1000.0), 128) << "adaptive cap is the pool size";
+}
+
+TEST(Factory, UnknownPolicyThrows) {
+  EXPECT_THROW(make_controller("does-not-exist", PolicyConfig{}),
+               std::invalid_argument);
+}
+
+TEST(Factory, EqualShareRequiresAllocator) {
+  EXPECT_THROW(make_controller("equalshare", PolicyConfig{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rubic::control

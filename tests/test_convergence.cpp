@@ -1,0 +1,324 @@
+// Convergence property tests: the dynamic behaviours the paper's figures
+// claim, asserted over the simulator. These are the "shape" guarantees the
+// benches then render as full traces (Fig. 2, 3, 5, 10).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "src/control/aimd.hpp"
+#include "src/control/ebs.hpp"
+#include "src/control/f2c2.hpp"
+#include "src/control/rubic.hpp"
+#include "src/sim/sim_system.hpp"
+#include "src/util/stats.hpp"
+
+namespace rubic::sim {
+namespace {
+
+constexpr control::LevelBounds kPool{1, 128};
+
+double tail_mean_level(const SimProcessResult& process, double from_s) {
+  double sum = 0;
+  int count = 0;
+  for (const auto& point : process.trace) {
+    if (point.time_s >= from_s) {
+      sum += point.level;
+      ++count;
+    }
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+SimResult run_single_controller(control::Controller& controller,
+                                const WorkloadProfile& profile,
+                                double duration_s, std::uint64_t seed = 1,
+                                double noise_sigma = 0.005) {
+  SimProcessSpec spec{"p", profile, &controller, 0.0,
+                      std::numeric_limits<double>::infinity()};
+  SimConfig config;
+  config.duration_s = duration_s;
+  config.seed = seed;
+  config.noise_sigma = noise_sigma;
+  return run_simulation(config, std::span<SimProcessSpec>(&spec, 1));
+}
+
+// ---------- Fig. 3: AIMD leaves ~25% of the machine idle ----------
+
+// Fig. 3 and Fig. 5 are the paper's *idealized* single-process diagrams
+// ("the expected behavior of a model"): losses occur only at the
+// oversubscription point, so these runs use zero measurement noise.
+
+TEST(Convergence, AimdSteadyStateAveragesThreeQuarters) {
+  control::AimdController aimd(kPool, 0.5);
+  const SimResult result =
+      run_single_controller(aimd, rbt_readonly_profile(), 30.0, 1, 0.0);
+  // Discard the additive ramp from level 1; average the sawtooth regime.
+  const double steady = tail_mean_level(result.processes[0], 10.0);
+  EXPECT_GT(steady, 42.0) << "sawtooth should span roughly [32, 64]";
+  EXPECT_LT(steady, 54.0) << "paper Fig. 3: average ≈ 48 (75% utilization)";
+}
+
+// ---------- Fig. 5: CIMD utilizes ~94% ----------
+
+TEST(Convergence, CimdSteadyStateNearMachineSize) {
+  control::RubicController rubic(
+      kPool, control::CubicParams{0.5, 0.1, control::CubicMode::kTcpConsistent});
+  const SimResult result =
+      run_single_controller(rubic, rbt_readonly_profile(), 30.0, 1, 0.0);
+  const double steady = tail_mean_level(result.processes[0], 10.0);
+  EXPECT_GT(steady, 54.0) << "paper Fig. 5: average ≈ 60 (94% utilization)";
+  EXPECT_LT(steady, 68.0);
+}
+
+TEST(Convergence, CimdBeatsAimdUtilization) {
+  control::AimdController aimd(kPool, 0.5);
+  control::RubicController cimd(
+      kPool, control::CubicParams{0.5, 0.1, control::CubicMode::kTcpConsistent});
+  const double aimd_steady =
+      tail_mean_level(run_single_controller(aimd, rbt_readonly_profile(), 30.0,
+                                            1, 0.0)
+                          .processes[0],
+                      10.0);
+  const double cimd_steady =
+      tail_mean_level(run_single_controller(cimd, rbt_readonly_profile(), 30.0,
+                                            1, 0.0)
+                          .processes[0],
+                      10.0);
+  EXPECT_GT(cimd_steady, aimd_steady + 5.0)
+      << "§2.2: cubic growth must recover utilization lost to MD";
+}
+
+// ---------- Fig. 10c: RUBIC's staggered-arrival fairness ----------
+
+TEST(Convergence, RubicPairConvergesToEqualSplit) {
+  control::RubicController c1(kPool), c2(kPool);
+  SimProcessSpec specs[2] = {
+      {"p1", rbt_readonly_profile(), &c1, 0.0,
+       std::numeric_limits<double>::infinity()},
+      {"p2", rbt_readonly_profile(), &c2, 5.0,
+       std::numeric_limits<double>::infinity()},
+  };
+  SimConfig config;
+  config.duration_s = 10.0;
+  const SimResult result = run_simulation(config, specs);
+
+  // Before P2 arrives, P1 should be oscillating around the machine size.
+  const auto& p1 = result.processes[0];
+  double pre_arrival_sum = 0;
+  int pre_count = 0;
+  for (const auto& point : p1.trace) {
+    if (point.time_s >= 2.0 && point.time_s < 5.0) {
+      pre_arrival_sum += point.level;
+      ++pre_count;
+    }
+  }
+  const double p1_before = pre_arrival_sum / pre_count;
+  EXPECT_GT(p1_before, 52.0) << "P1 alone must fill the 64-context machine";
+  EXPECT_LT(p1_before, 72.0);
+
+  // After convergence both oscillate around the fair 32/32 allocation.
+  const double p1_after = tail_mean_level(p1, 8.0);
+  const double p2_after = tail_mean_level(result.processes[1], 8.0);
+  EXPECT_NEAR(p1_after, 32.0, 10.0);
+  EXPECT_NEAR(p2_after, 32.0, 10.0);
+  // Fair: neither starves the other, total stays near (not far above) the
+  // oversubscription line.
+  EXPECT_LT(std::abs(p1_after - p2_after), 14.0);
+  EXPECT_LT(p1_after + p2_after, 76.0);
+  EXPECT_GT(p1_after + p2_after, 48.0);
+}
+
+TEST(Convergence, RubicConvergesFromBothArrivalOrders) {
+  // Determinism sweep across seeds: the fair split must not depend on the
+  // noise stream (property-style check over repetitions).
+  for (std::uint64_t seed : {7ull, 42ull, 1234ull, 987654ull}) {
+    control::RubicController c1(kPool), c2(kPool);
+    SimProcessSpec specs[2] = {
+        {"p1", rbt_readonly_profile(), &c1, 0.0,
+         std::numeric_limits<double>::infinity()},
+        {"p2", rbt_readonly_profile(), &c2, 5.0,
+         std::numeric_limits<double>::infinity()},
+    };
+    SimConfig config;
+    config.duration_s = 10.0;
+    config.seed = seed;
+    const SimResult result = run_simulation(config, specs);
+    const double p1_after = tail_mean_level(result.processes[0], 8.5);
+    const double p2_after = tail_mean_level(result.processes[1], 8.5);
+    EXPECT_NEAR(p1_after, 32.0, 12.0) << "seed " << seed;
+    EXPECT_NEAR(p2_after, 32.0, 12.0) << "seed " << seed;
+  }
+}
+
+// ---------- Fig. 10a/b: the baselines fail the same scenario ----------
+
+TEST(Convergence, EbsPairDoesNotConvergeToFairSplit) {
+  control::EbsController c1(kPool), c2(kPool);
+  SimProcessSpec specs[2] = {
+      {"p1", rbt_readonly_profile(), &c1, 0.0,
+       std::numeric_limits<double>::infinity()},
+      {"p2", rbt_readonly_profile(), &c2, 5.0,
+       std::numeric_limits<double>::infinity()},
+  };
+  SimConfig config;
+  config.duration_s = 10.0;
+  const SimResult result = run_simulation(config, specs);
+  const double p1_after = tail_mean_level(result.processes[0], 8.0);
+  const double p2_after = tail_mean_level(result.processes[1], 8.0);
+  // Paper: "both processes behave rather randomly and they do not converge
+  // to the optimal allocation" — the race settles oversubscribed, well
+  // above the fair-and-efficient 32/32 state RUBIC reaches.
+  EXPECT_GT(p1_after + p2_after, 70.0)
+      << "EBS pair must stay oversubscribed, got " << p1_after << " + "
+      << p2_after;
+}
+
+TEST(Convergence, F2c2PairOversubscribesAndStaysHigh) {
+  control::F2c2Controller c1(kPool), c2(kPool);
+  SimProcessSpec specs[2] = {
+      {"p1", rbt_readonly_profile(), &c1, 0.0,
+       std::numeric_limits<double>::infinity()},
+      {"p2", rbt_readonly_profile(), &c2, 5.0,
+       std::numeric_limits<double>::infinity()},
+  };
+  SimConfig config;
+  config.duration_s = 10.0;
+  const SimResult result = run_simulation(config, specs);
+  const double total_after = tail_mean_level(result.processes[0], 8.0) +
+                             tail_mean_level(result.processes[1], 8.0);
+  EXPECT_GT(total_after, 72.0)
+      << "paper Fig. 10a: F2C2 processes race and oversubscribe";
+}
+
+TEST(Convergence, RubicKeepsTotalBelowLineAcrossPairs) {
+  // Fig. 7b's headline: only RUBIC keeps the total near/below 64 on every
+  // workload pair (steady state).
+  const char* const pairs[3][2] = {
+      {"intruder", "vacation"}, {"intruder", "rbt"}, {"vacation", "rbt"}};
+  for (const auto& pair : pairs) {
+    control::RubicController c1(kPool), c2(kPool);
+    SimProcessSpec specs[2] = {
+        {pair[0], profile_by_name(pair[0]), &c1, 0.0,
+         std::numeric_limits<double>::infinity()},
+        {pair[1], profile_by_name(pair[1]), &c2, 0.0,
+         std::numeric_limits<double>::infinity()},
+    };
+    SimConfig config;
+    config.duration_s = 10.0;
+    const SimResult result = run_simulation(config, specs);
+    const double total = tail_mean_level(result.processes[0], 6.0) +
+                         tail_mean_level(result.processes[1], 6.0);
+    EXPECT_LT(total, 70.0) << pair[0] << "/" << pair[1];
+  }
+}
+
+// ---------- dynamic workload change (§3.3 motivation (ii)) ----------
+
+TEST(Convergence, RubicReconvergesAfterWorkloadShrink) {
+  // Highly scalable workload degenerates into Intruder-like at t = 5 s; the
+  // controller must shed ~50 threads from throughput feedback alone.
+  control::RubicController rubic(kPool);
+  SimProcessSpec spec{"p", rbt98_profile(), &rubic, 0.0,
+                      std::numeric_limits<double>::infinity()};
+  spec.change_s = 5.0;
+  spec.profile_after = intruder_profile();
+  SimConfig config;
+  config.duration_s = 10.0;
+  const SimResult result =
+      run_simulation(config, std::span<SimProcessSpec>(&spec, 1));
+  const double settled = tail_mean_level(result.processes[0], 8.0);
+  EXPECT_NEAR(settled, 7.0, 3.0) << "must find the new (Intruder) peak";
+}
+
+TEST(Convergence, RubicReconvergesAfterWorkloadGrowth) {
+  control::RubicController rubic(kPool);
+  SimProcessSpec spec{"p", intruder_profile(), &rubic, 0.0,
+                      std::numeric_limits<double>::infinity()};
+  spec.change_s = 5.0;
+  spec.profile_after = rbt98_profile();
+  SimConfig config;
+  config.duration_s = 10.0;
+  const SimResult result =
+      run_simulation(config, std::span<SimProcessSpec>(&spec, 1));
+  const double settled = tail_mean_level(result.processes[0], 9.0);
+  EXPECT_GT(settled, 40.0) << "must re-probe up toward the new capacity";
+}
+
+// ---------- monitor starvation (§3.1's priority rationale) ----------
+
+TEST(Convergence, RubicToleratesAStarvedMonitor) {
+  // Even when the monitor loses 50% of its oversubscribed rounds (no
+  // priority raise), RUBIC still converges to the fair split after an
+  // arrival — the MD steps are large enough that halved feedback only
+  // slows convergence, it does not break it.
+  control::RubicController c1(kPool), c2(kPool);
+  SimProcessSpec specs[2] = {
+      {"p1", rbt_readonly_profile(), &c1, 0.0,
+       std::numeric_limits<double>::infinity()},
+      {"p2", rbt_readonly_profile(), &c2, 5.0,
+       std::numeric_limits<double>::infinity()},
+  };
+  SimConfig config;
+  config.duration_s = 10.0;
+  config.monitor_drop_prob = 0.5;
+  const SimResult result = run_simulation(config, specs);
+  const double p1_after = tail_mean_level(result.processes[0], 8.5);
+  const double p2_after = tail_mean_level(result.processes[1], 8.5);
+  EXPECT_NEAR(p1_after, 32.0, 14.0);
+  EXPECT_NEAR(p2_after, 32.0, 14.0);
+  EXPECT_LT(p1_after + p2_after, 80.0);
+}
+
+TEST(Convergence, StarvationOnlyAppliesWhileOversubscribed) {
+  // Below the line the monitor always runs; a lone process's cold start
+  // must be identical with and without the drop probability.
+  for (const double drop : {0.0, 0.9}) {
+    control::RubicController c(kPool);
+    SimProcessSpec spec{"p", rbt_readonly_profile(), &c, 0.0,
+                        std::numeric_limits<double>::infinity()};
+    SimConfig config;
+    config.duration_s = 0.5;
+    config.monitor_drop_prob = drop;
+    const SimResult result =
+        run_simulation(config, std::span<SimProcessSpec>(&spec, 1));
+    EXPECT_GT(tail_mean_level(result.processes[0], 0.3), 50.0)
+        << "drop=" << drop;
+  }
+}
+
+// ---------- single-process sanity (Fig. 9 shape) ----------
+
+TEST(Convergence, RubicFindsIntruderPeak) {
+  control::RubicController rubic(kPool);
+  const SimResult result =
+      run_single_controller(rubic, intruder_profile(), 10.0);
+  const double steady = tail_mean_level(result.processes[0], 5.0);
+  EXPECT_NEAR(steady, 7.0, 3.0)
+      << "RUBIC must settle at Intruder's scalability peak";
+  // And capture most of the achievable speed-up.
+  EXPECT_GT(result.processes[0].speedup,
+            0.8 * intruder_profile().curve->peak_speedup(64));
+}
+
+TEST(Convergence, RubicIsMoreStableThanEbsAcrossSeeds) {
+  // Fig. 9c: RUBIC has the lowest allocation std-dev across repetitions.
+  util::Welford rubic_levels, ebs_levels;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    control::RubicController rubic(kPool);
+    control::EbsController ebs(kPool);
+    rubic_levels.add(tail_mean_level(
+        run_single_controller(rubic, vacation_profile(), 10.0, seed)
+            .processes[0],
+        5.0));
+    ebs_levels.add(tail_mean_level(
+        run_single_controller(ebs, vacation_profile(), 10.0, seed)
+            .processes[0],
+        5.0));
+  }
+  EXPECT_LT(rubic_levels.stddev(), ebs_levels.stddev())
+      << "RUBIC's allocation must be the more repeatable one";
+}
+
+}  // namespace
+}  // namespace rubic::sim

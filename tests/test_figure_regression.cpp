@@ -1,0 +1,133 @@
+// Figure-regression tests: the paper's headline comparative results, run at
+// reduced repetition counts, asserted as ordering/band constraints. These
+// lock the reproduction into CI — a change to a controller, curve or the
+// machine model that silently flips a figure's conclusion fails here.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "src/sim/experiment.hpp"
+
+namespace rubic::sim {
+namespace {
+
+class FigureRegression : public ::testing::Test {
+ protected:
+  // Reduced reps keep the whole suite fast; the aggregates at 10 reps are
+  // within a few percent of the 50-rep values (deterministic seeds).
+  ExperimentConfig config_ = [] {
+    ExperimentConfig config;
+    config.repetitions = 10;
+    return config;
+  }();
+
+  // Geomean NSBP across the paper's three pairs.
+  double pairwise_geomean(const std::string& policy) {
+    const char* const pairs[3][2] = {
+        {"intruder", "vacation"}, {"intruder", "rbt"}, {"vacation", "rbt"}};
+    double product = 1;
+    for (const auto& pair : pairs) {
+      product *= run_pair(config_, policy, pair[0], pair[1]).nsbp.mean();
+    }
+    return std::cbrt(product);
+  }
+};
+
+TEST_F(FigureRegression, Fig7aPolicyOrdering) {
+  std::map<std::string, double> geomean;
+  for (const char* policy : {"greedy", "equalshare", "f2c2", "ebs", "rubic"}) {
+    geomean[policy] = pairwise_geomean(policy);
+  }
+  // Paper ordering: RUBIC > EBS ≥ F2C2 > EqualShare > Greedy.
+  EXPECT_GT(geomean["rubic"], geomean["ebs"]);
+  EXPECT_GT(geomean["rubic"], geomean["f2c2"]);
+  EXPECT_GE(geomean["ebs"], 0.95 * geomean["f2c2"])
+      << "EBS and F2C2 are near-identical policies; EBS must not trail far";
+  EXPECT_GT(geomean["f2c2"], geomean["equalshare"]);
+  EXPECT_GT(geomean["equalshare"], geomean["greedy"]);
+}
+
+TEST_F(FigureRegression, Fig7aHeadlineMargins) {
+  const double rubic = pairwise_geomean("rubic");
+  const double ebs = pairwise_geomean("ebs");
+  const double greedy = pairwise_geomean("greedy");
+  // Paper: +26% over the second best; our reproduction band is 15-35%.
+  const double vs_ebs = rubic / ebs - 1.0;
+  EXPECT_GT(vs_ebs, 0.10) << "RUBIC's margin over EBS collapsed";
+  EXPECT_LT(vs_ebs, 0.45) << "margin implausibly large — model drifted";
+  // Paper: +500% over Greedy; our harsher oversubscription model gives
+  // more. Anything below 4x would mean Greedy stopped being pathological.
+  EXPECT_GT(rubic / greedy, 4.0);
+}
+
+TEST_F(FigureRegression, Fig7aRubicBestOnEveryPair) {
+  const char* const pairs[3][2] = {
+      {"intruder", "vacation"}, {"intruder", "rbt"}, {"vacation", "rbt"}};
+  for (const auto& pair : pairs) {
+    const double rubic =
+        run_pair(config_, "rubic", pair[0], pair[1]).nsbp.mean();
+    for (const char* policy : {"greedy", "equalshare", "f2c2", "ebs"}) {
+      EXPECT_GT(rubic,
+                run_pair(config_, policy, pair[0], pair[1]).nsbp.mean())
+          << pair[0] << "/" << pair[1] << " vs " << policy;
+    }
+  }
+}
+
+TEST_F(FigureRegression, Fig7bOnlyRubicRespectsTheLine) {
+  const char* const pairs[3][2] = {
+      {"intruder", "vacation"}, {"intruder", "rbt"}, {"vacation", "rbt"}};
+  for (const auto& pair : pairs) {
+    const auto rubic = run_pair(config_, "rubic", pair[0], pair[1]);
+    EXPECT_LT(rubic.total_threads.mean(), 66.0)
+        << pair[0] << "/" << pair[1];
+  }
+  // And at least one baseline pair violates it (the F2C2 Int/RBT race).
+  const auto f2c2 = run_pair(config_, "f2c2", "intruder", "rbt");
+  EXPECT_GT(f2c2.total_threads.mean(), 66.0);
+}
+
+TEST_F(FigureRegression, Fig7cRubicMostEfficient) {
+  const char* const pairs[3][2] = {
+      {"intruder", "vacation"}, {"intruder", "rbt"}, {"vacation", "rbt"}};
+  for (const auto& pair : pairs) {
+    const auto rubic = run_pair(config_, "rubic", pair[0], pair[1]);
+    for (const char* policy : {"greedy", "equalshare", "f2c2", "ebs"}) {
+      const auto other = run_pair(config_, policy, pair[0], pair[1]);
+      EXPECT_GT(rubic.efficiency_product.mean(),
+                other.efficiency_product.mean())
+          << pair[0] << "/" << pair[1] << " vs " << policy;
+    }
+  }
+}
+
+TEST_F(FigureRegression, Fig9RubicComparableToBestSingleProcess) {
+  for (const char* workload : {"vacation", "intruder", "rbt"}) {
+    double best = 0;
+    double rubic = 0;
+    for (const char* policy : {"greedy", "f2c2", "ebs", "rubic"}) {
+      const double speedup =
+          run_single(config_, policy, workload).processes[0].speedup.mean();
+      best = std::max(best, speedup);
+      if (std::string(policy) == "rubic") rubic = speedup;
+    }
+    EXPECT_GT(rubic, 0.90 * best) << workload;
+  }
+}
+
+TEST_F(FigureRegression, Fig9RubicMostStable) {
+  for (const char* workload : {"vacation", "intruder", "rbt"}) {
+    const double rubic_sd = run_single(config_, "rubic", workload)
+                                .processes[0]
+                                .mean_level.stddev();
+    const double ebs_sd = run_single(config_, "ebs", workload)
+                              .processes[0]
+                              .mean_level.stddev();
+    EXPECT_LT(rubic_sd, ebs_sd) << workload;
+  }
+}
+
+}  // namespace
+}  // namespace rubic::sim

@@ -1,0 +1,90 @@
+// Labyrinth tests: routing correctness on crafted mazes, conflict-driven
+// re-routing under concurrency, and the grid/log consistency invariants.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/control/rubic.hpp"
+#include "src/runtime/process.hpp"
+#include "src/util/spin_barrier.hpp"
+#include "src/workloads/labyrinth/labyrinth_workload.hpp"
+
+namespace rubic::workloads::labyrinth {
+namespace {
+
+using namespace std::chrono_literals;
+
+LabyrinthParams tiny() {
+  LabyrinthParams params;
+  params.width = 16;
+  params.height = 16;
+  params.pair_count = 24;
+  return params;
+}
+
+TEST(Labyrinth, SingleThreadRoutesAllPairsConsistently) {
+  stm::Runtime rt;
+  LabyrinthWorkload workload(rt, tiny());
+  stm::TxnDesc& ctx = rt.register_thread();
+  util::Xoshiro256 rng(1);
+  for (int i = 0; i < 24; ++i) workload.run_task(ctx, rng);
+  EXPECT_EQ(workload.pairs_claimed(), 24);
+  EXPECT_EQ(workload.routed() + workload.failed(), 24);
+  EXPECT_GT(workload.routed(), 0) << "an empty 16x16 grid must route some pairs";
+  std::string error;
+  EXPECT_TRUE(workload.verify(&error)) << error;
+}
+
+TEST(Labyrinth, ExtraProbesAfterExhaustionStayConsistent) {
+  stm::Runtime rt;
+  LabyrinthWorkload workload(rt, tiny());
+  stm::TxnDesc& ctx = rt.register_thread();
+  util::Xoshiro256 rng(2);
+  for (int i = 0; i < 100; ++i) workload.run_task(ctx, rng);
+  EXPECT_EQ(workload.pairs_claimed(), 100);
+  std::string error;
+  EXPECT_TRUE(workload.verify(&error)) << error;
+}
+
+TEST(Labyrinth, ConcurrentRoutersNeverOverlapPaths) {
+  stm::Runtime rt;
+  LabyrinthParams params;
+  params.width = 24;
+  params.height = 24;
+  params.pair_count = 64;
+  LabyrinthWorkload workload(rt, params);
+  constexpr int kThreads = 4;
+  util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      stm::TxnDesc& ctx = rt.register_thread();
+      util::Xoshiro256 rng(10 + t);
+      barrier.arrive_and_wait();
+      for (int i = 0; i < 64 / kThreads; ++i) workload.run_task(ctx, rng);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(workload.pairs_claimed(), 64);
+  std::string error;
+  EXPECT_TRUE(workload.verify(&error)) << error
+      << " (overlapping paths mean the BFS read set failed to conflict)";
+}
+
+TEST(Labyrinth, UnderTunedProcess) {
+  stm::Runtime rt;
+  LabyrinthWorkload workload(rt, tiny());
+  control::RubicController controller(control::LevelBounds{1, 4});
+  runtime::ProcessConfig config;
+  config.pool.pool_size = 4;
+  config.monitor.period = 5ms;
+  runtime::TunedProcess process(rt, workload, controller, config);
+  const auto report = process.run_for(250ms);
+  EXPECT_GT(report.tasks_completed, 24u);
+  std::string error;
+  EXPECT_TRUE(workload.verify(&error)) << error;
+}
+
+}  // namespace
+}  // namespace rubic::workloads::labyrinth

@@ -1,0 +1,91 @@
+// Parameterized property tests of the machine model across every workload
+// profile: the structural guarantees the controllers' correctness arguments
+// rest on (DESIGN.md §3), checked exhaustively rather than at spot values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "src/sim/machine_model.hpp"
+#include "src/sim/workload_profiles.hpp"
+
+namespace rubic::sim {
+namespace {
+
+class MachineProperty : public ::testing::TestWithParam<const char*> {
+ protected:
+  MachineModel machine_{64};
+  WorkloadProfile profile_ = profile_by_name(GetParam());
+};
+
+TEST_P(MachineProperty, ThroughputPositiveAndFinite) {
+  for (int level = 1; level <= 128; ++level) {
+    for (int extra = 0; extra <= 128; extra += 16) {
+      const double throughput =
+          machine_.throughput(profile_, level, level + extra);
+      EXPECT_GT(throughput, 0.0) << level << "+" << extra;
+      EXPECT_TRUE(std::isfinite(throughput)) << level << "+" << extra;
+    }
+  }
+}
+
+TEST_P(MachineProperty, ForeignLoadNeverHelps) {
+  // For a fixed own level, more co-runner threads can only hurt (or leave
+  // unchanged, below the line): monotone non-increasing in total_threads.
+  for (int level : {1, 4, 16, 48, 64}) {
+    double previous = machine_.throughput(profile_, level, level);
+    for (int total = level + 1; total <= level + 128; ++total) {
+      const double current = machine_.throughput(profile_, level, total);
+      EXPECT_LE(current, previous + 1e-9)
+          << GetParam() << " level=" << level << " total=" << total;
+      previous = current;
+    }
+  }
+}
+
+TEST_P(MachineProperty, CrossingTheLineIsDetectableButGentle) {
+  // The core controller-facing property: throughput strictly drops when the
+  // system crosses the oversubscription line, but a ±1-thread change near
+  // the line moves it by less than ~5% (the plateau that noise masks).
+  const double at_line = machine_.throughput(profile_, 32, 64);
+  const double just_over = machine_.throughput(profile_, 32, 66);
+  EXPECT_LT(just_over, at_line);
+  EXPECT_GT(just_over, 0.90 * at_line);
+}
+
+TEST_P(MachineProperty, DedicatedMachineMatchesCurveEverywhere) {
+  for (int level = 1; level <= 64; ++level) {
+    EXPECT_DOUBLE_EQ(
+        machine_.throughput(profile_, level, level),
+        profile_.sequential_rate * profile_.curve->speedup(level));
+  }
+}
+
+TEST_P(MachineProperty, SpeedupNormalizationConsistent) {
+  for (int level : {1, 7, 32, 64}) {
+    EXPECT_NEAR(machine_.speedup(profile_, level, level),
+                profile_.curve->speedup(level), 1e-12);
+  }
+}
+
+TEST_P(MachineProperty, HalfShareBeatsDoubleLoad) {
+  // Cooperation dominates racing for every profile: two processes at C/2
+  // each beat two at C each (per-process throughput).
+  const double fair = machine_.throughput(profile_, 32, 64);
+  const double race = machine_.throughput(profile_, 64, 128);
+  EXPECT_GT(fair, race) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, MachineProperty,
+                         ::testing::Values("intruder", "vacation", "rbt",
+                                           "rbt-readonly"),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (char& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace rubic::sim

@@ -1,0 +1,63 @@
+// Metrics tests: the NSBP system performance and efficiency definitions of
+// §4.1/§4.2, including the paper's worked claim that equal sharing
+// maximizes the product for identical processes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/metrics/metrics.hpp"
+
+namespace rubic::metrics {
+namespace {
+
+TEST(Metrics, SpeedupDefinition) {
+  EXPECT_DOUBLE_EQ(speedup(200.0, 100.0), 2.0);
+  EXPECT_DOUBLE_EQ(speedup(50.0, 100.0), 0.5);
+  EXPECT_DOUBLE_EQ(speedup(10.0, 0.0), 0.0) << "undefined baseline → 0";
+}
+
+TEST(Metrics, EfficiencyDefinition) {
+  EXPECT_DOUBLE_EQ(efficiency(8.0, 16.0), 0.5);
+  EXPECT_DOUBLE_EQ(efficiency(1.0, 0.0), 0.0);
+}
+
+TEST(Metrics, NsbpProduct) {
+  const std::vector<double> speedups{2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(nsbp_product(speedups), 24.0);
+  EXPECT_DOUBLE_EQ(nsbp_product({}), 1.0);
+}
+
+TEST(Metrics, NsbpPunishesStarvation) {
+  // Same total speed-up, but starving one process collapses the product —
+  // the fairness teeth of the Nash bargaining objective (§4.1).
+  const std::vector<double> fair{4.0, 4.0};
+  const std::vector<double> starved{7.9, 0.1};
+  EXPECT_GT(nsbp_product(fair), nsbp_product(starved));
+}
+
+TEST(Metrics, EqualSplitMaximizesNsbpForIdenticalLinearProcesses) {
+  // §4.1: "in a contended system running identical processes, equally
+  // sharing the hardware maximizes the system's overall performance."
+  // With S(L) = L (linear identical workloads) and L1 + L2 = 64, the
+  // product L1·L2 peaks at 32/32.
+  const double best = nsbp_product(std::vector<double>{32.0, 32.0});
+  for (int l1 = 1; l1 < 64; ++l1) {
+    const double product =
+        nsbp_product(std::vector<double>{static_cast<double>(l1),
+                                         static_cast<double>(64 - l1)});
+    EXPECT_LE(product, best) << "split " << l1 << "/" << 64 - l1;
+  }
+}
+
+TEST(Metrics, EfficiencyProduct) {
+  const std::vector<double> efficiencies{0.5, 0.8};
+  EXPECT_DOUBLE_EQ(efficiency_product(efficiencies), 0.4);
+}
+
+TEST(Metrics, JainFairnessOnSpeedups) {
+  EXPECT_NEAR(jain_fairness(std::vector<double>{3.0, 3.0}), 1.0, 1e-12);
+  EXPECT_LT(jain_fairness(std::vector<double>{6.0, 0.5}), 0.7);
+}
+
+}  // namespace
+}  // namespace rubic::metrics

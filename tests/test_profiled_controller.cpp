@@ -1,0 +1,89 @@
+// Tests for the profile-then-pin controller (related work, §5): sweep
+// mechanics, pinning at the measured optimum, and — the paper's critique —
+// blindness to post-profiling workload changes and arrivals.
+#include <gtest/gtest.h>
+
+#include "src/control/profiled.hpp"
+#include "src/sim/sim_system.hpp"
+
+namespace rubic::control {
+namespace {
+
+TEST(Profiled, GeometricSweepThenPin) {
+  ProfiledController c(LevelBounds{1, 16}, /*rounds_per_level=*/2);
+  // Synthetic unimodal response peaking at level 8.
+  auto respond = [](int level) {
+    return level <= 8 ? 100.0 * level : 100.0 * (16 - level);
+  };
+  int level = c.initial_level();
+  for (int round = 0; round < 200 && !c.profiling_done(); ++round) {
+    level = c.on_sample(respond(level));
+  }
+  ASSERT_TRUE(c.profiling_done()) << "sweep must terminate";
+  EXPECT_EQ(c.pinned_level(), 8);
+  // Pinned forever, regardless of feedback.
+  EXPECT_EQ(c.on_sample(0.0), 8);
+  EXPECT_EQ(c.on_sample(1e9), 8);
+}
+
+TEST(Profiled, RefinementFindsOffGridOptimum) {
+  // Peak at 5 — not a power of two; the ±refinement probes must find a
+  // better level than the geometric grid alone (4 or 8).
+  ProfiledController c(LevelBounds{1, 16}, 2);
+  auto respond = [](int level) {
+    return 100.0 - 10.0 * std::abs(level - 5);
+  };
+  int level = c.initial_level();
+  for (int round = 0; round < 200 && !c.profiling_done(); ++round) {
+    level = c.on_sample(respond(level));
+  }
+  ASSERT_TRUE(c.profiling_done());
+  EXPECT_NEAR(c.pinned_level(), 5, 1);
+}
+
+TEST(Profiled, ResetRestartsProfiling) {
+  ProfiledController c(LevelBounds{1, 8}, 1);
+  for (int i = 0; i < 50; ++i) c.on_sample(100.0);
+  ASSERT_TRUE(c.profiling_done());
+  c.reset();
+  EXPECT_FALSE(c.profiling_done());
+  EXPECT_EQ(c.initial_level(), 1);
+}
+
+TEST(Profiled, FindsIntruderPeakInSimulator) {
+  ProfiledController c(LevelBounds{1, 128}, 5);
+  sim::SimProcessSpec spec{"p", sim::intruder_profile(), &c, 0.0,
+                           std::numeric_limits<double>::infinity()};
+  sim::SimConfig config;
+  config.duration_s = 10.0;
+  const auto result =
+      sim::run_simulation(config, std::span<sim::SimProcessSpec>(&spec, 1));
+  ASSERT_TRUE(c.profiling_done());
+  EXPECT_NEAR(c.pinned_level(), 7, 3)
+      << "profiling must locate Intruder's scalability peak";
+  (void)result;
+}
+
+TEST(Profiled, BlindToWorkloadChange) {
+  // The §5 critique in one test: after the pin, a workload change leaves
+  // the controller stuck at the stale level while RUBIC re-converges
+  // (compare Convergence.RubicReconvergesAfterWorkloadShrink).
+  ProfiledController c(LevelBounds{1, 128}, 5);
+  sim::SimProcessSpec spec{"p", sim::rbt98_profile(), &c, 0.0,
+                           std::numeric_limits<double>::infinity()};
+  spec.change_s = 5.0;
+  spec.profile_after = sim::intruder_profile();
+  sim::SimConfig config;
+  config.duration_s = 10.0;
+  const auto result =
+      sim::run_simulation(config, std::span<sim::SimProcessSpec>(&spec, 1));
+  ASSERT_TRUE(c.profiling_done());
+  // Pinned at the rbt-ish optimum (high), far above Intruder's peak of 7.
+  const auto& trace = result.processes[0].trace;
+  EXPECT_EQ(trace.back().level, c.pinned_level());
+  EXPECT_GT(c.pinned_level(), 20)
+      << "profiled against the scalable workload";
+}
+
+}  // namespace
+}  // namespace rubic::control

@@ -1,0 +1,264 @@
+// Red-black tree tests: functional behaviour, structural invariants under
+// randomized operation sequences (property-style, parameterized over seeds
+// and mixes), model checking against std::map, and concurrent stress.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/stm/stm.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/spin_barrier.hpp"
+#include "src/workloads/rbtree.hpp"
+
+namespace rubic::workloads {
+namespace {
+
+class RbTreeTest : public ::testing::Test {
+ protected:
+  stm::Runtime rt_;
+  stm::TxnDesc& ctx_ = rt_.register_thread();
+  RbTree tree_;
+
+  bool insert(std::int64_t k, std::int64_t v) {
+    return stm::atomically(ctx_, [&](stm::Txn& tx) { return tree_.insert(tx, k, v); });
+  }
+  bool erase(std::int64_t k) {
+    return stm::atomically(ctx_, [&](stm::Txn& tx) { return tree_.erase(tx, k); });
+  }
+  bool contains(std::int64_t k) {
+    return stm::atomically(ctx_, [&](stm::Txn& tx) { return tree_.contains(tx, k); });
+  }
+  std::optional<std::int64_t> get(std::int64_t k) {
+    return stm::atomically(ctx_, [&](stm::Txn& tx) { return tree_.get(tx, k); });
+  }
+};
+
+TEST_F(RbTreeTest, EmptyTree) {
+  EXPECT_FALSE(contains(1));
+  EXPECT_EQ(get(1), std::nullopt);
+  EXPECT_EQ(tree_.unsafe_size(), 0u);
+  EXPECT_TRUE(tree_.check_invariants());
+  EXPECT_FALSE(erase(1));
+}
+
+TEST_F(RbTreeTest, InsertFindErase) {
+  EXPECT_TRUE(insert(5, 50));
+  EXPECT_FALSE(insert(5, 51)) << "duplicate insert must be rejected";
+  EXPECT_TRUE(contains(5));
+  EXPECT_EQ(get(5), 50);
+  EXPECT_EQ(tree_.unsafe_size(), 1u);
+  EXPECT_TRUE(erase(5));
+  EXPECT_FALSE(contains(5));
+  EXPECT_EQ(tree_.unsafe_size(), 0u);
+  EXPECT_TRUE(tree_.check_invariants());
+}
+
+TEST_F(RbTreeTest, UpdateExistingKey) {
+  insert(1, 10);
+  EXPECT_TRUE(stm::atomically(ctx_, [&](stm::Txn& tx) { return tree_.update(tx, 1, 11); }));
+  EXPECT_EQ(get(1), 11);
+  EXPECT_FALSE(stm::atomically(ctx_, [&](stm::Txn& tx) { return tree_.update(tx, 2, 0); }));
+}
+
+TEST_F(RbTreeTest, AscendingInsertionStaysBalanced) {
+  constexpr std::int64_t kN = 2000;
+  for (std::int64_t i = 0; i < kN; ++i) ASSERT_TRUE(insert(i, i));
+  std::string error;
+  ASSERT_TRUE(tree_.check_invariants(&error)) << error;
+  EXPECT_EQ(tree_.unsafe_size(), static_cast<std::size_t>(kN));
+  for (std::int64_t i = 0; i < kN; ++i) ASSERT_TRUE(contains(i));
+}
+
+TEST_F(RbTreeTest, DescendingInsertionStaysBalanced) {
+  for (std::int64_t i = 2000; i > 0; --i) ASSERT_TRUE(insert(i, i));
+  std::string error;
+  ASSERT_TRUE(tree_.check_invariants(&error)) << error;
+}
+
+TEST_F(RbTreeTest, EraseAllAscending) {
+  for (std::int64_t i = 0; i < 500; ++i) insert(i, i);
+  for (std::int64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(erase(i)) << i;
+    std::string error;
+    ASSERT_TRUE(tree_.check_invariants(&error)) << "after erase " << i << ": " << error;
+  }
+  EXPECT_EQ(tree_.unsafe_size(), 0u);
+}
+
+TEST_F(RbTreeTest, LowerBoundKey) {
+  for (std::int64_t k : {10, 20, 30}) insert(k, k);
+  auto lb = [&](std::int64_t k) {
+    return stm::atomically(ctx_, [&](stm::Txn& tx) { return tree_.lower_bound_key(tx, k); });
+  };
+  EXPECT_EQ(lb(5), 10);
+  EXPECT_EQ(lb(10), 10);
+  EXPECT_EQ(lb(11), 20);
+  EXPECT_EQ(lb(30), 30);
+  EXPECT_EQ(lb(31), std::nullopt);
+}
+
+TEST_F(RbTreeTest, AbortedInsertLeavesNoTrace) {
+  insert(1, 1);
+  EXPECT_THROW(stm::atomically(ctx_,
+                               [&](stm::Txn& tx) {
+                                 tree_.insert(tx, 2, 2);
+                                 tree_.insert(tx, 3, 3);
+                                 throw std::runtime_error("abort");
+                               }),
+               std::runtime_error);
+  EXPECT_FALSE(contains(2));
+  EXPECT_FALSE(contains(3));
+  EXPECT_EQ(tree_.unsafe_size(), 1u);
+  EXPECT_TRUE(tree_.check_invariants());
+}
+
+TEST_F(RbTreeTest, UnsafeForEachInOrder) {
+  for (std::int64_t k : {5, 1, 9, 3, 7}) insert(k, k * 10);
+  std::vector<std::int64_t> keys;
+  tree_.unsafe_for_each([&](std::int64_t k, std::int64_t v) {
+    keys.push_back(k);
+    EXPECT_EQ(v, k * 10);
+  });
+  EXPECT_EQ(keys, (std::vector<std::int64_t>{1, 3, 5, 7, 9}));
+}
+
+// --- property tests: randomized op sequences checked against std::map ---
+
+struct RandomOpsParam {
+  std::uint64_t seed;
+  int key_range;
+  int erase_pct;
+};
+
+class RbTreeRandomOps : public ::testing::TestWithParam<RandomOpsParam> {};
+
+TEST_P(RbTreeRandomOps, MatchesStdMapAndKeepsInvariants) {
+  const auto [seed, key_range, erase_pct] = GetParam();
+  stm::Runtime rt;
+  stm::TxnDesc& ctx = rt.register_thread();
+  RbTree tree;
+  std::map<std::int64_t, std::int64_t> model;
+  util::Xoshiro256 rng(seed);
+
+  for (int op = 0; op < 4000; ++op) {
+    const auto key = static_cast<std::int64_t>(
+        rng.below(static_cast<std::uint64_t>(key_range)));
+    const bool do_erase = rng.below(100) < static_cast<std::uint64_t>(erase_pct);
+    if (do_erase) {
+      const bool tree_did = stm::atomically(
+          ctx, [&](stm::Txn& tx) { return tree.erase(tx, key); });
+      EXPECT_EQ(tree_did, model.erase(key) == 1) << "op " << op;
+    } else {
+      const bool tree_did = stm::atomically(
+          ctx, [&](stm::Txn& tx) { return tree.insert(tx, key, key + 1); });
+      EXPECT_EQ(tree_did, model.emplace(key, key + 1).second) << "op " << op;
+    }
+    if (op % 256 == 0) {
+      std::string error;
+      ASSERT_TRUE(tree.check_invariants(&error)) << "op " << op << ": " << error;
+    }
+  }
+  std::string error;
+  ASSERT_TRUE(tree.check_invariants(&error)) << error;
+  EXPECT_EQ(tree.unsafe_size(), model.size());
+  // Full content equality.
+  std::vector<std::pair<std::int64_t, std::int64_t>> contents;
+  tree.unsafe_for_each([&](std::int64_t k, std::int64_t v) {
+    contents.emplace_back(k, v);
+  });
+  ASSERT_EQ(contents.size(), model.size());
+  auto it = model.begin();
+  for (const auto& [k, v] : contents) {
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, RbTreeRandomOps,
+    ::testing::Values(RandomOpsParam{1, 64, 50},    // small hot key space
+                      RandomOpsParam{2, 64, 70},    // erase-heavy
+                      RandomOpsParam{3, 4096, 50},  // sparse
+                      RandomOpsParam{4, 16, 50},    // tiny, constant collisions
+                      RandomOpsParam{5, 1024, 30},  // growth-heavy
+                      RandomOpsParam{6, 2, 50}),    // degenerate two-key
+    [](const auto& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_range" +
+             std::to_string(param_info.param.key_range) + "_erase" +
+             std::to_string(param_info.param.erase_pct);
+    });
+
+// --- concurrent stress: invariants must hold after parallel churn ---
+
+TEST(RbTreeConcurrent, ParallelChurnPreservesInvariants) {
+  stm::Runtime rt;
+  RbTree tree;
+  {
+    stm::TxnDesc& ctx = rt.register_thread();
+    for (std::int64_t i = 0; i < 256; i += 2) {
+      stm::atomically(ctx, [&](stm::Txn& tx) { tree.insert(tx, i, i); });
+    }
+  }
+  constexpr int kThreads = 4;
+  util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      stm::TxnDesc& ctx = rt.register_thread();
+      util::Xoshiro256 rng(1000 + t);
+      barrier.arrive_and_wait();
+      for (int op = 0; op < 1500; ++op) {
+        const auto key = static_cast<std::int64_t>(rng.below(256));
+        switch (rng.below(3)) {
+          case 0:
+            stm::atomically(ctx, [&](stm::Txn& tx) { tree.insert(tx, key, key); });
+            break;
+          case 1:
+            stm::atomically(ctx, [&](stm::Txn& tx) { tree.erase(tx, key); });
+            break;
+          default:
+            stm::atomically(ctx, [&](stm::Txn& tx) { (void)tree.get(tx, key); });
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::string error;
+  EXPECT_TRUE(tree.check_invariants(&error)) << error;
+}
+
+TEST(RbTreeConcurrent, SizeMatchesNetInsertions) {
+  stm::Runtime rt;
+  RbTree tree;
+  constexpr int kThreads = 3;
+  constexpr int kPerThread = 400;
+  util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  // Disjoint key ranges: every insert/erase succeeds exactly once, so the
+  // final size is exactly known.
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      stm::TxnDesc& ctx = rt.register_thread();
+      barrier.arrive_and_wait();
+      const std::int64_t base = t * 10000;
+      for (int i = 0; i < kPerThread; ++i) {
+        stm::atomically(ctx, [&](stm::Txn& tx) { tree.insert(tx, base + i, i); });
+      }
+      for (int i = 0; i < kPerThread; i += 2) {
+        stm::atomically(ctx, [&](stm::Txn& tx) { tree.erase(tx, base + i); });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(tree.unsafe_size(),
+            static_cast<std::size_t>(kThreads * kPerThread / 2));
+  std::string error;
+  EXPECT_TRUE(tree.check_invariants(&error)) << error;
+}
+
+}  // namespace
+}  // namespace rubic::workloads

@@ -1,0 +1,293 @@
+// Simulator tests: curve shapes match the paper's fit targets, the machine
+// model exhibits the properties the controllers depend on, the simulation
+// loop accounts correctly, and the repetition harness is deterministic.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/control/ebs.hpp"
+#include "src/control/fixed.hpp"
+#include "src/control/rubic.hpp"
+#include "src/sim/experiment.hpp"
+#include "src/sim/machine_model.hpp"
+#include "src/sim/sim_system.hpp"
+#include "src/sim/workload_profiles.hpp"
+
+namespace rubic::sim {
+namespace {
+
+// ---------- scalability curves ----------
+
+TEST(Curves, SpeedupOfOneIsOne) {
+  for (const char* name : {"intruder", "vacation", "rbt", "rbt-readonly"}) {
+    EXPECT_NEAR(profile_by_name(name).curve->speedup(1.0), 1.0, 1e-12) << name;
+  }
+}
+
+TEST(Curves, MonotoneUpToPeakThenDeclining) {
+  // The paper's only requirement on workloads (§4.4): the scalability graph
+  // must monotonically increase until its peak.
+  for (const char* name : {"intruder", "vacation", "rbt", "rbt-readonly"}) {
+    const auto profile = profile_by_name(name);
+    const int peak = profile.curve->peak_level(64);
+    for (int level = 2; level <= peak; ++level) {
+      EXPECT_GT(profile.curve->speedup(level),
+                profile.curve->speedup(level - 1))
+          << name << " at " << level;
+    }
+    for (int level = peak + 1; level <= 64; ++level) {
+      EXPECT_LE(profile.curve->speedup(level),
+                profile.curve->speedup(level - 1))
+          << name << " at " << level;
+    }
+  }
+}
+
+TEST(Curves, IntruderMatchesFig1) {
+  const auto profile = intruder_profile();
+  const int peak = profile.curve->peak_level(64);
+  EXPECT_GE(peak, 6);
+  EXPECT_LE(peak, 8) << "paper: Intruder peaks at 7 threads";
+  EXPECT_LT(profile.curve->speedup(64.0), 0.55)
+      << "paper: at 64 threads, under half the sequential throughput";
+  EXPECT_GT(profile.curve->speedup(peak), 3.0);
+}
+
+TEST(Curves, VacationPeaksMidRange) {
+  const auto profile = vacation_profile();
+  const int peak = profile.curve->peak_level(64);
+  EXPECT_GE(peak, 30) << "§4.5.1: Vacation scales up to ~32 threads";
+  EXPECT_LE(peak, 42);
+  // Decline after the peak is gentle, unlike Intruder's collapse.
+  EXPECT_GT(profile.curve->speedup(64.0),
+            0.85 * profile.curve->speedup(peak));
+}
+
+TEST(Curves, Rbt98NearMachineSize) {
+  const auto profile = rbt98_profile();
+  const int peak = profile.curve->peak_level(64);
+  EXPECT_GE(peak, 48) << "paper: RBT scales close to the machine size";
+}
+
+TEST(Curves, ReadOnlyRbtScalesToMachineSize) {
+  const auto profile = rbt_readonly_profile();
+  EXPECT_EQ(profile.curve->peak_level(64), 64)
+      << "§4.6: conflict-free RBT scales up to the number of h/w contexts";
+  EXPECT_GT(profile.curve->speedup(64.0), 50.0);
+}
+
+TEST(Curves, TableCurveInterpolates) {
+  TableCurve curve({{1.0, 1.0}, {8.0, 6.0}, {16.0, 4.0}});
+  EXPECT_DOUBLE_EQ(curve.speedup(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(curve.speedup(8.0), 6.0);
+  EXPECT_NEAR(curve.speedup(4.5), 3.5, 1e-12);
+  EXPECT_NEAR(curve.speedup(12.0), 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(curve.speedup(100.0), 4.0) << "clamped past last sample";
+  EXPECT_NEAR(curve.speedup(0.5), 0.5, 1e-12) << "scales to S(0)=0 below 1";
+}
+
+TEST(Curves, ProfileLookupThrowsOnUnknown) {
+  EXPECT_THROW(profile_by_name("nonsense"), std::invalid_argument);
+}
+
+// ---------- machine model ----------
+
+TEST(MachineModelTest, DedicatedMatchesCurve) {
+  MachineModel machine(64);
+  const auto profile = rbt98_profile();
+  for (int level : {1, 8, 32, 64}) {
+    EXPECT_DOUBLE_EQ(machine.throughput(profile, level, level),
+                     profile.sequential_rate * profile.curve->speedup(level));
+  }
+}
+
+TEST(MachineModelTest, CrossingOversubscriptionLineDegrades) {
+  MachineModel machine(64);
+  const auto profile = rbt_readonly_profile();
+  // One process at 64 on a full machine vs. the same process when the
+  // system has 2 extra threads: its throughput must strictly drop.
+  const double at_line = machine.throughput(profile, 64, 64);
+  const double just_over = machine.throughput(profile, 64, 66);
+  EXPECT_LT(just_over, at_line);
+  // ...but only slightly: the plateau that hides from ±1 AIAD probes.
+  EXPECT_GT(just_over, 0.93 * at_line);
+}
+
+TEST(MachineModelTest, GrowingOwnShareWhileOversubscribedPays) {
+  // §2.1's race dynamics: when the system is oversubscribed, adding own
+  // threads steals timeslice share (small personal gain), while unilateral
+  // reduction is punished — so greedy ±1 policies never de-escalate.
+  MachineModel machine(64);
+  const auto profile = rbt_readonly_profile();
+  const double both_64 = machine.throughput(profile, 64, 128);
+  const double me_65 = machine.throughput(profile, 65, 129);
+  EXPECT_GT(me_65, both_64) << "growing while oversubscribed must pay off";
+  const double me_32_peer_64 = machine.throughput(profile, 32, 96);
+  EXPECT_LT(me_32_peer_64, both_64)
+      << "unilateral de-escalation must be punished";
+}
+
+TEST(MachineModelTest, FairSplitBeatsOversubscribedRace) {
+  // The cooperative optimum the MD phases unlock: both at 32 beats both at
+  // 64 — individually and in NSBP product.
+  MachineModel machine(64);
+  const auto profile = rbt_readonly_profile();
+  const double fair = machine.throughput(profile, 32, 64);
+  const double race = machine.throughput(profile, 64, 128);
+  EXPECT_GT(fair, 1.3 * race);
+}
+
+TEST(MachineModelTest, IntruderSuffersMostFromOversubscription) {
+  // Beyond losing timeslice share (already reflected in the effective
+  // level), a TM-heavy workload pays an extra convex penalty — preempted
+  // lock holders prolong transactions and inflate conflicts (§1). Extract
+  // that factor at 2× load and compare across workloads.
+  MachineModel machine(64);
+  auto extra_penalty = [&](const WorkloadProfile& profile) {
+    const double effective = profile.curve->speedup(32.0);  // 64·C/2C
+    return machine.throughput(profile, 64, 128) /
+           (profile.sequential_rate * effective);
+  };
+  const double intruder_phi = extra_penalty(intruder_profile());
+  const double vacation_phi = extra_penalty(vacation_profile());
+  const double rbt_phi = extra_penalty(rbt_readonly_profile());
+  EXPECT_LT(intruder_phi, vacation_phi);
+  EXPECT_LT(vacation_phi, rbt_phi);
+  EXPECT_LT(rbt_phi, 1.0) << "oversubscription always costs something";
+}
+
+TEST(MachineModelTest, ZeroLevelZeroThroughput) {
+  MachineModel machine(64);
+  EXPECT_EQ(machine.throughput(rbt98_profile(), 0, 10), 0.0);
+}
+
+// ---------- simulation loop ----------
+
+TEST(SimSystem, FixedControllerAccountsExactly) {
+  control::FixedController fixed(control::LevelBounds{1, 64}, 16, "Fixed");
+  SimProcessSpec spec;
+  spec.name = "p0";
+  spec.profile = rbt98_profile();
+  spec.controller = &fixed;
+  SimConfig config;
+  config.duration_s = 1.0;
+  config.noise_sigma = 0.0;
+  const SimResult result =
+      run_simulation(config, std::span<SimProcessSpec>(&spec, 1));
+  ASSERT_EQ(result.processes.size(), 1u);
+  const auto& p = result.processes[0];
+  EXPECT_NEAR(p.mean_level, 16.0, 1e-9);
+  EXPECT_NEAR(p.speedup, spec.profile.curve->speedup(16.0), 1e-9);
+  EXPECT_NEAR(p.active_seconds, 1.0, 1e-9);
+  EXPECT_NEAR(p.tasks_completed,
+              spec.profile.sequential_rate * p.speedup * 1.0,
+              spec.profile.sequential_rate * 1e-9);
+  EXPECT_NEAR(result.nsbp, p.speedup, 1e-12);
+  EXPECT_NEAR(result.total_mean_threads, 16.0, 1e-9);
+}
+
+TEST(SimSystem, TraceCoversEveryRound) {
+  control::FixedController fixed(control::LevelBounds{1, 64}, 4, "Fixed");
+  SimProcessSpec spec;
+  spec.name = "p0";
+  spec.profile = vacation_profile();
+  spec.controller = &fixed;
+  SimConfig config;
+  config.duration_s = 0.5;
+  config.period_s = 0.01;
+  const SimResult result =
+      run_simulation(config, std::span<SimProcessSpec>(&spec, 1));
+  EXPECT_EQ(result.processes[0].trace.size(), 50u);
+  EXPECT_DOUBLE_EQ(result.processes[0].trace.front().time_s, 0.0);
+}
+
+TEST(SimSystem, LateArrivalOnlyAccountsWhileActive) {
+  control::FixedController f1(control::LevelBounds{1, 64}, 8, "Fixed");
+  control::FixedController f2(control::LevelBounds{1, 64}, 8, "Fixed");
+  SimProcessSpec specs[2];
+  specs[0] = {"early", rbt98_profile(), &f1, 0.0,
+              std::numeric_limits<double>::infinity()};
+  specs[1] = {"late", rbt98_profile(), &f2, 0.5,
+              std::numeric_limits<double>::infinity()};
+  SimConfig config;
+  config.duration_s = 1.0;
+  config.noise_sigma = 0.0;
+  const SimResult result = run_simulation(config, specs);
+  EXPECT_NEAR(result.processes[0].active_seconds, 1.0, 1e-9);
+  EXPECT_NEAR(result.processes[1].active_seconds, 0.5, 1e-9);
+}
+
+TEST(SimSystem, DepartureFreesTheMachine) {
+  control::FixedController f1(control::LevelBounds{1, 128}, 64, "Fixed");
+  control::FixedController f2(control::LevelBounds{1, 128}, 64, "Fixed");
+  SimProcessSpec specs[2];
+  specs[0] = {"stays", rbt_readonly_profile(), &f1, 0.0,
+              std::numeric_limits<double>::infinity()};
+  specs[1] = {"leaves", rbt_readonly_profile(), &f2, 0.0, 0.5};
+  SimConfig config;
+  config.duration_s = 1.0;
+  config.noise_sigma = 0.0;
+  const SimResult result = run_simulation(config, specs);
+  const auto& stays = result.processes[0].trace;
+  ASSERT_EQ(stays.size(), 100u);
+  // While both run: oversubscribed 128 on 64. After departure: dedicated.
+  EXPECT_LT(stays[10].throughput, stays[80].throughput);
+  EXPECT_NEAR(result.processes[1].active_seconds, 0.5, 1e-9);
+}
+
+TEST(SimSystem, EqualShareAllocatorTracksArrivals) {
+  auto allocator = std::make_shared<control::CentralAllocator>(64);
+  control::EqualShareController c1(allocator), c2(allocator);
+  SimProcessSpec specs[2];
+  specs[0] = {"p1", rbt_readonly_profile(), &c1, 0.0,
+              std::numeric_limits<double>::infinity()};
+  specs[1] = {"p2", rbt_readonly_profile(), &c2, 0.5,
+              std::numeric_limits<double>::infinity()};
+  SimConfig config;
+  config.duration_s = 1.0;
+  config.noise_sigma = 0.0;
+  config.allocator = allocator;
+  const SimResult result = run_simulation(config, specs);
+  const auto& trace = result.processes[0].trace;
+  // Before arrival p1 holds all 64 contexts; after, the share drops to 32.
+  EXPECT_EQ(trace[20].level, 64);
+  EXPECT_EQ(trace[80].level, 32);
+}
+
+// ---------- experiment harness ----------
+
+TEST(Experiment, DeterministicAcrossRuns) {
+  ExperimentConfig config;
+  config.repetitions = 3;
+  config.duration_s = 1.0;
+  const auto a = run_pair(config, "rubic", "rbt", "vacation");
+  const auto b = run_pair(config, "rubic", "rbt", "vacation");
+  EXPECT_DOUBLE_EQ(a.nsbp.mean(), b.nsbp.mean());
+  EXPECT_DOUBLE_EQ(a.nsbp.stddev(), b.nsbp.stddev());
+  EXPECT_DOUBLE_EQ(a.processes[0].mean_level.mean(),
+                   b.processes[0].mean_level.mean());
+}
+
+TEST(Experiment, SeedChangesResults) {
+  ExperimentConfig config;
+  config.repetitions = 2;
+  config.duration_s = 1.0;
+  auto a = run_pair(config, "ebs", "rbt", "vacation");
+  config.base_seed += 1000;
+  auto b = run_pair(config, "ebs", "rbt", "vacation");
+  EXPECT_NE(a.nsbp.mean(), b.nsbp.mean());
+}
+
+TEST(Experiment, AllPoliciesRunPairwise) {
+  ExperimentConfig config;
+  config.repetitions = 2;
+  config.duration_s = 0.5;
+  for (const auto policy : control::evaluated_policies()) {
+    const auto result = run_pair(config, std::string(policy), "intruder", "rbt");
+    EXPECT_GT(result.nsbp.mean(), 0.0) << policy;
+    EXPECT_EQ(result.processes.size(), 2u) << policy;
+  }
+}
+
+}  // namespace
+}  // namespace rubic::sim

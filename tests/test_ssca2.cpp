@@ -1,0 +1,85 @@
+// SSCA2 graph-construction workload tests: exact epoch-0 ground truth
+// (unique edge count and full degree sequence), handshake-lemma invariant
+// under concurrency and replays, hub-skew sanity.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/control/rubic.hpp"
+#include "src/runtime/process.hpp"
+#include "src/util/spin_barrier.hpp"
+#include "src/workloads/ssca2/graph_workload.hpp"
+
+namespace rubic::workloads::ssca2 {
+namespace {
+
+using namespace std::chrono_literals;
+
+GraphParams tiny() {
+  GraphParams params;
+  params.vertex_count = 128;
+  params.edge_count = 1024;
+  return params;
+}
+
+TEST(Ssca2, SingleThreadEpochMatchesDegreeSequence) {
+  stm::Runtime rt;
+  GraphWorkload workload(rt, tiny());
+  ASSERT_GT(workload.unique_edges_expected(), 0);
+  ASSERT_LT(workload.unique_edges_expected(), 1024)
+      << "skewed sampling must produce duplicate edges";
+  stm::TxnDesc& ctx = rt.register_thread();
+  util::Xoshiro256 rng(1);
+  for (int i = 0; i < 1024; ++i) workload.run_task(ctx, rng);
+  std::string error;
+  EXPECT_TRUE(workload.verify(&error)) << error;
+}
+
+TEST(Ssca2, ReplayEpochsKeepHandshakeInvariant) {
+  stm::Runtime rt;
+  GraphWorkload workload(rt, tiny());
+  stm::TxnDesc& ctx = rt.register_thread();
+  util::Xoshiro256 rng(1);
+  for (int i = 0; i < 2 * 1024 + 512; ++i) workload.run_task(ctx, rng);
+  std::string error;
+  EXPECT_TRUE(workload.verify(&error)) << error;
+}
+
+TEST(Ssca2, ConcurrentInsertersCountExactly) {
+  stm::Runtime rt;
+  GraphWorkload workload(rt, tiny());
+  constexpr int kThreads = 4;
+  util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      stm::TxnDesc& ctx = rt.register_thread();
+      util::Xoshiro256 rng(3);
+      barrier.arrive_and_wait();
+      for (int i = 0; i < 1024 / kThreads; ++i) workload.run_task(ctx, rng);
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(workload.edges_processed(), 1024);
+  std::string error;
+  EXPECT_TRUE(workload.verify(&error)) << error
+      << " (hot hub counters are the contention point here)";
+}
+
+TEST(Ssca2, UnderTunedProcess) {
+  stm::Runtime rt;
+  GraphWorkload workload(rt, tiny());
+  control::RubicController controller(control::LevelBounds{1, 4});
+  runtime::ProcessConfig config;
+  config.pool.pool_size = 4;
+  config.monitor.period = 5ms;
+  runtime::TunedProcess process(rt, workload, controller, config);
+  const auto report = process.run_for(250ms);
+  EXPECT_GT(report.tasks_completed, 500u);
+  std::string error;
+  EXPECT_TRUE(workload.verify(&error)) << error;
+}
+
+}  // namespace
+}  // namespace rubic::workloads::ssca2

@@ -1,0 +1,204 @@
+// Serializability checker for the STM.
+//
+// Worker threads run randomized read/write transactions over a small set of
+// TVars, recording for every *committed* transaction its serialization
+// point (commit timestamp for writers, final read timestamp for read-only
+// transactions), the exact values it read, and the values it wrote. After
+// quiescence the checker replays all writing transactions in global commit-
+// timestamp order from the initial state and verifies:
+//
+//   1. every writer's recorded reads equal the replayed state just before
+//      its commit point (TL2-family writers serialize at their wv);
+//   2. every read-only transaction's reads equal the replayed state as of
+//      its read timestamp (they serialize at rv);
+//   3. the final replayed state equals the actual memory contents.
+//
+// Any opacity violation, lost update, torn snapshot or validation bug in
+// the STM shows up here as a concrete value mismatch. Runs over the full
+// contention-manager × lock-timing matrix.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "src/stm/stm.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/spin_barrier.hpp"
+
+namespace rubic::stm {
+namespace {
+
+constexpr int kVars = 6;
+constexpr std::int64_t kInitialValue = 1000;
+
+struct CommittedTxn {
+  std::uint64_t serialization_point;  // wv for writers, rv for read-only
+  bool read_only;
+  // (var index, value) pairs in access order.
+  std::vector<std::pair<int, std::int64_t>> reads;
+  std::vector<std::pair<int, std::int64_t>> writes;
+};
+
+class SerializabilityTest
+    : public ::testing::TestWithParam<std::tuple<CmPolicy, LockTiming>> {};
+
+TEST_P(SerializabilityTest, CommitOrderReplayMatchesEveryObservation) {
+  RuntimeConfig config;
+  config.cm = std::get<0>(GetParam());
+  config.lock_timing = std::get<1>(GetParam());
+  Runtime rt(config);
+
+  std::vector<TVar<std::int64_t>> vars(kVars);
+  for (auto& var : vars) var.unsafe_write(kInitialValue);
+
+  constexpr int kThreads = 4;
+  constexpr int kTxnsPerThread = 1200;
+  std::mutex log_mutex;
+  std::vector<CommittedTxn> log;
+  util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      TxnDesc& ctx = rt.register_thread();
+      util::Xoshiro256 rng(7000 + t);
+      std::vector<CommittedTxn> local;
+      local.reserve(kTxnsPerThread);
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kTxnsPerThread; ++i) {
+        // Plan drawn outside the transaction so retries repeat it.
+        const bool read_only = rng.below(3) == 0;
+        const int read_count = 1 + static_cast<int>(rng.below(3));
+        int read_vars[4];
+        for (int r = 0; r < read_count; ++r) {
+          read_vars[r] = static_cast<int>(rng.below(kVars));
+        }
+        const int write_var = static_cast<int>(rng.below(kVars));
+        const auto delta = static_cast<std::int64_t>(rng.below(9)) - 4;
+
+        // A quarter of the transactions yield between their reads and
+        // their write: on a 1-core host this manufactures exactly the
+        // read-then-preempted-then-stale interleavings the checker exists
+        // to vet (without it, microsecond transactions rarely overlap).
+        const bool yield_mid_txn = rng.below(4) == 0;
+
+        CommittedTxn record;
+        atomically(ctx, [&](Txn& tx) {
+          record.reads.clear();
+          record.writes.clear();
+          std::int64_t sum = 0;
+          for (int r = 0; r < read_count; ++r) {
+            const std::int64_t value =
+                vars[static_cast<std::size_t>(read_vars[r])].read(tx);
+            record.reads.emplace_back(read_vars[r], value);
+            sum += value;
+          }
+          if (yield_mid_txn) std::this_thread::yield();
+          if (!read_only) {
+            // Value derived from the reads: a stale read produces a wrong
+            // write that the replay will catch twice over.
+            const std::int64_t value = sum + delta;
+            vars[static_cast<std::size_t>(write_var)].write(tx, value);
+            record.writes.emplace_back(write_var, value);
+          }
+        });
+        record.read_only = ctx.last_commit_timestamp() == 0;
+        record.serialization_point = record.read_only
+                                         ? ctx.last_read_timestamp()
+                                         : ctx.last_commit_timestamp();
+        local.push_back(std::move(record));
+      }
+      std::lock_guard lock(log_mutex);
+      for (auto& entry : local) log.push_back(std::move(entry));
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Split and order the log.
+  std::vector<const CommittedTxn*> writers;
+  std::vector<const CommittedTxn*> readers;
+  for (const auto& entry : log) {
+    (entry.read_only ? readers : writers).push_back(&entry);
+  }
+  std::sort(writers.begin(), writers.end(), [](const auto* a, const auto* b) {
+    return a->serialization_point < b->serialization_point;
+  });
+  // Commit timestamps are unique (one clock tick per writing commit).
+  for (std::size_t i = 1; i < writers.size(); ++i) {
+    ASSERT_NE(writers[i - 1]->serialization_point,
+              writers[i]->serialization_point)
+        << "two writers share a commit timestamp";
+  }
+  std::sort(readers.begin(), readers.end(), [](const auto* a, const auto* b) {
+    return a->serialization_point < b->serialization_point;
+  });
+
+  // Replay writers in commit order; interleave read-only checks at their
+  // read timestamps (a reader with rv = T sees all commits with wv <= T).
+  std::int64_t state[kVars];
+  for (auto& value : state) value = kInitialValue;
+  std::size_t reader_index = 0;
+  auto check_readers_up_to = [&](std::uint64_t timestamp) {
+    while (reader_index < readers.size() &&
+           readers[reader_index]->serialization_point < timestamp) {
+      const CommittedTxn* reader = readers[reader_index];
+      for (const auto& [var, value] : reader->reads) {
+        ASSERT_EQ(value, state[var])
+            << "read-only txn at rv=" << reader->serialization_point
+            << " observed a non-serializable value for var " << var;
+      }
+      ++reader_index;
+    }
+  };
+
+  std::uint64_t violations = 0;
+  for (const CommittedTxn* writer : writers) {
+    check_readers_up_to(writer->serialization_point);
+    for (const auto& [var, value] : writer->reads) {
+      if (value != state[var]) ++violations;
+      ASSERT_EQ(value, state[var])
+          << "writer at wv=" << writer->serialization_point
+          << " committed against a stale read of var " << var;
+    }
+    for (const auto& [var, value] : writer->writes) {
+      state[var] = value;
+    }
+  }
+  check_readers_up_to(~std::uint64_t{0});
+  EXPECT_EQ(violations, 0u);
+  EXPECT_EQ(reader_index, readers.size());
+
+  // The replayed final state must equal actual memory.
+  for (int v = 0; v < kVars; ++v) {
+    EXPECT_EQ(vars[static_cast<std::size_t>(v)].unsafe_read(), state[v])
+        << "final state diverged for var " << v;
+  }
+  // Sanity: contention actually happened (the checker would be vacuous on
+  // a conflict-free run).
+  EXPECT_GT(rt.aggregate_stats().total_aborts(), 0u)
+      << "test produced no conflicts; tighten the variable count";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SerializabilityTest,
+    ::testing::Combine(::testing::Values(CmPolicy::kTimidBackoff,
+                                         CmPolicy::kGreedyTimestamp),
+                       ::testing::Values(LockTiming::kEncounterTime,
+                                         LockTiming::kCommitTime)),
+    [](const auto& param_info) {
+      const std::string cm =
+          std::get<0>(param_info.param) == CmPolicy::kTimidBackoff
+              ? "Timid"
+              : "Greedy";
+      const std::string timing =
+          std::get<1>(param_info.param) == LockTiming::kEncounterTime
+              ? "Encounter"
+              : "CommitTime";
+      return cm + timing;
+    });
+
+}  // namespace
+}  // namespace rubic::stm

@@ -1,0 +1,219 @@
+// Stress and failure-injection tests: epoch reclamation under multi-thread
+// churn, starvation behaviour under extreme contention, retry-budget
+// exhaustion mid-run, pool teardown racing transactions, and high-contention
+// Vacation runs under both contention managers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/stm/stm.hpp"
+#include "src/util/spin_barrier.hpp"
+#include "src/workloads/rbtree.hpp"
+#include "src/workloads/vacation/vacation_workload.hpp"
+
+namespace rubic::stm {
+namespace {
+
+TEST(StmStress, EpochReclamationUnderChurn) {
+  // Many threads continuously allocate, publish, unlink and free nodes
+  // through a shared pointer array; the epoch scheme must neither crash
+  // (use-after-free) nor leak unboundedly (limbo must drain).
+  Runtime rt;
+  struct Node {
+    TVar<std::int64_t> value;
+  };
+  constexpr int kSlots = 32;
+  std::vector<TVar<Node*>> slots(kSlots);
+  {
+    TxnDesc& ctx = rt.register_thread();
+    atomically(ctx, [&](Txn& tx) {
+      for (auto& slot : slots) {
+        Node* n = tx.make<Node>();
+        n->value.unsafe_write(0);
+        slot.write(tx, n);
+      }
+    });
+  }
+  constexpr int kThreads = 4;
+  util::SpinBarrier barrier(kThreads);
+  std::atomic<bool> bad{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      TxnDesc& ctx = rt.register_thread();
+      util::Xoshiro256 rng(500 + t);
+      barrier.arrive_and_wait();
+      for (int op = 0; op < 4000; ++op) {
+        auto& slot = slots[rng.below(kSlots)];
+        if (rng.below(2) == 0) {
+          // Replace: free the old node, publish a fresh one.
+          atomically(ctx, [&](Txn& tx) {
+            Node* old = slot.read(tx);
+            Node* fresh = tx.make<Node>();
+            fresh->value.unsafe_write(op);
+            slot.write(tx, fresh);
+            tx.free(old);
+          });
+        } else {
+          // Read through: the node must always be dereferenceable.
+          const std::int64_t v = atomically(ctx, [&](Txn& tx) {
+            Node* n = slot.read(tx);
+            return n->value.read(tx);
+          });
+          if (v < 0) bad.store(true);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(bad.load());
+  // Exited workers leave queued frees behind; the quiescent drain must
+  // reclaim every one of them.
+  EXPECT_GT(rt.limbo_size(), 0u) << "churn should have deferred frees";
+  rt.drain_all_matured_quiescent();
+  EXPECT_EQ(rt.limbo_size(), 0u);
+  // Final nodes cleaned up manually (they're live heap objects).
+  for (auto& slot : slots) ::operator delete(slot.unsafe_read());
+}
+
+TEST(StmStress, ExtremeSingleWordContentionCompletes) {
+  // All threads increment a single word: total serialization, worst-case
+  // abort rates — every increment must still land (no lost updates, no
+  // livelock) under both contention managers.
+  for (const CmPolicy cm : {CmPolicy::kTimidBackoff, CmPolicy::kGreedyTimestamp}) {
+    RuntimeConfig cfg;
+    cfg.cm = cm;
+    Runtime rt(cfg);
+    TVar<std::int64_t> hot(0);
+    constexpr int kThreads = 6;
+    constexpr int kPerThread = 1000;
+    util::SpinBarrier barrier(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        TxnDesc& ctx = rt.register_thread();
+        barrier.arrive_and_wait();
+        for (int i = 0; i < kPerThread; ++i) {
+          atomically(ctx, [&](Txn& tx) { hot.write(tx, hot.read(tx) + 1); });
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(hot.unsafe_read(), kThreads * kPerThread)
+        << "cm=" << static_cast<int>(cm);
+  }
+}
+
+TEST(StmStress, RetryBudgetSurfacesMidWorkload) {
+  // A bounded retry budget must turn pathological contention into a
+  // catchable exception rather than silent livelock, and the victim's
+  // partial work must be rolled back.
+  RuntimeConfig cfg;
+  cfg.max_retries = 4;
+  Runtime rt(cfg);
+  TVar<std::int64_t> x(0);
+  TxnDesc& ctx = rt.register_thread();
+  int bodies = 0;
+  bool threw = false;
+  try {
+    atomically(ctx, [&](Txn& tx) {
+      ++bodies;
+      x.write(tx, 999);
+      tx.retry();  // permanent self-inflicted conflict
+    });
+  } catch (const RetriesExhausted&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(bodies, 4);
+  EXPECT_EQ(x.unsafe_read(), 0) << "no attempt may have leaked its writes";
+  EXPECT_FALSE(ctx.active());
+  // The context must be reusable afterwards.
+  atomically(ctx, [&](Txn& tx) { x.write(tx, 1); });
+  EXPECT_EQ(x.unsafe_read(), 1);
+}
+
+TEST(StmStress, ManyThreadsManyRuntimesIsolated) {
+  // Two independent Runtime instances on interleaved threads must never
+  // interact: commits in one do not advance the other's clock.
+  Runtime rt_a, rt_b;
+  TVar<std::int64_t> a(0), b(0);
+  std::thread worker_a([&] {
+    TxnDesc& ctx = rt_a.register_thread();
+    for (int i = 0; i < 500; ++i) {
+      atomically(ctx, [&](Txn& tx) { a.write(tx, a.read(tx) + 1); });
+    }
+  });
+  std::thread worker_b([&] {
+    TxnDesc& ctx = rt_b.register_thread();
+    for (int i = 0; i < 300; ++i) {
+      atomically(ctx, [&](Txn& tx) { b.write(tx, b.read(tx) + 1); });
+    }
+  });
+  worker_a.join();
+  worker_b.join();
+  EXPECT_EQ(rt_a.clock().load(), 500u);
+  EXPECT_EQ(rt_b.clock().load(), 300u);
+  EXPECT_EQ(a.unsafe_read(), 500);
+  EXPECT_EQ(b.unsafe_read(), 300);
+}
+
+TEST(StmStress, VacationHighContentionBothManagers) {
+  for (const CmPolicy cm : {CmPolicy::kTimidBackoff, CmPolicy::kGreedyTimestamp}) {
+    RuntimeConfig cfg;
+    cfg.cm = cm;
+    Runtime rt(cfg);
+    auto params = workloads::vacation::VacationParams::high_contention();
+    params.rows_per_relation = 64;  // brutal: everyone fights over 64 rows
+    params.customers = 64;
+    workloads::vacation::VacationWorkload workload(rt, params);
+    constexpr int kThreads = 4;
+    util::SpinBarrier barrier(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        TxnDesc& ctx = rt.register_thread();
+        util::Xoshiro256 rng(900 + t);
+        barrier.arrive_and_wait();
+        for (int i = 0; i < 400; ++i) workload.run_task(ctx, rng);
+      });
+    }
+    for (auto& th : threads) th.join();
+    std::string error;
+    EXPECT_TRUE(workload.verify(&error))
+        << "cm=" << static_cast<int>(cm) << ": " << error;
+  }
+}
+
+TEST(StmStress, RbTreeChurnWithTinyKeySpace) {
+  // Two keys, four threads: near-every transaction conflicts structurally
+  // (root rotations), the tree's invariants must hold throughout.
+  Runtime rt;
+  workloads::RbTree tree;
+  constexpr int kThreads = 4;
+  util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      TxnDesc& ctx = rt.register_thread();
+      util::Xoshiro256 rng(t);
+      barrier.arrive_and_wait();
+      for (int op = 0; op < 1500; ++op) {
+        const auto key = static_cast<std::int64_t>(rng.below(2));
+        if (rng.below(2) == 0) {
+          atomically(ctx, [&](Txn& tx) { tree.insert(tx, key, op); });
+        } else {
+          atomically(ctx, [&](Txn& tx) { tree.erase(tx, key); });
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::string error;
+  EXPECT_TRUE(tree.check_invariants(&error)) << error;
+}
+
+}  // namespace
+}  // namespace rubic::stm

@@ -1,0 +1,65 @@
+// Tests for the time-series / CSV module.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/metrics/timeseries.hpp"
+
+namespace rubic::metrics {
+namespace {
+
+TEST(TimeSeries, AppendAndAccess) {
+  TimeSeries series({"t", "level", "throughput"});
+  series.append({0.0, 1.0, 100.0});
+  series.append({0.01, 2.0, 190.0});
+  EXPECT_EQ(series.rows(), 2u);
+  EXPECT_EQ(series.columns(), 3u);
+  EXPECT_DOUBLE_EQ(series.at(1, 1), 2.0);
+  EXPECT_EQ(series.names()[2], "throughput");
+}
+
+TEST(TimeSeries, ColumnMeanWithWindow) {
+  TimeSeries series({"t", "x"});
+  for (int i = 0; i < 10; ++i) {
+    series.append({i * 0.1, static_cast<double>(i)});
+  }
+  EXPECT_DOUBLE_EQ(series.column_mean(1), 4.5);
+  // Window [0.5, 0.8): rows with t = 0.5, 0.6, 0.7 → x = 5, 6, 7.
+  EXPECT_NEAR(series.column_mean(1, 0.499, 0.799), 6.0, 1e-9);
+  EXPECT_DOUBLE_EQ(series.column_mean(1, 99.0, 100.0), 0.0) << "empty window";
+}
+
+TEST(TimeSeries, CsvRoundTrip) {
+  TimeSeries series({"t", "a,b", "quo\"te"});
+  series.append({0.5, -1.25, 3.0});
+  std::ostringstream out;
+  series.write_csv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("t,\"a,b\",\"quo\"\"te\"\n"), std::string::npos)
+      << "header quoting: " << csv;
+  EXPECT_NE(csv.find("0.5,-1.25,3\n"), std::string::npos) << csv;
+}
+
+TEST(TimeSeries, WritesFile) {
+  TimeSeries series({"t", "x"});
+  series.append({1.0, 2.0});
+  const std::string path = ::testing::TempDir() + "/rubic_timeseries_test.csv";
+  ASSERT_TRUE(series.write_csv_file(path));
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "t,x");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "1,2");
+  std::remove(path.c_str());
+}
+
+TEST(TimeSeries, MismatchedRowAborts) {
+  TimeSeries series({"t", "x"});
+  EXPECT_DEATH(series.append({1.0}), "row width");
+}
+
+}  // namespace
+}  // namespace rubic::metrics

@@ -1,0 +1,107 @@
+// USL fitting tests: parameter recovery from clean and noisy samples of
+// every built-in profile, degenerate inputs, and round-tripping a fitted
+// curve through the machine model.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "src/sim/machine_model.hpp"
+#include "src/sim/usl_fit.hpp"
+#include "src/sim/workload_profiles.hpp"
+#include "src/util/rng.hpp"
+
+namespace rubic::sim {
+namespace {
+
+std::vector<std::pair<double, double>> sample_curve(
+    const ScalabilityCurve& curve, double noise_sigma = 0.0,
+    std::uint64_t seed = 1) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::pair<double, double>> samples;
+  for (int level = 1; level <= 64; level += 3) {
+    double s = curve.speedup(level);
+    if (noise_sigma > 0) s *= 1.0 + noise_sigma * rng.normal();
+    samples.emplace_back(level, s);
+  }
+  return samples;
+}
+
+class UslFitRecovery : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(UslFitRecovery, CleanSamplesReproduceCurveShape) {
+  const auto profile = profile_by_name(GetParam());
+  const auto samples = sample_curve(*profile.curve);
+  const UslFit fit = fit_extended_usl(samples);
+  EXPECT_LT(fit.relative_rmse, 0.02) << GetParam();
+  // The fitted curve must reproduce the peak location (the only feature
+  // the controllers actually depend on) within a small margin.
+  const auto fitted = fit.curve();
+  EXPECT_NEAR(fitted.peak_level(64), profile.curve->peak_level(64),
+              std::max(2, profile.curve->peak_level(64) / 5))
+      << GetParam();
+  // And the speed-up values across the range.
+  for (int level : {2, 8, 24, 48, 64}) {
+    EXPECT_NEAR(fitted.speedup(level), profile.curve->speedup(level),
+                0.05 * profile.curve->speedup(level) + 0.05)
+        << GetParam() << " level " << level;
+  }
+}
+
+TEST_P(UslFitRecovery, NoisySamplesStillFindThePeak) {
+  const auto profile = profile_by_name(GetParam());
+  const auto samples = sample_curve(*profile.curve, 0.03, 7);
+  const UslFit fit = fit_extended_usl(samples);
+  EXPECT_LT(fit.relative_rmse, 0.08) << GetParam();
+  const auto fitted = fit.curve();
+  EXPECT_NEAR(fitted.peak_level(64), profile.curve->peak_level(64),
+              std::max(3, profile.curve->peak_level(64) / 4))
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, UslFitRecovery,
+                         ::testing::Values("intruder", "vacation", "rbt",
+                                           "rbt-readonly"),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (char& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
+                         });
+
+TEST(UslFit, LinearSpeedupFitsNearZeroParameters) {
+  std::vector<std::pair<double, double>> samples;
+  for (int level = 1; level <= 32; ++level) {
+    samples.emplace_back(level, static_cast<double>(level));
+  }
+  const UslFit fit = fit_extended_usl(samples);
+  EXPECT_LT(fit.relative_rmse, 0.01);
+  EXPECT_NEAR(fit.curve().speedup(32.0), 32.0, 1.0);
+}
+
+TEST(UslFit, RejectsTooFewSamples) {
+  const std::vector<std::pair<double, double>> samples{{1.0, 1.0}, {2.0, 1.9}};
+  EXPECT_DEATH((void)fit_extended_usl(samples), "3 samples");
+}
+
+TEST(UslFit, FittedCurveDrivesTheMachineModel) {
+  // End-to-end: fit Intruder's curve from samples, build a profile around
+  // it, and check the machine model reproduces the dedicated throughputs.
+  const auto reference = intruder_profile();
+  const UslFit fit = fit_extended_usl(sample_curve(*reference.curve));
+  const auto fitted_curve = std::make_shared<ExtendedUslCurve>(fit.curve());
+  const WorkloadProfile fitted{"fitted-intruder", fitted_curve,
+                               reference.sequential_rate,
+                               reference.oversub_delta};
+  MachineModel machine(64);
+  for (int level : {1, 7, 32, 64}) {
+    EXPECT_NEAR(machine.throughput(fitted, level, level),
+                machine.throughput(reference, level, level),
+                0.06 * machine.throughput(reference, level, level))
+        << level;
+  }
+}
+
+}  // namespace
+}  // namespace rubic::sim

@@ -1,0 +1,184 @@
+// Unit tests for src/util: RNG determinism/quality, streaming statistics,
+// CLI parsing, alignment helpers, spin barrier.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "src/util/cache_aligned.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/spin_barrier.hpp"
+#include "src/util/stats.hpp"
+
+namespace rubic::util {
+namespace {
+
+TEST(CacheAligned, EveryElementOnItsOwnLine) {
+  std::array<CacheAligned<std::uint64_t>, 4> counters{};
+  for (std::size_t i = 0; i + 1 < counters.size(); ++i) {
+    const auto a = reinterpret_cast<std::uintptr_t>(&counters[i].value);
+    const auto b = reinterpret_cast<std::uintptr_t>(&counters[i + 1].value);
+    EXPECT_GE(b - a, kCacheLineSize);
+  }
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(&counters[0]) % kCacheLineSize, 0u);
+}
+
+TEST(SplitMix64, KnownSequence) {
+  // Reference values for seed 0 from the splitmix64 reference implementation.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(sm.next(), 0x06c45d188009454fULL);
+}
+
+TEST(Xoshiro256, DeterministicPerSeed) {
+  Xoshiro256 a(42), b(42), c(43);
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Xoshiro256, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 64ull, 1000003ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, UniformMeanIsCentered) {
+  Xoshiro256 rng(11);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, NormalMomentsMatch) {
+  Xoshiro256 rng(13);
+  Welford w;
+  for (int i = 0; i < 200000; ++i) w.add(rng.normal());
+  EXPECT_NEAR(w.mean(), 0.0, 0.02);
+  EXPECT_NEAR(w.stddev(), 1.0, 0.02);
+}
+
+TEST(Welford, MatchesClosedForm) {
+  Welford w;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) w.add(x);
+  EXPECT_EQ(w.count(), 8u);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(w.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(w.min(), 2.0);
+  EXPECT_DOUBLE_EQ(w.max(), 9.0);
+}
+
+TEST(Welford, MergeEqualsBulk) {
+  Welford a, b, bulk;
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform() * 10;
+    a.add(x);
+    bulk.add(x);
+  }
+  for (int i = 0; i < 57; ++i) {
+    const double x = rng.normal();
+    b.add(x);
+    bulk.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), bulk.count());
+  EXPECT_NEAR(a.mean(), bulk.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), bulk.variance(), 1e-10);
+}
+
+TEST(Stats, GeometricMean) {
+  const std::vector<double> v{1.0, 8.0};
+  EXPECT_NEAR(geometric_mean(v), std::sqrt(8.0), 1e-12);
+  EXPECT_EQ(geometric_mean({}), 0.0);
+  // Zero input clamps instead of producing NaN.
+  const std::vector<double> with_zero{0.0, 4.0};
+  EXPECT_FALSE(std::isnan(geometric_mean(with_zero)));
+}
+
+TEST(Stats, JainIndexBounds) {
+  const std::vector<double> fair{3.0, 3.0, 3.0};
+  EXPECT_NEAR(jain_index(fair), 1.0, 1e-12);
+  const std::vector<double> starved{1.0, 0.0, 0.0};
+  EXPECT_NEAR(jain_index(starved), 1.0 / 3.0, 1e-12);
+  const std::vector<double> mixed{1.0, 2.0, 3.0};
+  EXPECT_GT(jain_index(mixed), 1.0 / 3.0);
+  EXPECT_LT(jain_index(mixed), 1.0);
+}
+
+TEST(Stats, SummarizeSpan) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(Cli, ParsesFormsAndTypes) {
+  const char* argv[] = {"prog",          "--threads", "8",    "--alpha=0.8",
+                        "--name", "rubic", "--verbose"};
+  Cli cli(static_cast<int>(std::size(argv)), argv);
+  EXPECT_EQ(cli.get_int("threads", 1), 8);
+  EXPECT_DOUBLE_EQ(cli.get_double("alpha", 0.5), 0.8);
+  EXPECT_EQ(cli.get_string("name", "x"), "rubic");
+  EXPECT_TRUE(cli.get_bool("verbose"));
+  EXPECT_EQ(cli.get_int("missing", 41), 41);
+  EXPECT_NO_THROW(cli.check_unknown());
+}
+
+TEST(Cli, RejectsUnknownAndMalformed) {
+  const char* argv[] = {"prog", "--typo", "3"};
+  Cli cli(3, argv);
+  EXPECT_THROW(cli.check_unknown(), std::invalid_argument);
+
+  const char* bad_int[] = {"prog", "--n", "abc"};
+  Cli cli2(3, bad_int);
+  EXPECT_THROW(cli2.get_int("n", 0), std::invalid_argument);
+
+  const char* positional[] = {"prog", "stray"};
+  EXPECT_THROW(Cli(2, positional), std::invalid_argument);
+
+  const char* dup[] = {"prog", "--a", "1", "--a", "2"};
+  EXPECT_THROW(Cli(5, dup), std::invalid_argument);
+}
+
+TEST(SpinBarrier, SynchronizesPhases) {
+  constexpr int kThreads = 4;
+  constexpr int kPhases = 50;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> phase_sum{0};
+  std::vector<std::thread> threads;
+  std::atomic<bool> mismatch{false};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int p = 0; p < kPhases; ++p) {
+        phase_sum.fetch_add(1);
+        barrier.arrive_and_wait();
+        // Between two barrier crossings every thread has incremented once.
+        if (phase_sum.load() % kThreads != 0) mismatch.store(true);
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_EQ(phase_sum.load(), kThreads * kPhases);
+}
+
+}  // namespace
+}  // namespace rubic::util

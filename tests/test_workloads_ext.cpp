@@ -1,0 +1,222 @@
+// Tests for the extension workloads: Genome (segment dedup), Kmeans
+// (streaming clustering) and the non-transactional Monte-Carlo π workload —
+// single-threaded ground-truth checks plus concurrent consistency runs,
+// and an end-to-end TunedProcess run for each.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/control/rubic.hpp"
+#include "src/runtime/process.hpp"
+#include "src/util/spin_barrier.hpp"
+#include "src/workloads/genome/genome_workload.hpp"
+#include "src/workloads/kmeans/kmeans_workload.hpp"
+#include "src/workloads/montecarlo.hpp"
+#include "src/workloads/vacation/vacation_workload.hpp"
+
+namespace rubic::workloads {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------- genome ----------
+
+genome::GenomeParams tiny_genome() {
+  genome::GenomeParams params;
+  params.genome_length = 2048;
+  params.segment_length = 16;
+  params.segment_count = 1024;
+  return params;
+}
+
+TEST(Genome, SingleThreadEpochMatchesGroundTruth) {
+  stm::Runtime rt;
+  genome::GenomeWorkload workload(rt, tiny_genome());
+  ASSERT_GT(workload.unique_expected(), 0);
+  ASSERT_LT(workload.unique_expected(), 1024)
+      << "sampling with replacement must produce duplicates";
+  stm::TxnDesc& ctx = rt.register_thread();
+  util::Xoshiro256 rng(1);
+  for (int i = 0; i < 1024; ++i) workload.run_task(ctx, rng);
+  std::string error;
+  EXPECT_TRUE(workload.verify(&error)) << error;
+  EXPECT_EQ(workload.segments_processed(), 1024);
+}
+
+TEST(Genome, ReplayEpochsStayConsistent) {
+  stm::Runtime rt;
+  genome::GenomeWorkload workload(rt, tiny_genome());
+  stm::TxnDesc& ctx = rt.register_thread();
+  util::Xoshiro256 rng(1);
+  for (int i = 0; i < 3 * 1024; ++i) workload.run_task(ctx, rng);
+  std::string error;
+  EXPECT_TRUE(workload.verify(&error)) << error;
+}
+
+TEST(Genome, ConcurrentDedupFindsExactUniqueCount) {
+  stm::Runtime rt;
+  genome::GenomeWorkload workload(rt, tiny_genome());
+  constexpr int kThreads = 4;
+  util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      stm::TxnDesc& ctx = rt.register_thread();
+      util::Xoshiro256 rng(2);
+      barrier.arrive_and_wait();
+      for (int i = 0; i < 1024 / kThreads; ++i) workload.run_task(ctx, rng);
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(workload.segments_processed(), 1024);
+  std::string error;
+  EXPECT_TRUE(workload.verify(&error)) << error;
+}
+
+// ---------- kmeans ----------
+
+kmeans::KmeansParams tiny_kmeans() {
+  kmeans::KmeansParams params;
+  params.point_count = 512;
+  params.dimensions = 2;
+  params.clusters = 4;
+  params.batch_size = 8;
+  return params;
+}
+
+TEST(Kmeans, SingleThreadEpochFoldsExactly) {
+  stm::Runtime rt;
+  kmeans::KmeansWorkload workload(rt, tiny_kmeans());
+  stm::TxnDesc& ctx = rt.register_thread();
+  util::Xoshiro256 rng(1);
+  const int batches_per_epoch = 512 / 8;
+  for (int i = 0; i < batches_per_epoch; ++i) workload.run_task(ctx, rng);
+  EXPECT_EQ(workload.epochs_completed(), 1);
+  std::string error;
+  EXPECT_TRUE(workload.verify(&error)) << error;
+}
+
+TEST(Kmeans, CentroidsConvergeTowardTrueCenters) {
+  stm::Runtime rt;
+  kmeans::KmeansWorkload workload(rt, tiny_kmeans());
+  stm::TxnDesc& ctx = rt.register_thread();
+  util::Xoshiro256 rng(1);
+  const int batches_per_epoch = 512 / 8;
+  // After several epochs the centroids must stabilize: successive folds
+  // barely move them (clustered data, 0.5σ noise).
+  for (int e = 0; e < 6; ++e) {
+    for (int i = 0; i < batches_per_epoch; ++i) workload.run_task(ctx, rng);
+  }
+  const auto before = workload.unsafe_centroids();
+  for (int i = 0; i < batches_per_epoch; ++i) workload.run_task(ctx, rng);
+  const auto after = workload.unsafe_centroids();
+  double total_shift = 0;
+  for (std::size_t c = 0; c < before.size(); ++c) {
+    for (std::size_t d = 0; d < before[c].size(); ++d) {
+      total_shift += std::abs(after[c][d] - before[c][d]);
+    }
+  }
+  EXPECT_LT(total_shift, 0.5) << "converged centroids must be nearly fixed";
+  std::string error;
+  EXPECT_TRUE(workload.verify(&error)) << error;
+}
+
+TEST(Kmeans, ConcurrentAccountingStaysExact) {
+  stm::Runtime rt;
+  kmeans::KmeansWorkload workload(rt, tiny_kmeans());
+  constexpr int kThreads = 4;
+  util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      stm::TxnDesc& ctx = rt.register_thread();
+      util::Xoshiro256 rng(10 + t);
+      barrier.arrive_and_wait();
+      for (int i = 0; i < 200; ++i) workload.run_task(ctx, rng);
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::string error;
+  EXPECT_TRUE(workload.verify(&error)) << error;
+  EXPECT_GE(workload.epochs_completed(), 1);
+}
+
+// ---------- monte-carlo (non-transactional) ----------
+
+TEST(MonteCarlo, EstimatesPi) {
+  stm::Runtime rt;
+  MonteCarloPiWorkload workload(4096);
+  stm::TxnDesc& ctx = rt.register_thread();
+  util::Xoshiro256 rng(123);
+  for (int i = 0; i < 256; ++i) workload.run_task(ctx, rng);
+  std::string error;
+  EXPECT_TRUE(workload.verify(&error)) << error;
+  EXPECT_NEAR(workload.pi_estimate(), 3.14159, 0.02);
+}
+
+TEST(MonteCarlo, RunsUnderTunedProcessWithoutTransactions) {
+  // The paper's future-work claim (§6): any malleable application with a
+  // measurable throughput can be RUBIC-tuned. Zero transactions here.
+  stm::Runtime rt;
+  MonteCarloPiWorkload workload(1024);
+  control::RubicController controller(control::LevelBounds{1, 4});
+  runtime::ProcessConfig config;
+  config.pool.pool_size = 4;
+  config.monitor.period = 5ms;
+  runtime::TunedProcess process(rt, workload, controller, config);
+  const auto report = process.run_for(250ms);
+  EXPECT_GT(report.tasks_completed, 50u);
+  EXPECT_EQ(report.stm_stats.commits, 0u) << "genuinely non-transactional";
+  std::string error;
+  EXPECT_TRUE(workload.verify(&error)) << error;
+}
+
+// ---------- end-to-end runs of the heavier workloads ----------
+
+TEST(TunedProcessExt, GenomeUnderRubic) {
+  stm::Runtime rt;
+  genome::GenomeWorkload workload(rt, tiny_genome());
+  control::RubicController controller(control::LevelBounds{1, 4});
+  runtime::ProcessConfig config;
+  config.pool.pool_size = 4;
+  config.monitor.period = 5ms;
+  runtime::TunedProcess process(rt, workload, controller, config);
+  const auto report = process.run_for(300ms);
+  EXPECT_GT(report.tasks_completed, 500u);
+  std::string error;
+  EXPECT_TRUE(workload.verify(&error)) << error;
+}
+
+TEST(TunedProcessExt, KmeansUnderRubic) {
+  stm::Runtime rt;
+  kmeans::KmeansWorkload workload(rt, tiny_kmeans());
+  control::RubicController controller(control::LevelBounds{1, 4});
+  runtime::ProcessConfig config;
+  config.pool.pool_size = 4;
+  config.monitor.period = 5ms;
+  runtime::TunedProcess process(rt, workload, controller, config);
+  const auto report = process.run_for(300ms);
+  EXPECT_GT(report.tasks_completed, 100u);
+  std::string error;
+  EXPECT_TRUE(workload.verify(&error)) << error;
+}
+
+TEST(TunedProcessExt, VacationUnderRubic) {
+  stm::Runtime rt;
+  vacation::VacationWorkload workload(rt,
+                                      vacation::VacationParams::tiny());
+  control::RubicController controller(control::LevelBounds{1, 4});
+  runtime::ProcessConfig config;
+  config.pool.pool_size = 4;
+  config.monitor.period = 5ms;
+  runtime::TunedProcess process(rt, workload, controller, config);
+  const auto report = process.run_for(300ms);
+  EXPECT_GT(report.tasks_completed, 200u);
+  std::string error;
+  EXPECT_TRUE(workload.verify(&error)) << error;
+}
+
+}  // namespace
+}  // namespace rubic::workloads

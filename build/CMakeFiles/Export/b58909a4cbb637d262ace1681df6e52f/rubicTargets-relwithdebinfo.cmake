@@ -1,0 +1,79 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "rubic::rubic_util" for configuration "RelWithDebInfo"
+set_property(TARGET rubic::rubic_util APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rubic::rubic_util PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/librubic_util.a"
+  )
+
+list(APPEND _cmake_import_check_targets rubic::rubic_util )
+list(APPEND _cmake_import_check_files_for_rubic::rubic_util "${_IMPORT_PREFIX}/lib/librubic_util.a" )
+
+# Import target "rubic::rubic_stm" for configuration "RelWithDebInfo"
+set_property(TARGET rubic::rubic_stm APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rubic::rubic_stm PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/librubic_stm.a"
+  )
+
+list(APPEND _cmake_import_check_targets rubic::rubic_stm )
+list(APPEND _cmake_import_check_files_for_rubic::rubic_stm "${_IMPORT_PREFIX}/lib/librubic_stm.a" )
+
+# Import target "rubic::rubic_control" for configuration "RelWithDebInfo"
+set_property(TARGET rubic::rubic_control APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rubic::rubic_control PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/librubic_control.a"
+  )
+
+list(APPEND _cmake_import_check_targets rubic::rubic_control )
+list(APPEND _cmake_import_check_files_for_rubic::rubic_control "${_IMPORT_PREFIX}/lib/librubic_control.a" )
+
+# Import target "rubic::rubic_metrics" for configuration "RelWithDebInfo"
+set_property(TARGET rubic::rubic_metrics APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rubic::rubic_metrics PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/librubic_metrics.a"
+  )
+
+list(APPEND _cmake_import_check_targets rubic::rubic_metrics )
+list(APPEND _cmake_import_check_files_for_rubic::rubic_metrics "${_IMPORT_PREFIX}/lib/librubic_metrics.a" )
+
+# Import target "rubic::rubic_sim" for configuration "RelWithDebInfo"
+set_property(TARGET rubic::rubic_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rubic::rubic_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/librubic_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets rubic::rubic_sim )
+list(APPEND _cmake_import_check_files_for_rubic::rubic_sim "${_IMPORT_PREFIX}/lib/librubic_sim.a" )
+
+# Import target "rubic::rubic_workloads" for configuration "RelWithDebInfo"
+set_property(TARGET rubic::rubic_workloads APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rubic::rubic_workloads PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/librubic_workloads.a"
+  )
+
+list(APPEND _cmake_import_check_targets rubic::rubic_workloads )
+list(APPEND _cmake_import_check_files_for_rubic::rubic_workloads "${_IMPORT_PREFIX}/lib/librubic_workloads.a" )
+
+# Import target "rubic::rubic_runtime" for configuration "RelWithDebInfo"
+set_property(TARGET rubic::rubic_runtime APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rubic::rubic_runtime PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/librubic_runtime.a"
+  )
+
+list(APPEND _cmake_import_check_targets rubic::rubic_runtime )
+list(APPEND _cmake_import_check_files_for_rubic::rubic_runtime "${_IMPORT_PREFIX}/lib/librubic_runtime.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_alpha_beta.dir/ablation_alpha_beta.cpp.o"
+  "CMakeFiles/ablation_alpha_beta.dir/ablation_alpha_beta.cpp.o.d"
+  "ablation_alpha_beta"
+  "ablation_alpha_beta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_alpha_beta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cubic_mode.dir/ablation_cubic_mode.cpp.o"
+  "CMakeFiles/ablation_cubic_mode.dir/ablation_cubic_mode.cpp.o.d"
+  "ablation_cubic_mode"
+  "ablation_cubic_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cubic_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hybrid_reduction.dir/ablation_hybrid_reduction.cpp.o"
+  "CMakeFiles/ablation_hybrid_reduction.dir/ablation_hybrid_reduction.cpp.o.d"
+  "ablation_hybrid_reduction"
+  "ablation_hybrid_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hybrid_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

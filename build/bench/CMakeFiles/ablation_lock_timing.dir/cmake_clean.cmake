@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lock_timing.dir/ablation_lock_timing.cpp.o"
+  "CMakeFiles/ablation_lock_timing.dir/ablation_lock_timing.cpp.o.d"
+  "ablation_lock_timing"
+  "ablation_lock_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lock_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

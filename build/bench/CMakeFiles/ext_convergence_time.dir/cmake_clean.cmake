@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_convergence_time.dir/ext_convergence_time.cpp.o"
+  "CMakeFiles/ext_convergence_time.dir/ext_convergence_time.cpp.o.d"
+  "ext_convergence_time"
+  "ext_convergence_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_convergence_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_mixed_policies.dir/ext_mixed_policies.cpp.o"
+  "CMakeFiles/ext_mixed_policies.dir/ext_mixed_policies.cpp.o.d"
+  "ext_mixed_policies"
+  "ext_mixed_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mixed_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

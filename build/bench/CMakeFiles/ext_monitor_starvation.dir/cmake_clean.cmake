@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_monitor_starvation.dir/ext_monitor_starvation.cpp.o"
+  "CMakeFiles/ext_monitor_starvation.dir/ext_monitor_starvation.cpp.o.d"
+  "ext_monitor_starvation"
+  "ext_monitor_starvation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_monitor_starvation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

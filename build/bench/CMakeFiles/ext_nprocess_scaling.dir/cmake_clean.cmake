@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_nprocess_scaling.dir/ext_nprocess_scaling.cpp.o"
+  "CMakeFiles/ext_nprocess_scaling.dir/ext_nprocess_scaling.cpp.o.d"
+  "ext_nprocess_scaling"
+  "ext_nprocess_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_nprocess_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_workload_change.dir/ext_workload_change.cpp.o"
+  "CMakeFiles/ext_workload_change.dir/ext_workload_change.cpp.o.d"
+  "ext_workload_change"
+  "ext_workload_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_workload_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_intruder_scalability.dir/fig01_intruder_scalability.cpp.o"
+  "CMakeFiles/fig01_intruder_scalability.dir/fig01_intruder_scalability.cpp.o.d"
+  "fig01_intruder_scalability"
+  "fig01_intruder_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_intruder_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_aiad_vs_aimd_geometry.dir/fig02_aiad_vs_aimd_geometry.cpp.o"
+  "CMakeFiles/fig02_aiad_vs_aimd_geometry.dir/fig02_aiad_vs_aimd_geometry.cpp.o.d"
+  "fig02_aiad_vs_aimd_geometry"
+  "fig02_aiad_vs_aimd_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_aiad_vs_aimd_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

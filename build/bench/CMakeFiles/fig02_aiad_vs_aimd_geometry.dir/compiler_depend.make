@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig02_aiad_vs_aimd_geometry.
+# This may be replaced when dependencies are built.

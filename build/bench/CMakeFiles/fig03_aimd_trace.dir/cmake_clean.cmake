@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_aimd_trace.dir/fig03_aimd_trace.cpp.o"
+  "CMakeFiles/fig03_aimd_trace.dir/fig03_aimd_trace.cpp.o.d"
+  "fig03_aimd_trace"
+  "fig03_aimd_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_aimd_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

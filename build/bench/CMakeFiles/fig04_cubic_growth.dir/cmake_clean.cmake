@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_cubic_growth.dir/fig04_cubic_growth.cpp.o"
+  "CMakeFiles/fig04_cubic_growth.dir/fig04_cubic_growth.cpp.o.d"
+  "fig04_cubic_growth"
+  "fig04_cubic_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_cubic_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

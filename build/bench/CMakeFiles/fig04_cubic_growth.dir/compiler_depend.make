@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_cubic_growth.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_cubic_growth.
+# This may be replaced when dependencies are built.

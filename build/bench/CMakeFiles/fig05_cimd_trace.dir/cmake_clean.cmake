@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_cimd_trace.dir/fig05_cimd_trace.cpp.o"
+  "CMakeFiles/fig05_cimd_trace.dir/fig05_cimd_trace.cpp.o.d"
+  "fig05_cimd_trace"
+  "fig05_cimd_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_cimd_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_workload_scalability.dir/fig06_workload_scalability.cpp.o"
+  "CMakeFiles/fig06_workload_scalability.dir/fig06_workload_scalability.cpp.o.d"
+  "fig06_workload_scalability"
+  "fig06_workload_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_workload_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_pairwise_overall.dir/fig07_pairwise_overall.cpp.o"
+  "CMakeFiles/fig07_pairwise_overall.dir/fig07_pairwise_overall.cpp.o.d"
+  "fig07_pairwise_overall"
+  "fig07_pairwise_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_pairwise_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

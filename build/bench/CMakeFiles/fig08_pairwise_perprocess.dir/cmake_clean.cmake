@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_pairwise_perprocess.dir/fig08_pairwise_perprocess.cpp.o"
+  "CMakeFiles/fig08_pairwise_perprocess.dir/fig08_pairwise_perprocess.cpp.o.d"
+  "fig08_pairwise_perprocess"
+  "fig08_pairwise_perprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_pairwise_perprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

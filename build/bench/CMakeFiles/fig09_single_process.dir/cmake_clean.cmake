@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_single_process.dir/fig09_single_process.cpp.o"
+  "CMakeFiles/fig09_single_process.dir/fig09_single_process.cpp.o.d"
+  "fig09_single_process"
+  "fig09_single_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_single_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_single_process.
+# This may be replaced when dependencies are built.

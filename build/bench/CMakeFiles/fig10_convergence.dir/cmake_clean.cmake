@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_convergence.dir/fig10_convergence.cpp.o"
+  "CMakeFiles/fig10_convergence.dir/fig10_convergence.cpp.o.d"
+  "fig10_convergence"
+  "fig10_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_stm_overhead.dir/micro_stm_overhead.cpp.o"
+  "CMakeFiles/micro_stm_overhead.dir/micro_stm_overhead.cpp.o.d"
+  "micro_stm_overhead"
+  "micro_stm_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_stm_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/bank.cpp" "examples/CMakeFiles/bank.dir/bank.cpp.o" "gcc" "examples/CMakeFiles/bank.dir/bank.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/rubic_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rubic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rubic_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/rubic_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/rubic_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rubic_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/rubic_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

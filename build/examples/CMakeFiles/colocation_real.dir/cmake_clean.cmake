@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colocation_real.dir/colocation_real.cpp.o"
+  "CMakeFiles/colocation_real.dir/colocation_real.cpp.o.d"
+  "colocation_real"
+  "colocation_real.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colocation_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

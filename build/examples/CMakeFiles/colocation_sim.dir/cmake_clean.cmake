@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colocation_sim.dir/colocation_sim.cpp.o"
+  "CMakeFiles/colocation_sim.dir/colocation_sim.cpp.o.d"
+  "colocation_sim"
+  "colocation_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colocation_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intruder_live.dir/intruder_live.cpp.o"
+  "CMakeFiles/intruder_live.dir/intruder_live.cpp.o.d"
+  "intruder_live"
+  "intruder_live.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intruder_live.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stamp_suite.dir/stamp_suite.cpp.o"
+  "CMakeFiles/stamp_suite.dir/stamp_suite.cpp.o.d"
+  "stamp_suite"
+  "stamp_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stamp_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

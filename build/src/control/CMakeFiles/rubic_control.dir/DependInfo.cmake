@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/factory.cpp" "src/control/CMakeFiles/rubic_control.dir/factory.cpp.o" "gcc" "src/control/CMakeFiles/rubic_control.dir/factory.cpp.o.d"
+  "/root/repo/src/control/profiled.cpp" "src/control/CMakeFiles/rubic_control.dir/profiled.cpp.o" "gcc" "src/control/CMakeFiles/rubic_control.dir/profiled.cpp.o.d"
+  "/root/repo/src/control/rubic.cpp" "src/control/CMakeFiles/rubic_control.dir/rubic.cpp.o" "gcc" "src/control/CMakeFiles/rubic_control.dir/rubic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rubic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

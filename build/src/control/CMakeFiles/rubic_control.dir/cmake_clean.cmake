@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubic_control.dir/factory.cpp.o"
+  "CMakeFiles/rubic_control.dir/factory.cpp.o.d"
+  "CMakeFiles/rubic_control.dir/profiled.cpp.o"
+  "CMakeFiles/rubic_control.dir/profiled.cpp.o.d"
+  "CMakeFiles/rubic_control.dir/rubic.cpp.o"
+  "CMakeFiles/rubic_control.dir/rubic.cpp.o.d"
+  "librubic_control.a"
+  "librubic_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubic_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

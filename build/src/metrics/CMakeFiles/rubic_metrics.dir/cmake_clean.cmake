@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubic_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/rubic_metrics.dir/metrics.cpp.o.d"
+  "CMakeFiles/rubic_metrics.dir/timeseries.cpp.o"
+  "CMakeFiles/rubic_metrics.dir/timeseries.cpp.o.d"
+  "librubic_metrics.a"
+  "librubic_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubic_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubic_runtime.dir/malleable_pool.cpp.o"
+  "CMakeFiles/rubic_runtime.dir/malleable_pool.cpp.o.d"
+  "CMakeFiles/rubic_runtime.dir/monitor.cpp.o"
+  "CMakeFiles/rubic_runtime.dir/monitor.cpp.o.d"
+  "CMakeFiles/rubic_runtime.dir/process.cpp.o"
+  "CMakeFiles/rubic_runtime.dir/process.cpp.o.d"
+  "librubic_runtime.a"
+  "librubic_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubic_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librubic_runtime.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/rubic_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/rubic_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/scalability_curve.cpp" "src/sim/CMakeFiles/rubic_sim.dir/scalability_curve.cpp.o" "gcc" "src/sim/CMakeFiles/rubic_sim.dir/scalability_curve.cpp.o.d"
+  "/root/repo/src/sim/sim_system.cpp" "src/sim/CMakeFiles/rubic_sim.dir/sim_system.cpp.o" "gcc" "src/sim/CMakeFiles/rubic_sim.dir/sim_system.cpp.o.d"
+  "/root/repo/src/sim/usl_fit.cpp" "src/sim/CMakeFiles/rubic_sim.dir/usl_fit.cpp.o" "gcc" "src/sim/CMakeFiles/rubic_sim.dir/usl_fit.cpp.o.d"
+  "/root/repo/src/sim/workload_profiles.cpp" "src/sim/CMakeFiles/rubic_sim.dir/workload_profiles.cpp.o" "gcc" "src/sim/CMakeFiles/rubic_sim.dir/workload_profiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/control/CMakeFiles/rubic_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/rubic_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rubic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubic_sim.dir/experiment.cpp.o"
+  "CMakeFiles/rubic_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/rubic_sim.dir/scalability_curve.cpp.o"
+  "CMakeFiles/rubic_sim.dir/scalability_curve.cpp.o.d"
+  "CMakeFiles/rubic_sim.dir/sim_system.cpp.o"
+  "CMakeFiles/rubic_sim.dir/sim_system.cpp.o.d"
+  "CMakeFiles/rubic_sim.dir/usl_fit.cpp.o"
+  "CMakeFiles/rubic_sim.dir/usl_fit.cpp.o.d"
+  "CMakeFiles/rubic_sim.dir/workload_profiles.cpp.o"
+  "CMakeFiles/rubic_sim.dir/workload_profiles.cpp.o.d"
+  "librubic_sim.a"
+  "librubic_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubic_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

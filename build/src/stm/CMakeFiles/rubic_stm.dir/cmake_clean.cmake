@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubic_stm.dir/runtime.cpp.o"
+  "CMakeFiles/rubic_stm.dir/runtime.cpp.o.d"
+  "CMakeFiles/rubic_stm.dir/txn_desc.cpp.o"
+  "CMakeFiles/rubic_stm.dir/txn_desc.cpp.o.d"
+  "librubic_stm.a"
+  "librubic_stm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubic_stm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubic_util.dir/cli.cpp.o"
+  "CMakeFiles/rubic_util.dir/cli.cpp.o.d"
+  "CMakeFiles/rubic_util.dir/stats.cpp.o"
+  "CMakeFiles/rubic_util.dir/stats.cpp.o.d"
+  "librubic_util.a"
+  "librubic_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubic_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

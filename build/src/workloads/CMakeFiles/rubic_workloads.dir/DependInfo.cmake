@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/genome/genome_workload.cpp" "src/workloads/CMakeFiles/rubic_workloads.dir/genome/genome_workload.cpp.o" "gcc" "src/workloads/CMakeFiles/rubic_workloads.dir/genome/genome_workload.cpp.o.d"
+  "/root/repo/src/workloads/intruder/aho_corasick.cpp" "src/workloads/CMakeFiles/rubic_workloads.dir/intruder/aho_corasick.cpp.o" "gcc" "src/workloads/CMakeFiles/rubic_workloads.dir/intruder/aho_corasick.cpp.o.d"
+  "/root/repo/src/workloads/intruder/detector.cpp" "src/workloads/CMakeFiles/rubic_workloads.dir/intruder/detector.cpp.o" "gcc" "src/workloads/CMakeFiles/rubic_workloads.dir/intruder/detector.cpp.o.d"
+  "/root/repo/src/workloads/intruder/intruder_workload.cpp" "src/workloads/CMakeFiles/rubic_workloads.dir/intruder/intruder_workload.cpp.o" "gcc" "src/workloads/CMakeFiles/rubic_workloads.dir/intruder/intruder_workload.cpp.o.d"
+  "/root/repo/src/workloads/intruder/stream.cpp" "src/workloads/CMakeFiles/rubic_workloads.dir/intruder/stream.cpp.o" "gcc" "src/workloads/CMakeFiles/rubic_workloads.dir/intruder/stream.cpp.o.d"
+  "/root/repo/src/workloads/kmeans/kmeans_workload.cpp" "src/workloads/CMakeFiles/rubic_workloads.dir/kmeans/kmeans_workload.cpp.o" "gcc" "src/workloads/CMakeFiles/rubic_workloads.dir/kmeans/kmeans_workload.cpp.o.d"
+  "/root/repo/src/workloads/labyrinth/labyrinth_workload.cpp" "src/workloads/CMakeFiles/rubic_workloads.dir/labyrinth/labyrinth_workload.cpp.o" "gcc" "src/workloads/CMakeFiles/rubic_workloads.dir/labyrinth/labyrinth_workload.cpp.o.d"
+  "/root/repo/src/workloads/rbset_workload.cpp" "src/workloads/CMakeFiles/rubic_workloads.dir/rbset_workload.cpp.o" "gcc" "src/workloads/CMakeFiles/rubic_workloads.dir/rbset_workload.cpp.o.d"
+  "/root/repo/src/workloads/rbtree.cpp" "src/workloads/CMakeFiles/rubic_workloads.dir/rbtree.cpp.o" "gcc" "src/workloads/CMakeFiles/rubic_workloads.dir/rbtree.cpp.o.d"
+  "/root/repo/src/workloads/ssca2/graph_workload.cpp" "src/workloads/CMakeFiles/rubic_workloads.dir/ssca2/graph_workload.cpp.o" "gcc" "src/workloads/CMakeFiles/rubic_workloads.dir/ssca2/graph_workload.cpp.o.d"
+  "/root/repo/src/workloads/thashmap.cpp" "src/workloads/CMakeFiles/rubic_workloads.dir/thashmap.cpp.o" "gcc" "src/workloads/CMakeFiles/rubic_workloads.dir/thashmap.cpp.o.d"
+  "/root/repo/src/workloads/tlist.cpp" "src/workloads/CMakeFiles/rubic_workloads.dir/tlist.cpp.o" "gcc" "src/workloads/CMakeFiles/rubic_workloads.dir/tlist.cpp.o.d"
+  "/root/repo/src/workloads/vacation/manager.cpp" "src/workloads/CMakeFiles/rubic_workloads.dir/vacation/manager.cpp.o" "gcc" "src/workloads/CMakeFiles/rubic_workloads.dir/vacation/manager.cpp.o.d"
+  "/root/repo/src/workloads/vacation/vacation_workload.cpp" "src/workloads/CMakeFiles/rubic_workloads.dir/vacation/vacation_workload.cpp.o" "gcc" "src/workloads/CMakeFiles/rubic_workloads.dir/vacation/vacation_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stm/CMakeFiles/rubic_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rubic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

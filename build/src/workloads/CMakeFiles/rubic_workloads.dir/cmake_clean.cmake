@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubic_workloads.dir/genome/genome_workload.cpp.o"
+  "CMakeFiles/rubic_workloads.dir/genome/genome_workload.cpp.o.d"
+  "CMakeFiles/rubic_workloads.dir/intruder/aho_corasick.cpp.o"
+  "CMakeFiles/rubic_workloads.dir/intruder/aho_corasick.cpp.o.d"
+  "CMakeFiles/rubic_workloads.dir/intruder/detector.cpp.o"
+  "CMakeFiles/rubic_workloads.dir/intruder/detector.cpp.o.d"
+  "CMakeFiles/rubic_workloads.dir/intruder/intruder_workload.cpp.o"
+  "CMakeFiles/rubic_workloads.dir/intruder/intruder_workload.cpp.o.d"
+  "CMakeFiles/rubic_workloads.dir/intruder/stream.cpp.o"
+  "CMakeFiles/rubic_workloads.dir/intruder/stream.cpp.o.d"
+  "CMakeFiles/rubic_workloads.dir/kmeans/kmeans_workload.cpp.o"
+  "CMakeFiles/rubic_workloads.dir/kmeans/kmeans_workload.cpp.o.d"
+  "CMakeFiles/rubic_workloads.dir/labyrinth/labyrinth_workload.cpp.o"
+  "CMakeFiles/rubic_workloads.dir/labyrinth/labyrinth_workload.cpp.o.d"
+  "CMakeFiles/rubic_workloads.dir/rbset_workload.cpp.o"
+  "CMakeFiles/rubic_workloads.dir/rbset_workload.cpp.o.d"
+  "CMakeFiles/rubic_workloads.dir/rbtree.cpp.o"
+  "CMakeFiles/rubic_workloads.dir/rbtree.cpp.o.d"
+  "CMakeFiles/rubic_workloads.dir/ssca2/graph_workload.cpp.o"
+  "CMakeFiles/rubic_workloads.dir/ssca2/graph_workload.cpp.o.d"
+  "CMakeFiles/rubic_workloads.dir/thashmap.cpp.o"
+  "CMakeFiles/rubic_workloads.dir/thashmap.cpp.o.d"
+  "CMakeFiles/rubic_workloads.dir/tlist.cpp.o"
+  "CMakeFiles/rubic_workloads.dir/tlist.cpp.o.d"
+  "CMakeFiles/rubic_workloads.dir/vacation/manager.cpp.o"
+  "CMakeFiles/rubic_workloads.dir/vacation/manager.cpp.o.d"
+  "CMakeFiles/rubic_workloads.dir/vacation/vacation_workload.cpp.o"
+  "CMakeFiles/rubic_workloads.dir/vacation/vacation_workload.cpp.o.d"
+  "librubic_workloads.a"
+  "librubic_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubic_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

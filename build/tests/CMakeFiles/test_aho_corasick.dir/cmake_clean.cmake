@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aho_corasick.dir/test_aho_corasick.cpp.o"
+  "CMakeFiles/test_aho_corasick.dir/test_aho_corasick.cpp.o.d"
+  "test_aho_corasick"
+  "test_aho_corasick.pdb"
+  "test_aho_corasick[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aho_corasick.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

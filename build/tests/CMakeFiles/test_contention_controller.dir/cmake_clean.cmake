@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_contention_controller.dir/test_contention_controller.cpp.o"
+  "CMakeFiles/test_contention_controller.dir/test_contention_controller.cpp.o.d"
+  "test_contention_controller"
+  "test_contention_controller.pdb"
+  "test_contention_controller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_contention_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

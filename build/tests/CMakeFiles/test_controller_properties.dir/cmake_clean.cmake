@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_controller_properties.dir/test_controller_properties.cpp.o"
+  "CMakeFiles/test_controller_properties.dir/test_controller_properties.cpp.o.d"
+  "test_controller_properties"
+  "test_controller_properties.pdb"
+  "test_controller_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_controller_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_convergence.dir/test_convergence.cpp.o"
+  "CMakeFiles/test_convergence.dir/test_convergence.cpp.o.d"
+  "test_convergence"
+  "test_convergence.pdb"
+  "test_convergence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_labyrinth.dir/test_labyrinth.cpp.o"
+  "CMakeFiles/test_labyrinth.dir/test_labyrinth.cpp.o.d"
+  "test_labyrinth"
+  "test_labyrinth.pdb"
+  "test_labyrinth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_labyrinth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

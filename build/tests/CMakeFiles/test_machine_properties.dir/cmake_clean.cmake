@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_properties.dir/test_machine_properties.cpp.o"
+  "CMakeFiles/test_machine_properties.dir/test_machine_properties.cpp.o.d"
+  "test_machine_properties"
+  "test_machine_properties.pdb"
+  "test_machine_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profiled_controller.dir/test_profiled_controller.cpp.o"
+  "CMakeFiles/test_profiled_controller.dir/test_profiled_controller.cpp.o.d"
+  "test_profiled_controller"
+  "test_profiled_controller.pdb"
+  "test_profiled_controller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profiled_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rbtree.dir/test_rbtree.cpp.o"
+  "CMakeFiles/test_rbtree.dir/test_rbtree.cpp.o.d"
+  "test_rbtree"
+  "test_rbtree.pdb"
+  "test_rbtree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rbtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ssca2.dir/test_ssca2.cpp.o"
+  "CMakeFiles/test_ssca2.dir/test_ssca2.cpp.o.d"
+  "test_ssca2"
+  "test_ssca2.pdb"
+  "test_ssca2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ssca2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

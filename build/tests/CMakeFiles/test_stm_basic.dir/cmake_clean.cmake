@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stm_basic.dir/test_stm_basic.cpp.o"
+  "CMakeFiles/test_stm_basic.dir/test_stm_basic.cpp.o.d"
+  "test_stm_basic"
+  "test_stm_basic.pdb"
+  "test_stm_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stm_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

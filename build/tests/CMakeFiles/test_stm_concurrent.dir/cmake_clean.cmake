@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stm_concurrent.dir/test_stm_concurrent.cpp.o"
+  "CMakeFiles/test_stm_concurrent.dir/test_stm_concurrent.cpp.o.d"
+  "test_stm_concurrent"
+  "test_stm_concurrent.pdb"
+  "test_stm_concurrent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stm_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

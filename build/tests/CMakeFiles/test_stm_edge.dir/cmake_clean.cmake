@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stm_edge.dir/test_stm_edge.cpp.o"
+  "CMakeFiles/test_stm_edge.dir/test_stm_edge.cpp.o.d"
+  "test_stm_edge"
+  "test_stm_edge.pdb"
+  "test_stm_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stm_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

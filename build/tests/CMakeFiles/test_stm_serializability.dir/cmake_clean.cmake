@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stm_serializability.dir/test_stm_serializability.cpp.o"
+  "CMakeFiles/test_stm_serializability.dir/test_stm_serializability.cpp.o.d"
+  "test_stm_serializability"
+  "test_stm_serializability.pdb"
+  "test_stm_serializability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stm_serializability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

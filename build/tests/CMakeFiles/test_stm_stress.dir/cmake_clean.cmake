@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stm_stress.dir/test_stm_stress.cpp.o"
+  "CMakeFiles/test_stm_stress.dir/test_stm_stress.cpp.o.d"
+  "test_stm_stress"
+  "test_stm_stress.pdb"
+  "test_stm_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stm_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timeseries.dir/test_timeseries.cpp.o"
+  "CMakeFiles/test_timeseries.dir/test_timeseries.cpp.o.d"
+  "test_timeseries"
+  "test_timeseries.pdb"
+  "test_timeseries[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_usl_fit.dir/test_usl_fit.cpp.o"
+  "CMakeFiles/test_usl_fit.dir/test_usl_fit.cpp.o.d"
+  "test_usl_fit"
+  "test_usl_fit.pdb"
+  "test_usl_fit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_usl_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads_ext.dir/test_workloads_ext.cpp.o"
+  "CMakeFiles/test_workloads_ext.dir/test_workloads_ext.cpp.o.d"
+  "test_workloads_ext"
+  "test_workloads_ext.pdb"
+  "test_workloads_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

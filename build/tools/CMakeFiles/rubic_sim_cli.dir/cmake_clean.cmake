@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubic_sim_cli.dir/rubic_sim.cpp.o"
+  "CMakeFiles/rubic_sim_cli.dir/rubic_sim.cpp.o.d"
+  "rubic_sim"
+  "rubic_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubic_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,26 +1,20 @@
-// Mini-STAMP driver: runs every workload in the library under one tuning
+// Mini-STAMP driver: runs every workload in the registry under one tuning
 // policy, prints a results table, and verifies each workload's invariants —
 // a one-command demonstration that the whole stack (STM, containers,
-// workloads, malleable runtime, controllers) composes.
+// workloads, malleable runtime, controllers) composes. The suite contents
+// come from workloads::known_workloads(), the same discovery path the
+// rubic_colocate launcher uses, so a workload added to the registry shows
+// up here automatically.
 //
 // Run:  ./stamp_suite [--seconds-each 1] [--pool 8] [--policy rubic]
 #include <chrono>
 #include <cstdio>
-#include <functional>
 #include <memory>
-#include <vector>
 
 #include "src/control/factory.hpp"
 #include "src/runtime/process.hpp"
 #include "src/util/cli.hpp"
-#include "src/workloads/genome/genome_workload.hpp"
-#include "src/workloads/intruder/intruder_workload.hpp"
-#include "src/workloads/kmeans/kmeans_workload.hpp"
-#include "src/workloads/labyrinth/labyrinth_workload.hpp"
-#include "src/workloads/montecarlo.hpp"
-#include "src/workloads/rbset_workload.hpp"
-#include "src/workloads/ssca2/graph_workload.hpp"
-#include "src/workloads/vacation/vacation_workload.hpp"
+#include "src/workloads/registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace rubic;
@@ -30,75 +24,12 @@ int main(int argc, char** argv) {
   const auto policy = cli.get_string("policy", "rubic");
   cli.check_unknown();
 
-  struct Entry {
-    const char* name;
-    std::function<std::unique_ptr<workloads::Workload>(stm::Runtime&)> make;
-  };
-  const std::vector<Entry> suite = {
-      {"rbset-98",
-       [](stm::Runtime& rt) {
-         workloads::RbSetParams params;
-         params.initial_size = 16 * 1024;
-         return std::make_unique<workloads::RbSetWorkload>(rt, params);
-       }},
-      {"vacation-low",
-       [](stm::Runtime& rt) {
-         auto params = workloads::vacation::VacationParams::low_contention();
-         params.rows_per_relation = 4096;
-         params.customers = 4096;
-         return std::make_unique<workloads::vacation::VacationWorkload>(
-             rt, params);
-       }},
-      {"vacation-high",
-       [](stm::Runtime& rt) {
-         auto params = workloads::vacation::VacationParams::high_contention();
-         params.rows_per_relation = 4096;
-         params.customers = 4096;
-         return std::make_unique<workloads::vacation::VacationWorkload>(
-             rt, params);
-       }},
-      {"intruder",
-       [](stm::Runtime& rt) {
-         workloads::intruder::StreamParams params;
-         params.flow_count = 2048;
-         return std::make_unique<workloads::intruder::IntruderWorkload>(
-             rt, params);
-       }},
-      {"genome",
-       [](stm::Runtime& rt) {
-         workloads::genome::GenomeParams params;
-         return std::make_unique<workloads::genome::GenomeWorkload>(rt,
-                                                                    params);
-       }},
-      {"kmeans",
-       [](stm::Runtime& rt) {
-         workloads::kmeans::KmeansParams params;
-         return std::make_unique<workloads::kmeans::KmeansWorkload>(rt,
-                                                                    params);
-       }},
-      {"labyrinth",
-       [](stm::Runtime& rt) {
-         workloads::labyrinth::LabyrinthParams params;
-         return std::make_unique<workloads::labyrinth::LabyrinthWorkload>(
-             rt, params);
-       }},
-      {"ssca2-graph",
-       [](stm::Runtime& rt) {
-         workloads::ssca2::GraphParams params;
-         return std::make_unique<workloads::ssca2::GraphWorkload>(rt, params);
-       }},
-      {"montecarlo-pi",
-       [](stm::Runtime&) {
-         return std::make_unique<workloads::MonteCarloPiWorkload>();
-       }},
-  };
-
   std::printf("%-15s %14s %10s %12s %12s  %s\n", "workload", "tasks/s",
               "mean lvl", "commits", "aborts", "verified");
   bool all_ok = true;
-  for (const auto& entry : suite) {
+  for (const auto& name : workloads::known_workloads()) {
     stm::Runtime rt;
-    auto workload = entry.make(rt);
+    auto workload = workloads::make_workload(name, rt);
     control::PolicyConfig policy_config;
     policy_config.contexts = pool_size;
     policy_config.pool_size = pool_size;
@@ -116,7 +47,8 @@ int main(int argc, char** argv) {
     std::string error;
     const bool ok = workload->verify(&error);
     all_ok = all_ok && ok;
-    std::printf("%-15s %14.0f %10.1f %12llu %12llu  %s\n", entry.name,
+    std::printf("%-15.*s %14.0f %10.1f %12llu %12llu  %s\n",
+                static_cast<int>(name.size()), name.data(),
                 report.tasks_per_second, report.mean_level,
                 static_cast<unsigned long long>(report.stm_stats.commits),
                 static_cast<unsigned long long>(

@@ -49,4 +49,9 @@ std::vector<std::string_view> evaluated_policies() {
   return {"greedy", "equalshare", "f2c2", "ebs", "rubic"};
 }
 
+std::vector<std::string_view> known_policies() {
+  return {"rubic", "ebs",    "aiad",   "f2c2",
+          "aimd",  "profiled", "greedy", "equalshare"};
+}
+
 }  // namespace rubic::control

@@ -38,4 +38,8 @@ std::unique_ptr<Controller> make_controller(std::string_view policy,
 // order.
 std::vector<std::string_view> evaluated_policies();
 
+// Every name make_controller accepts — the single discovery path shared by
+// the sim CLI's --list-controllers and the rubic_colocate launcher.
+std::vector<std::string_view> known_policies();
+
 }  // namespace rubic::control

@@ -1,0 +1,46 @@
+// Cross-process EqualShare (paper §4.3) over the co-location bus.
+//
+// The in-process EqualShare baseline (src/control/fixed.hpp) models the
+// "central entity" as a shared CentralAllocator object — which only works
+// inside one address space. Here the bus itself is the central entity:
+// every registered-and-beating process is one claimant, and each process's
+// share is contexts / N, recomputed every monitor round so shares track
+// arrivals, departures and crashes (a peer that dies by SIGKILL drops out
+// of live_count() as soon as its heartbeat goes stale or its pid vanishes,
+// and the survivors' shares grow — no coordination round needed).
+#pragma once
+
+#include <algorithm>
+#include <string_view>
+
+#include "src/control/controller.hpp"
+#include "src/ipc/colocation_bus.hpp"
+
+namespace rubic::ipc {
+
+class BusEqualShareController final : public control::Controller {
+ public:
+  // The caller must have acquired a bus slot already (so the process counts
+  // itself among the claimants). `max_level` caps the share at the pool
+  // size; 0 means uncapped.
+  explicit BusEqualShareController(CoLocationBus& bus, int max_level = 0)
+      : bus_(bus), max_level_(max_level) {}
+
+  int initial_level() const override { return share(); }
+  int on_sample(double) override { return share(); }
+  void reset() override {}
+  std::string_view name() const override { return "EqualShare/bus"; }
+
+ private:
+  int share() const {
+    const int claimants = std::max(1, bus_.live_count());
+    int level = std::max(1, bus_.contexts() / claimants);
+    if (max_level_ > 0) level = std::min(level, max_level_);
+    return level;
+  }
+
+  CoLocationBus& bus_;
+  const int max_level_;
+};
+
+}  // namespace rubic::ipc

@@ -3,6 +3,8 @@
 #include <pthread.h>
 #include <sched.h>
 
+#include "src/ipc/colocation_bus.hpp"
+
 namespace rubic::runtime {
 
 namespace {
@@ -28,7 +30,10 @@ Monitor::Monitor(MalleablePool& pool, control::Controller& controller,
 Monitor::~Monitor() { stop(); }
 
 void Monitor::stop() {
-  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  // All callers funnel through the join so each of them returns only once
+  // the monitor thread is actually gone (see the contract in monitor.hpp).
+  std::lock_guard<std::mutex> lock(join_mutex_);
   if (thread_.joinable()) thread_.join();
 }
 
@@ -44,10 +49,13 @@ void Monitor::loop() {
       config_.stm_runtime != nullptr
           ? dynamic_cast<control::ContentionSignalConsumer*>(&controller_)
           : nullptr;
+  // The STM's commit ratio is tracked whenever a runtime is attached: the
+  // contention-signal controllers consume it, and the co-location bus
+  // publishes it for cross-process observers either way.
+  const bool track_stm = config_.stm_runtime != nullptr;
   stm::TxnStatsSnapshot last_stm;
-  if (contention_consumer != nullptr) {
-    last_stm = config_.stm_runtime->aggregate_stats();
-  }
+  stm::TxnStatsSnapshot now_stm;
+  if (track_stm) last_stm = config_.stm_runtime->aggregate_stats();
 
   while (!stopping_.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(config_.period);  // Alg. 2 line 3
@@ -61,24 +69,33 @@ void Monitor::loop() {
         seconds > 0.0
             ? static_cast<double>(completed - last_completed) / seconds
             : 0.0;
-    int next_level;
-    if (contention_consumer != nullptr) {
-      const stm::TxnStatsSnapshot now_stm =
-          config_.stm_runtime->aggregate_stats();
+    double commit_ratio = 1.0;
+    if (track_stm) {
+      now_stm = config_.stm_runtime->aggregate_stats();
       const std::uint64_t commits = now_stm.commits - last_stm.commits;
       const std::uint64_t aborts =
           now_stm.total_aborts() - last_stm.total_aborts();
       last_stm = now_stm;
-      const double ratio =
-          commits + aborts == 0
-              ? 1.0
-              : static_cast<double>(commits) /
-                    static_cast<double>(commits + aborts);
-      next_level = contention_consumer->on_commit_ratio(ratio);
-    } else {
-      next_level = controller_.on_sample(throughput);
+      if (commits + aborts != 0) {
+        commit_ratio = static_cast<double>(commits) /
+                       static_cast<double>(commits + aborts);
+      }
     }
+    const int next_level =
+        contention_consumer != nullptr
+            ? contention_consumer->on_commit_ratio(commit_ratio)
+            : controller_.on_sample(throughput);
     pool_.set_level(next_level);
+    if (config_.bus != nullptr) {
+      ipc::SlotSample sample;
+      sample.level = next_level;
+      sample.throughput = throughput;
+      sample.commit_ratio = commit_ratio;
+      sample.tasks_completed = completed;
+      sample.commits = now_stm.commits;
+      sample.aborts = now_stm.total_aborts();
+      config_.bus->publish(sample);
+    }
     if (config_.record_trace) {
       trace_.push_back(MonitorSample{now - start, throughput, next_level});
     }

@@ -11,12 +11,17 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/control/contention.hpp"
 #include "src/control/controller.hpp"
 #include "src/runtime/malleable_pool.hpp"
+
+namespace rubic::ipc {
+class CoLocationBus;
+}
 
 namespace rubic::runtime {
 
@@ -35,6 +40,11 @@ struct MonitorConfig {
   // statistics and feeds it instead of the raw throughput (used by the
   // related-work ContentionRatioController, §5).
   stm::Runtime* stm_runtime = nullptr;
+  // When set (and a slot was acquired), every monitor round is published to
+  // this co-location bus: level, throughput, commit ratio, heartbeat. The
+  // publish is a wait-free seqlock write, so the TIME_PERIOD cadence is
+  // unaffected. The bus must outlive the monitor.
+  ipc::CoLocationBus* bus = nullptr;
 };
 
 class Monitor {
@@ -48,6 +58,10 @@ class Monitor {
   Monitor& operator=(const Monitor&) = delete;
 
   // Stops the monitoring loop (workers keep running at the last level).
+  // Contract: idempotent and thread-safe — any number of calls from any
+  // threads is fine, every call returns only after the monitor thread has
+  // been joined, and the destructor may run after an explicit stop() (it
+  // simply calls stop() again). Concurrent callers serialize on the join.
   void stop();
 
   // Trace access is only valid after stop().
@@ -68,6 +82,7 @@ class Monitor {
   const MonitorConfig config_;
 
   std::atomic<bool> stopping_{false};
+  std::mutex join_mutex_;  // serializes the join across concurrent stop()s
   std::atomic<std::uint64_t> rounds_{0};
   bool priority_raised_ = false;
   std::vector<MonitorSample> trace_;

@@ -28,6 +28,7 @@ RunReport TunedProcess::finalize_report(
   report.tasks_per_second =
       seconds > 0 ? static_cast<double>(report.tasks_completed) / seconds : 0;
   report.final_level = pool_->level();
+  report.monitor_rounds = monitor_->rounds();
   report.trace = monitor_->trace();
   if (!report.trace.empty()) {
     double level_sum = 0;

@@ -29,8 +29,17 @@ struct RunReport {
   double tasks_per_second = 0.0;
   int final_level = 0;
   double mean_level = 0.0;  // over monitor rounds
+  std::uint64_t monitor_rounds = 0;
   stm::TxnStatsSnapshot stm_stats;
   std::vector<MonitorSample> trace;
+
+  // Whole-run commit ratio; 1.0 for a run with no transactional activity.
+  double commit_ratio() const noexcept {
+    const std::uint64_t attempts = stm_stats.commits + stm_stats.total_aborts();
+    return attempts == 0 ? 1.0
+                         : static_cast<double>(stm_stats.commits) /
+                               static_cast<double>(attempts);
+  }
 };
 
 class TunedProcess {

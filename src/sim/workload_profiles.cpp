@@ -53,4 +53,8 @@ WorkloadProfile profile_by_name(std::string_view name) {
                               std::string(name) + "'");
 }
 
+std::vector<std::string_view> profile_names() {
+  return {"intruder", "vacation", "rbt", "rbt-readonly"};
+}
+
 }  // namespace rubic::sim

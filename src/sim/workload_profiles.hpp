@@ -16,6 +16,7 @@
 
 #include <memory>
 #include <string_view>
+#include <vector>
 
 #include "src/sim/scalability_curve.hpp"
 
@@ -37,5 +38,8 @@ WorkloadProfile rbt_readonly_profile();
 // Lookup by name ("intruder", "vacation", "rbt", "rbt-readonly");
 // throws std::invalid_argument otherwise.
 WorkloadProfile profile_by_name(std::string_view name);
+
+// Every name profile_by_name accepts (the sim CLI's --list-workloads).
+std::vector<std::string_view> profile_names();
 
 }  // namespace rubic::sim

@@ -1,0 +1,79 @@
+#include "src/workloads/registry.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "src/workloads/genome/genome_workload.hpp"
+#include "src/workloads/intruder/intruder_workload.hpp"
+#include "src/workloads/kmeans/kmeans_workload.hpp"
+#include "src/workloads/labyrinth/labyrinth_workload.hpp"
+#include "src/workloads/montecarlo.hpp"
+#include "src/workloads/rbset_workload.hpp"
+#include "src/workloads/ssca2/graph_workload.hpp"
+#include "src/workloads/vacation/vacation_workload.hpp"
+
+namespace rubic::workloads {
+
+std::vector<std::string_view> known_workloads() {
+  return {"rbset",     "rbset-readonly", "vacation-low", "vacation-high",
+          "intruder",  "genome",         "kmeans",       "labyrinth",
+          "ssca2",     "montecarlo"};
+}
+
+std::unique_ptr<Workload> make_workload(std::string_view name,
+                                        stm::Runtime& rt) {
+  if (name == "rbset") {
+    RbSetParams params;
+    params.initial_size = 16 * 1024;
+    return std::make_unique<RbSetWorkload>(rt, params);
+  }
+  if (name == "rbset-readonly") {
+    RbSetParams params = RbSetParams::read_only();
+    params.initial_size = 16 * 1024;
+    return std::make_unique<RbSetWorkload>(rt, params);
+  }
+  if (name == "vacation-low") {
+    auto params = vacation::VacationParams::low_contention();
+    params.rows_per_relation = 4096;
+    params.customers = 4096;
+    return std::make_unique<vacation::VacationWorkload>(rt, params);
+  }
+  if (name == "vacation-high") {
+    auto params = vacation::VacationParams::high_contention();
+    params.rows_per_relation = 4096;
+    params.customers = 4096;
+    return std::make_unique<vacation::VacationWorkload>(rt, params);
+  }
+  if (name == "intruder") {
+    intruder::StreamParams params;
+    params.flow_count = 2048;
+    return std::make_unique<intruder::IntruderWorkload>(rt, params);
+  }
+  if (name == "genome") {
+    return std::make_unique<genome::GenomeWorkload>(rt,
+                                                    genome::GenomeParams{});
+  }
+  if (name == "kmeans") {
+    return std::make_unique<kmeans::KmeansWorkload>(rt,
+                                                    kmeans::KmeansParams{});
+  }
+  if (name == "labyrinth") {
+    return std::make_unique<labyrinth::LabyrinthWorkload>(
+        rt, labyrinth::LabyrinthParams{});
+  }
+  if (name == "ssca2") {
+    return std::make_unique<ssca2::GraphWorkload>(rt, ssca2::GraphParams{});
+  }
+  if (name == "montecarlo") {
+    return std::make_unique<MonteCarloPiWorkload>();
+  }
+  std::string known;
+  for (const auto& candidate : known_workloads()) {
+    if (!known.empty()) known += ", ";
+    known += candidate;
+  }
+  throw std::invalid_argument("unknown workload '" + std::string(name) +
+                              "' (known: " + known + ")");
+}
+
+}  // namespace rubic::workloads

@@ -1,0 +1,32 @@
+// Workload registry: builds any real (thread-backed) workload by name.
+//
+// One discovery path shared by every driver binary — the stamp_suite
+// example, the rubic_colocate multi-process launcher, and anything a user
+// scripts on top — so adding a workload here makes it reachable everywhere
+// at once. The instances use the same mid-size parameters the stamp_suite
+// table always ran with: big enough to show contention, small enough that a
+// smoke run finishes in about a second per workload.
+//
+// (The deterministic simulator keeps its own, separate catalogue of fitted
+// scalability profiles — sim::profile_by_name — because a simulated
+// workload is a curve, not code.)
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/workloads/workload.hpp"
+
+namespace rubic::workloads {
+
+// Names accepted by make_workload, in suite order.
+std::vector<std::string_view> known_workloads();
+
+// Builds the named workload against `rt` (populating its shared state
+// single-threaded, so call before any worker starts). Throws
+// std::invalid_argument for unknown names; the message lists the valid ones.
+std::unique_ptr<Workload> make_workload(std::string_view name,
+                                        stm::Runtime& rt);
+
+}  // namespace rubic::workloads

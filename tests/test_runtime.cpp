@@ -2,14 +2,18 @@
 // accounting, monitor feedback wiring, and the end-to-end TunedProcess.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <string>
 #include <thread>
 
 #include "src/control/ebs.hpp"
 #include "src/control/fixed.hpp"
 #include "src/control/rubic.hpp"
+#include "src/ipc/colocation_bus.hpp"
 #include "src/runtime/malleable_pool.hpp"
 #include "src/runtime/monitor.hpp"
 #include "src/runtime/process.hpp"
@@ -206,6 +210,61 @@ TEST(Monitor, FixedControllerHoldsLevel) {
   std::this_thread::sleep_for(30ms);
   EXPECT_EQ(pool.level(), 5);
   monitor.stop();
+}
+
+TEST(Monitor, StopIsIdempotentAndDestructorSafe) {
+  stm::Runtime rt;
+  NopWorkload workload;
+  MalleablePool pool(rt, workload, PoolConfig{.pool_size = 4, .initial_level = 1});
+  control::FixedController controller(control::LevelBounds{1, 4}, 2, "Fixed");
+  MonitorConfig mcfg;
+  mcfg.period = 5ms;
+  {
+    Monitor monitor(pool, controller, mcfg);
+    EXPECT_TRUE(eventually([&] { return monitor.rounds() > 0; }));
+    // Contract (monitor.hpp): stop() may be called any number of times,
+    // from several threads at once, and the destructor may follow an
+    // explicit stop. Each call returns only after the thread is joined.
+    std::thread concurrent([&] { monitor.stop(); });
+    monitor.stop();
+    concurrent.join();
+    monitor.stop();
+    const std::uint64_t rounds = monitor.rounds();
+    std::this_thread::sleep_for(20ms);
+    EXPECT_EQ(monitor.rounds(), rounds) << "loop must not run after stop()";
+  }  // destructor after explicit stop: must not deadlock or double-join
+}
+
+TEST(Monitor, PublishesRoundsToCoLocationBus) {
+  const std::string bus_name =
+      "/rubic-test-monitor-" + std::to_string(::getpid());
+  ipc::BusConfig bus_config;
+  bus_config.name = bus_name;
+  bus_config.contexts = 8;
+  auto bus = ipc::CoLocationBus::create_or_attach(bus_config);
+  ASSERT_GE(bus->acquire_slot("nop/fixed"), 0);
+
+  stm::Runtime rt;
+  NopWorkload workload;
+  MalleablePool pool(rt, workload, PoolConfig{.pool_size = 4, .initial_level = 1});
+  control::FixedController controller(control::LevelBounds{1, 4}, 3, "Fixed");
+  MonitorConfig mcfg;
+  mcfg.period = 5ms;
+  mcfg.stm_runtime = &rt;
+  mcfg.bus = bus.get();
+  Monitor monitor(pool, controller, mcfg);
+  EXPECT_TRUE(eventually([&] { return monitor.rounds() >= 3; }));
+  monitor.stop();
+
+  const auto peers = bus->snapshot();
+  ASSERT_EQ(peers.size(), 1u);
+  EXPECT_EQ(peers[0].state, ipc::PeerState::kAlive);
+  EXPECT_GE(peers[0].payload.heartbeat, 3u);
+  EXPECT_EQ(peers[0].payload.level, 3);
+  EXPECT_GT(peers[0].payload.tasks_completed, 0u);
+
+  bus.reset();
+  ipc::CoLocationBus::unlink(bus_name);
 }
 
 TEST(TunedProcess, EndToEndRbSetWithRubic) {

@@ -1,0 +1,381 @@
+// rubic_colocate — true multi-process co-location launcher.
+//
+// Forks N real OS processes, each running one workload from the registry
+// under one tuning policy on its own STM runtime, worker pool and monitor —
+// separate address spaces contending for the machine's actual cores, which
+// is the paper's headline scenario. The processes meet only on the
+// shared-memory co-location bus (src/ipc/): every monitor round is
+// published there, the cross-process EqualShare baseline reads its share
+// from there, and the parent collects each child's final RunReport from its
+// slot to compute the paper's system metrics (NSBP speed-up product,
+// efficiency product, Jain fairness) against a sequential baseline measured
+// before the fork.
+//
+// Robustness: a child that dies mid-run (crash, OOM-kill, kill -9) simply
+// stops heartbeating — the survivors' monitors never block on it, bus-based
+// EqualShare re-divides the contexts once the heartbeat goes stale, and the
+// final JSON marks the dead slot instead of hanging the run.
+// `--chaos-kill-ms T` makes the launcher itself SIGKILL its first child
+// after T ms, exercising exactly that path (used by the ctest suite).
+//
+// Run:  rubic_colocate --procs 2 --workload intruder --policy rubic
+//       rubic_colocate --procs 3 --workload rbset --policy equalshare
+//                      --contexts 8 --seconds 5 --json out.json
+//       rubic_colocate --list-workloads   /   --list-controllers
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/control/factory.hpp"
+#include "src/ipc/colocation_bus.hpp"
+#include "src/ipc/equal_share.hpp"
+#include "src/metrics/metrics.hpp"
+#include "src/runtime/process.hpp"
+#include "src/util/cli.hpp"
+#include "src/workloads/registry.hpp"
+
+using namespace rubic;
+using namespace std::chrono;
+
+namespace {
+
+struct Options {
+  int procs = 2;
+  std::string workload = "intruder";
+  std::string policy = "rubic";
+  int seconds = 5;
+  int baseline_seconds = 1;
+  int contexts = 0;  // 0 → hardware_concurrency
+  int pool = 0;      // 0 → 2 × contexts
+  int period_ms = 10;
+  int chaos_kill_ms = 0;  // > 0: SIGKILL the first child after this delay
+  std::string bus_name;
+  std::string json_path;
+};
+
+struct ChildResult {
+  pid_t pid = 0;
+  bool completed = false;  // exited 0 AND published a final report
+  int exit_code = -1;
+  int signal = 0;
+  bool found_on_bus = false;
+  ipc::SlotPayload payload{};
+  double speedup = 0.0;
+  double efficiency = 0.0;
+};
+
+// One child process: claim a slot, run the workload under the policy for
+// the configured duration, publish the final report, verify. Never returns
+// to the caller's stack — the caller _exits with the returned code.
+int run_child(const Options& opt, ipc::CoLocationBus& bus) {
+  const std::string label = opt.workload + "/" + opt.policy;
+  if (bus.acquire_slot(label) < 0) {
+    std::fprintf(stderr, "rubic_colocate[%d]: no free bus slot\n",
+                 static_cast<int>(getpid()));
+    return 4;
+  }
+  stm::Runtime rt;
+  auto workload = workloads::make_workload(opt.workload, rt);
+
+  std::unique_ptr<control::Controller> controller;
+  if (opt.policy == "equalshare") {
+    // The bus is the §4.3 "central entity", valid across address spaces.
+    controller = std::make_unique<ipc::BusEqualShareController>(bus, opt.pool);
+  } else {
+    control::PolicyConfig policy_config;
+    policy_config.contexts = opt.contexts;
+    policy_config.pool_size = opt.pool;
+    controller = control::make_controller(opt.policy, policy_config);
+  }
+
+  runtime::ProcessConfig config;
+  config.pool.pool_size = opt.pool;
+  config.pool.seed = 0x9001 + static_cast<std::uint64_t>(bus.slot_index());
+  config.monitor.period = milliseconds(opt.period_ms);
+  config.monitor.stm_runtime = &rt;
+  config.monitor.bus = &bus;
+  runtime::TunedProcess process(rt, *workload, *controller, config);
+  const runtime::RunReport report = process.run_for(seconds(opt.seconds));
+
+  ipc::FinalSample final_sample;
+  final_sample.final_level = report.final_level;
+  final_sample.seconds = report.seconds;
+  final_sample.mean_level = report.mean_level;
+  final_sample.tasks_per_second = report.tasks_per_second;
+  final_sample.tasks_completed = report.tasks_completed;
+  final_sample.commits = report.stm_stats.commits;
+  final_sample.aborts = report.stm_stats.total_aborts();
+  bus.publish_final(final_sample);
+
+  std::string error;
+  if (!workload->verify(&error)) {
+    std::fprintf(stderr, "rubic_colocate[%d]: consistency violation: %s\n",
+                 static_cast<int>(getpid()), error.c_str());
+    return 3;
+  }
+  return 0;
+}
+
+double measure_baseline(const Options& opt) {
+  stm::Runtime rt;
+  auto workload = workloads::make_workload(opt.workload, rt);
+  control::FixedController sequential(control::LevelBounds{1, 1}, 1, "Seq");
+  runtime::ProcessConfig config;
+  config.pool.pool_size = 1;
+  config.monitor.record_trace = false;
+  runtime::TunedProcess process(rt, *workload, sequential, config);
+  return process.run_for(seconds(opt.baseline_seconds)).tasks_per_second;
+}
+
+std::string json_escape(const std::string& in) {
+  std::string out;
+  for (char c : in) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+  }
+  return out;
+}
+
+std::string format_report(const Options& opt, double baseline,
+                          const std::vector<ChildResult>& children,
+                          double wall_seconds) {
+  std::vector<double> speedups;
+  std::vector<double> efficiencies;
+  int dead = 0;
+  for (const auto& child : children) {
+    if (child.completed) {
+      speedups.push_back(child.speedup);
+      efficiencies.push_back(child.efficiency);
+    } else {
+      ++dead;
+    }
+  }
+
+  char buffer[512];
+  std::string out = "{\n";
+  std::snprintf(buffer, sizeof buffer,
+                "  \"tool\": \"rubic_colocate\",\n"
+                "  \"workload\": \"%s\",\n"
+                "  \"policy\": \"%s\",\n"
+                "  \"procs\": %d,\n"
+                "  \"contexts\": %d,\n"
+                "  \"pool\": %d,\n"
+                "  \"seconds\": %d,\n"
+                "  \"wall_seconds\": %.3f,\n"
+                "  \"baseline_tasks_per_second\": %.3f,\n"
+                "  \"processes\": [\n",
+                json_escape(opt.workload).c_str(),
+                json_escape(opt.policy).c_str(), opt.procs, opt.contexts,
+                opt.pool, opt.seconds, wall_seconds, baseline);
+  out += buffer;
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    const auto& child = children[i];
+    const auto& p = child.payload;
+    std::snprintf(
+        buffer, sizeof buffer,
+        "    {\"pid\": %d, \"label\": \"%s\", \"completed\": %s, "
+        "\"exit_code\": %d, \"signal\": %d, "
+        "\"tasks_per_second\": %.3f, \"tasks_completed\": %llu, "
+        "\"mean_level\": %.2f, \"final_level\": %d, "
+        "\"commits\": %llu, \"aborts\": %llu, \"commit_ratio\": %.4f, "
+        "\"speedup\": %.4f, \"efficiency\": %.4f}%s\n",
+        static_cast<int>(child.pid), json_escape(p.label).c_str(),
+        child.completed ? "true" : "false", child.exit_code, child.signal,
+        child.completed ? p.tasks_per_second : p.throughput,
+        static_cast<unsigned long long>(p.tasks_completed),
+        child.completed ? p.mean_level : 0.0,
+        child.completed ? p.final_level : p.level,
+        static_cast<unsigned long long>(p.commits),
+        static_cast<unsigned long long>(p.aborts),
+        p.commits + p.aborts
+            ? static_cast<double>(p.commits) /
+                  static_cast<double>(p.commits + p.aborts)
+            : 1.0,
+        child.speedup, child.efficiency,
+        i + 1 < children.size() ? "," : "");
+    out += buffer;
+  }
+  std::snprintf(
+      buffer, sizeof buffer,
+      "  ],\n"
+      "  \"system\": {\"nsbp\": %.6g, \"efficiency_product\": %.6g, "
+      "\"jain\": %.4f, \"survivors\": %d, \"dead\": %d}\n"
+      "}\n",
+      metrics::nsbp_product(speedups),
+      metrics::efficiency_product(efficiencies),
+      metrics::jain_fairness(speedups),
+      static_cast<int>(children.size()) - dead, dead);
+  out += buffer;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  try {
+    util::Cli cli(argc, argv);
+    const bool list_workloads = cli.get_bool("list-workloads");
+    const bool list_controllers = cli.get_bool("list-controllers");
+    if (list_workloads || list_controllers) {
+      if (list_workloads) {
+        for (const auto& name : workloads::known_workloads()) {
+          std::printf("%.*s\n", static_cast<int>(name.size()), name.data());
+        }
+      }
+      if (list_controllers) {
+        for (const auto& name : control::known_policies()) {
+          std::printf("%.*s\n", static_cast<int>(name.size()), name.data());
+        }
+      }
+      return 0;
+    }
+
+    opt.procs = static_cast<int>(cli.get_int("procs", opt.procs));
+    opt.workload = cli.get_string("workload", opt.workload);
+    opt.policy = cli.get_string("policy", opt.policy);
+    opt.seconds = static_cast<int>(cli.get_int("seconds", opt.seconds));
+    opt.baseline_seconds = static_cast<int>(
+        cli.get_int("baseline-seconds", opt.baseline_seconds));
+    opt.contexts = static_cast<int>(cli.get_int("contexts", 0));
+    opt.pool = static_cast<int>(cli.get_int("pool", 0));
+    opt.period_ms = static_cast<int>(cli.get_int("period-ms", opt.period_ms));
+    opt.chaos_kill_ms =
+        static_cast<int>(cli.get_int("chaos-kill-ms", opt.chaos_kill_ms));
+    opt.bus_name = cli.get_string("bus", "");
+    opt.json_path = cli.get_string("json", "");
+    cli.check_unknown();
+
+    if (opt.procs < 1 || opt.seconds < 1) {
+      std::fprintf(stderr,
+                   "usage: rubic_colocate --procs N --workload W --policy P "
+                   "[--seconds S] [--contexts C] [--pool SZ] [--period-ms M] "
+                   "[--baseline-seconds B] [--chaos-kill-ms T] [--bus /name] "
+                   "[--json out.json] [--list-workloads] "
+                   "[--list-controllers]\n");
+      return 2;
+    }
+    if (opt.contexts <= 0) {
+      opt.contexts =
+          std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+    }
+    if (opt.pool <= 0) opt.pool = 2 * opt.contexts;
+    if (opt.bus_name.empty()) {
+      opt.bus_name =
+          "/rubic-colocate-" + std::to_string(static_cast<int>(getpid()));
+    }
+
+    // Sequential baseline for the speed-up denominators (paper §4.1's
+    // T_seq), measured before any fork while the machine is otherwise idle.
+    // All baseline threads are joined before fork() — mandatory for a safe
+    // fork-without-exec.
+    double baseline = 0.0;
+    if (opt.baseline_seconds > 0) baseline = measure_baseline(opt);
+
+    ipc::BusConfig bus_config;
+    bus_config.name = opt.bus_name;
+    bus_config.contexts = opt.contexts;
+    bus_config.max_slots = opt.procs + 4;
+    bus_config.stale_after = milliseconds(25 * opt.period_ms);
+    auto bus = ipc::CoLocationBus::create_or_attach(bus_config);
+
+    std::fflush(nullptr);  // children inherit stdio buffers: flush first
+    std::vector<pid_t> pids;
+    for (int i = 0; i < opt.procs; ++i) {
+      const pid_t pid = fork();
+      if (pid < 0) {
+        std::perror("fork");
+        ipc::CoLocationBus::unlink(opt.bus_name);
+        return 1;
+      }
+      if (pid == 0) {
+        int code = 5;
+        try {
+          code = run_child(opt, *bus);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "rubic_colocate[%d]: %s\n",
+                       static_cast<int>(getpid()), e.what());
+        }
+        std::fflush(nullptr);
+        _exit(code);
+      }
+      pids.push_back(pid);
+    }
+
+    const auto wall_start = steady_clock::now();
+    if (opt.chaos_kill_ms > 0 && !pids.empty()) {
+      std::this_thread::sleep_for(milliseconds(opt.chaos_kill_ms));
+      kill(pids.front(), SIGKILL);
+      std::fprintf(stderr, "chaos: SIGKILLed child %d after %d ms\n",
+                   static_cast<int>(pids.front()), opt.chaos_kill_ms);
+    }
+
+    std::vector<ChildResult> children(pids.size());
+    for (std::size_t i = 0; i < pids.size(); ++i) {
+      children[i].pid = pids[i];
+      int status = 0;
+      if (waitpid(pids[i], &status, 0) < 0) {
+        std::perror("waitpid");
+        continue;
+      }
+      if (WIFEXITED(status)) children[i].exit_code = WEXITSTATUS(status);
+      if (WIFSIGNALED(status)) children[i].signal = WTERMSIG(status);
+    }
+    const double wall_seconds =
+        duration<double>(steady_clock::now() - wall_start).count();
+
+    // Collect every child's final report (or last heartbeat) from the bus.
+    for (auto& child : children) {
+      const ipc::PeerInfo info =
+          bus->find_pid(static_cast<std::int32_t>(child.pid));
+      child.found_on_bus = info.slot >= 0;
+      if (child.found_on_bus) child.payload = info.payload;
+      child.completed = child.exit_code == 0 && child.found_on_bus &&
+                        child.payload.done != 0;
+      const double rate = child.completed ? child.payload.tasks_per_second
+                                          : child.payload.throughput;
+      child.speedup = metrics::speedup(rate, baseline);
+      child.efficiency = metrics::efficiency(
+          child.speedup,
+          child.completed ? child.payload.mean_level : child.payload.level);
+    }
+
+    const std::string report =
+        format_report(opt, baseline, children, wall_seconds);
+    std::fputs(report.c_str(), stdout);
+    if (!opt.json_path.empty()) {
+      if (std::FILE* f = std::fopen(opt.json_path.c_str(), "w")) {
+        std::fputs(report.c_str(), f);
+        std::fclose(f);
+      } else {
+        std::fprintf(stderr, "failed to write %s\n", opt.json_path.c_str());
+      }
+    }
+
+    bus.reset();
+    ipc::CoLocationBus::unlink(opt.bus_name);
+
+    // The launcher succeeds if every child that we did NOT kill ourselves
+    // finished cleanly; a chaos-killed child is an expected casualty.
+    int failures = 0;
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      const bool chaos_victim = opt.chaos_kill_ms > 0 && i == 0;
+      if (!children[i].completed && !chaos_victim) ++failures;
+    }
+    return failures == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rubic_colocate: %s\n", e.what());
+    if (!opt.bus_name.empty()) ipc::CoLocationBus::unlink(opt.bus_name);
+    return 2;
+  }
+}

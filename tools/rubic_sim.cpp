@@ -20,6 +20,7 @@
 #include "src/control/factory.hpp"
 #include "src/metrics/timeseries.hpp"
 #include "src/sim/sim_system.hpp"
+#include "src/sim/workload_profiles.hpp"
 #include "src/util/cli.hpp"
 
 using namespace rubic;
@@ -60,6 +61,23 @@ ParsedProcess parse_process(const std::string& spec) {
 int main(int argc, char** argv) {
   try {
     util::Cli cli(argc, argv);
+    // Discovery flags, shared with the rubic_colocate launcher: the policy
+    // list comes from the one factory both binaries call.
+    const bool list_workloads = cli.get_bool("list-workloads");
+    const bool list_controllers = cli.get_bool("list-controllers");
+    if (list_workloads || list_controllers) {
+      if (list_workloads) {
+        for (const auto& name : sim::profile_names()) {
+          std::printf("%.*s\n", static_cast<int>(name.size()), name.data());
+        }
+      }
+      if (list_controllers) {
+        for (const auto& name : control::known_policies()) {
+          std::printf("%.*s\n", static_cast<int>(name.size()), name.data());
+        }
+      }
+      return 0;
+    }
     std::vector<ParsedProcess> processes;
     for (int i = 1; i <= 8; ++i) {
       const std::string spec =

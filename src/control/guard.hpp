@@ -1,0 +1,160 @@
+// ControllerGuard: the crash barrier between a tuning policy and the pool.
+//
+// The monitor must be able to apply *any* controller's answer to real worker
+// threads, so a policy that returns garbage (NaN-poisoned state, an
+// uninitialized level, values far outside the pool) or throws must not be
+// able to corrupt the runtime. The guard decorates a policy with three
+// defenses, applied every round:
+//   * the input sample is sanitized (NaN/inf/negative throughput → 0.0, the
+//     "no progress" reading every policy already handles);
+//   * a throwing policy is absorbed: the guard answers with the last good
+//     level and keeps going (the policy may recover on a later round);
+//   * the output level is clamped into [min_level, max_level], always.
+// It is also the injection point for the kControllerGarbage /
+// kControllerThrow fault sites (src/fault/): faults enter between the policy
+// and the guard, exactly where real garbage would appear, so chaos tests
+// exercise the same path that protects production runs.
+//
+// Not thread-safe by design: one guard belongs to one monitor thread, like
+// the controller it wraps.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/control/contention.hpp"
+#include "src/control/controller.hpp"
+#include "src/fault/fault.hpp"
+
+namespace rubic::control {
+
+class ControllerGuard final : public Controller,
+                              public ContentionSignalConsumer {
+ public:
+  // Non-owning: `inner` must outlive the guard (the monitor wraps the
+  // caller-owned policy this way).
+  ControllerGuard(Controller& inner, LevelBounds bounds)
+      : inner_(&inner),
+        consumer_(dynamic_cast<ContentionSignalConsumer*>(&inner)),
+        bounds_(bounds),
+        name_("Guarded(" + std::string(inner.name()) + ")") {
+    last_good_ = initial_level();
+  }
+
+  // Owning variant for callers that build the policy just to wrap it.
+  ControllerGuard(std::unique_ptr<Controller> inner, LevelBounds bounds)
+      : ControllerGuard(*inner, bounds) {
+    owned_ = std::move(inner);
+  }
+
+  int initial_level() const override {
+    int level = bounds_.min_level;
+    try {
+      level = inner_->initial_level();
+    } catch (...) {
+      // A policy that cannot even answer its starting level runs at the
+      // floor until it produces a usable sample response.
+    }
+    return bounds_.clamp(level);
+  }
+
+  int on_sample(double throughput) override {
+    return guarded([&] { return inner_->on_sample(sanitize(throughput)); });
+  }
+
+  // Contention-signal path: forwarded only when the inner policy consumes
+  // it (the monitor checks consumes_contention() before routing). A
+  // non-finite ratio carries no information — hold the level.
+  int on_commit_ratio(double ratio) override {
+    if (consumer_ == nullptr || !std::isfinite(ratio)) return last_good_;
+    const double clamped = ratio < 0.0 ? 0.0 : (ratio > 1.0 ? 1.0 : ratio);
+    if (clamped != ratio) ++sanitized_inputs_;
+    return guarded([&] { return consumer_->on_commit_ratio(clamped); });
+  }
+
+  void reset() override {
+    try {
+      inner_->reset();
+    } catch (...) {
+      ++absorbed_exceptions_;
+    }
+    last_good_ = initial_level();
+  }
+
+  std::string_view name() const override { return name_; }
+
+  bool consumes_contention() const noexcept { return consumer_ != nullptr; }
+  Controller& inner() noexcept { return *inner_; }
+  int level() const noexcept { return last_good_; }
+
+  // Diagnostics for tests and the chaos report.
+  std::uint64_t sanitized_inputs() const noexcept { return sanitized_inputs_; }
+  std::uint64_t absorbed_exceptions() const noexcept {
+    return absorbed_exceptions_;
+  }
+  std::uint64_t clamped_outputs() const noexcept { return clamped_outputs_; }
+
+ private:
+  double sanitize(double throughput) noexcept {
+    if (std::isfinite(throughput) && throughput >= 0.0) return throughput;
+    ++sanitized_inputs_;
+    return 0.0;
+  }
+
+  // A fault value is a double and may itself be NaN/inf; folding it to the
+  // int extremes keeps the conversion defined and maximally hostile.
+  static int to_level(double value) noexcept {
+    if (std::isnan(value)) return std::numeric_limits<int>::max();
+    if (value >= static_cast<double>(std::numeric_limits<int>::max())) {
+      return std::numeric_limits<int>::max();
+    }
+    if (value <= static_cast<double>(std::numeric_limits<int>::min())) {
+      return std::numeric_limits<int>::min();
+    }
+    return static_cast<int>(value);
+  }
+
+  template <typename Call>
+  int guarded(Call&& call) {
+    int level = last_good_;
+    bool usable = true;
+    if (fault::probe(fault::Site::kControllerThrow)) [[unlikely]] {
+      usable = false;
+      ++absorbed_exceptions_;
+    } else {
+      try {
+        level = call();
+      } catch (...) {
+        usable = false;
+        ++absorbed_exceptions_;
+      }
+    }
+    if (usable) {
+      if (const fault::Fire f = fault::probe(fault::Site::kControllerGarbage)) {
+        level = to_level(f.value);
+      }
+    } else {
+      level = last_good_;
+    }
+    const int clamped = bounds_.clamp(level);
+    if (clamped != level) ++clamped_outputs_;
+    last_good_ = clamped;
+    return clamped;
+  }
+
+  Controller* inner_;
+  std::unique_ptr<Controller> owned_;
+  ContentionSignalConsumer* consumer_;
+  LevelBounds bounds_;
+  std::string name_;
+  int last_good_ = 1;
+  std::uint64_t sanitized_inputs_ = 0;
+  std::uint64_t absorbed_exceptions_ = 0;
+  std::uint64_t clamped_outputs_ = 0;
+};
+
+}  // namespace rubic::control

@@ -1,0 +1,200 @@
+#include "src/fault/fault.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "src/util/check.hpp"
+#include "src/util/rng.hpp"
+
+namespace rubic::fault {
+
+namespace detail {
+std::atomic<Plan*> g_plan{nullptr};
+}  // namespace detail
+
+void arm(Plan& plan) noexcept {
+  detail::g_plan.store(&plan, std::memory_order_release);
+}
+
+void disarm() noexcept {
+  detail::g_plan.store(nullptr, std::memory_order_release);
+}
+
+namespace {
+
+constexpr std::string_view kSiteNames[kSiteCount] = {
+    "monitor_stall",      // kMonitorStall
+    "clock_jump",         // kMonitorClockJump
+    "sample_corrupt",     // kMonitorSampleCorrupt
+    "controller_garbage", // kControllerGarbage
+    "controller_throw",   // kControllerThrow
+    "worker_stall",       // kWorkerStall
+    "bus_acquire_fail",   // kBusAcquireFail
+    "bus_suppress",       // kBusSuppressHeartbeat
+    "bus_corrupt",        // kBusCorruptPayload
+    "stm_conflict",       // kStmForceConflict
+};
+
+constexpr std::size_t idx(Site site) noexcept {
+  return static_cast<std::size_t>(site);
+}
+
+// Uniform double in [0, 1) from the top 53 bits, as in util::Xoshiro256.
+constexpr double to_unit(std::uint64_t bits) noexcept {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::string_view site_name(Site site) noexcept {
+  return idx(site) < kSiteCount ? kSiteNames[idx(site)] : "?";
+}
+
+void Plan::add(const Rule& rule) {
+  RUBIC_CHECK_MSG(rule.site != Site::kCount, "rule needs a valid site");
+  RUBIC_CHECK_MSG(rule.every >= 1, "rule.every must be >= 1");
+  RUBIC_CHECK_MSG(rule.first_hit <= rule.last_hit,
+                  "rule window is empty (first_hit > last_hit)");
+  rules_.push_back(rule);
+}
+
+Fire Plan::fire(Site site) noexcept {
+  auto& counters = counters_[idx(site)];
+  const std::uint64_t hit =
+      counters.hits.fetch_add(1, std::memory_order_relaxed);
+  Fire out;
+  for (const Rule& rule : rules_) {
+    if (rule.site != site) continue;
+    if (hit < rule.first_hit || hit > rule.last_hit) continue;
+    if ((hit - rule.first_hit) % rule.every != 0) continue;
+    // All randomness comes from this hash of (seed, site, hit): the schedule
+    // depends only on how often the site is reached, never on time or on
+    // other sites — the determinism contract.
+    util::SplitMix64 h(seed_ ^
+                       (0x9e3779b97f4a7c15ULL * (idx(site) + 1)) ^
+                       (hit * 0xbf58476d1ce4e5b9ULL));
+    const std::uint64_t draw = h.next();
+    if (rule.probability < 1.0 && to_unit(draw) >= rule.probability) continue;
+    out.fired = true;
+    out.value =
+        rule.seeded_value ? to_unit(h.next()) * rule.value : rule.value;
+    break;  // first matching rule wins
+  }
+  if (out.fired) {
+    counters.fires.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(log_mutex_);
+    if (log_.size() < kMaxLogEntries) log_.push_back({site, hit, out.value});
+  }
+  return out;
+}
+
+std::uint64_t Plan::hits(Site site) const noexcept {
+  return counters_[idx(site)].hits.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Plan::fires(Site site) const noexcept {
+  return counters_[idx(site)].fires.load(std::memory_order_relaxed);
+}
+
+std::vector<Plan::LogEntry> Plan::log() const {
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  return log_;
+}
+
+// ---------------------------------------------------------------------------
+// Spec parsing.
+
+namespace {
+
+[[noreturn]] void parse_error(std::string_view what, std::string_view token) {
+  throw std::invalid_argument("fault spec: " + std::string(what) + " '" +
+                              std::string(token) + "'");
+}
+
+double parse_value(std::string_view token) {
+  if (token == "nan") return std::numeric_limits<double>::quiet_NaN();
+  if (token == "inf") return std::numeric_limits<double>::infinity();
+  if (token == "-inf") return -std::numeric_limits<double>::infinity();
+  const std::string buf(token);
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end == buf.c_str() || *end != '\0') parse_error("bad number", token);
+  return v;
+}
+
+std::uint64_t parse_uint(std::string_view token) {
+  const std::string buf(token);
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (end == buf.c_str() || *end != '\0') parse_error("bad integer", token);
+  return static_cast<std::uint64_t>(v);
+}
+
+Site parse_site(std::string_view token) {
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    if (kSiteNames[i] == token) return static_cast<Site>(i);
+  }
+  parse_error("unknown site", token);
+}
+
+// Splits `in` at the first `sep`; returns the head and leaves the tail.
+std::string_view take_until(std::string_view& in, char sep) {
+  const std::size_t pos = in.find(sep);
+  std::string_view head = in.substr(0, pos);
+  in = pos == std::string_view::npos ? std::string_view{} : in.substr(pos + 1);
+  return head;
+}
+
+}  // namespace
+
+std::unique_ptr<Plan> Plan::parse(std::string_view spec) {
+  // Two passes keep the seed usable regardless of where "seed=" appears.
+  std::uint64_t seed = 0;
+  for (std::string_view rest = spec; !rest.empty();) {
+    std::string_view part = take_until(rest, ';');
+    if (part.substr(0, 5) == "seed=") seed = parse_uint(part.substr(5));
+  }
+  auto plan = std::make_unique<Plan>(seed);
+  for (std::string_view rest = spec; !rest.empty();) {
+    std::string_view part = take_until(rest, ';');
+    if (part.empty() || part.substr(0, 5) == "seed=") continue;
+    std::string_view site_token = take_until(part, ':');
+    Rule rule;
+    rule.site = parse_site(site_token);
+    while (!part.empty()) {
+      std::string_view kv = take_until(part, ',');
+      std::string_view key = take_until(kv, '=');
+      if (kv.empty() && key != "seeded") parse_error("key needs a value", key);
+      if (key == "value" || key == "ms" || key == "ns" || key == "us" ||
+          key == "level") {
+        rule.value = parse_value(kv);
+      } else if (key == "from") {
+        rule.first_hit = parse_uint(kv);
+      } else if (key == "until") {
+        rule.last_hit = parse_uint(kv);
+      } else if (key == "every") {
+        rule.every = parse_uint(kv);
+        if (rule.every == 0) parse_error("every must be >= 1", kv);
+      } else if (key == "prob") {
+        rule.probability = parse_value(kv);
+        if (!(rule.probability >= 0.0 && rule.probability <= 1.0)) {
+          parse_error("prob outside [0,1]", kv);
+        }
+      } else if (key == "seeded") {
+        rule.seeded_value = kv.empty() || kv == "1" || kv == "true";
+      } else {
+        parse_error("unknown key", key);
+      }
+    }
+    if (rule.first_hit > rule.last_hit) {
+      parse_error("empty window (from > until)", site_token);
+    }
+    plan->add(rule);
+  }
+  return plan;
+}
+
+}  // namespace rubic::fault

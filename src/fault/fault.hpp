@@ -1,0 +1,164 @@
+// Deterministic, seed-driven fault injection (DESIGN: chaos layer).
+//
+// RUBIC's value proposition is stability under hostile co-location —
+// interfering processes, preempted workers, noisy samples (paper §3–§4).
+// Trusting the reproduction therefore requires exercising exactly those
+// regimes on demand, reproducibly. This layer provides that: a FaultPlan is
+// a seeded schedule of fault events matched against named hook points
+// (sites) threaded through the stack — the monitor tick, the controller
+// output, the worker task loop, the co-location bus, the STM commit path.
+//
+// Determinism contract: a site's events are addressed by *hit index* (the
+// n-th time execution reaches the site), never by wall-clock time, and all
+// randomness (probabilistic rules, seeded values) is derived by hashing
+// (seed, site, hit). Two runs that reach each site the same number of times
+// under the same plan therefore observe the identical fault schedule — and
+// the chaos tests assert byte-identical traces on top of that.
+//
+// Cost contract: with no plan armed, a hook is one relaxed atomic load and
+// one predictable branch (see probe() below) — cheap enough for the STM
+// commit path and the per-task worker loop. Arming is test/chaos-only and
+// need not be fast.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace rubic::fault {
+
+// Hook-point taxonomy. Every site is probed at exactly one place in the
+// stack; docs/fault-injection.md carries the site → consumer map.
+enum class Site : std::uint32_t {
+  kMonitorStall = 0,      // monitor tick stalls: value = extra sleep, ms
+  kMonitorClockJump,      // round claims to have taken `value` ns
+  kMonitorSampleCorrupt,  // throughput replaced by value (NaN/inf/negative)
+  kControllerGarbage,     // policy output replaced by value (as a level)
+  kControllerThrow,       // policy "throws" this round
+  kWorkerStall,           // worker preemption window: value = stall, µs
+  kBusAcquireFail,        // slot acquisition artificially fails
+  kBusSuppressHeartbeat,  // a monitor publish is silently dropped
+  kBusCorruptPayload,     // a publish writes a scrambled payload
+  kStmForceConflict,      // a commit aborts with a forced conflict
+  kCount,
+};
+
+inline constexpr std::size_t kSiteCount = static_cast<std::size_t>(Site::kCount);
+
+// Canonical token, shared by the spec parser and diagnostics
+// (e.g. "monitor_stall", "bus_corrupt"). "?" for out-of-range values.
+std::string_view site_name(Site site) noexcept;
+
+// One scheduled fault class. A rule fires at site hits
+// first_hit, first_hit + every, ... up to last_hit, each firing further
+// gated by `probability` (decided by hash(seed, site, hit) — deterministic,
+// not sampled). Hit indices are 0-based and per-site.
+struct Rule {
+  Site site = Site::kCount;
+  double value = 0.0;  // site-specific payload: ms / ns / µs / level / sample
+  std::uint64_t first_hit = 0;
+  std::uint64_t last_hit = ~std::uint64_t{0};
+  std::uint64_t every = 1;
+  double probability = 1.0;
+  // When set, the delivered value is uniform in [0, value), drawn from the
+  // same (seed, site, hit) hash — varying-but-reproducible payloads.
+  bool seeded_value = false;
+};
+
+// Outcome of a probe: fired == false means "no fault here" (the fast path).
+struct Fire {
+  bool fired = false;
+  double value = 0.0;
+  explicit operator bool() const noexcept { return fired; }
+};
+
+class Plan {
+ public:
+  explicit Plan(std::uint64_t seed = 0) : seed_(seed) {}
+
+  Plan(const Plan&) = delete;
+  Plan& operator=(const Plan&) = delete;
+
+  void add(const Rule& rule);
+
+  // Parses a textual plan, e.g.
+  //   "seed=42;monitor_stall:ms=25,every=8;bus_corrupt:every=3;
+  //    stm_conflict:prob=0.05;sample_corrupt:value=nan,from=5,until=20"
+  // Grammar: ';'-separated parts; "seed=N" or "<site>[:k=v[,k=v…]]" with
+  // keys value|ms|ns|us|level (aliases for the payload), from, until,
+  // every, prob, seeded. Values accept nan/inf/-inf. Throws
+  // std::invalid_argument on unknown sites/keys or malformed numbers.
+  static std::unique_ptr<Plan> parse(std::string_view spec);
+
+  // Hook side: bumps the site's hit counter and matches the rules (first
+  // matching rule wins). Thread-safe; called only while the plan is armed.
+  Fire fire(Site site) noexcept;
+
+  std::uint64_t seed() const noexcept { return seed_; }
+  std::uint64_t hits(Site site) const noexcept;
+  std::uint64_t fires(Site site) const noexcept;
+
+  // The fault log: every fired event in program order per site, capped at
+  // kMaxLogEntries. Chaos tests replay two same-seed runs and assert the
+  // logs are identical.
+  struct LogEntry {
+    Site site;
+    std::uint64_t hit;
+    double value;
+    bool operator==(const LogEntry&) const = default;
+  };
+  static constexpr std::size_t kMaxLogEntries = 1 << 16;
+  std::vector<LogEntry> log() const;
+
+ private:
+  struct SiteCounters {
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> fires{0};
+  };
+
+  const std::uint64_t seed_;
+  std::vector<Rule> rules_;  // frozen once armed (add() before arm())
+  std::array<SiteCounters, kSiteCount> counters_{};
+  mutable std::mutex log_mutex_;
+  std::vector<LogEntry> log_;
+};
+
+namespace detail {
+// The one word every hook loads. nullptr (the steady state) = disarmed.
+extern std::atomic<Plan*> g_plan;
+}  // namespace detail
+
+// Arms `plan` process-wide; it must outlive the armed window. Replacing an
+// armed plan is allowed (last arm wins); disarm() returns to the fast path.
+void arm(Plan& plan) noexcept;
+void disarm() noexcept;
+
+inline Plan* armed() noexcept {
+  return detail::g_plan.load(std::memory_order_relaxed);
+}
+
+// The inline hook. Disarmed cost: one relaxed load + one predictable branch.
+// Only the armed (slow) path pays an acquire re-load, which is what makes
+// the Plan's rule list — written before arm()'s release store — visible to
+// a probing thread that never otherwise synchronized with the armer.
+inline Fire probe(Site site) noexcept {
+  if (armed() == nullptr) [[likely]] return {};
+  Plan* plan = detail::g_plan.load(std::memory_order_acquire);
+  if (plan == nullptr) return {};
+  return plan->fire(site);
+}
+
+// RAII arming for tests: arms on construction, disarms on scope exit.
+class Armed {
+ public:
+  explicit Armed(Plan& plan) noexcept { arm(plan); }
+  ~Armed() { disarm(); }
+  Armed(const Armed&) = delete;
+  Armed& operator=(const Armed&) = delete;
+};
+
+}  // namespace rubic::fault

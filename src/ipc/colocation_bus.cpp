@@ -11,10 +11,13 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <system_error>
 #include <type_traits>
 
+#include "src/fault/fault.hpp"
 #include "src/util/check.hpp"
 
 namespace rubic::ipc {
@@ -180,6 +183,11 @@ int CoLocationBus::max_slots() const noexcept { return header().max_slots; }
 
 int CoLocationBus::acquire_slot(std::string_view label) {
   if (slot_ >= 0) return slot_;
+  if (fault::probe(fault::Site::kBusAcquireFail)) {
+    // Injected unusable segment: callers must degrade to bus-less (solo)
+    // tuning, which rubic_colocate exercises under a chaos plan.
+    return -1;
+  }
   const std::int32_t self = static_cast<std::int32_t>(::getpid());
 
   auto claim = [&](int index, std::int32_t expected) {
@@ -222,9 +230,12 @@ int CoLocationBus::acquire_slot(std::string_view label) {
     bool reclaimable = !pid_alive(owner);
     if (!reclaimable) {
       // Owner pid exists, but if the heartbeat has been silent far past
-      // staleness the pid was likely recycled by an unrelated process.
+      // staleness the pid was likely recycled by an unrelated process. A
+      // torn or implausible payload is no evidence either way — leave the
+      // slot alone.
       SlotPayload payload;
-      if (read_payload(slot, payload) && payload.beat_ns + reclaim_ns < now) {
+      if (read_payload(slot, payload) == ReadResult::kOk &&
+          payload.beat_ns + reclaim_ns < now) {
         reclaimable = true;
       }
     }
@@ -266,6 +277,27 @@ void CoLocationBus::publish(const SlotSample& sample) {
   own_.tasks_completed = sample.tasks_completed;
   own_.commits = sample.commits;
   own_.aborts = sample.aborts;
+  if (fault::probe(fault::Site::kBusSuppressHeartbeat)) {
+    // Injected heartbeat suppression: the round's publish is dropped on the
+    // floor. Readers must eventually classify the slot as stale; the own_
+    // shadow stays current so the next clean publish recovers in one write.
+    return;
+  }
+  if (fault::probe(fault::Site::kBusCorruptPayload)) {
+    // Injected shared-memory corruption: a structurally complete write
+    // whose values are impossible. Readers must reject it via
+    // payload_plausible() instead of propagating garbage into EqualShare
+    // shares or launcher reports. beat_ns stays fresh on purpose — the
+    // rejection must come from plausibility, not staleness.
+    SlotPayload garbage = own_;
+    garbage.level = std::numeric_limits<std::int32_t>::max();
+    garbage.throughput = -std::numeric_limits<double>::infinity();
+    garbage.commit_ratio = std::numeric_limits<double>::quiet_NaN();
+    garbage.tasks_per_second = -1.0;
+    for (char& c : garbage.label) c = 'X';  // no terminator
+    write_payload(garbage);
+    return;
+  }
   write_payload(own_);
 }
 
@@ -285,7 +317,34 @@ void CoLocationBus::publish_final(const FinalSample& sample) {
   write_payload(own_);
 }
 
-bool CoLocationBus::read_payload(const Slot& slot, SlotPayload& out) const {
+bool payload_plausible(const SlotPayload& p) noexcept {
+  // A level beyond this is nonsense on any machine this decade; the real
+  // cap (the peer's pool size) is not knowable from here.
+  constexpr std::int32_t kMaxPlausibleLevel = 1 << 20;
+  if (!std::isfinite(p.throughput) || p.throughput < 0.0) return false;
+  if (!std::isfinite(p.commit_ratio) || p.commit_ratio < 0.0 ||
+      p.commit_ratio > 1.0) {
+    return false;
+  }
+  if (p.level < 0 || p.level > kMaxPlausibleLevel) return false;
+  if (p.final_level < 0 || p.final_level > kMaxPlausibleLevel) return false;
+  if (!std::isfinite(p.seconds) || p.seconds < 0.0) return false;
+  if (!std::isfinite(p.mean_level) || p.mean_level < 0.0 ||
+      p.mean_level > static_cast<double>(kMaxPlausibleLevel)) {
+    return false;
+  }
+  if (!std::isfinite(p.tasks_per_second) || p.tasks_per_second < 0.0) {
+    return false;
+  }
+  if (p.done > 1) return false;
+  for (char c : p.label) {
+    if (c == '\0') return true;
+  }
+  return false;  // label without a terminator
+}
+
+CoLocationBus::ReadResult CoLocationBus::read_payload(const Slot& slot,
+                                                      SlotPayload& out) const {
   for (int attempt = 0; attempt < kSeqlockReadAttempts; ++attempt) {
     const std::uint32_t before = slot.seq.load(std::memory_order_acquire);
     if (before & 1u) continue;  // publish in progress
@@ -294,11 +353,14 @@ bool CoLocationBus::read_payload(const Slot& slot, SlotPayload& out) const {
     std::atomic_thread_fence(std::memory_order_acquire);
     const std::uint32_t after = slot.seq.load(std::memory_order_acquire);
     if (before == after) {
+      // A stable snapshot can still be garbage — shared memory has no
+      // write protection between peers. Screen it before trusting it.
+      if (!payload_plausible(copy)) return ReadResult::kImplausible;
       out = copy;
-      return true;
+      return ReadResult::kOk;
     }
   }
-  return false;  // torn: the owner is actively publishing
+  return ReadResult::kTorn;  // the owner is actively publishing
 }
 
 // ---------------------------------------------------------------------------
@@ -313,11 +375,22 @@ PeerInfo CoLocationBus::classify(int index) const {
     info.slot = -1;
     return info;
   }
-  if (!read_payload(slot, info.payload)) {
-    // Mid-publish: the owner is alive by construction.
-    info.torn = true;
-    info.state = PeerState::kAlive;
-    return info;
+  switch (read_payload(slot, info.payload)) {
+    case ReadResult::kTorn:
+      // Mid-publish: the owner is alive by construction.
+      info.torn = true;
+      info.state = PeerState::kAlive;
+      return info;
+    case ReadResult::kImplausible:
+      // Corrupted but structurally stable: the payload is unusable (treated
+      // exactly like a torn read), and with no trustworthy heartbeat the
+      // owner's liveness is judged by its pid alone.
+      info.torn = true;
+      info.corrupt = true;
+      info.state = pid_alive(info.pid) ? PeerState::kAlive : PeerState::kDead;
+      return info;
+    case ReadResult::kOk:
+      break;
   }
   if (info.payload.done != 0) {
     // A final report outlives its author: a process that published one and

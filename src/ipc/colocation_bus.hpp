@@ -103,9 +103,19 @@ struct PeerInfo {
   int slot = -1;
   std::int32_t pid = 0;
   PeerState state = PeerState::kDead;
-  bool torn = false;  // payload below is invalid; owner was mid-publish
+  bool torn = false;     // payload below is invalid; owner was mid-publish
+  bool corrupt = false;  // payload read cleanly but failed plausibility
   SlotPayload payload{};
 };
+
+// Plausibility screen for payloads that passed the seqlock: shared memory is
+// writable by every peer, so a buggy or hostile co-runner can scribble a
+// structurally-valid-looking record. Bounds are deliberately loose — they
+// reject corruption (non-finite rates, ratios outside [0,1], absurd or
+// negative levels, an unterminated label), not unusual-but-legal values.
+// Readers treat an implausible payload the same way as a torn read: the
+// snapshot is unusable, the slot owner's liveness is judged by pid alone.
+bool payload_plausible(const SlotPayload& payload) noexcept;
 
 struct BusConfig {
   std::string name;  // shm_open name, e.g. "/rubic-bus-1234"
@@ -185,9 +195,11 @@ class CoLocationBus {
 
   Header& header() const noexcept;
   Slot& slot_at(int index) const noexcept;
-  // Copies `slot`'s payload under the seqlock; false = torn after bounded
-  // retries.
-  bool read_payload(const Slot& slot, SlotPayload& out) const;
+  // Copies `slot`'s payload under the seqlock. kTorn = the sequence kept
+  // moving for the bounded retries; kImplausible = a stable snapshot failed
+  // payload_plausible(). Either way `out` must not be trusted.
+  enum class ReadResult { kOk, kTorn, kImplausible };
+  ReadResult read_payload(const Slot& slot, SlotPayload& out) const;
   // Classifies one occupied slot (liveness + staleness).
   PeerInfo classify(int index) const;
   void write_payload(const SlotPayload& payload);

@@ -1,7 +1,9 @@
 #include "src/runtime/malleable_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 
+#include "src/fault/fault.hpp"
 #include "src/util/check.hpp"
 
 namespace rubic::runtime {
@@ -37,6 +39,15 @@ void MalleablePool::worker_loop(Worker& worker) {
       worker.semaphore.acquire();
       blocked_.fetch_sub(1, std::memory_order_acq_rel);
       continue;  // re-check the gate (the level may have dropped again)
+    }
+    if (const fault::Fire f = fault::probe(fault::Site::kWorkerStall))
+        [[unlikely]] {
+      // Injected preemption window: the worker holds its slot but makes no
+      // progress, exactly like being descheduled by a co-runner. The gate
+      // is re-checked afterwards so a stalled worker still obeys the level.
+      std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(
+          f.value < 0.0 ? 0.0 : f.value));
+      continue;
     }
     // Finite workloads: the bag is empty, this worker retires (§3: the
     // worker "can then terminate"). run_task is never called after done().

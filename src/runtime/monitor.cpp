@@ -3,6 +3,9 @@
 #include <pthread.h>
 #include <sched.h>
 
+#include <cmath>
+
+#include "src/fault/fault.hpp"
 #include "src/ipc/colocation_bus.hpp"
 
 namespace rubic::runtime {
@@ -22,8 +25,10 @@ bool try_raise_priority() {
 
 Monitor::Monitor(MalleablePool& pool, control::Controller& controller,
                  MonitorConfig config)
-    : pool_(pool), controller_(controller), config_(config) {
-  pool_.set_level(controller_.initial_level());
+    : pool_(pool),
+      guard_(controller, control::LevelBounds{1, pool.pool_size()}),
+      config_(config) {
+  pool_.set_level(guard_.initial_level());
   thread_ = std::thread([this] { loop(); });
 }
 
@@ -41,14 +46,15 @@ void Monitor::loop() {
   if (config_.raise_priority) priority_raised_ = try_raise_priority();
 
   using Clock = std::chrono::steady_clock;
-  const auto start = Clock::now();
   std::uint64_t last_completed = pool_.total_completed();
-  auto last_time = start;
+  auto last_time = Clock::now();
+  // Trace timestamps accumulate the per-round durations (telescoping to
+  // wall time in a normal run) so a clock-jump fault yields a fully
+  // deterministic trace instead of leaking real time into it.
+  std::chrono::nanoseconds elapsed_total{0};
 
-  auto* contention_consumer =
-      config_.stm_runtime != nullptr
-          ? dynamic_cast<control::ContentionSignalConsumer*>(&controller_)
-          : nullptr;
+  const bool use_contention_signal =
+      config_.stm_runtime != nullptr && guard_.consumes_contention();
   // The STM's commit ratio is tracked whenever a runtime is attached: the
   // contention-signal controllers consume it, and the co-location bus
   // publishes it for cross-process observers either way.
@@ -57,18 +63,46 @@ void Monitor::loop() {
   stm::TxnStatsSnapshot now_stm;
   if (track_stm) last_stm = config_.stm_runtime->aggregate_stats();
 
+  const auto period_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(config_.period);
+
   while (!stopping_.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(config_.period);  // Alg. 2 line 3
+    if (const fault::Fire f = fault::probe(fault::Site::kMonitorStall)) {
+      // Injected tick stall: the monitor was preempted / descheduled.
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          f.value < 0.0 ? 0.0 : f.value));
+    }
     const auto now = Clock::now();
     const std::uint64_t completed = pool_.total_completed();
+    auto round_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - last_time);
+    if (const fault::Fire f = fault::probe(fault::Site::kMonitorClockJump)) {
+      // Injected clock jump: the round claims a scripted duration. Also the
+      // determinism lever — with every round's duration scripted, the whole
+      // trace is a pure function of the fault seed.
+      round_ns = std::chrono::nanoseconds(
+          f.value < 0.0 ? 0 : static_cast<std::int64_t>(f.value));
+    }
+    // Tasks per second over the *measured* period that just ended (commit-
+    // rate analogue). Scaling by the nominal period would let an overrun
+    // round report inflated tasks/sec.
     const double seconds =
-        std::chrono::duration<double>(now - last_time).count();
-    // Tasks per second over the period that just ended (commit-rate
-    // analogue). Guard against a pathological zero-length period.
-    const double throughput =
+        std::chrono::duration<double>(round_ns).count();
+    double throughput =
         seconds > 0.0
             ? static_cast<double>(completed - last_completed) / seconds
             : 0.0;
+    if (const fault::Fire f =
+            fault::probe(fault::Site::kMonitorSampleCorrupt)) {
+      throughput = f.value;
+    }
+    if (!std::isfinite(throughput) || throughput < 0.0) {
+      // A corrupted sample carries no usable signal; 0.0 is the "no
+      // progress" reading every policy already copes with.
+      throughput = 0.0;
+      sanitized_samples_.fetch_add(1, std::memory_order_acq_rel);
+    }
     double commit_ratio = 1.0;
     if (track_stm) {
       now_stm = config_.stm_runtime->aggregate_stats();
@@ -81,10 +115,22 @@ void Monitor::loop() {
                        static_cast<double>(commits + aborts);
       }
     }
-    const int next_level =
-        contention_consumer != nullptr
-            ? contention_consumer->on_commit_ratio(commit_ratio)
-            : controller_.on_sample(throughput);
+    const bool overrun =
+        config_.overrun_factor > 0.0 &&
+        round_ns > std::chrono::nanoseconds(static_cast<std::int64_t>(
+                       config_.overrun_factor *
+                       static_cast<double>(period_ns.count())));
+    int next_level;
+    if (overrun) {
+      // The measurement covers a window the controller never asked about
+      // (the monitor was starved); feeding it would punish the current
+      // level for the scheduler's sins. Log, hold the level, move on.
+      overrun_rounds_.fetch_add(1, std::memory_order_acq_rel);
+      next_level = pool_.level();
+    } else {
+      next_level = use_contention_signal ? guard_.on_commit_ratio(commit_ratio)
+                                         : guard_.on_sample(throughput);
+    }
     pool_.set_level(next_level);
     if (config_.bus != nullptr) {
       ipc::SlotSample sample;
@@ -96,12 +142,15 @@ void Monitor::loop() {
       sample.aborts = now_stm.total_aborts();
       config_.bus->publish(sample);
     }
+    elapsed_total += round_ns;
     if (config_.record_trace) {
-      trace_.push_back(MonitorSample{now - start, throughput, next_level});
+      trace_.push_back(MonitorSample{elapsed_total, throughput, next_level});
     }
     last_completed = completed;
     last_time = now;
-    rounds_.fetch_add(1, std::memory_order_acq_rel);
+    const std::uint64_t done =
+        rounds_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (config_.max_rounds != 0 && done >= config_.max_rounds) break;
   }
 }
 

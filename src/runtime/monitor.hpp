@@ -6,6 +6,16 @@
 // the process throughput from the workers' counters, feeds it to the
 // controller and applies the returned parallelism level to the pool.
 // Records a (time, level, throughput) trace for the convergence figures.
+//
+// Robustness: throughput is always scaled by the *measured* elapsed time of
+// the round (never the nominal period — a preempted monitor would otherwise
+// report inflated tasks/sec), non-finite or negative samples are clamped to
+// zero, rounds that overran the period by MonitorConfig::overrun_factor are
+// counted and skipped (the level holds, one starved measurement must not
+// drive a decision), and every controller is wrapped in a
+// control::ControllerGuard so garbage or thrown answers cannot reach the
+// pool. The chaos suite (tests/test_fault_injection.cpp) drives all of
+// these paths through the src/fault/ hook points in the monitor loop.
 #pragma once
 
 #include <atomic>
@@ -17,6 +27,7 @@
 
 #include "src/control/contention.hpp"
 #include "src/control/controller.hpp"
+#include "src/control/guard.hpp"
 #include "src/runtime/malleable_pool.hpp"
 
 namespace rubic::ipc {
@@ -35,6 +46,15 @@ struct MonitorConfig {
   std::chrono::milliseconds period{10};  // TIME_PERIOD (§4.4)
   bool raise_priority = true;
   bool record_trace = true;
+  // A round whose measured duration exceeds overrun_factor × period was
+  // preempted (or fault-stalled): its sample is recorded but not fed to the
+  // controller, so one starved measurement cannot trigger a bogus level
+  // change. <= 0 disables the check.
+  double overrun_factor = 8.0;
+  // Stop sampling after this many rounds (0 = run until stop()). Chaos
+  // tests use this to make the trace length — and thus the whole trace —
+  // deterministic under a fixed fault plan.
+  std::uint64_t max_rounds = 0;
   // When set and the controller implements ContentionSignalConsumer, the
   // monitor also derives the commit ratio from this STM runtime's aggregate
   // statistics and feeds it instead of the raw throughput (used by the
@@ -50,6 +70,8 @@ struct MonitorConfig {
 class Monitor {
  public:
   // Applies controller.initial_level() to the pool and starts sampling.
+  // All controller interaction goes through an internal ControllerGuard
+  // bounded to [1, pool.pool_size()].
   Monitor(MalleablePool& pool, control::Controller& controller,
           MonitorConfig config = {});
   ~Monitor();
@@ -74,16 +96,29 @@ class Monitor {
     return rounds_.load(std::memory_order_acquire);
   }
 
+  // Degradation diagnostics: samples clamped by the guard or the monitor
+  // (NaN/inf/negative throughput) and rounds skipped as overruns.
+  std::uint64_t sanitized_samples() const noexcept {
+    return sanitized_samples_.load(std::memory_order_acquire);
+  }
+  std::uint64_t overrun_rounds() const noexcept {
+    return overrun_rounds_.load(std::memory_order_acquire);
+  }
+
+  const control::ControllerGuard& guard() const noexcept { return guard_; }
+
  private:
   void loop();
 
   MalleablePool& pool_;
-  control::Controller& controller_;
+  control::ControllerGuard guard_;
   const MonitorConfig config_;
 
   std::atomic<bool> stopping_{false};
   std::mutex join_mutex_;  // serializes the join across concurrent stop()s
   std::atomic<std::uint64_t> rounds_{0};
+  std::atomic<std::uint64_t> sanitized_samples_{0};
+  std::atomic<std::uint64_t> overrun_rounds_{0};
   bool priority_raised_ = false;
   std::vector<MonitorSample> trace_;
   std::thread thread_;

@@ -20,6 +20,7 @@ enum class AbortCause : std::uint8_t {
   kValidationFailed,   // read-set validation failed (at extension or commit)
   kDoomed,             // remotely doomed by a higher-priority txn (greedy CM)
   kUserRetry,          // explicit Txn::retry() from workload code
+  kFaultInjected,      // forced conflict from the src/fault/ chaos layer
   kCount,
 };
 

@@ -4,6 +4,7 @@
 #include <new>
 #include <thread>
 
+#include "src/fault/fault.hpp"
 #include "src/stm/raw_access.hpp"
 #include "src/stm/runtime.hpp"
 
@@ -190,6 +191,12 @@ void TxnDesc::acquire_commit_locks() {
 void TxnDesc::commit() {
   RUBIC_CHECK_MSG(active(), "commit without a running transaction");
   check_doomed();
+  if (fault::probe(fault::Site::kStmForceConflict)) [[unlikely]] {
+    // Injected abort storm: the commit behaves exactly as if validation
+    // failed — rollback releases every lock, atomically() retries (or
+    // throws RetriesExhausted once the budget is spent).
+    conflict_abort(AbortCause::kFaultInjected);
+  }
   if (write_set_.empty()) {
     bump(stats_.commits);
     bump(stats_.read_only_commits);

@@ -37,6 +37,8 @@
 #include <vector>
 
 #include "src/control/factory.hpp"
+#include "src/control/fixed.hpp"
+#include "src/fault/fault.hpp"
 #include "src/ipc/colocation_bus.hpp"
 #include "src/ipc/equal_share.hpp"
 #include "src/metrics/metrics.hpp"
@@ -59,6 +61,7 @@ struct Options {
   int pool = 0;      // 0 → 2 × contexts
   int period_ms = 10;
   int chaos_kill_ms = 0;  // > 0: SIGKILL the first child after this delay
+  std::string fault_spec;  // armed inside every child (see src/fault/)
   std::string bus_name;
   std::string json_path;
 };
@@ -66,6 +69,7 @@ struct Options {
 struct ChildResult {
   pid_t pid = 0;
   bool completed = false;  // exited 0 AND published a final report
+  bool solo = false;       // exited 0 without a bus slot (degraded mode)
   int exit_code = -1;
   int signal = 0;
   bool found_on_bus = false;
@@ -74,23 +78,50 @@ struct ChildResult {
   double efficiency = 0.0;
 };
 
+// Claims a bus slot with capped exponential backoff: a transiently full or
+// contended segment (peers mid-reclaim, a chaos acquire-fail window) gets
+// ~1.3 s of retries before the caller degrades to solo tuning.
+int acquire_slot_with_backoff(ipc::CoLocationBus& bus,
+                              const std::string& label) {
+  int delay_ms = 1;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    const int slot = bus.acquire_slot(label);
+    if (slot >= 0) return slot;
+    std::this_thread::sleep_for(milliseconds(delay_ms));
+    delay_ms = std::min(2 * delay_ms, 250);
+  }
+  return bus.acquire_slot(label);
+}
+
 // One child process: claim a slot, run the workload under the policy for
 // the configured duration, publish the final report, verify. Never returns
 // to the caller's stack — the caller _exits with the returned code.
-int run_child(const Options& opt, ipc::CoLocationBus& bus) {
+int run_child(const Options& opt, ipc::CoLocationBus& bus, int child_index) {
+  if (!opt.fault_spec.empty()) {
+    // The plan must outlive the run; a child process leaks it on _exit.
+    fault::arm(*fault::Plan::parse(opt.fault_spec).release());
+  }
   const std::string label = opt.workload + "/" + opt.policy;
-  if (bus.acquire_slot(label) < 0) {
-    std::fprintf(stderr, "rubic_colocate[%d]: no free bus slot\n",
+  const bool have_slot = acquire_slot_with_backoff(bus, label) >= 0;
+  if (!have_slot) {
+    // The segment is unusable (full of live peers, or a chaos acquire-fail
+    // window): degrade to solo tuning — no publishes, no cross-process
+    // arbitration — instead of giving up the run.
+    std::fprintf(stderr,
+                 "rubic_colocate[%d]: no bus slot after retries; "
+                 "falling back to solo (bus-less) tuning\n",
                  static_cast<int>(getpid()));
-    return 4;
   }
   stm::Runtime rt;
   auto workload = workloads::make_workload(opt.workload, rt);
 
   std::unique_ptr<control::Controller> controller;
-  if (opt.policy == "equalshare") {
+  if (opt.policy == "equalshare" && have_slot) {
     // The bus is the §4.3 "central entity", valid across address spaces.
     controller = std::make_unique<ipc::BusEqualShareController>(bus, opt.pool);
+  } else if (opt.policy == "equalshare") {
+    // Solo EqualShare degenerates to "the whole machine is my share".
+    controller = control::make_greedy(std::min(opt.contexts, opt.pool));
   } else {
     control::PolicyConfig policy_config;
     policy_config.contexts = opt.contexts;
@@ -100,10 +131,12 @@ int run_child(const Options& opt, ipc::CoLocationBus& bus) {
 
   runtime::ProcessConfig config;
   config.pool.pool_size = opt.pool;
-  config.pool.seed = 0x9001 + static_cast<std::uint64_t>(bus.slot_index());
+  config.pool.seed =
+      0x9001 + static_cast<std::uint64_t>(
+                   have_slot ? bus.slot_index() : 64 + child_index);
   config.monitor.period = milliseconds(opt.period_ms);
   config.monitor.stm_runtime = &rt;
-  config.monitor.bus = &bus;
+  config.monitor.bus = have_slot ? &bus : nullptr;
   runtime::TunedProcess process(rt, *workload, *controller, config);
   const runtime::RunReport report = process.run_for(seconds(opt.seconds));
 
@@ -115,7 +148,7 @@ int run_child(const Options& opt, ipc::CoLocationBus& bus) {
   final_sample.tasks_completed = report.tasks_completed;
   final_sample.commits = report.stm_stats.commits;
   final_sample.aborts = report.stm_stats.total_aborts();
-  bus.publish_final(final_sample);
+  bus.publish_final(final_sample);  // no-op without a slot
 
   std::string error;
   if (!workload->verify(&error)) {
@@ -152,10 +185,15 @@ std::string format_report(const Options& opt, double baseline,
   std::vector<double> speedups;
   std::vector<double> efficiencies;
   int dead = 0;
+  int solo = 0;
   for (const auto& child : children) {
     if (child.completed) {
       speedups.push_back(child.speedup);
       efficiencies.push_back(child.efficiency);
+    } else if (child.solo) {
+      // Finished cleanly in the degraded bus-less mode: a survivor whose
+      // metrics are simply not observable from the launcher.
+      ++solo;
     } else {
       ++dead;
     }
@@ -184,13 +222,14 @@ std::string format_report(const Options& opt, double baseline,
     std::snprintf(
         buffer, sizeof buffer,
         "    {\"pid\": %d, \"label\": \"%s\", \"completed\": %s, "
-        "\"exit_code\": %d, \"signal\": %d, "
+        "\"solo\": %s, \"exit_code\": %d, \"signal\": %d, "
         "\"tasks_per_second\": %.3f, \"tasks_completed\": %llu, "
         "\"mean_level\": %.2f, \"final_level\": %d, "
         "\"commits\": %llu, \"aborts\": %llu, \"commit_ratio\": %.4f, "
         "\"speedup\": %.4f, \"efficiency\": %.4f}%s\n",
         static_cast<int>(child.pid), json_escape(p.label).c_str(),
-        child.completed ? "true" : "false", child.exit_code, child.signal,
+        child.completed ? "true" : "false", child.solo ? "true" : "false",
+        child.exit_code, child.signal,
         child.completed ? p.tasks_per_second : p.throughput,
         static_cast<unsigned long long>(p.tasks_completed),
         child.completed ? p.mean_level : 0.0,
@@ -209,12 +248,12 @@ std::string format_report(const Options& opt, double baseline,
       buffer, sizeof buffer,
       "  ],\n"
       "  \"system\": {\"nsbp\": %.6g, \"efficiency_product\": %.6g, "
-      "\"jain\": %.4f, \"survivors\": %d, \"dead\": %d}\n"
+      "\"jain\": %.4f, \"survivors\": %d, \"solo\": %d, \"dead\": %d}\n"
       "}\n",
       metrics::nsbp_product(speedups),
       metrics::efficiency_product(efficiencies),
       metrics::jain_fairness(speedups),
-      static_cast<int>(children.size()) - dead, dead);
+      static_cast<int>(children.size()) - dead, solo, dead);
   out += buffer;
   return out;
 }
@@ -252,15 +291,20 @@ int main(int argc, char** argv) {
     opt.period_ms = static_cast<int>(cli.get_int("period-ms", opt.period_ms));
     opt.chaos_kill_ms =
         static_cast<int>(cli.get_int("chaos-kill-ms", opt.chaos_kill_ms));
+    opt.fault_spec = cli.get_string("fault-spec", "");
     opt.bus_name = cli.get_string("bus", "");
     opt.json_path = cli.get_string("json", "");
     cli.check_unknown();
+    if (!opt.fault_spec.empty()) {
+      fault::Plan::parse(opt.fault_spec);  // reject bad specs before forking
+    }
 
     if (opt.procs < 1 || opt.seconds < 1) {
       std::fprintf(stderr,
                    "usage: rubic_colocate --procs N --workload W --policy P "
                    "[--seconds S] [--contexts C] [--pool SZ] [--period-ms M] "
-                   "[--baseline-seconds B] [--chaos-kill-ms T] [--bus /name] "
+                   "[--baseline-seconds B] [--chaos-kill-ms T] "
+                   "[--fault-spec SPEC] [--bus /name] "
                    "[--json out.json] [--list-workloads] "
                    "[--list-controllers]\n");
       return 2;
@@ -301,7 +345,7 @@ int main(int argc, char** argv) {
       if (pid == 0) {
         int code = 5;
         try {
-          code = run_child(opt, *bus);
+          code = run_child(opt, *bus, i);
         } catch (const std::exception& e) {
           std::fprintf(stderr, "rubic_colocate[%d]: %s\n",
                        static_cast<int>(getpid()), e.what());
@@ -338,10 +382,14 @@ int main(int argc, char** argv) {
     for (auto& child : children) {
       const ipc::PeerInfo info =
           bus->find_pid(static_cast<std::int32_t>(child.pid));
-      child.found_on_bus = info.slot >= 0;
+      child.found_on_bus = info.slot >= 0 && !info.torn;
       if (child.found_on_bus) child.payload = info.payload;
       child.completed = child.exit_code == 0 && child.found_on_bus &&
                         child.payload.done != 0;
+      // A clean exit without a bus record means the child ran in the
+      // degraded solo mode (no slot): the run succeeded, the metrics are
+      // simply not observable from here.
+      child.solo = child.exit_code == 0 && !child.completed;
       const double rate = child.completed ? child.payload.tasks_per_second
                                           : child.payload.throughput;
       child.speedup = metrics::speedup(rate, baseline);
@@ -366,11 +414,29 @@ int main(int argc, char** argv) {
     ipc::CoLocationBus::unlink(opt.bus_name);
 
     // The launcher succeeds if every child that we did NOT kill ourselves
-    // finished cleanly; a chaos-killed child is an expected casualty.
+    // finished cleanly (a bus-less solo run still counts); a chaos-killed
+    // child is an expected casualty. Every other death is named on stderr —
+    // a silent dead slot in the JSON is not a diagnosis.
     int failures = 0;
     for (std::size_t i = 0; i < children.size(); ++i) {
+      const ChildResult& child = children[i];
       const bool chaos_victim = opt.chaos_kill_ms > 0 && i == 0;
-      if (!children[i].completed && !chaos_victim) ++failures;
+      if (child.completed || child.solo || chaos_victim) continue;
+      ++failures;
+      if (child.signal != 0) {
+        std::fprintf(stderr,
+                     "rubic_colocate: child %d (%s/%s) died: killed by "
+                     "signal %d (%s)\n",
+                     static_cast<int>(child.pid), opt.workload.c_str(),
+                     opt.policy.c_str(), child.signal,
+                     strsignal(child.signal));
+      } else {
+        std::fprintf(stderr,
+                     "rubic_colocate: child %d (%s/%s) died: exited with "
+                     "code %d\n",
+                     static_cast<int>(child.pid), opt.workload.c_str(),
+                     opt.policy.c_str(), child.exit_code);
+      }
     }
     return failures == 0 ? 0 : 1;
   } catch (const std::exception& e) {

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Compare two rubic_bench result files; fail on gated regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--threshold 0.15]
+
+Reads two files produced by `rubic_bench --out` (schema
+rubic-bench-results/v1) and compares the *median* of every metric present
+in the baseline. Only metrics marked `"gate": true` in the baseline can
+fail the comparison; ungated metrics (wall-clock scenario throughputs) are
+reported for human eyes only.
+
+A gated metric regresses when its median moves in the "worse" direction
+(per its `better` field) by more than --threshold relative to the baseline
+median. A gated baseline metric missing from the current run also fails:
+silently dropping a benchmark must not pass the gate. Metrics new in the
+current run are listed but never fail — the baseline refresh procedure is
+documented in docs/benchmarks.md.
+
+Exit codes: 0 ok, 1 regression (or missing gated metric), 2 usage/input
+error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SCHEMA = "rubic-bench-results/v1"
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"bench_compare: cannot read {path}: {exc}")
+    if data.get("schema") != SCHEMA:
+        sys.exit(
+            f"bench_compare: {path}: schema {data.get('schema')!r} "
+            f"!= {SCHEMA!r}"
+        )
+    return data
+
+
+def relative_change(baseline: float, current: float, better: str) -> float:
+    """Signed relative change, positive = worse, scaled by the baseline.
+
+    For percent-style metrics the baseline median can legitimately be ~0
+    (a perfectly unmeasurable overhead); guard the division and treat tiny
+    baselines as "any small absolute value is fine".
+    """
+    if abs(baseline) < 1e-12:
+        return 0.0 if abs(current) < 1e-9 else float("inf")
+    change = (current - baseline) / abs(baseline)
+    return change if better == "lower" else -change
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="max tolerated relative regression of a gated median "
+        "(default 0.15 = 15%%)",
+    )
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    curr = load(args.current)
+    base_results = {r["name"]: r for r in base.get("results", [])}
+    curr_results = {r["name"]: r for r in curr.get("results", [])}
+
+    print(
+        f"baseline: {args.baseline} (suite {base.get('suite')}, "
+        f"git {str(base.get('git_sha'))[:12]})"
+    )
+    print(
+        f"current:  {args.current} (suite {curr.get('suite')}, "
+        f"git {str(curr.get('git_sha'))[:12]})"
+    )
+    print(f"threshold: {args.threshold:.0%} on gated medians\n")
+
+    header = (
+        f"{'metric':<34} {'base':>10} {'curr':>10} {'change':>9} "
+        f"{'gate':>5}  verdict"
+    )
+    print(header)
+    print("-" * len(header))
+
+    failures = []
+    for name, b in base_results.items():
+        gate = bool(b.get("gate"))
+        c = curr_results.get(name)
+        if c is None:
+            verdict = "MISSING"
+            if gate:
+                failures.append(f"{name}: gated metric missing from current run")
+            print(
+                f"{name:<34} {b['median']:>10.4g} {'-':>10} {'-':>9} "
+                f"{'yes' if gate else 'no':>5}  {verdict}"
+            )
+            continue
+        change = relative_change(
+            float(b["median"]), float(c["median"]), b.get("better", "lower")
+        )
+        regressed = gate and change > args.threshold
+        if regressed:
+            failures.append(
+                f"{name}: median {b['median']:.4g} -> {c['median']:.4g} "
+                f"({change:+.1%} worse, threshold {args.threshold:.0%})"
+            )
+        verdict = "REGRESSED" if regressed else "ok"
+        shown = "inf" if change == float("inf") else f"{change:+.1%}"
+        print(
+            f"{name:<34} {b['median']:>10.4g} {c['median']:>10.4g} "
+            f"{shown:>9} {'yes' if gate else 'no':>5}  {verdict}"
+        )
+
+    for name in curr_results:
+        if name not in base_results:
+            print(f"{name:<34} {'-':>10} {curr_results[name]['median']:>10.4g} "
+                  f"{'-':>9} {'-':>5}  NEW (not gated)")
+
+    if failures:
+        print("\nFAIL: performance regression gate")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nOK: no gated regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@
 // figures are byte-for-byte the policies running on real threads.
 #pragma once
 
+#include <cstdint>
 #include <string_view>
 
 #include "src/util/check.hpp"
@@ -28,6 +29,19 @@ struct LevelBounds {
   }
 };
 
+// Optional per-round introspection a policy may publish alongside its level
+// answer: which internal phase produced the decision (encoding is
+// policy-defined; RUBIC reports its growth/reduction state machine) plus
+// one auxiliary scalar (RUBIC: L_max). The monitor forwards phase
+// *transitions* to the event tracer (src/trace/), which is what makes a
+// CIMD trajectory debuggable after the fact instead of printf archaeology.
+struct DecisionInfo {
+  bool valid = false;               // false: policy publishes no phase info
+  std::uint32_t phase = 0;          // policy-defined phase encoding
+  std::string_view phase_name = {}; // static storage, for humans/exporters
+  double aux = 0.0;                 // policy-defined scalar (RUBIC: L_max)
+};
+
 class Controller {
  public:
   virtual ~Controller() = default;
@@ -44,6 +58,11 @@ class Controller {
   virtual void reset() = 0;
 
   virtual std::string_view name() const = 0;
+
+  // Introspection for the decision that produced the *last* on_sample
+  // answer. Optional: the default says "nothing to report" and callers must
+  // treat it as advisory (never feed it back into tuning).
+  virtual DecisionInfo decision_info() const { return {}; }
 };
 
 }  // namespace rubic::control

@@ -87,6 +87,16 @@ class ControllerGuard final : public Controller,
 
   std::string_view name() const override { return name_; }
 
+  // Advisory introspection is guarded like everything else: a policy whose
+  // decision_info() throws simply reports nothing.
+  DecisionInfo decision_info() const override {
+    try {
+      return inner_->decision_info();
+    } catch (...) {
+      return {};
+    }
+  }
+
   bool consumes_contention() const noexcept { return consumer_ != nullptr; }
   Controller& inner() noexcept { return *inner_; }
   int level() const noexcept { return last_good_; }

@@ -53,6 +53,23 @@ class RubicController final : public Controller {
 
   std::string_view name() const override { return "RUBIC"; }
 
+  // Phase encoding for the event tracer: bit 1 = growth phase (0 cubic,
+  // 1 linear), bit 0 = reduction phase (0 linear, 1 multiplicative). The
+  // names below are the human rendering of the same four states.
+  DecisionInfo decision_info() const override {
+    static constexpr std::string_view kPhaseNames[4] = {
+        "cubic/linear", "cubic/multiplicative",
+        "linear/linear", "linear/multiplicative"};
+    DecisionInfo info;
+    info.valid = true;
+    info.phase =
+        (growth_ == GrowthPhase::kLinear ? 2u : 0u) |
+        (reduction_ == ReductionPhase::kMultiplicative ? 1u : 0u);
+    info.phase_name = kPhaseNames[info.phase];
+    info.aux = l_max_;
+    return info;
+  }
+
   // --- introspection (state-machine tests, trace benches) ---
   GrowthPhase growth_phase() const noexcept { return growth_; }
   ReductionPhase reduction_phase() const noexcept { return reduction_; }

@@ -18,6 +18,7 @@
 #include <type_traits>
 
 #include "src/fault/fault.hpp"
+#include "src/trace/trace.hpp"
 #include "src/util/check.hpp"
 
 namespace rubic::ipc {
@@ -299,6 +300,9 @@ void CoLocationBus::publish(const SlotSample& sample) {
     return;
   }
   write_payload(own_);
+  trace::emit(trace::EventType::kBusPublish,
+              static_cast<std::uint32_t>(sample.level), own_.heartbeat,
+              sample.throughput);
 }
 
 void CoLocationBus::publish_final(const FinalSample& sample) {
@@ -414,6 +418,20 @@ std::vector<PeerInfo> CoLocationBus::snapshot() const {
   for (int i = 0; i < slots; ++i) {
     PeerInfo info = classify(i);
     if (info.slot >= 0) peers.push_back(info);
+  }
+  if (trace::armed() != nullptr) {
+    std::uint32_t torn = 0;
+    std::uint32_t corrupt = 0;
+    int live = 0;
+    for (const PeerInfo& peer : peers) {
+      if (peer.torn) ++torn;
+      if (peer.corrupt) ++corrupt;
+      if (peer.state == PeerState::kAlive) ++live;
+    }
+    trace::emit(trace::EventType::kBusRead,
+                static_cast<std::uint32_t>(peers.size()),
+                (static_cast<std::uint64_t>(corrupt) << 16) | torn,
+                static_cast<double>(live));
   }
   return peers;
 }

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "src/fault/fault.hpp"
+#include "src/trace/trace.hpp"
 #include "src/util/check.hpp"
 
 namespace rubic::runtime {
@@ -63,6 +64,11 @@ void MalleablePool::worker_loop(Worker& worker) {
 void MalleablePool::set_level(int new_level) {
   new_level = std::clamp(new_level, 1, pool_size());
   const int old_level = level_.exchange(new_level, std::memory_order_acq_rel);
+  if (old_level != new_level) {
+    trace::emit(trace::EventType::kPoolResize,
+                static_cast<std::uint32_t>(old_level),
+                static_cast<std::uint64_t>(new_level));
+  }
   // Alg. 2 lines 20-22: wake exactly the workers entering the active range.
   for (int tid = old_level; tid < new_level; ++tid) {
     workers_[static_cast<std::size_t>(tid)]->semaphore.release();

@@ -7,6 +7,7 @@
 
 #include "src/fault/fault.hpp"
 #include "src/ipc/colocation_bus.hpp"
+#include "src/trace/trace.hpp"
 
 namespace rubic::runtime {
 
@@ -66,6 +67,10 @@ void Monitor::loop() {
   const auto period_ns =
       std::chrono::duration_cast<std::chrono::nanoseconds>(config_.period);
 
+  // Phase-transition tracking for the event tracer: only *changes* are
+  // emitted, so a policy without decision_info() costs nothing extra.
+  control::DecisionInfo last_info = guard_.decision_info();
+
   while (!stopping_.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(config_.period);  // Alg. 2 line 3
     if (const fault::Fire f = fault::probe(fault::Site::kMonitorStall)) {
@@ -97,10 +102,12 @@ void Monitor::loop() {
             fault::probe(fault::Site::kMonitorSampleCorrupt)) {
       throughput = f.value;
     }
+    bool sanitized_round = false;
     if (!std::isfinite(throughput) || throughput < 0.0) {
       // A corrupted sample carries no usable signal; 0.0 is the "no
       // progress" reading every policy already copes with.
       throughput = 0.0;
+      sanitized_round = true;
       sanitized_samples_.fetch_add(1, std::memory_order_acq_rel);
     }
     double commit_ratio = 1.0;
@@ -120,18 +127,36 @@ void Monitor::loop() {
         round_ns > std::chrono::nanoseconds(static_cast<std::int64_t>(
                        config_.overrun_factor *
                        static_cast<double>(period_ns.count())));
+    const int prev_level = pool_.level();
     int next_level;
     if (overrun) {
       // The measurement covers a window the controller never asked about
       // (the monitor was starved); feeding it would punish the current
       // level for the scheduler's sins. Log, hold the level, move on.
       overrun_rounds_.fetch_add(1, std::memory_order_acq_rel);
-      next_level = pool_.level();
+      next_level = prev_level;
     } else {
       next_level = use_contention_signal ? guard_.on_commit_ratio(commit_ratio)
                                          : guard_.on_sample(throughput);
     }
     pool_.set_level(next_level);
+    trace::emit(trace::EventType::kMonitorRound,
+                (sanitized_round ? 1u : 0u) | (overrun ? 2u : 0u),
+                rounds_.load(std::memory_order_relaxed), throughput);
+    if (!overrun) {
+      trace::emit(trace::EventType::kLevelDecision,
+                  static_cast<std::uint32_t>(prev_level),
+                  static_cast<std::uint64_t>(next_level), throughput);
+      if (trace::armed() != nullptr) {
+        const control::DecisionInfo info = guard_.decision_info();
+        if (info.valid && (!last_info.valid || info.phase != last_info.phase)) {
+          trace::emit(trace::EventType::kPhaseChange, info.phase,
+                      last_info.valid ? last_info.phase : ~std::uint64_t{0},
+                      info.aux);
+        }
+        last_info = info;
+      }
+    }
     if (config_.bus != nullptr) {
       ipc::SlotSample sample;
       sample.level = next_level;

@@ -7,6 +7,7 @@
 #include "src/fault/fault.hpp"
 #include "src/stm/raw_access.hpp"
 #include "src/stm/runtime.hpp"
+#include "src/trace/trace.hpp"
 
 namespace rubic::stm {
 
@@ -34,6 +35,7 @@ void TxnDesc::begin(bool first_attempt) {
     priority_.store((rv_ << 20) | ctx_id_, std::memory_order_release);
   }
   status_.store(TxnStatus::kActive, std::memory_order_release);
+  trace::emit(trace::EventType::kTxnBegin, ctx_id_, first_attempt ? 1 : 0);
 }
 
 void TxnDesc::check_doomed() {
@@ -225,6 +227,7 @@ void TxnDesc::commit() {
   read_set_.clear();
   write_set_.clear();
   owned_.clear();
+  trace::emit(trace::EventType::kTxnCommit, ctx_id_, last_commit_ts_);
 }
 
 void TxnDesc::rollback(AbortCause cause) {
@@ -246,6 +249,8 @@ void TxnDesc::rollback(AbortCause cause) {
   read_set_.clear();
   write_set_.clear();
   owned_.clear();
+  trace::emit(trace::EventType::kTxnAbort, ctx_id_,
+              static_cast<std::uint64_t>(cause));
 }
 
 void* TxnDesc::tx_alloc(std::size_t bytes) {

@@ -1,0 +1,218 @@
+// Low-overhead event tracing (DESIGN: observability layer).
+//
+// RUBIC's argument rests on *when* the controller moved the parallelism
+// level and *why* (Alg. 2, §4): a CIMD phase transition, a pool resize, an
+// abort storm. This layer records exactly those moments as fixed-size
+// binary events in lock-free per-thread ring buffers, so the timeline of a
+// run can be reconstructed after the fact — as JSONL for scripts, or as a
+// Chrome trace-event file that loads in Perfetto with one track per
+// thread/process.
+//
+// Concurrency design:
+//   * One ring has exactly one writer — the thread that emitted into it.
+//     A write is a slot store plus one release store of the head counter;
+//     no RMW, no locks on the hot path. Threads register their ring lazily
+//     (one mutex acquisition per thread per armed window).
+//   * Overflow drops the *oldest* events: the ring is a sliding window over
+//     the most recent `ring_capacity` records, and the head counter keeps
+//     the total so the drop count is always exact.
+//   * Draining is a stop-the-world operation by contract: disarm first,
+//     quiesce the instrumented threads (join workers, stop the monitor),
+//     then drain/export. The exporters are deterministic — identical events
+//     yield byte-identical output (tests/test_trace.cpp asserts this).
+//
+// Cost contract (same discipline as src/fault/): with no tracer armed, an
+// emit() is one relaxed atomic load and one predictable branch — cheap
+// enough for the STM commit path and the worker task loop. Arming is a
+// debugging/benchmarking action and need not be fast.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace rubic::trace {
+
+// Event taxonomy. Every type is emitted from exactly one place in the
+// stack; docs/tracing.md carries the type → emitter → payload map.
+enum class EventType : std::uint16_t {
+  kTxnBegin = 0,   // STM attempt started:    a = ctx id, b = first attempt
+  kTxnCommit,      // STM commit succeeded:   a = ctx id, b = commit ts
+  kTxnAbort,       // STM attempt aborted:    a = ctx id, b = AbortCause
+  kLevelDecision,  // controller answered:    a = prev, b = next, v = sample
+  kPhaseChange,    // policy phase moved:     a = phase, b = prev, v = aux
+  kPoolResize,     // level applied to pool:  a = old, b = new
+  kMonitorRound,   // round finished: a = flags (1 sanitized, 2 overrun),
+                   //                 b = round index, v = throughput
+  kBusPublish,     // bus seqlock write:      a = level, b = beat, v = tput
+  kBusRead,        // bus snapshot taken:     a = slots, b = torn|corrupt<<16,
+                   //                         v = live peers
+  kCount,
+};
+
+inline constexpr std::size_t kEventTypeCount =
+    static_cast<std::size_t>(EventType::kCount);
+
+// Canonical token, shared by the exporters and diagnostics
+// (e.g. "txn_commit", "pool_resize"). "?" for out-of-range values.
+std::string_view event_name(EventType type) noexcept;
+
+// The fixed-size binary record. 32 bytes, trivially copyable — the ring is
+// a flat array of these and the binary layout is part of the documented
+// format (docs/tracing.md).
+struct Event {
+  std::uint64_t ts_ns = 0;  // CLOCK_MONOTONIC, comparable across processes
+  std::uint16_t type = 0;   // EventType
+  std::uint16_t tid = 0;    // ring id (per-thread, registration order)
+  std::uint32_t a = 0;      // payload: see the taxonomy above
+  std::uint64_t b = 0;
+  double value = 0.0;
+
+  bool operator==(const Event&) const = default;
+};
+static_assert(sizeof(Event) == 32, "binary record layout is part of the API");
+static_assert(std::is_trivially_copyable_v<Event>);
+
+struct TracerConfig {
+  // Events held per thread; rounded up to a power of two. The ring is a
+  // sliding window: overflow silently drops the oldest records (counted).
+  std::size_t ring_capacity = std::size_t{1} << 14;
+};
+
+// Machine-wide monotonic clock in nanoseconds (same timebase the
+// co-location bus uses, so events from co-located processes merge cleanly).
+std::uint64_t monotonic_ns() noexcept;
+
+class Tracer {
+ public:
+  // Per-thread ring storage, defined in the .cpp (opaque to clients; named
+  // here so the thread-local writer cache can point at it).
+  struct Ring;
+
+  explicit Tracer(TracerConfig config = {});
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // --- writer side (called through emit()/emit_at() while armed) ---
+
+  void record(EventType type, std::uint32_t a, std::uint64_t b,
+              double value) noexcept;
+  // Explicit-timestamp variant: determinism lever for the byte-stable
+  // export tests and for replaying synthetic timelines.
+  void record_at(std::uint64_t ts_ns, EventType type, std::uint32_t a,
+                 std::uint64_t b, double value) noexcept;
+
+  // --- drain side (contract: disarm + quiesce writers first) ---
+
+  struct ThreadTrace {
+    std::uint16_t tid = 0;
+    std::uint64_t written = 0;  // total records ever emitted into this ring
+    std::uint64_t dropped = 0;  // written - held (oldest-first overflow)
+    std::vector<Event> events;  // oldest to newest, size = min(written, cap)
+  };
+  std::vector<ThreadTrace> drain() const;
+
+  // All held events from all rings, stable-sorted by timestamp (ties keep
+  // ring registration order, so the merge is deterministic).
+  std::vector<Event> merged() const;
+
+  std::uint64_t total_written() const;
+  std::uint64_t total_dropped() const;
+  int threads() const;
+  std::size_t ring_capacity() const noexcept { return capacity_; }
+
+ private:
+  friend void arm(Tracer& tracer) noexcept;
+
+  Ring* ring_for_current_thread() noexcept;
+
+  const std::size_t capacity_;  // power of two
+  std::uint64_t generation_ = 0;
+  mutable std::mutex registry_mutex_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+namespace detail {
+// The one word every emit() loads. nullptr (the steady state) = disarmed.
+extern std::atomic<Tracer*> g_tracer;
+}  // namespace detail
+
+// Arms `tracer` process-wide. Contract mirrors src/fault/: arm before the
+// instrumented threads start emitting (or from the only running thread),
+// keep the tracer alive for the whole armed window, and quiesce writers
+// before disarm-and-drain. Re-arming (same or another tracer) starts a
+// fresh registration generation, so threads re-register on their next emit.
+void arm(Tracer& tracer) noexcept;
+void disarm() noexcept;
+
+inline Tracer* armed() noexcept {
+  return detail::g_tracer.load(std::memory_order_relaxed);
+}
+
+// The inline hook. Disarmed cost: one relaxed load + one predictable
+// branch. Only the armed (slow) path pays an acquire re-load, which makes
+// the tracer's state — written before arm()'s release store — visible to
+// an emitting thread that never otherwise synchronized with the armer.
+inline void emit(EventType type, std::uint32_t a = 0, std::uint64_t b = 0,
+                 double value = 0.0) noexcept {
+  if (armed() == nullptr) [[likely]] return;
+  Tracer* tracer = detail::g_tracer.load(std::memory_order_acquire);
+  if (tracer != nullptr) tracer->record(type, a, b, value);
+}
+
+inline void emit_at(std::uint64_t ts_ns, EventType type, std::uint32_t a = 0,
+                    std::uint64_t b = 0, double value = 0.0) noexcept {
+  if (armed() == nullptr) [[likely]] return;
+  Tracer* tracer = detail::g_tracer.load(std::memory_order_acquire);
+  if (tracer != nullptr) tracer->record_at(ts_ns, type, a, b, value);
+}
+
+// RAII arming for tests and tools: arms on construction, disarms on exit.
+class Armed {
+ public:
+  explicit Armed(Tracer& tracer) noexcept { arm(tracer); }
+  ~Armed() { disarm(); }
+  Armed(const Armed&) = delete;
+  Armed& operator=(const Armed&) = delete;
+};
+
+// --- exporters (deterministic: identical events → identical bytes) ---
+
+// One JSON object per line:
+//   {"ts_ns":120,"type":"txn_commit","tid":0,"a":3,"b":17,"value":0}
+// Non-finite doubles are rendered as null (JSONL stays parseable).
+std::string to_jsonl(const Tracer& tracer);
+std::string to_jsonl(const std::vector<Event>& events);
+
+// Parses one to_jsonl() line back into an Event. Returns false on
+// malformed input (used by the round-trip test and the merge tooling).
+bool parse_jsonl_line(std::string_view line, Event* out);
+
+// Chrome trace-event objects, one per line, no surrounding array — the
+// building block the co-location launcher merges across processes. Level
+// and throughput become per-process counter tracks ("ph":"C"), everything
+// else instant events on its thread's track, plus process/thread metadata.
+std::string to_chrome_events(const Tracer& tracer, std::int64_t pid,
+                             std::string_view process_name);
+
+// A complete single-process {"traceEvents":[...]} document (loadable at
+// ui.perfetto.dev as-is).
+std::string to_chrome_trace(const Tracer& tracer, std::int64_t pid,
+                            std::string_view process_name);
+
+// Joins per-process to_chrome_events() fragments (newline-separated JSON
+// objects; blank or truncated lines are skipped) into one document.
+std::string merge_chrome_fragments(const std::vector<std::string>& fragments);
+
+// Small helper shared by the tools: returns false on any I/O error.
+bool write_file(const std::string& path, std::string_view contents);
+
+}  // namespace rubic::trace

@@ -1,0 +1,500 @@
+// rubic_bench — unified benchmark harness and perf-regression gate.
+//
+// One binary runs named suites of benchmarks with fixed seeds and emits a
+// schema-versioned JSON result file (median/p95/min/mean over --reps
+// repetitions, plus machine info and the git sha) that
+// scripts/bench_compare.py diffs against a committed baseline
+// (bench/baselines/). The CI perf job runs `--suite ci-fast` and fails the
+// build on a >15% regression of any gated metric.
+//
+// Two kinds of metrics:
+//   * ns/op micro-measurements (gate: true) — stable enough on a shared
+//     runner, with the median over reps absorbing scheduler noise.
+//   * wall-clock scenario throughputs (gate: false) — recorded for trend
+//     plots and human eyes, never gated: co-located tasks/s on a busy CI
+//     machine is not a regression signal.
+//
+// The headline number for the tracing layer (docs/tracing.md) is
+// `runtime_overhead_disarmed_pct`: the throughput delta of a transactional
+// task loop when every operation performs extra *disarmed* trace probes —
+// the cost of compiling the tracing in and leaving it off.
+//
+// Run:  rubic_bench --suite ci-fast --out BENCH_results.json
+//       rubic_bench --list
+//       rubic_bench --suite all --reps 7 --trace-out bench_trace.json
+#include <sys/utsname.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/control/rubic.hpp"
+#include "src/runtime/process.hpp"
+#include "src/stm/stm.hpp"
+#include "src/trace/trace.hpp"
+#include "src/util/cli.hpp"
+#include "src/workloads/rbset_workload.hpp"
+#include "src/workloads/rbtree.hpp"
+
+using namespace rubic;
+using namespace std::chrono;
+
+namespace {
+
+#ifndef RUBIC_BUILD_TYPE
+#define RUBIC_BUILD_TYPE "unknown"
+#endif
+
+constexpr std::string_view kSchema = "rubic-bench-results/v1";
+
+double now_seconds() {
+  return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+
+// --- individual benchmarks: each run returns one scalar sample ---
+
+// Cost of the disarmed emit() probe: the number the "compiled in but off"
+// contract rests on. One relaxed load + predictable branch per call.
+double bench_trace_emit_disarmed_ns() {
+  constexpr std::uint64_t kOps = 1 << 23;
+  const double start = now_seconds();
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    trace::emit(trace::EventType::kTxnCommit, static_cast<std::uint32_t>(i));
+  }
+  return (now_seconds() - start) * 1e9 / static_cast<double>(kOps);
+}
+
+// Cost of an armed emit(): timestamp + slot store + release head store.
+double bench_trace_emit_armed_ns() {
+  constexpr std::uint64_t kOps = 1 << 21;
+  trace::Tracer tracer;
+  trace::Armed armed(tracer);
+  const double start = now_seconds();
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    trace::emit(trace::EventType::kTxnCommit, static_cast<std::uint32_t>(i));
+  }
+  return (now_seconds() - start) * 1e9 / static_cast<double>(kOps);
+}
+
+stm::Runtime& bench_runtime() {
+  static stm::Runtime runtime;
+  return runtime;
+}
+
+stm::TxnDesc& bench_ctx() {
+  static thread_local stm::TxnDesc& ctx = bench_runtime().register_thread();
+  return ctx;
+}
+
+double bench_stm_read_only_1_ns() {
+  constexpr std::uint64_t kOps = 1 << 20;
+  static stm::TVar<std::int64_t> x(42);
+  auto& ctx = bench_ctx();
+  std::int64_t sum = 0;
+  const double start = now_seconds();
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    sum += stm::atomically(ctx, [&](stm::Txn& tx) { return x.read(tx); });
+  }
+  const double elapsed = now_seconds() - start;
+  if (sum == -1) std::abort();  // defeat dead-code elimination
+  return elapsed * 1e9 / static_cast<double>(kOps);
+}
+
+double bench_stm_write_1_ns() {
+  constexpr std::uint64_t kOps = 1 << 19;
+  static stm::TVar<std::int64_t> x(0);
+  auto& ctx = bench_ctx();
+  const double start = now_seconds();
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    stm::atomically(ctx, [&](stm::Txn& tx) {
+      x.write(tx, static_cast<std::int64_t>(i));
+    });
+  }
+  return (now_seconds() - start) * 1e9 / static_cast<double>(kOps);
+}
+
+workloads::RbTree& bench_tree() {
+  static workloads::RbTree tree;
+  static bool populated = [] {
+    auto& ctx = bench_ctx();
+    for (std::int64_t i = 0; i < 4096; ++i) {
+      stm::atomically(ctx, [&](stm::Txn& tx) { tree.insert(tx, i * 2, i); });
+    }
+    return true;
+  }();
+  (void)populated;
+  return tree;
+}
+
+double bench_stm_rbtree_lookup_ns() {
+  constexpr std::uint64_t kOps = 1 << 17;
+  auto& tree = bench_tree();
+  auto& ctx = bench_ctx();
+  std::int64_t key = 0;
+  bool found = false;
+  const double start = now_seconds();
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    key = (key + 101) % 8192;
+    found ^= stm::atomically(
+        ctx, [&](stm::Txn& tx) { return tree.contains(tx, key); });
+  }
+  const double elapsed = now_seconds() - start;
+  if (found && key == -1) std::abort();
+  return elapsed * 1e9 / static_cast<double>(kOps);
+}
+
+// The acceptance number: relative throughput cost of *disarmed* tracing on
+// a representative transactional task. Loop A performs rb-tree lookup
+// transactions (which already contain their intrinsic begin+commit probes);
+// loop B adds exactly two more explicit disarmed probes per op — doubling
+// the probe count per transaction. The relative slowdown of B therefore
+// estimates the full disarmed instrumentation cost of A itself. Min over
+// interleaved rounds is the noise estimator: the minimum is the run least
+// disturbed by the scheduler, and interleaving cancels slow drift.
+double bench_runtime_overhead_disarmed_pct() {
+  constexpr std::uint64_t kOps = 1 << 15;
+  constexpr int kRounds = 6;
+  auto& tree = bench_tree();
+  auto& ctx = bench_ctx();
+  const auto loop = [&](bool extra_probes) {
+    std::int64_t key = 0;
+    bool found = false;
+    const double start = now_seconds();
+    for (std::uint64_t i = 0; i < kOps; ++i) {
+      key = (key + 101) % 8192;
+      found ^= stm::atomically(
+          ctx, [&](stm::Txn& tx) { return tree.contains(tx, key); });
+      if (extra_probes) {
+        trace::emit(trace::EventType::kTxnBegin, 0, i);
+        trace::emit(trace::EventType::kTxnCommit, 0, i);
+      }
+    }
+    const double elapsed = now_seconds() - start;
+    if (found && key == -1) std::abort();
+    return elapsed;
+  };
+  double plain = loop(false);   // warm-up round, also seeds the minima
+  double probed = loop(true);
+  for (int round = 0; round < kRounds; ++round) {
+    plain = std::min(plain, loop(false));
+    probed = std::min(probed, loop(true));
+  }
+  return std::max(0.0, (probed - plain) / plain * 100.0);
+}
+
+// Scenario: one tuned process (RUBIC policy) on the rb-set microbenchmark.
+// Wall-clock tasks/s — recorded, never gated.
+double bench_tuned_process_tasks_per_s(milliseconds run_ms) {
+  stm::Runtime rt;
+  workloads::RbSetWorkload workload(rt, workloads::RbSetParams::tiny());
+  control::RubicController controller(control::LevelBounds{1, 4});
+  runtime::ProcessConfig config;
+  config.pool.pool_size = 4;
+  config.monitor.period = milliseconds(10);
+  config.monitor.stm_runtime = &rt;
+  runtime::TunedProcess process(rt, workload, controller, config);
+  return process.run_for(run_ms).tasks_per_second;
+}
+
+// Scenario: two tuned processes co-located in one address space (each with
+// its own STM runtime, pool and RUBIC controller) contending for the
+// machine. Combined tasks/s — recorded, never gated.
+double bench_colocate_pair_tasks_per_s(milliseconds run_ms) {
+  struct Instance {
+    stm::Runtime rt;
+    workloads::RbSetWorkload workload{rt, workloads::RbSetParams::tiny()};
+    control::RubicController controller{control::LevelBounds{1, 4}};
+    double tasks_per_second = 0.0;
+  };
+  Instance a, b;
+  const auto run_one = [run_ms](Instance& inst) {
+    runtime::ProcessConfig config;
+    config.pool.pool_size = 4;
+    config.monitor.period = milliseconds(10);
+    config.monitor.stm_runtime = &inst.rt;
+    runtime::TunedProcess process(inst.rt, inst.workload, inst.controller,
+                                  config);
+    inst.tasks_per_second = process.run_for(run_ms).tasks_per_second;
+  };
+  std::thread tb(run_one, std::ref(b));
+  run_one(a);
+  tb.join();
+  return a.tasks_per_second + b.tasks_per_second;
+}
+
+// --- harness ---
+
+struct BenchDef {
+  std::string name;
+  std::string metric;  // unit label, e.g. "ns_per_op", "percent", "tasks_per_s"
+  std::string better;  // "lower" | "higher"
+  bool gate = false;   // feeds the CI regression gate (stable metrics only)
+  bool scenario = false;  // armed under --trace-out (micro benches never are)
+  std::function<double()> run;
+};
+
+struct BenchResult {
+  const BenchDef* def = nullptr;
+  std::vector<double> values;  // one per rep
+  double median = 0.0, p95 = 0.0, min = 0.0, mean = 0.0;
+};
+
+void summarize(BenchResult& result) {
+  std::vector<double> sorted = result.values;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  result.min = sorted.front();
+  result.median =
+      n % 2 == 1 ? sorted[n / 2] : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  std::size_t p95_index =
+      static_cast<std::size_t>(0.95 * static_cast<double>(n) + 0.5);
+  result.p95 = sorted[std::min(p95_index, n - 1)];
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  result.mean = sum / static_cast<double>(n);
+}
+
+std::vector<BenchDef> make_benches(milliseconds scenario_ms) {
+  return {
+      {"trace_emit_disarmed_ns", "ns_per_op", "lower", true, false,
+       bench_trace_emit_disarmed_ns},
+      {"trace_emit_armed_ns", "ns_per_op", "lower", true, false,
+       bench_trace_emit_armed_ns},
+      {"stm_read_only_1_ns", "ns_per_op", "lower", true, false,
+       bench_stm_read_only_1_ns},
+      {"stm_write_1_ns", "ns_per_op", "lower", true, false,
+       bench_stm_write_1_ns},
+      {"stm_rbtree_lookup_ns", "ns_per_op", "lower", true, false,
+       bench_stm_rbtree_lookup_ns},
+      {"runtime_overhead_disarmed_pct", "percent", "lower", false, false,
+       bench_runtime_overhead_disarmed_pct},
+      {"tuned_process_tasks_per_s", "tasks_per_s", "higher", false, true,
+       [scenario_ms] {
+         return bench_tuned_process_tasks_per_s(scenario_ms);
+       }},
+      {"colocate_pair_tasks_per_s", "tasks_per_s", "higher", false, true,
+       [scenario_ms] {
+         return bench_colocate_pair_tasks_per_s(scenario_ms);
+       }},
+  };
+}
+
+// suite → bench-name membership. "all" means every bench.
+std::vector<std::string> suite_members(const std::string& suite) {
+  if (suite == "micro_stm_overhead") {
+    return {"stm_read_only_1_ns", "stm_write_1_ns", "stm_rbtree_lookup_ns"};
+  }
+  if (suite == "micro_runtime_overhead") {
+    return {"trace_emit_disarmed_ns", "trace_emit_armed_ns",
+            "runtime_overhead_disarmed_pct", "tuned_process_tasks_per_s"};
+  }
+  if (suite == "colocate") {
+    return {"colocate_pair_tasks_per_s"};
+  }
+  if (suite == "ci-fast") {
+    // The CI gate set: every gated micro metric plus the headline disarmed
+    // overhead percentage, sized to finish in about a minute.
+    return {"trace_emit_disarmed_ns", "trace_emit_armed_ns",
+            "stm_read_only_1_ns", "stm_write_1_ns", "stm_rbtree_lookup_ns",
+            "runtime_overhead_disarmed_pct"};
+  }
+  return {};
+}
+
+// Best-effort git sha: --git-sha flag beats $GITHUB_SHA beats reading
+// .git/HEAD (searched upward a few levels, since the binary usually runs
+// from build/).
+std::string read_first_line(const std::string& path) {
+  std::string line;
+  if (std::FILE* f = std::fopen(path.c_str(), "r")) {
+    char buffer[256] = {0};
+    if (std::fgets(buffer, sizeof buffer, f) != nullptr) {
+      line = buffer;
+      while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+        line.pop_back();
+      }
+    }
+    std::fclose(f);
+  }
+  return line;
+}
+
+std::string discover_git_sha() {
+  if (const char* env = std::getenv("GITHUB_SHA"); env != nullptr && *env) {
+    return env;
+  }
+  std::string prefix;
+  for (int depth = 0; depth < 4; ++depth) {
+    const std::string head = read_first_line(prefix + ".git/HEAD");
+    if (!head.empty()) {
+      if (head.rfind("ref: ", 0) == 0) {
+        const std::string sha =
+            read_first_line(prefix + ".git/" + head.substr(5));
+        return sha.empty() ? "unknown" : sha;
+      }
+      return head;
+    }
+    prefix += "../";
+  }
+  return "unknown";
+}
+
+std::string json_escape(const std::string& in) {
+  std::string out;
+  for (char c : in) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+  }
+  return out;
+}
+
+std::string format_results(const std::string& suite, int reps,
+                           const std::string& git_sha,
+                           const std::vector<BenchResult>& results) {
+  utsname uts{};
+  uname(&uts);
+  char buffer[512];
+  std::string out = "{\n";
+  std::snprintf(buffer, sizeof buffer,
+                "  \"schema\": \"%.*s\",\n"
+                "  \"suite\": \"%s\",\n"
+                "  \"reps\": %d,\n"
+                "  \"git_sha\": \"%s\",\n"
+                "  \"machine\": {\"nproc\": %u, \"system\": \"%s\", "
+                "\"release\": \"%s\", \"arch\": \"%s\", "
+                "\"build_type\": \"%s\"},\n"
+                "  \"results\": [\n",
+                static_cast<int>(kSchema.size()), kSchema.data(),
+                json_escape(suite).c_str(), reps,
+                json_escape(git_sha).c_str(),
+                std::thread::hardware_concurrency(),
+                json_escape(uts.sysname).c_str(),
+                json_escape(uts.release).c_str(),
+                json_escape(uts.machine).c_str(),
+                json_escape(RUBIC_BUILD_TYPE).c_str());
+  out += buffer;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    std::snprintf(buffer, sizeof buffer,
+                  "    {\"name\": \"%s\", \"metric\": \"%s\", "
+                  "\"better\": \"%s\", \"gate\": %s, "
+                  "\"median\": %.6g, \"p95\": %.6g, \"min\": %.6g, "
+                  "\"mean\": %.6g, \"values\": [",
+                  r.def->name.c_str(), r.def->metric.c_str(),
+                  r.def->better.c_str(), r.def->gate ? "true" : "false",
+                  r.median, r.p95, r.min, r.mean);
+    out += buffer;
+    for (std::size_t v = 0; v < r.values.size(); ++v) {
+      std::snprintf(buffer, sizeof buffer, "%s%.6g", v ? ", " : "",
+                    r.values[v]);
+      out += buffer;
+    }
+    out += "]}";
+    out += i + 1 < results.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    util::Cli cli(argc, argv);
+    const bool list = cli.get_bool("list");
+    const std::string suite = cli.get_string("suite", "ci-fast");
+    const int reps = static_cast<int>(cli.get_int("reps", 5));
+    const int scenario_seconds =
+        static_cast<int>(cli.get_int("scenario-seconds", 1));
+    const std::string out_path =
+        cli.get_string("out", "BENCH_results.json");
+    const std::string trace_out = cli.get_string("trace-out", "");
+    std::string git_sha = cli.get_string("git-sha", "");
+    cli.check_unknown();
+
+    auto benches = make_benches(seconds(scenario_seconds));
+    if (list) {
+      std::printf("suites: micro_stm_overhead micro_runtime_overhead "
+                  "colocate ci-fast all\nbenches:\n");
+      for (const auto& bench : benches) {
+        std::printf("  %-32s %-12s better=%s gate=%s\n", bench.name.c_str(),
+                    bench.metric.c_str(), bench.better.c_str(),
+                    bench.gate ? "yes" : "no");
+      }
+      return 0;
+    }
+    if (reps < 1) {
+      std::fprintf(stderr, "rubic_bench: --reps must be >= 1\n");
+      return 2;
+    }
+
+    std::vector<const BenchDef*> selected;
+    if (suite == "all") {
+      for (const auto& bench : benches) selected.push_back(&bench);
+    } else {
+      for (const std::string& name : suite_members(suite)) {
+        for (const auto& bench : benches) {
+          if (bench.name == name) selected.push_back(&bench);
+        }
+      }
+    }
+    if (selected.empty()) {
+      std::fprintf(stderr,
+                   "rubic_bench: unknown suite '%s' (try --list)\n",
+                   suite.c_str());
+      return 2;
+    }
+
+    // --trace-out: record the scenario benches' timelines (micro benches
+    // run disarmed — arming them would perturb exactly what they measure).
+    trace::Tracer scenario_tracer;
+    const bool tracing = !trace_out.empty();
+
+    std::printf("rubic_bench suite=%s reps=%d\n", suite.c_str(), reps);
+    std::vector<BenchResult> results;
+    for (const BenchDef* def : selected) {
+      BenchResult result;
+      result.def = def;
+      for (int rep = 0; rep < reps; ++rep) {
+        if (tracing && def->scenario) trace::arm(scenario_tracer);
+        result.values.push_back(def->run());
+        if (tracing && def->scenario) trace::disarm();
+      }
+      summarize(result);
+      std::printf("  %-32s median=%.4g p95=%.4g min=%.4g %s\n",
+                  def->name.c_str(), result.median, result.p95, result.min,
+                  def->metric.c_str());
+      results.push_back(std::move(result));
+    }
+
+    if (git_sha.empty()) git_sha = discover_git_sha();
+    const std::string report = format_results(suite, reps, git_sha, results);
+    if (!trace::write_file(out_path, report)) {
+      std::fprintf(stderr, "rubic_bench: failed to write %s\n",
+                   out_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (git %s)\n", out_path.c_str(),
+                git_sha.substr(0, 12).c_str());
+    if (tracing) {
+      const std::string doc = trace::to_chrome_trace(
+          scenario_tracer, static_cast<std::int64_t>(getpid()), "rubic_bench");
+      if (!trace::write_file(trace_out, doc)) {
+        std::fprintf(stderr, "rubic_bench: failed to write %s\n",
+                     trace_out.c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", trace_out.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rubic_bench: %s\n", e.what());
+    return 2;
+  }
+}

@@ -43,6 +43,7 @@
 #include "src/ipc/equal_share.hpp"
 #include "src/metrics/metrics.hpp"
 #include "src/runtime/process.hpp"
+#include "src/trace/trace.hpp"
 #include "src/util/cli.hpp"
 #include "src/workloads/registry.hpp"
 
@@ -64,7 +65,30 @@ struct Options {
   std::string fault_spec;  // armed inside every child (see src/fault/)
   std::string bus_name;
   std::string json_path;
+  // Non-empty: every child records an event trace (src/trace/) and the
+  // parent merges the per-child fragments into one Chrome trace-event file
+  // loadable at ui.perfetto.dev — one process track per child.
+  std::string trace_out;
 };
+
+// Per-child trace fragment path. Keyed by pid so the parent can collect
+// fragments for exactly the children it forked.
+std::string trace_part_path(const Options& opt, pid_t pid) {
+  return opt.trace_out + "." + std::to_string(static_cast<int>(pid)) + ".part";
+}
+
+std::string read_file(const std::string& path) {
+  std::string out;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return out;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof buffer, f)) > 0) {
+    out.append(buffer, n);
+  }
+  std::fclose(f);
+  return out;
+}
 
 struct ChildResult {
   pid_t pid = 0;
@@ -100,6 +124,13 @@ int run_child(const Options& opt, ipc::CoLocationBus& bus, int child_index) {
   if (!opt.fault_spec.empty()) {
     // The plan must outlive the run; a child process leaks it on _exit.
     fault::arm(*fault::Plan::parse(opt.fault_spec).release());
+  }
+  // Arm tracing before any worker thread exists; the tracer (like the fault
+  // plan) must outlive the run, so a child process leaks it on _exit.
+  trace::Tracer* tracer = nullptr;
+  if (!opt.trace_out.empty()) {
+    tracer = new trace::Tracer;
+    trace::arm(*tracer);
   }
   const std::string label = opt.workload + "/" + opt.policy;
   const bool have_slot = acquire_slot_with_backoff(bus, label) >= 0;
@@ -149,6 +180,19 @@ int run_child(const Options& opt, ipc::CoLocationBus& bus, int child_index) {
   final_sample.commits = report.stm_stats.commits;
   final_sample.aborts = report.stm_stats.total_aborts();
   bus.publish_final(final_sample);  // no-op without a slot
+
+  if (tracer != nullptr) {
+    // run_for() stopped the monitor and the pool: writers are quiesced, so
+    // disarm-and-export is safe. The fragment is newline-separated Chrome
+    // event objects; the parent merges one fragment per surviving child.
+    trace::disarm();
+    const std::string fragment =
+        trace::to_chrome_events(*tracer, getpid(), label);
+    if (!trace::write_file(trace_part_path(opt, getpid()), fragment)) {
+      std::fprintf(stderr, "rubic_colocate[%d]: failed to write trace part\n",
+                   static_cast<int>(getpid()));
+    }
+  }
 
   std::string error;
   if (!workload->verify(&error)) {
@@ -294,6 +338,7 @@ int main(int argc, char** argv) {
     opt.fault_spec = cli.get_string("fault-spec", "");
     opt.bus_name = cli.get_string("bus", "");
     opt.json_path = cli.get_string("json", "");
+    opt.trace_out = cli.get_string("trace-out", "");
     cli.check_unknown();
     if (!opt.fault_spec.empty()) {
       fault::Plan::parse(opt.fault_spec);  // reject bad specs before forking
@@ -305,8 +350,8 @@ int main(int argc, char** argv) {
                    "[--seconds S] [--contexts C] [--pool SZ] [--period-ms M] "
                    "[--baseline-seconds B] [--chaos-kill-ms T] "
                    "[--fault-spec SPEC] [--bus /name] "
-                   "[--json out.json] [--list-workloads] "
-                   "[--list-controllers]\n");
+                   "[--json out.json] [--trace-out trace.json] "
+                   "[--list-workloads] [--list-controllers]\n");
       return 2;
     }
     if (opt.contexts <= 0) {
@@ -396,6 +441,22 @@ int main(int argc, char** argv) {
       child.efficiency = metrics::efficiency(
           child.speedup,
           child.completed ? child.payload.mean_level : child.payload.level);
+    }
+
+    if (!opt.trace_out.empty()) {
+      // Merge the per-child fragments into one Perfetto-loadable document.
+      // A chaos-killed child never wrote its part (or wrote a truncated
+      // tail); the merge skips missing files and partial lines.
+      std::vector<std::string> fragments;
+      for (const pid_t pid : pids) {
+        const std::string part = trace_part_path(opt, pid);
+        fragments.push_back(read_file(part));
+        ::unlink(part.c_str());
+      }
+      if (!trace::write_file(opt.trace_out,
+                             trace::merge_chrome_fragments(fragments))) {
+        std::fprintf(stderr, "failed to write %s\n", opt.trace_out.c_str());
+      }
     }
 
     const std::string report =

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Validate rubic telemetry artifacts.
+
+Checks a JSON telemetry document against the rubic-telemetry/v1 schema and
+(optionally) a Prometheus text exposition file against the exposition
+grammar. Accepts either a raw snapshot (rubic_sim --metrics-out, the
+Scraper's per-line output) or a rubic_colocate report whose "telemetry" key
+embeds per-process and merged metric arrays — the format is auto-detected.
+
+Usage:
+    check_telemetry.py FILE.json [--prom FILE.prom]
+
+Exit code 0 when every check passes; 1 with a diagnostic on stderr
+otherwise. CI runs this after the telemetry smoke run (see
+.github/workflows/ci.yml and tests/CMakeLists.txt).
+"""
+
+import argparse
+import json
+import re
+import sys
+
+SCHEMA = "rubic-telemetry/v1"
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+# One line of Prometheus text exposition: comment, blank, or sample. The
+# sample value accepts integers, floats, and the NaN/+Inf/-Inf tokens.
+PROM_LINE_RE = re.compile(
+    r"^(?:"
+    r"#\s(?:HELP|TYPE)\s[a-zA-Z_:][a-zA-Z0-9_:]*\s.+"
+    r"|[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r'(?:\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?'
+    r"\s(?:[-+]?[0-9.eE+-]+|NaN|\+Inf|-Inf)"
+    r")$"
+)
+
+
+def fail(message):
+    print(f"check_telemetry: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_metric(metric, where):
+    if not isinstance(metric, dict):
+        fail(f"{where}: metric is not an object")
+    name = metric.get("name")
+    if not isinstance(name, str) or not name:
+        fail(f"{where}: metric missing name")
+    mtype = metric.get("type")
+    if mtype not in ("counter", "gauge", "histogram"):
+        fail(f"{where}: {name}: bad type {mtype!r}")
+    labels = metric.get("labels", {})
+    if not isinstance(labels, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in labels.items()
+    ):
+        fail(f"{where}: {name}: labels must map strings to strings")
+    if mtype == "counter":
+        if not isinstance(metric.get("value"), int) or metric["value"] < 0:
+            fail(f"{where}: {name}: counter value must be a non-negative int")
+    elif mtype == "gauge":
+        value = metric.get("value")
+        if value is not None and not isinstance(value, (int, float)):
+            fail(f"{where}: {name}: gauge value must be a number or null")
+    else:
+        count = metric.get("count")
+        total = metric.get("sum")
+        buckets = metric.get("buckets")
+        if not isinstance(count, int) or count < 0:
+            fail(f"{where}: {name}: histogram count must be a non-negative int")
+        if not isinstance(total, int) or total < 0:
+            fail(f"{where}: {name}: histogram sum must be a non-negative int")
+        if not isinstance(buckets, list) or not all(
+            isinstance(b, int) and b >= 0 for b in buckets
+        ):
+            fail(f"{where}: {name}: histogram buckets must be counts")
+        if sum(buckets) != count:
+            fail(f"{where}: {name}: bucket total {sum(buckets)} != count {count}")
+
+
+def check_metrics_array(metrics, where):
+    if not isinstance(metrics, list):
+        fail(f"{where}: metrics must be an array")
+    for metric in metrics:
+        check_metric(metric, where)
+    keys = [(m["name"], tuple(sorted(m.get("labels", {}).items()))) for m in metrics]
+    if keys != sorted(keys):
+        fail(f"{where}: metrics are not sorted by (name, labels)")
+    if len(keys) != len(set(keys)):
+        fail(f"{where}: duplicate metric identity")
+
+
+def check_snapshot(doc, where):
+    if doc.get("schema") != SCHEMA:
+        fail(f"{where}: schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    if not isinstance(doc.get("ts_ns"), int):
+        fail(f"{where}: ts_ns must be an integer")
+    check_metrics_array(doc.get("metrics"), where)
+
+
+def check_colocate_report(doc, path):
+    telemetry = doc["telemetry"]
+    if telemetry.get("schema") != SCHEMA:
+        fail(f"{path}: telemetry.schema is {telemetry.get('schema')!r}")
+    processes = telemetry.get("processes")
+    if not isinstance(processes, list):
+        fail(f"{path}: telemetry.processes must be an array")
+    for entry in processes:
+        if not isinstance(entry.get("pid"), int):
+            fail(f"{path}: telemetry.processes entry missing pid")
+        check_metrics_array(entry.get("metrics"), f"{path}: pid {entry['pid']}")
+    check_metrics_array(telemetry.get("merged"), f"{path}: merged")
+    if processes and not telemetry["merged"]:
+        fail(f"{path}: merged section is empty despite per-process metrics")
+
+
+def check_prometheus(path):
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    if not lines:
+        fail(f"{path}: empty exposition file")
+    for number, line in enumerate(lines, start=1):
+        if line and not PROM_LINE_RE.match(line):
+            fail(f"{path}:{number}: bad exposition line: {line!r}")
+    samples = [line for line in lines if line and not line.startswith("#")]
+    if not samples:
+        fail(f"{path}: no samples in exposition file")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_file", help="snapshot or colocate report JSON")
+    parser.add_argument("--prom", help="Prometheus exposition file to check")
+    args = parser.parse_args()
+
+    with open(args.json_file, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict):
+        fail(f"{args.json_file}: top level is not an object")
+    if "telemetry" in doc:
+        check_colocate_report(doc, args.json_file)
+    else:
+        check_snapshot(doc, args.json_file)
+    if args.prom:
+        check_prometheus(args.prom)
+    print("check_telemetry: OK")
+
+
+if __name__ == "__main__":
+    main()

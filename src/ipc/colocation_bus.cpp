@@ -18,12 +18,33 @@
 #include <type_traits>
 
 #include "src/fault/fault.hpp"
+#include "src/telemetry/telemetry.hpp"
 #include "src/trace/trace.hpp"
 #include "src/util/check.hpp"
 
 namespace rubic::ipc {
 
 namespace {
+
+// Registry references for the bus hot paths, resolved once and cached.
+struct BusTelemetry {
+  telemetry::Counter& publishes;
+  telemetry::Counter& final_publishes;
+  telemetry::Counter& snapshots;
+  telemetry::Counter& torn_reads;
+  telemetry::Counter& implausible_reads;
+
+  static BusTelemetry& get() {
+    static BusTelemetry instance{
+        telemetry::registry().counter("rubic_bus_publishes_total"),
+        telemetry::registry().counter("rubic_bus_final_publishes_total"),
+        telemetry::registry().counter("rubic_bus_snapshots_total"),
+        telemetry::registry().counter("rubic_bus_torn_reads_total"),
+        telemetry::registry().counter("rubic_bus_implausible_reads_total"),
+    };
+    return instance;
+  }
+};
 
 std::uint64_t monotonic_ns() {
   timespec ts{};
@@ -300,6 +321,7 @@ void CoLocationBus::publish(const SlotSample& sample) {
     return;
   }
   write_payload(own_);
+  if (telemetry::armed()) [[unlikely]] BusTelemetry::get().publishes.add();
   trace::emit(trace::EventType::kBusPublish,
               static_cast<std::uint32_t>(sample.level), own_.heartbeat,
               sample.throughput);
@@ -319,6 +341,9 @@ void CoLocationBus::publish_final(const FinalSample& sample) {
   own_.commits = sample.commits;
   own_.aborts = sample.aborts;
   write_payload(own_);
+  if (telemetry::armed()) [[unlikely]] {
+    BusTelemetry::get().final_publishes.add();
+  }
 }
 
 bool payload_plausible(const SlotPayload& p) noexcept {
@@ -359,11 +384,17 @@ CoLocationBus::ReadResult CoLocationBus::read_payload(const Slot& slot,
     if (before == after) {
       // A stable snapshot can still be garbage — shared memory has no
       // write protection between peers. Screen it before trusting it.
-      if (!payload_plausible(copy)) return ReadResult::kImplausible;
+      if (!payload_plausible(copy)) {
+        if (telemetry::armed()) [[unlikely]] {
+          BusTelemetry::get().implausible_reads.add();
+        }
+        return ReadResult::kImplausible;
+      }
       out = copy;
       return ReadResult::kOk;
     }
   }
+  if (telemetry::armed()) [[unlikely]] BusTelemetry::get().torn_reads.add();
   return ReadResult::kTorn;  // the owner is actively publishing
 }
 
@@ -413,6 +444,7 @@ PeerInfo CoLocationBus::classify(int index) const {
 }
 
 std::vector<PeerInfo> CoLocationBus::snapshot() const {
+  if (telemetry::armed()) [[unlikely]] BusTelemetry::get().snapshots.add();
   std::vector<PeerInfo> peers;
   const int slots = max_slots();
   for (int i = 0; i < slots; ++i) {

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "src/fault/fault.hpp"
+#include "src/telemetry/telemetry.hpp"
 #include "src/trace/trace.hpp"
 #include "src/util/check.hpp"
 
@@ -63,6 +64,8 @@ void MalleablePool::worker_loop(Worker& worker) {
 
 void MalleablePool::set_level(int new_level) {
   new_level = std::clamp(new_level, 1, pool_size());
+  const std::uint64_t resize_begin_ns =
+      telemetry::armed() ? trace::monotonic_ns() : 0;
   const int old_level = level_.exchange(new_level, std::memory_order_acq_rel);
   if (old_level != new_level) {
     trace::emit(trace::EventType::kPoolResize,
@@ -72,6 +75,17 @@ void MalleablePool::set_level(int new_level) {
   // Alg. 2 lines 20-22: wake exactly the workers entering the active range.
   for (int tid = old_level; tid < new_level; ++tid) {
     workers_[static_cast<std::size_t>(tid)]->semaphore.release();
+  }
+  if (resize_begin_ns != 0) [[unlikely]] {
+    telemetry::Registry& reg = telemetry::registry();
+    static telemetry::Gauge& level_gauge =
+        reg.gauge("rubic_pool_active_level");
+    static telemetry::Histogram& resize_latency =
+        reg.histogram("rubic_pool_resize_latency_ns");
+    level_gauge.set(static_cast<double>(new_level));
+    if (old_level != new_level) {
+      resize_latency.observe(trace::monotonic_ns() - resize_begin_ns);
+    }
   }
 }
 

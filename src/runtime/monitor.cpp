@@ -7,6 +7,8 @@
 
 #include "src/fault/fault.hpp"
 #include "src/ipc/colocation_bus.hpp"
+#include "src/telemetry/audit.hpp"
+#include "src/telemetry/telemetry.hpp"
 #include "src/trace/trace.hpp"
 
 namespace rubic::runtime {
@@ -143,12 +145,15 @@ void Monitor::loop() {
     trace::emit(trace::EventType::kMonitorRound,
                 (sanitized_round ? 1u : 0u) | (overrun ? 2u : 0u),
                 rounds_.load(std::memory_order_relaxed), throughput);
+    control::DecisionInfo info;
     if (!overrun) {
       trace::emit(trace::EventType::kLevelDecision,
                   static_cast<std::uint32_t>(prev_level),
                   static_cast<std::uint64_t>(next_level), throughput);
+      if (trace::armed() != nullptr || config_.audit != nullptr) {
+        info = guard_.decision_info();
+      }
       if (trace::armed() != nullptr) {
-        const control::DecisionInfo info = guard_.decision_info();
         if (info.valid && (!last_info.valid || info.phase != last_info.phase)) {
           trace::emit(trace::EventType::kPhaseChange, info.phase,
                       last_info.valid ? last_info.phase : ~std::uint64_t{0},
@@ -156,6 +161,42 @@ void Monitor::loop() {
         }
         last_info = info;
       }
+    }
+    if (config_.audit != nullptr) {
+      // The audit input is exactly what the guard was fed (post-monitor
+      // sanitization), so an offline replay re-runs the identical decision.
+      // On an overrun round the controller was skipped; the record carries
+      // the discarded measurement for the human reader.
+      telemetry::AuditRecord record;
+      record.round = rounds_.load(std::memory_order_relaxed);
+      record.prev = prev_level;
+      record.next = next_level;
+      record.used_commit_ratio = use_contention_signal;
+      record.input = use_contention_signal ? commit_ratio : throughput;
+      record.overrun = overrun;
+      record.sanitized = sanitized_round;
+      if (!overrun && info.valid) {
+        record.phase_valid = true;
+        record.phase = info.phase;
+        record.phase_name = std::string(info.phase_name);
+        record.aux = info.aux;
+      }
+      config_.audit->append(record);
+    }
+    if (telemetry::armed()) [[unlikely]] {
+      telemetry::Registry& reg = telemetry::registry();
+      static telemetry::Counter& rounds_total =
+          reg.counter("rubic_monitor_rounds_total");
+      static telemetry::Counter& sanitized_total =
+          reg.counter("rubic_monitor_sanitized_samples_total");
+      static telemetry::Counter& overrun_total =
+          reg.counter("rubic_monitor_overrun_rounds_total");
+      static telemetry::Histogram& round_duration =
+          reg.histogram("rubic_monitor_round_duration_ns");
+      rounds_total.add();
+      if (sanitized_round) sanitized_total.add();
+      if (overrun) overrun_total.add();
+      round_duration.observe(static_cast<std::uint64_t>(round_ns.count()));
     }
     if (config_.bus != nullptr) {
       ipc::SlotSample sample;

@@ -34,6 +34,10 @@ namespace rubic::ipc {
 class CoLocationBus;
 }
 
+namespace rubic::telemetry {
+class AuditLog;
+}
+
 namespace rubic::runtime {
 
 struct MonitorSample {
@@ -65,6 +69,12 @@ struct MonitorConfig {
   // publish is a wait-free seqlock write, so the TIME_PERIOD cadence is
   // unaffected. The bus must outlive the monitor.
   ipc::CoLocationBus* bus = nullptr;
+  // When set, every round appends one decision record (input, prev/next
+  // level, CIMD phase) to this audit log — the stream tools/rubic_replay
+  // re-drives offline. The caller owns the log (and its AuditMeta) and must
+  // keep it alive until after stop(). One uncontended mutex acquisition per
+  // round; leave null for zero cost.
+  telemetry::AuditLog* audit = nullptr;
 };
 
 class Monitor {

@@ -1,6 +1,7 @@
 #include "src/stm/runtime.hpp"
 
 #include <new>
+#include <utility>
 
 #include "src/util/check.hpp"
 
@@ -36,7 +37,7 @@ TxnStatsSnapshot Runtime::aggregate_stats() const {
   TxnStatsSnapshot out;
   std::lock_guard lock(registry_mutex_);
   for (const auto& ctx : contexts_) {
-    out += snapshot(const_cast<TxnDesc&>(*ctx).stats());
+    out += snapshot(std::as_const(*ctx).stats());
   }
   return out;
 }

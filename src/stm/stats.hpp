@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string_view>
 
 #include "src/util/cache_aligned.hpp"
 
@@ -23,6 +24,28 @@ enum class AbortCause : std::uint8_t {
   kFaultInjected,      // forced conflict from the src/fault/ chaos layer
   kCount,
 };
+
+// Canonical token, shared by the telemetry exporter and diagnostics
+// (e.g. "read_conflict", "doomed"). "?" for out-of-range values.
+inline std::string_view abort_cause_name(AbortCause cause) noexcept {
+  switch (cause) {
+    case AbortCause::kReadConflict:
+      return "read_conflict";
+    case AbortCause::kWriteConflict:
+      return "write_conflict";
+    case AbortCause::kValidationFailed:
+      return "validation_failed";
+    case AbortCause::kDoomed:
+      return "doomed";
+    case AbortCause::kUserRetry:
+      return "user_retry";
+    case AbortCause::kFaultInjected:
+      return "fault_injected";
+    case AbortCause::kCount:
+      break;
+  }
+  return "?";
+}
 
 struct TxnStats {
   std::atomic<std::uint64_t> commits{0};

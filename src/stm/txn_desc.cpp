@@ -7,6 +7,7 @@
 #include "src/fault/fault.hpp"
 #include "src/stm/raw_access.hpp"
 #include "src/stm/runtime.hpp"
+#include "src/telemetry/telemetry.hpp"
 #include "src/trace/trace.hpp"
 
 namespace rubic::stm {
@@ -17,6 +18,43 @@ namespace {
 inline void bump(std::atomic<std::uint64_t>& c) noexcept {
   c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
 }
+
+// Registry references for the commit-path instrumentation, resolved once
+// (first armed transaction) and cached — the hot path never touches the
+// registry itself, only the striped cells behind these pointers.
+struct StmTelemetry {
+  telemetry::Counter& commits;
+  telemetry::Counter& read_only_commits;
+  telemetry::Counter* aborts[static_cast<std::size_t>(AbortCause::kCount)];
+  telemetry::Histogram& retries;
+  telemetry::Histogram& read_set_size;
+  telemetry::Histogram& write_set_size;
+  telemetry::Histogram& commit_latency_ns;
+
+  static StmTelemetry& get() {
+    static StmTelemetry instance = [] {
+      telemetry::Registry& reg = telemetry::registry();
+      StmTelemetry t{
+          reg.counter("rubic_stm_commits_total"),
+          reg.counter("rubic_stm_read_only_commits_total"),
+          {},
+          reg.histogram("rubic_stm_txn_retries"),
+          reg.histogram("rubic_stm_read_set_size"),
+          reg.histogram("rubic_stm_write_set_size"),
+          reg.histogram("rubic_stm_commit_latency_ns"),
+      };
+      for (std::size_t i = 0;
+           i < static_cast<std::size_t>(AbortCause::kCount); ++i) {
+        const auto cause = static_cast<AbortCause>(i);
+        t.aborts[i] = &reg.counter(
+            "rubic_stm_aborts_total",
+            {{"cause", std::string(abort_cause_name(cause))}});
+      }
+      return t;
+    }();
+    return instance;
+  }
+};
 
 }  // namespace
 
@@ -35,6 +73,10 @@ void TxnDesc::begin(bool first_attempt) {
     priority_.store((rv_ << 20) | ctx_id_, std::memory_order_release);
   }
   status_.store(TxnStatus::kActive, std::memory_order_release);
+  if (telemetry::armed()) [[unlikely]] {
+    tm_attempts_ = first_attempt ? 1 : tm_attempts_ + 1;
+    tm_begin_ns_ = trace::monotonic_ns();
+  }
   trace::emit(trace::EventType::kTxnBegin, ctx_id_, first_attempt ? 1 : 0);
 }
 
@@ -216,6 +258,21 @@ void TxnDesc::commit() {
     for (const OwnedOrec& oo : owned_.entries()) oo.orec->release(wv);
     bump(stats_.commits);
   }
+  if (telemetry::armed()) [[unlikely]] {
+    // Set sizes are captured here, before the epilogue clears them. A
+    // transaction whose begin() ran disarmed contributes counters but no
+    // latency/retry samples (tm_begin_ns_ == 0 sentinel).
+    StmTelemetry& t = StmTelemetry::get();
+    t.commits.add();
+    if (write_set_.empty()) t.read_only_commits.add();
+    t.read_set_size.observe(read_set_.size());
+    t.write_set_size.observe(write_set_.size());
+    if (tm_begin_ns_ != 0) {
+      t.commit_latency_ns.observe(trace::monotonic_ns() - tm_begin_ns_);
+      t.retries.observe(tm_attempts_ - 1);
+      tm_begin_ns_ = 0;
+    }
+  }
   // Success epilogue. Exit the epoch first (no more shared reads), then
   // queue deferred frees: concurrent transactions that might still hold
   // references pin the reclamation epoch themselves.
@@ -244,6 +301,9 @@ void TxnDesc::rollback(AbortCause cause) {
   allocs_.clear();
   frees_.clear();  // deferred frees are cancelled with the transaction
   stats_.bump_abort(cause);
+  if (telemetry::armed()) [[unlikely]] {
+    StmTelemetry::get().aborts[static_cast<std::size_t>(cause)]->add();
+  }
   status_.store(TxnStatus::kInactive, std::memory_order_release);
   rt_.epoch_exit(*this);
   read_set_.clear();

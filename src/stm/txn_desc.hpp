@@ -105,6 +105,7 @@ class alignas(util::kCacheLineSize) TxnDesc {
   }
 
   TxnStats& stats() noexcept { return stats_; }
+  const TxnStats& stats() const noexcept { return stats_; }
   std::uint32_t ctx_id() const noexcept { return ctx_id_; }
   Runtime& runtime() noexcept { return rt_; }
   util::Xoshiro256& rng() noexcept { return rng_; }
@@ -156,6 +157,14 @@ class alignas(util::kCacheLineSize) TxnDesc {
 
   TxnStats stats_;
   util::Xoshiro256 rng_;
+
+  // Telemetry attempt state, touched only while telemetry is armed:
+  // begin() stamps the attempt start and counts attempts; commit() turns
+  // them into latency/retry histogram samples. tm_begin_ns_ == 0 marks
+  // "begin ran disarmed" so arming mid-transaction never yields a bogus
+  // latency sample.
+  std::uint64_t tm_begin_ns_ = 0;
+  std::uint32_t tm_attempts_ = 0;
 
   // --- epoch-based reclamation state (owned here, orchestrated by Runtime;
   //     see Runtime::try_advance_epoch) ---

@@ -1,0 +1,313 @@
+// Live telemetry registry (DESIGN: observability layer, aggregates).
+//
+// The event tracer (src/trace/) answers "what happened when"; this layer
+// answers "how much, how often, how long" — the aggregate distributions the
+// paper's whole argument rests on (abort rates per cause, commit latencies,
+// level trajectories, §4.1–§4.3) — as an always-on, near-zero-cost
+// statistical view of a *running* process. A process-wide Registry holds
+// named counters, gauges and log-bucketed (power-of-2) histograms; readers
+// take a Snapshot at any time and export it as Prometheus text exposition
+// or a schema-versioned JSON document that merges across co-located
+// processes (tools/rubic_colocate).
+//
+// Concurrency design:
+//   * Counter and Histogram updates go to one of kStripes cache-line-padded
+//     atomic cells, indexed by a thread-local stripe id (the
+//     util/cache_aligned.hpp pattern): relaxed fetch_add, no locks, and no
+//     two hot threads share a line unless the process runs more than
+//     kStripes writers. Scrape-side aggregation sums the stripes.
+//   * Registration (by name + static labels) takes a mutex and returns a
+//     stable reference; instrumentation sites cache that reference in a
+//     function-local static, so the hot path never touches the registry.
+//   * snapshot() is wait-free with respect to writers: it reads the relaxed
+//     cells while updates continue, so a snapshot is a consistent-enough
+//     statistical view, not a linearization point.
+//
+// Cost contract (same discipline as src/fault/ and src/trace/): with
+// telemetry disarmed, an instrumentation site is one relaxed atomic load
+// and one predictable branch — cheap enough for the STM commit path
+// (bench: micro_telemetry_overhead). Arming is an observability action and
+// need not be fast.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/util/cache_aligned.hpp"
+
+namespace rubic::telemetry {
+
+// Update-path striping. Power of two; 16 lines per metric keeps the memory
+// footprint modest (a histogram is ~9 KiB) while de-sharing up to 16
+// concurrently-hot writer threads.
+inline constexpr std::size_t kStripes = 16;
+
+// Histogram bucketing: bucket 0 holds the value 0, bucket i (i >= 1) holds
+// [2^(i-1), 2^i - 1]. 64 buckets cover the full uint64 range, so nothing is
+// ever out of range — the top bucket absorbs the tail.
+inline constexpr std::size_t kHistogramBuckets = 64;
+
+// Maps a value to its power-of-2 bucket (exposed for tests/exporters).
+inline std::size_t bucket_index(std::uint64_t value) noexcept {
+  if (value == 0) return 0;
+  std::size_t width = 0;
+  while (value != 0) {
+    value >>= 1;
+    ++width;
+  }
+  return width < kHistogramBuckets ? width : kHistogramBuckets - 1;
+}
+
+// Inclusive upper bound of a bucket (the Prometheus "le" rendering).
+inline std::uint64_t bucket_upper_bound(std::size_t index) noexcept {
+  if (index == 0) return 0;
+  if (index >= 63) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << index) - 1;
+}
+
+// Static labels, attached at registration. Kept sorted by key so the
+// (name, labels) identity and every export are deterministic.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricType : std::uint8_t { kCounter, kGauge, kHistogram };
+
+std::string_view metric_type_name(MetricType type) noexcept;
+
+namespace detail {
+
+// The one word every instrumentation site loads (see armed() below).
+extern std::atomic<bool> g_armed;
+
+// Thread stripe id: assigned once per thread, reused by every metric.
+unsigned stripe_of_current_thread() noexcept;
+
+}  // namespace detail
+
+// Arms/disarms the instrumentation sites process-wide. Unlike the tracer,
+// there is no object to point at — metrics live in the registry regardless;
+// the flag only gates the hot-path updates.
+void arm() noexcept;
+void disarm() noexcept;
+
+inline bool armed() noexcept {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+// RAII arming for tests and tools.
+class Armed {
+ public:
+  Armed() noexcept { arm(); }
+  ~Armed() { disarm(); }
+  Armed(const Armed&) = delete;
+  Armed& operator=(const Armed&) = delete;
+};
+
+// Monotonically-increasing event count. Striped relaxed cells; value() sums.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    cells_[detail::stripe_of_current_thread() & (kStripes - 1)].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& cell : cells_) {
+      sum += cell.value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  util::CacheAligned<std::atomic<std::uint64_t>> cells_[kStripes];
+};
+
+// Last-write-wins scalar (the active parallelism level, a config echo...).
+// A single cell: gauges are written by one owner at a low rate.
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Log-bucketed (HDR-style, power-of-2) histogram over uint64 samples.
+// Per-stripe bucket arrays plus count/sum, all relaxed.
+class Histogram {
+ public:
+  void observe(std::uint64_t value) noexcept {
+    Stripe& stripe = stripes_[detail::stripe_of_current_thread() &
+                              (kStripes - 1)].value;
+    stripe.buckets[bucket_index(value)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+    stripe.count.fetch_add(1, std::memory_order_relaxed);
+    stripe.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const noexcept;
+  std::uint64_t sum() const noexcept;
+  // Per-bucket counts, trimmed after the last non-empty bucket.
+  std::vector<std::uint64_t> buckets() const;
+
+ private:
+  struct Stripe {
+    std::atomic<std::uint64_t> buckets[kHistogramBuckets]{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  util::CacheAligned<Stripe> stripes_[kStripes];
+};
+
+// One metric's scrape-time value (plain data, for exporters and merging).
+struct MetricSnapshot {
+  std::string name;
+  Labels labels;
+  MetricType type = MetricType::kCounter;
+  std::uint64_t value_u64 = 0;           // counter
+  double value = 0.0;                    // gauge
+  std::uint64_t count = 0;               // histogram
+  std::uint64_t sum = 0;                 // histogram
+  std::vector<std::uint64_t> buckets;    // histogram, trimmed
+
+  bool operator==(const MetricSnapshot&) const = default;
+};
+
+struct Snapshot {
+  std::uint64_t ts_ns = 0;  // CLOCK_MONOTONIC at scrape time (0 if unset)
+  std::vector<MetricSnapshot> metrics;  // sorted by (name, labels)
+};
+
+// The metric registry. registry() below is the process-wide instance every
+// instrumentation site uses; tools may build private registries (e.g.
+// rubic_sim's --metrics-out) to use the exporters without arming anything.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Registration: returns the metric registered under (name, labels),
+  // creating it on first use. Re-registering the same identity with a
+  // different type is a programming error and throws std::logic_error.
+  // References stay valid for the registry's lifetime.
+  Counter& counter(std::string_view name, Labels labels = {});
+  Gauge& gauge(std::string_view name, Labels labels = {});
+  Histogram& histogram(std::string_view name, Labels labels = {});
+
+  // Scrape-time collectors: invoked (outside the registry lock) at the
+  // start of every snapshot(), typically to refresh gauges from state owned
+  // elsewhere (e.g. the armed fault plan's per-site hit/fire counts).
+  void add_collector(std::function<void()> collector);
+
+  // Deterministically-ordered scrape. Wait-free w.r.t. metric writers.
+  Snapshot snapshot() const;
+
+  std::size_t metric_count() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Labels labels;
+    MetricType type;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_create(std::string_view name, Labels&& labels,
+                        MetricType type);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::vector<std::function<void()>> collectors_;
+};
+
+// The process-wide registry. Created on first use with the default
+// collectors installed (currently: fault-plan per-site hit/fire gauges).
+Registry& registry();
+
+// --- exporters (deterministic: identical snapshots → identical bytes) ---
+
+inline constexpr std::string_view kJsonSchema = "rubic-telemetry/v1";
+
+// Prometheus text exposition format, one TYPE comment per metric family,
+// histograms rendered as cumulative _bucket{le=...} series plus _sum and
+// _count. CI validates every line against the exposition grammar.
+std::string to_prometheus(const Snapshot& snapshot);
+
+// Schema-versioned JSON document. Pretty mode puts one metric per line
+// (human-diffable and trivially parseable); compact mode is a single line
+// (what the background Scraper appends per scrape).
+enum class JsonStyle { kPretty, kCompact };
+std::string to_json(const Snapshot& snapshot,
+                    JsonStyle style = JsonStyle::kPretty);
+// Just the "[{...},...]" metrics array — for embedding snapshots inside a
+// larger report (rubic_colocate's "telemetry" key).
+std::string to_json_metrics(const Snapshot& snapshot, std::string_view indent);
+
+// Parses a to_json() document (either style) back into a Snapshot. Returns
+// false (with a diagnostic in *error, if non-null) on malformed input or a
+// schema mismatch.
+bool parse_json_snapshot(std::string_view text, Snapshot* out,
+                         std::string* error = nullptr);
+
+// Cross-process aggregation: counters and histograms sum; gauges sum too
+// (documented in docs/telemetry.md — per-process values stay visible in the
+// per-process sections). Output is sorted like any snapshot; ts_ns is the
+// max of the inputs.
+Snapshot merge_snapshots(std::span<const Snapshot> snapshots);
+
+// --- background scraper ---
+
+struct ScraperConfig {
+  std::string path;  // appended to: one compact JSON snapshot per line
+  std::chrono::milliseconds period{1000};
+};
+
+// Appends JSON snapshots of a registry at a fixed cadence from a background
+// thread. Stops (and takes a final snapshot) on stop()/destruction.
+class Scraper {
+ public:
+  Scraper(Registry& source, ScraperConfig config);
+  ~Scraper();
+
+  Scraper(const Scraper&) = delete;
+  Scraper& operator=(const Scraper&) = delete;
+
+  void stop();
+
+  std::uint64_t scrapes() const noexcept {
+    return scrapes_.load(std::memory_order_acquire);
+  }
+
+ private:
+  bool append_snapshot();
+
+  Registry& source_;
+  const ScraperConfig config_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::atomic<std::uint64_t> scrapes_{0};
+  std::thread thread_;
+};
+
+}  // namespace rubic::telemetry

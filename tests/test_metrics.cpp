@@ -3,6 +3,7 @@
 // maximizes the product for identical processes.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "src/metrics/metrics.hpp"
@@ -57,6 +58,45 @@ TEST(Metrics, EfficiencyProduct) {
 TEST(Metrics, JainFairnessOnSpeedups) {
   EXPECT_NEAR(jain_fairness(std::vector<double>{3.0, 3.0}), 1.0, 1e-12);
   EXPECT_LT(jain_fairness(std::vector<double>{6.0, 0.5}), 0.7);
+}
+
+// --- edge cases: empty spans, zero/negative inputs, single process ---------
+
+TEST(MetricsEdge, EmptySpansAreNeutral) {
+  // Empty products are the multiplicative identity, and Jain over nothing
+  // must not divide by zero.
+  EXPECT_DOUBLE_EQ(nsbp_product({}), 1.0);
+  EXPECT_DOUBLE_EQ(efficiency_product({}), 1.0);
+  const double jain_empty = jain_fairness({});
+  EXPECT_TRUE(std::isfinite(jain_empty));
+}
+
+TEST(MetricsEdge, ZeroSpeedupCollapsesProducts) {
+  // One starved-to-zero process zeroes the whole Nash product — the signal
+  // must propagate, not be smoothed away.
+  EXPECT_DOUBLE_EQ(nsbp_product(std::vector<double>{0.0, 5.0, 7.0}), 0.0);
+  EXPECT_DOUBLE_EQ(efficiency_product(std::vector<double>{0.9, 0.0}), 0.0);
+}
+
+TEST(MetricsEdge, NegativeInputsStayFinite) {
+  // Negative "speed-ups" only arise from corrupted measurements; the
+  // definitions must stay finite (the monitor sanitizes upstream, this is
+  // the defense-in-depth check).
+  EXPECT_DOUBLE_EQ(speedup(-50.0, 100.0), -0.5);
+  EXPECT_DOUBLE_EQ(speedup(50.0, -100.0), 0.0) << "negative baseline → 0";
+  EXPECT_DOUBLE_EQ(efficiency(-1.0, 4.0), -0.25);
+  EXPECT_DOUBLE_EQ(efficiency(1.0, -4.0), 0.0) << "negative level → 0";
+  EXPECT_TRUE(
+      std::isfinite(nsbp_product(std::vector<double>{-1.0, 2.0, -3.0})));
+  EXPECT_TRUE(std::isfinite(jain_fairness(std::vector<double>{-1.0, 1.0})));
+}
+
+TEST(MetricsEdge, SingleProcessDegeneratesToIdentity) {
+  // One process: the products are the lone value and fairness is perfect by
+  // definition.
+  EXPECT_DOUBLE_EQ(nsbp_product(std::vector<double>{3.5}), 3.5);
+  EXPECT_DOUBLE_EQ(efficiency_product(std::vector<double>{0.25}), 0.25);
+  EXPECT_NEAR(jain_fairness(std::vector<double>{42.0}), 1.0, 1e-12);
 }
 
 }  // namespace

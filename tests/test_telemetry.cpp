@@ -1,0 +1,510 @@
+// Telemetry layer tests: registry semantics, striped counters/histograms,
+// exporter determinism and round-trips, cross-process merging, the
+// background scraper, the STM instrumentation integration, and the audit →
+// serialize → parse → replay loop for every control::known_policies()
+// policy (the regression oracle tools/rubic_replay automates).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/control/factory.hpp"
+#include "src/control/fixed.hpp"
+#include "src/control/guard.hpp"
+#include "src/runtime/process.hpp"
+#include "src/stm/stm.hpp"
+#include "src/telemetry/audit.hpp"
+#include "src/telemetry/telemetry.hpp"
+#include "src/workloads/rbset_workload.hpp"
+
+namespace rubic {
+namespace {
+
+using namespace std::chrono_literals;
+
+// --- histogram bucketing ----------------------------------------------------
+
+TEST(Bucketing, PowerOfTwoEdges) {
+  EXPECT_EQ(telemetry::bucket_index(0), 0u);
+  EXPECT_EQ(telemetry::bucket_index(1), 1u);
+  EXPECT_EQ(telemetry::bucket_index(2), 2u);
+  EXPECT_EQ(telemetry::bucket_index(3), 2u);
+  EXPECT_EQ(telemetry::bucket_index(4), 3u);
+  EXPECT_EQ(telemetry::bucket_index(7), 3u);
+  EXPECT_EQ(telemetry::bucket_index(8), 4u);
+  EXPECT_EQ(telemetry::bucket_index(std::uint64_t{1} << 61), 62u);
+  EXPECT_EQ(telemetry::bucket_index(std::uint64_t{1} << 62), 63u);
+  EXPECT_EQ(telemetry::bucket_index(~std::uint64_t{0}), 63u);
+}
+
+TEST(Bucketing, UpperBoundsMatchIndex) {
+  EXPECT_EQ(telemetry::bucket_upper_bound(0), 0u);
+  EXPECT_EQ(telemetry::bucket_upper_bound(1), 1u);
+  EXPECT_EQ(telemetry::bucket_upper_bound(2), 3u);
+  EXPECT_EQ(telemetry::bucket_upper_bound(3), 7u);
+  EXPECT_EQ(telemetry::bucket_upper_bound(63), ~std::uint64_t{0});
+  // Every representable value falls inside its own bucket's bound.
+  for (std::uint64_t v : {0ull, 1ull, 5ull, 1000ull, ~0ull}) {
+    EXPECT_LE(v, telemetry::bucket_upper_bound(telemetry::bucket_index(v)));
+  }
+}
+
+// --- metric primitives ------------------------------------------------------
+
+TEST(Metrics, CounterSumsAcrossThreads) {
+  telemetry::Registry reg;
+  telemetry::Counter& counter = reg.counter("c_total");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < 1000; ++i) counter.add();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  counter.add(58);
+  EXPECT_EQ(counter.value(), 4058u);
+}
+
+TEST(Metrics, HistogramCountSumBuckets) {
+  telemetry::Registry reg;
+  telemetry::Histogram& hist = reg.histogram("h");
+  hist.observe(0);
+  hist.observe(1);
+  hist.observe(5);
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_EQ(hist.sum(), 6u);
+  const std::vector<std::uint64_t> buckets = hist.buckets();
+  // Trimmed after the last non-empty bucket: {0:1, 1:1, 2:0, 3:1}.
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 0u);
+  EXPECT_EQ(buckets[3], 1u);
+}
+
+TEST(Registry, StableIdentityAndTypeClash) {
+  telemetry::Registry reg;
+  telemetry::Counter& a = reg.counter("x_total", {{"k", "v"}});
+  telemetry::Counter& b = reg.counter("x_total", {{"k", "v"}});
+  EXPECT_EQ(&a, &b);
+  telemetry::Counter& other = reg.counter("x_total", {{"k", "w"}});
+  EXPECT_NE(&a, &other);
+  EXPECT_THROW(reg.gauge("x_total", {{"k", "v"}}), std::logic_error);
+  EXPECT_EQ(reg.metric_count(), 2u);
+}
+
+TEST(Registry, SnapshotSortedAndCollectorRuns) {
+  telemetry::Registry reg;
+  reg.counter("zz_total").add(1);
+  reg.counter("aa_total").add(2);
+  int collected = 0;
+  reg.add_collector([&reg, &collected] {
+    reg.gauge("mm_gauge").set(static_cast<double>(++collected));
+  });
+  const telemetry::Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 3u);
+  EXPECT_EQ(snap.metrics[0].name, "aa_total");
+  EXPECT_EQ(snap.metrics[1].name, "mm_gauge");
+  EXPECT_EQ(snap.metrics[2].name, "zz_total");
+  EXPECT_EQ(collected, 1);
+  EXPECT_GT(snap.ts_ns, 0u);
+}
+
+// --- exporters --------------------------------------------------------------
+
+telemetry::Registry& exporter_fixture() {
+  static telemetry::Registry* reg = [] {
+    auto* r = new telemetry::Registry();
+    r->counter("req_total", {{"cause", "a\"b\\c"}}).add(3);
+    r->gauge("level").set(2.5);
+    telemetry::Histogram& h = r->histogram("lat_ns");
+    h.observe(0);
+    h.observe(1);
+    h.observe(5);
+    return r;
+  }();
+  return *reg;
+}
+
+TEST(Prometheus, ExpositionFormat) {
+  const std::string text =
+      telemetry::to_prometheus(exporter_fixture().snapshot());
+  EXPECT_NE(text.find("# TYPE req_total counter\n"), std::string::npos);
+  // Label values escape backslash and quote.
+  EXPECT_NE(text.find("req_total{cause=\"a\\\"b\\\\c\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE level gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("level 2.5\n"), std::string::npos);
+  // Cumulative buckets: le=0 -> 1, le=1 -> 2, le=7 -> 3, +Inf = count.
+  EXPECT_NE(text.find("lat_ns_bucket{le=\"0\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ns_bucket{le=\"1\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ns_bucket{le=\"7\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ns_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ns_sum 6\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ns_count 3\n"), std::string::npos);
+}
+
+TEST(Prometheus, DeterministicBytes) {
+  telemetry::Snapshot snap = exporter_fixture().snapshot();
+  snap.ts_ns = 0;  // pin the only time-dependent field
+  EXPECT_EQ(telemetry::to_prometheus(snap), telemetry::to_prometheus(snap));
+}
+
+TEST(Json, RoundTripBothStyles) {
+  const telemetry::Snapshot snap = exporter_fixture().snapshot();
+  for (const auto style :
+       {telemetry::JsonStyle::kPretty, telemetry::JsonStyle::kCompact}) {
+    const std::string text = telemetry::to_json(snap, style);
+    telemetry::Snapshot parsed;
+    std::string error;
+    ASSERT_TRUE(telemetry::parse_json_snapshot(text, &parsed, &error))
+        << error;
+    EXPECT_EQ(parsed.ts_ns, snap.ts_ns);
+    ASSERT_EQ(parsed.metrics.size(), snap.metrics.size());
+    for (std::size_t i = 0; i < parsed.metrics.size(); ++i) {
+      EXPECT_EQ(parsed.metrics[i], snap.metrics[i]) << i;
+    }
+  }
+}
+
+TEST(Json, RejectsMalformedAndWrongSchema) {
+  telemetry::Snapshot out;
+  std::string error;
+  EXPECT_FALSE(telemetry::parse_json_snapshot("", &out, &error));
+  EXPECT_FALSE(telemetry::parse_json_snapshot("{", &out, &error));
+  EXPECT_FALSE(telemetry::parse_json_snapshot(
+      "{\"schema\":\"rubic-telemetry/v0\",\"ts_ns\":0,\"metrics\":[]}", &out,
+      &error));
+  EXPECT_NE(error.find("schema"), std::string::npos);
+  EXPECT_FALSE(telemetry::parse_json_snapshot(
+      "{\"schema\":\"rubic-telemetry/v1\",\"ts_ns\":0,\"metrics\":[{}]}",
+      &out, &error));
+}
+
+TEST(Merge, SumsByIdentityAndKeepsMaxTimestamp) {
+  telemetry::Registry a;
+  a.counter("c_total").add(2);
+  a.gauge("g").set(1.0);
+  a.histogram("h").observe(1);
+  telemetry::Registry b;
+  b.counter("c_total").add(3);
+  b.gauge("g").set(4.0);
+  b.histogram("h").observe(5);
+  b.counter("only_b_total", {{"p", "2"}}).add(7);
+  std::vector<telemetry::Snapshot> snaps{a.snapshot(), b.snapshot()};
+  const telemetry::Snapshot merged = telemetry::merge_snapshots(snaps);
+  ASSERT_EQ(merged.metrics.size(), 4u);
+  EXPECT_EQ(merged.ts_ns, std::max(snaps[0].ts_ns, snaps[1].ts_ns));
+  EXPECT_EQ(merged.metrics[0].name, "c_total");
+  EXPECT_EQ(merged.metrics[0].value_u64, 5u);
+  EXPECT_EQ(merged.metrics[1].name, "g");
+  EXPECT_DOUBLE_EQ(merged.metrics[1].value, 5.0);
+  EXPECT_EQ(merged.metrics[2].name, "h");
+  EXPECT_EQ(merged.metrics[2].count, 2u);
+  EXPECT_EQ(merged.metrics[2].sum, 6u);
+  // Buckets merge element-wise to the longer vector: {0,1,0,1}.
+  ASSERT_EQ(merged.metrics[2].buckets.size(), 4u);
+  EXPECT_EQ(merged.metrics[2].buckets[1], 1u);
+  EXPECT_EQ(merged.metrics[2].buckets[3], 1u);
+  EXPECT_EQ(merged.metrics[3].name, "only_b_total");
+  EXPECT_EQ(merged.metrics[3].value_u64, 7u);
+}
+
+TEST(Scraper, AppendsParseableSnapshots) {
+  const std::string path = "test_telemetry_scraper.jsonl";
+  std::remove(path.c_str());
+  telemetry::Registry reg;
+  reg.counter("scraped_total").add(9);
+  {
+    telemetry::ScraperConfig config;
+    config.path = path;
+    config.period = 20ms;
+    telemetry::Scraper scraper(reg, config);
+    std::this_thread::sleep_for(70ms);
+    scraper.stop();
+    EXPECT_GE(scraper.scrapes(), 1u);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof buffer, f)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  ASSERT_FALSE(contents.empty());
+  std::size_t lines = 0;
+  std::size_t start = 0;
+  while (start < contents.size()) {
+    std::size_t end = contents.find('\n', start);
+    if (end == std::string::npos) end = contents.size();
+    const std::string_view line(contents.data() + start, end - start);
+    if (!line.empty()) {
+      telemetry::Snapshot snap;
+      std::string error;
+      ASSERT_TRUE(telemetry::parse_json_snapshot(line, &snap, &error))
+          << error;
+      ASSERT_EQ(snap.metrics.size(), 1u);
+      EXPECT_EQ(snap.metrics[0].value_u64, 9u);
+      ++lines;
+    }
+    start = end + 1;
+  }
+  EXPECT_GE(lines, 1u);
+}
+
+// --- STM instrumentation integration ----------------------------------------
+
+std::uint64_t counter_value(const telemetry::Snapshot& snap,
+                            std::string_view name) {
+  std::uint64_t sum = 0;
+  for (const auto& metric : snap.metrics) {
+    if (metric.name == name) sum += metric.value_u64;
+  }
+  return sum;
+}
+
+std::uint64_t histogram_count(const telemetry::Snapshot& snap,
+                              std::string_view name) {
+  for (const auto& metric : snap.metrics) {
+    if (metric.name == name) return metric.count;
+  }
+  return 0;
+}
+
+TEST(StmIntegration, ArmedRunPopulatesProcessRegistry) {
+  telemetry::Registry& reg = telemetry::registry();
+  const telemetry::Snapshot before = reg.snapshot();
+  {
+    telemetry::Armed armed;
+    stm::Runtime rt;
+    stm::TxnDesc& ctx = rt.register_thread();
+    stm::TVar<std::int64_t> x(0);
+    for (int i = 0; i < 100; ++i) {
+      stm::atomically(ctx,
+                      [&](stm::Txn& tx) { x.write(tx, x.read(tx) + 1); });
+    }
+  }
+  const telemetry::Snapshot after = reg.snapshot();
+  EXPECT_GE(counter_value(after, "rubic_stm_commits_total") -
+                counter_value(before, "rubic_stm_commits_total"),
+            100u);
+  EXPECT_GE(histogram_count(after, "rubic_stm_commit_latency_ns") -
+                histogram_count(before, "rubic_stm_commit_latency_ns"),
+            100u);
+  EXPECT_GE(histogram_count(after, "rubic_stm_write_set_size") -
+                histogram_count(before, "rubic_stm_write_set_size"),
+            100u);
+}
+
+TEST(StmIntegration, DisarmedRunAddsNothing) {
+  telemetry::Registry& reg = telemetry::registry();
+  const telemetry::Snapshot before = reg.snapshot();
+  {
+    stm::Runtime rt;
+    stm::TxnDesc& ctx = rt.register_thread();
+    stm::TVar<std::int64_t> x(0);
+    for (int i = 0; i < 50; ++i) {
+      stm::atomically(ctx, [&](stm::Txn& tx) { x.write(tx, i); });
+    }
+  }
+  const telemetry::Snapshot after = reg.snapshot();
+  EXPECT_EQ(counter_value(after, "rubic_stm_commits_total"),
+            counter_value(before, "rubic_stm_commits_total"));
+}
+
+// --- audit + replay ---------------------------------------------------------
+
+// Records a synthetic decision sequence exactly the way the monitor does:
+// build the policy from the meta, wrap it in the guard with the meta's
+// bounds, feed seeded inputs (including overrun and sanitized rounds), log
+// what came back. replay_audit() must reproduce every decision.
+std::vector<telemetry::AuditRecord> record_synthetic(
+    const telemetry::AuditMeta& meta, int rounds) {
+  control::PolicyConfig config;
+  config.contexts = meta.contexts;
+  config.pool_size = meta.pool;
+  config.aimd_alpha = meta.aimd_alpha;
+  if (meta.policy == "equalshare") {
+    config.allocator =
+        std::make_shared<control::CentralAllocator>(meta.contexts);
+    for (int i = 0; i < meta.processes; ++i) {
+      config.allocator->register_process();
+    }
+  }
+  control::ControllerGuard guard(
+      control::make_controller(meta.policy, config),
+      control::LevelBounds{meta.min_level, meta.max_level});
+
+  std::uint64_t state = meta.seed | 1;
+  const auto next_raw = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>((state >> 33) % 100000);
+  };
+
+  std::vector<telemetry::AuditRecord> records;
+  int level = guard.initial_level();
+  for (int i = 0; i < rounds; ++i) {
+    telemetry::AuditRecord record;
+    record.round = static_cast<std::uint64_t>(i);
+    record.prev = level;
+    record.overrun = i % 9 == 5;
+    record.sanitized = i % 7 == 3;
+    record.used_commit_ratio = guard.consumes_contention();
+    double input =
+        record.used_commit_ratio ? next_raw() / 100000.0 : next_raw();
+    if (record.sanitized) input = 0.0;
+    record.input = input;
+    if (record.overrun) {
+      record.next = level;
+    } else {
+      const int next = record.used_commit_ratio
+                           ? guard.on_commit_ratio(input)
+                           : guard.on_sample(input);
+      const control::DecisionInfo info = guard.decision_info();
+      if (info.valid) {
+        record.phase_valid = true;
+        record.phase = info.phase;
+        record.phase_name = std::string(info.phase_name);
+        record.aux = info.aux;
+      }
+      record.next = next;
+      level = next;
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+TEST(AuditReplay, EveryKnownPolicyRoundTrips) {
+  for (const auto& policy : control::known_policies()) {
+    telemetry::AuditMeta meta;
+    meta.policy = std::string(policy);
+    meta.min_level = 1;
+    meta.max_level = 8;
+    meta.contexts = 8;
+    meta.pool = 8;
+    meta.processes = 2;
+    meta.seed = 42;
+    const std::vector<telemetry::AuditRecord> records =
+        record_synthetic(meta, 64);
+
+    const std::string text = telemetry::to_jsonl(meta, records);
+    telemetry::AuditMeta parsed_meta;
+    std::vector<telemetry::AuditRecord> parsed;
+    std::string error;
+    ASSERT_TRUE(telemetry::parse_audit(text, &parsed_meta, &parsed, &error))
+        << meta.policy << ": " << error;
+    EXPECT_EQ(parsed_meta, meta) << meta.policy;
+    ASSERT_EQ(parsed.size(), records.size()) << meta.policy;
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
+      ASSERT_EQ(parsed[i], records[i]) << meta.policy << " record " << i;
+    }
+    // Serialization is deterministic: identical logs → identical bytes.
+    EXPECT_EQ(telemetry::to_jsonl(parsed_meta, parsed), text) << meta.policy;
+
+    const telemetry::ReplayResult result =
+        telemetry::replay_audit(parsed_meta, parsed);
+    EXPECT_TRUE(result.ok) << meta.policy << "\n"
+                           << telemetry::explain_replay(parsed_meta, result);
+    EXPECT_EQ(result.rounds, records.size()) << meta.policy;
+    EXPECT_EQ(result.mismatches, 0u) << meta.policy;
+  }
+}
+
+TEST(AuditReplay, DetectsTamperedDecision) {
+  telemetry::AuditMeta meta;
+  meta.policy = "rubic";
+  meta.min_level = 1;
+  meta.max_level = 8;
+  meta.contexts = 8;
+  meta.pool = 8;
+  meta.seed = 7;
+  std::vector<telemetry::AuditRecord> records = record_synthetic(meta, 32);
+  // Forge one decision: pick a non-overrun round and nudge its answer.
+  for (auto& record : records) {
+    if (!record.overrun && record.round >= 10) {
+      record.next = record.next == meta.max_level ? record.next - 1
+                                                  : record.next + 1;
+      break;
+    }
+  }
+  const telemetry::ReplayResult result =
+      telemetry::replay_audit(meta, records);
+  EXPECT_FALSE(result.ok);
+  EXPECT_GE(result.mismatches, 1u);
+  const std::string explained = telemetry::explain_replay(meta, result);
+  EXPECT_NE(explained.find("MISMATCH"), std::string::npos);
+  EXPECT_NE(explained.find("REPLAY FAILED"), std::string::npos);
+}
+
+TEST(AuditReplay, UnknownPolicyReportsErrorNotCrash) {
+  telemetry::AuditMeta meta;
+  meta.policy = "no_such_policy";
+  const telemetry::ReplayResult result = telemetry::replay_audit(meta, {});
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.error.empty());
+  const std::string explained = telemetry::explain_replay(meta, result);
+  EXPECT_NE(explained.find("replay failed"), std::string::npos);
+}
+
+TEST(AuditReplay, ParseRejectsMissingHeaderAndBadSchema) {
+  telemetry::AuditMeta meta;
+  std::vector<telemetry::AuditRecord> records;
+  std::string error;
+  EXPECT_FALSE(telemetry::parse_audit("", &meta, &records, &error));
+  EXPECT_FALSE(telemetry::parse_audit(
+      "{\"schema\":\"rubic-audit/v0\",\"policy\":\"rubic\"}\n", &meta,
+      &records, &error));
+  EXPECT_NE(error.find("schema"), std::string::npos);
+}
+
+// The end-to-end oracle: a real monitored run records an audit log through
+// MonitorConfig::audit, and the offline replay reproduces every decision.
+TEST(AuditReplay, MonitorRecordingReplaysExactly) {
+  stm::Runtime rt;
+  workloads::RbSetWorkload workload(rt, workloads::RbSetParams::tiny());
+  control::PolicyConfig policy_config;
+  policy_config.contexts = 4;
+  policy_config.pool_size = 4;
+  std::unique_ptr<control::Controller> controller =
+      control::make_controller("rubic", policy_config);
+
+  telemetry::AuditMeta meta;
+  meta.policy = "rubic";
+  meta.min_level = 1;
+  meta.max_level = 4;
+  meta.contexts = 4;
+  meta.pool = 4;
+  meta.processes = 1;
+  telemetry::AuditLog log(meta);
+
+  runtime::ProcessConfig config;
+  config.pool.pool_size = 4;
+  config.monitor.period = 10ms;
+  config.monitor.stm_runtime = &rt;
+  config.monitor.audit = &log;
+  runtime::TunedProcess process(rt, workload, *controller, config);
+  process.run_for(500ms);
+
+  ASSERT_GT(log.size(), 0u);
+  const std::string text = telemetry::to_jsonl(log);
+  telemetry::AuditMeta parsed_meta;
+  std::vector<telemetry::AuditRecord> parsed;
+  std::string error;
+  ASSERT_TRUE(telemetry::parse_audit(text, &parsed_meta, &parsed, &error))
+      << error;
+  const telemetry::ReplayResult result =
+      telemetry::replay_audit(parsed_meta, parsed);
+  EXPECT_TRUE(result.ok) << telemetry::explain_replay(parsed_meta, result);
+  EXPECT_EQ(result.mismatches, 0u);
+}
+
+}  // namespace
+}  // namespace rubic

@@ -43,6 +43,8 @@
 #include "src/ipc/equal_share.hpp"
 #include "src/metrics/metrics.hpp"
 #include "src/runtime/process.hpp"
+#include "src/telemetry/audit.hpp"
+#include "src/telemetry/telemetry.hpp"
 #include "src/trace/trace.hpp"
 #include "src/util/cli.hpp"
 #include "src/workloads/registry.hpp"
@@ -69,12 +71,45 @@ struct Options {
   // parent merges the per-child fragments into one Chrome trace-event file
   // loadable at ui.perfetto.dev — one process track per child.
   std::string trace_out;
+  // --telemetry: arm the metric registry in every child; each child dumps a
+  // JSON snapshot the parent aggregates into the report's "telemetry" key
+  // (per-process sections plus a cross-process merge).
+  bool telemetry = false;
+  // Non-empty: the parent also writes the merged snapshot in Prometheus
+  // text exposition format to this path (implies --telemetry).
+  std::string prom_out;
+  // Non-empty: every child records a controller decision audit log
+  // (src/telemetry/audit.hpp) to <prefix>.<pid>.jsonl — the streams
+  // tools/rubic_replay re-drives offline.
+  std::string audit_out;
+
+  bool telemetry_enabled() const { return telemetry || !prom_out.empty(); }
 };
 
 // Per-child trace fragment path. Keyed by pid so the parent can collect
 // fragments for exactly the children it forked.
 std::string trace_part_path(const Options& opt, pid_t pid) {
   return opt.trace_out + "." + std::to_string(static_cast<int>(pid)) + ".part";
+}
+
+// Per-child telemetry snapshot path. The base is any output path the run
+// already has (parent and child compute it identically from the inherited
+// Options); parts are read and unlinked by the parent.
+std::string telemetry_part_path(const Options& opt, pid_t pid) {
+  std::string base = "rubic_colocate_telemetry";
+  if (!opt.json_path.empty()) {
+    base = opt.json_path;
+  } else if (!opt.prom_out.empty()) {
+    base = opt.prom_out;
+  }
+  return base + "." + std::to_string(static_cast<int>(pid)) + ".tpart";
+}
+
+// Per-child audit stream: <prefix>.<pid>.jsonl, the naming rubic_replay's
+// --prefix flag scans. These are outputs, not temp files — never unlinked.
+std::string audit_part_path(const Options& opt, pid_t pid) {
+  return opt.audit_out + "." + std::to_string(static_cast<int>(pid)) +
+         ".jsonl";
 }
 
 std::string read_file(const std::string& path) {
@@ -132,6 +167,9 @@ int run_child(const Options& opt, ipc::CoLocationBus& bus, int child_index) {
     tracer = new trace::Tracer;
     trace::arm(*tracer);
   }
+  // Telemetry likewise arms before the first worker so every commit lands in
+  // the registry; the registry itself is a process singleton, nothing leaks.
+  if (opt.telemetry_enabled()) telemetry::arm();
   const std::string label = opt.workload + "/" + opt.policy;
   const bool have_slot = acquire_slot_with_backoff(bus, label) >= 0;
   if (!have_slot) {
@@ -168,6 +206,21 @@ int run_child(const Options& opt, ipc::CoLocationBus& bus, int child_index) {
   config.monitor.period = milliseconds(opt.period_ms);
   config.monitor.stm_runtime = &rt;
   config.monitor.bus = have_slot ? &bus : nullptr;
+  telemetry::AuditLog audit_log;
+  if (!opt.audit_out.empty()) {
+    // The guard inside the monitor is bounded to [1, pool_size]; the meta
+    // must carry the same bounds so replay clamps identically.
+    telemetry::AuditMeta meta;
+    meta.policy = opt.policy;
+    meta.min_level = 1;
+    meta.max_level = opt.pool;
+    meta.contexts = opt.contexts;
+    meta.pool = opt.pool;
+    meta.processes = opt.procs;
+    meta.seed = config.pool.seed;
+    audit_log.set_meta(meta);
+    config.monitor.audit = &audit_log;
+  }
   runtime::TunedProcess process(rt, *workload, *controller, config);
   const runtime::RunReport report = process.run_for(seconds(opt.seconds));
 
@@ -190,6 +243,27 @@ int run_child(const Options& opt, ipc::CoLocationBus& bus, int child_index) {
         trace::to_chrome_events(*tracer, getpid(), label);
     if (!trace::write_file(trace_part_path(opt, getpid()), fragment)) {
       std::fprintf(stderr, "rubic_colocate[%d]: failed to write trace part\n",
+                   static_cast<int>(getpid()));
+    }
+  }
+
+  if (!opt.audit_out.empty()) {
+    // Audit parts are run outputs, not scratch files: rubic_replay's
+    // --prefix flag consumes <prefix>.<pid>.jsonl directly.
+    if (!trace::write_file(audit_part_path(opt, getpid()),
+                           telemetry::to_jsonl(audit_log))) {
+      std::fprintf(stderr, "rubic_colocate[%d]: failed to write audit log\n",
+                   static_cast<int>(getpid()));
+    }
+  }
+  if (opt.telemetry_enabled()) {
+    // Monitor and pool are stopped: the snapshot is quiescent and final.
+    telemetry::disarm();
+    const std::string snap = telemetry::to_json(
+        telemetry::registry().snapshot(), telemetry::JsonStyle::kCompact);
+    if (!trace::write_file(telemetry_part_path(opt, getpid()), snap)) {
+      std::fprintf(stderr,
+                   "rubic_colocate[%d]: failed to write telemetry part\n",
                    static_cast<int>(getpid()));
     }
   }
@@ -223,9 +297,13 @@ std::string json_escape(const std::string& in) {
   return out;
 }
 
+// `telemetry_section` is the pre-rendered value of the report's "telemetry"
+// key (or empty to omit the key) — built by the parent from the child
+// snapshot parts after the run.
 std::string format_report(const Options& opt, double baseline,
                           const std::vector<ChildResult>& children,
-                          double wall_seconds) {
+                          double wall_seconds,
+                          const std::string& telemetry_section) {
   std::vector<double> speedups;
   std::vector<double> efficiencies;
   int dead = 0;
@@ -288,9 +366,14 @@ std::string format_report(const Options& opt, double baseline,
         i + 1 < children.size() ? "," : "");
     out += buffer;
   }
+  out += "  ],\n";
+  if (!telemetry_section.empty()) {
+    out += "  \"telemetry\": ";
+    out += telemetry_section;
+    out += ",\n";
+  }
   std::snprintf(
       buffer, sizeof buffer,
-      "  ],\n"
       "  \"system\": {\"nsbp\": %.6g, \"efficiency_product\": %.6g, "
       "\"jain\": %.4f, \"survivors\": %d, \"solo\": %d, \"dead\": %d}\n"
       "}\n",
@@ -339,6 +422,9 @@ int main(int argc, char** argv) {
     opt.bus_name = cli.get_string("bus", "");
     opt.json_path = cli.get_string("json", "");
     opt.trace_out = cli.get_string("trace-out", "");
+    opt.telemetry = cli.get_bool("telemetry");
+    opt.prom_out = cli.get_string("prom-out", "");
+    opt.audit_out = cli.get_string("audit-out", "");
     cli.check_unknown();
     if (!opt.fault_spec.empty()) {
       fault::Plan::parse(opt.fault_spec);  // reject bad specs before forking
@@ -351,6 +437,8 @@ int main(int argc, char** argv) {
                    "[--baseline-seconds B] [--chaos-kill-ms T] "
                    "[--fault-spec SPEC] [--bus /name] "
                    "[--json out.json] [--trace-out trace.json] "
+                   "[--telemetry] [--prom-out metrics.prom] "
+                   "[--audit-out prefix] "
                    "[--list-workloads] [--list-controllers]\n");
       return 2;
     }
@@ -459,8 +547,55 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Collect the per-child telemetry snapshots, merge them, and render the
+    // report's "telemetry" key: per-process sections plus the cross-process
+    // aggregate. A chaos-killed child never wrote its part; it is skipped.
+    std::string telemetry_section;
+    if (opt.telemetry_enabled()) {
+      std::vector<telemetry::Snapshot> snapshots;
+      std::string per_process;
+      for (const pid_t pid : pids) {
+        const std::string part = telemetry_part_path(opt, pid);
+        const std::string text = read_file(part);
+        ::unlink(part.c_str());
+        telemetry::Snapshot snap;
+        std::string parse_error;
+        if (text.empty() ||
+            !telemetry::parse_json_snapshot(text, &snap, &parse_error)) {
+          if (!text.empty()) {
+            std::fprintf(stderr, "bad telemetry part from child %d: %s\n",
+                         static_cast<int>(pid), parse_error.c_str());
+          }
+          continue;
+        }
+        if (!per_process.empty()) per_process += ",";
+        per_process += "\n      {\"pid\": ";
+        per_process += std::to_string(static_cast<int>(pid));
+        per_process += ", \"metrics\": ";
+        per_process += telemetry::to_json_metrics(snap, "      ");
+        per_process += "}";
+        snapshots.push_back(std::move(snap));
+      }
+      const telemetry::Snapshot merged = telemetry::merge_snapshots(snapshots);
+      telemetry_section = "{\n    \"schema\": \"";
+      telemetry_section += telemetry::kJsonSchema;
+      telemetry_section += "\",\n    \"processes\": [";
+      telemetry_section += per_process;
+      if (!per_process.empty()) telemetry_section += "\n    ";
+      telemetry_section += "],\n    \"merged\": ";
+      telemetry_section += telemetry::to_json_metrics(merged, "    ");
+      telemetry_section += "\n  }";
+      if (!opt.prom_out.empty()) {
+        if (!trace::write_file(opt.prom_out,
+                               telemetry::to_prometheus(merged))) {
+          std::fprintf(stderr, "failed to write %s\n", opt.prom_out.c_str());
+        }
+      }
+    }
+
     const std::string report =
-        format_report(opt, baseline, children, wall_seconds);
+        format_report(opt, baseline, children, wall_seconds,
+                      telemetry_section);
     std::fputs(report.c_str(), stdout);
     if (!opt.json_path.empty()) {
       if (std::FILE* f = std::fopen(opt.json_path.c_str(), "w")) {

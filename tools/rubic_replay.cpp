@@ -1,0 +1,131 @@
+// rubic_replay: offline controller decision replay over recorded audit logs.
+//
+// Reads one or more "rubic-audit/v1" JSONL streams (see docs/telemetry.md),
+// rebuilds each recorded policy via control::make_controller, re-drives it
+// over the recorded inputs, and prints a human-readable per-round
+// explanation. Exit code 0 iff every replayed decision is byte-identical to
+// the recording — which makes any audit log a regression oracle for the
+// control policies.
+//
+// Usage:
+//   rubic_replay --in run.audit.jsonl [--quiet]
+//   rubic_replay --prefix out/colocate.audit [--quiet]
+// --prefix scans <prefix>.<pid>.jsonl part files, as written by
+// rubic_colocate --audit-out.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/telemetry/audit.hpp"
+#include "src/util/cli.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+// Replays one audit stream; returns true iff every round matched.
+bool replay_file(const std::string& path, bool quiet) {
+  std::string text;
+  if (!read_file(path, &text)) {
+    std::fprintf(stderr, "rubic_replay: cannot read %s\n", path.c_str());
+    return false;
+  }
+  rubic::telemetry::AuditMeta meta;
+  std::vector<rubic::telemetry::AuditRecord> records;
+  std::string error;
+  if (!rubic::telemetry::parse_audit(text, &meta, &records, &error)) {
+    std::fprintf(stderr, "rubic_replay: %s: %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  const rubic::telemetry::ReplayResult result =
+      rubic::telemetry::replay_audit(meta, records);
+  std::printf("== %s ==\n", path.c_str());
+  if (quiet) {
+    std::printf("policy=%s rounds=%llu mismatches=%llu %s\n",
+                meta.policy.c_str(),
+                static_cast<unsigned long long>(result.rounds),
+                static_cast<unsigned long long>(result.mismatches),
+                result.ok ? "REPLAY OK" : "REPLAY FAILED");
+    if (!result.error.empty()) {
+      std::printf("replay failed: %s\n", result.error.c_str());
+    }
+  } else {
+    const std::string explanation =
+        rubic::telemetry::explain_replay(meta, result);
+    std::fwrite(explanation.data(), 1, explanation.size(), stdout);
+  }
+  return result.ok;
+}
+
+// Expands --prefix into the per-process part files rubic_colocate writes:
+// <prefix>.<pid>.jsonl, sorted by path for a stable replay order.
+std::vector<std::string> expand_prefix(const std::string& prefix) {
+  namespace fs = std::filesystem;
+  const fs::path full(prefix);
+  const fs::path dir =
+      full.has_parent_path() ? full.parent_path() : fs::path(".");
+  const std::string stem = full.filename().string() + ".";
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(stem, 0) == 0 &&
+        name.size() > stem.size() + 6 &&
+        name.compare(name.size() - 6, 6, ".jsonl") == 0) {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    rubic::util::Cli cli(argc, argv);
+    const std::string in = cli.get_string("in", "");
+    const std::string prefix = cli.get_string("prefix", "");
+    const bool quiet = cli.get_bool("quiet");
+    cli.check_unknown();
+
+    std::vector<std::string> paths;
+    if (!in.empty()) paths.push_back(in);
+    if (!prefix.empty()) {
+      std::vector<std::string> parts = expand_prefix(prefix);
+      paths.insert(paths.end(), parts.begin(), parts.end());
+    }
+    if (paths.empty()) {
+      std::fprintf(stderr,
+                   "usage: %s --in FILE | --prefix PREFIX [--quiet]\n"
+                   "  --in FILE        replay one rubic-audit/v1 JSONL file\n"
+                   "  --prefix PREFIX  replay every PREFIX.<pid>.jsonl part\n"
+                   "  --quiet          verdict lines only\n",
+                   cli.program().c_str());
+      return 2;
+    }
+    bool all_ok = true;
+    for (const std::string& path : paths) {
+      if (!replay_file(path, quiet)) all_ok = false;
+    }
+    return all_ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rubic_replay: %s\n", e.what());
+    return 2;
+  }
+}

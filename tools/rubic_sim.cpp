@@ -21,6 +21,8 @@
 #include "src/metrics/timeseries.hpp"
 #include "src/sim/sim_system.hpp"
 #include "src/sim/workload_profiles.hpp"
+#include "src/telemetry/telemetry.hpp"
+#include "src/trace/trace.hpp"
 #include "src/util/cli.hpp"
 
 using namespace rubic;
@@ -91,13 +93,14 @@ int main(int argc, char** argv) {
     config.noise_sigma = cli.get_double("noise", config.noise_sigma);
     config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
     const std::string csv_path = cli.get_string("csv", "");
+    const std::string metrics_path = cli.get_string("metrics-out", "");
     cli.check_unknown();
 
     if (processes.empty()) {
       std::fprintf(stderr,
                    "usage: rubic_sim --p1 POLICY:WORKLOAD[:ARRIVAL[:DEP]] "
                    "[--p2 ...] [--contexts 64] [--seconds 10] [--noise s] "
-                   "[--seed n] [--csv out.csv]\n");
+                   "[--seed n] [--csv out.csv] [--metrics-out out.json]\n");
       return 2;
     }
 
@@ -140,6 +143,39 @@ int main(int argc, char** argv) {
                 "  efficiency product=%.4g  Jain=%.3f\n",
                 result.nsbp, result.total_mean_threads, config.contexts,
                 result.efficiency_product, result.jain);
+
+    if (!metrics_path.empty()) {
+      // A private registry (nothing armed): the simulator's results exported
+      // through the same schema-versioned JSON the live tools emit, so one
+      // consumer reads both.
+      telemetry::Registry reg;
+      for (const auto& process : result.processes) {
+        const telemetry::Labels labels{{"process", process.name}};
+        reg.gauge("rubic_sim_speedup", labels).set(process.speedup);
+        reg.gauge("rubic_sim_mean_level", labels).set(process.mean_level);
+        reg.gauge("rubic_sim_efficiency", labels).set(process.efficiency);
+        reg.gauge("rubic_sim_active_seconds", labels)
+            .set(process.active_seconds);
+        auto& levels = reg.histogram("rubic_sim_level", labels);
+        for (const auto& point : process.trace) {
+          levels.observe(static_cast<std::uint64_t>(
+              point.level < 0 ? 0 : point.level));
+        }
+      }
+      reg.gauge("rubic_sim_nsbp").set(result.nsbp);
+      reg.gauge("rubic_sim_efficiency_product")
+          .set(result.efficiency_product);
+      reg.gauge("rubic_sim_jain").set(result.jain);
+      reg.gauge("rubic_sim_total_mean_threads")
+          .set(result.total_mean_threads);
+      reg.gauge("rubic_sim_contexts").set(config.contexts);
+      if (trace::write_file(metrics_path, telemetry::to_json(reg.snapshot()))) {
+        std::printf("metrics written to %s\n", metrics_path.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write %s\n", metrics_path.c_str());
+        return 1;
+      }
+    }
 
     if (!csv_path.empty()) {
       std::vector<std::string> columns{"t"};

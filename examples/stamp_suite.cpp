@@ -7,6 +7,7 @@
 // up here automatically.
 //
 // Run:  ./stamp_suite [--seconds-each 1] [--pool 8] [--policy rubic]
+//                     [--stm-backend orec_swiss|norec]
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -22,13 +23,35 @@ int main(int argc, char** argv) {
   const auto seconds_each = cli.get_int("seconds-each", 1);
   const auto pool_size = static_cast<int>(cli.get_int("pool", 8));
   const auto policy = cli.get_string("policy", "rubic");
+  const auto backend_flag = cli.get_string("stm-backend", "");
+  const bool list_backends = cli.get_bool("list-backends");
   cli.check_unknown();
+
+  if (list_backends) {
+    for (const auto k : stm::known_backends()) {
+      std::printf("%.*s\n", static_cast<int>(stm::backend_name(k).size()),
+                  stm::backend_name(k).data());
+    }
+    return 0;
+  }
+  stm::BackendKind backend = stm::default_backend();
+  if (!backend_flag.empty()) {
+    const auto parsed = stm::parse_backend(backend_flag);
+    if (!parsed) {
+      std::fprintf(stderr, "unknown --stm-backend '%s' (try --list-backends)\n",
+                   backend_flag.c_str());
+      return 2;
+    }
+    backend = *parsed;
+  }
 
   std::printf("%-15s %14s %10s %12s %12s  %s\n", "workload", "tasks/s",
               "mean lvl", "commits", "aborts", "verified");
   bool all_ok = true;
   for (const auto& name : workloads::known_workloads()) {
-    stm::Runtime rt;
+    stm::RuntimeConfig stm_config;
+    stm_config.backend = backend;
+    stm::Runtime rt(stm_config);
     auto workload = workloads::make_workload(name, rt);
     control::PolicyConfig policy_config;
     policy_config.contexts = pool_size;

@@ -1,0 +1,31 @@
+#include "src/stm/backend/norec.hpp"
+
+namespace rubic::stm {
+
+std::uint64_t NorecEngine::validate(TxnDesc& d) {
+  const auto& seq = d.rt_.norec_seq();
+  for (std::uint32_t spins = 0;;) {
+    const std::uint64_t s = seq.load(std::memory_order_acquire);
+    if ((s & 1u) != 0) {
+      // A writer is inside its write-back window; memory is inconsistent.
+      if ((++spins & 63u) == 0) std::this_thread::yield();
+      continue;
+    }
+    bool consistent = true;
+    for (const ValueReadEntry& e : d.value_reads_.entries()) {
+      if (load_raw(e.addr) != e.value) {
+        consistent = false;
+        break;
+      }
+    }
+    if (!consistent) d.conflict_abort(AbortCause::kValidationFailed);
+    if (seq.load(std::memory_order_acquire) == s) {
+      d.bump_extensions();
+      return s;
+    }
+    // The sequence moved while we compared: the values we checked may span
+    // two states; start over against the newer sequence.
+  }
+}
+
+}  // namespace rubic::stm

@@ -1,0 +1,102 @@
+// NOrec engine (Dalessandro, Spear & Scott, PPoPP'10 style).
+//
+// One global sequence lock per Runtime, no per-stripe metadata:
+//   * begin: spin until the sequence is even (no writer committing) and
+//     adopt it as the snapshot rv;
+//   * read: load the value; if the sequence moved since rv, revalidate the
+//     whole read set *by value* against current memory, adopt the new
+//     sequence as the snapshot, and re-read;
+//   * write: buffer in the write set (write-back; commit-time only);
+//   * commit (writers): CAS the sequence from rv to rv+1 (odd = locked),
+//     revalidating and re-adopting on every failed attempt; write back;
+//     publish by storing rv+2.
+//
+// Value-based validation means an ABA overwrite that restores the observed
+// value passes — still serializable, because the read set is then exactly
+// consistent with memory at the new snapshot. Writing commits are fully
+// serialized by the sequence lock, so NOrec wins on read-dominated or
+// low-writer-count workloads and loses scalability once concurrent writers
+// dominate — exactly the protocol-vs-parallelism interaction RUBIC tunes
+// over. Contention management and lock timing knobs do not apply (there are
+// no per-stripe locks); remote dooming never fires.
+//
+// Like orec_swiss.hpp this header is included only by txn_desc.cpp so the
+// per-word paths inline into TxnDesc::read_word/write_word.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#include "src/stm/raw_access.hpp"
+#include "src/stm/runtime.hpp"
+#include "src/stm/txn_desc.hpp"
+
+namespace rubic::stm {
+
+struct NorecEngine {
+  // Fixes the snapshot for a fresh attempt: the sequence lock must be even
+  // (a writer's write-back window is never adopted as a snapshot).
+  static void begin(TxnDesc& d) {
+    const auto& seq = d.rt_.norec_seq();
+    for (std::uint32_t spins = 0;; ++spins) {
+      const std::uint64_t s = seq.load(std::memory_order_acquire);
+      if ((s & 1u) == 0) {
+        d.rv_ = s;
+        return;
+      }
+      if ((spins & 63u) == 63u) std::this_thread::yield();
+    }
+  }
+
+  static std::uint64_t read_word(TxnDesc& d, const std::uint64_t* addr) {
+    const auto& seq = d.rt_.norec_seq();
+    std::uint64_t v = load_raw(addr);
+    while (seq.load(std::memory_order_acquire) != d.rv_) {
+      // A writer committed (or is mid-commit): re-establish a consistent
+      // snapshot, then re-read under it. Aborts on a value mismatch.
+      d.rv_ = validate(d);
+      v = load_raw(addr);
+    }
+    d.value_reads_.record(addr, v);
+    return v;
+  }
+
+  // Re-validates the read set by value against a quiescent (even) sequence
+  // and returns that sequence as the new snapshot; throws detail::AbortTx
+  // on any value mismatch. Counts as a timestamp extension in TxnStats.
+  static std::uint64_t validate(TxnDesc& d);
+
+  // Writer commit critical section (no-op bookkeeping for read-only
+  // transactions). Throws detail::AbortTx on validation failure. Inline so
+  // the read-only return and the uncontended single-CAS path fold into
+  // TxnDesc::commit, mirroring the orec engine.
+  static void commit_writes(TxnDesc& d) {
+    if (d.write_set_.empty()) {
+      // Read-only transactions serialize at their (final) snapshot and
+      // never touch the sequence lock.
+      d.last_commit_ts_ = 0;
+      return;
+    }
+    auto& seq = d.rt_.norec_seq();
+    std::uint64_t expected = d.rv_;
+    while (!seq.compare_exchange_strong(expected, d.rv_ + 1,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+      // Another writer got in first: re-validate against its result and
+      // try to lock the new sequence value.
+      d.rv_ = validate(d);
+      expected = d.rv_;
+    }
+    // Sequence is odd: readers stall in validate() until we publish.
+    for (const WriteEntry& e : d.write_set_.entries()) {
+      store_raw(e.addr, e.value);
+    }
+    seq.store(d.rv_ + 2, std::memory_order_release);
+    // Post-publish sequence value: unique per writer (each writing commit
+    // advances the sequence by exactly 2), strictly ordered with every
+    // other writer — the serialization point the replay checker sorts by.
+    d.last_commit_ts_ = d.rv_ + 2;
+  }
+};
+
+}  // namespace rubic::stm

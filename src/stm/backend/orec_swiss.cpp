@@ -1,0 +1,94 @@
+#include "src/stm/backend/orec_swiss.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace rubic::stm {
+
+void OrecSwissEngine::on_conflict(TxnDesc& d, Orec& orec, LockWord observed,
+                                  AbortCause cause) {
+  if (d.rt_.config().cm == CmPolicy::kTimidBackoff) {
+    d.conflict_abort(cause);
+  }
+  // Greedy timestamp CM. The owner descriptor stays valid for the lifetime
+  // of the Runtime, so dereferencing it through a stale lock word is safe;
+  // at worst we doom a *newer* transaction of the same context (spurious but
+  // harmless abort — it simply retries).
+  TxnDesc* owner = owner_of(observed);
+  if (owner->priority() <= d.priority()) {
+    // Owner is older (or ourselves aged equal): we lose.
+    d.conflict_abort(cause);
+  }
+  owner->try_doom();
+  // Wait (bounded) for the victim to notice and release the stripe. The
+  // bound guards against a victim that is preempted indefinitely on an
+  // oversubscribed machine — precisely the regime this paper studies.
+  for (std::uint32_t spins = 0; spins < (1u << 22); ++spins) {
+    if (orec.load(std::memory_order_acquire) != observed) return;
+    d.check_doomed();  // an even older transaction may doom us meanwhile
+    if ((spins & 1023u) == 1023u) std::this_thread::yield();
+  }
+  d.conflict_abort(cause);
+}
+
+void OrecSwissEngine::validate_read_set(TxnDesc& d) {
+  for (const ReadEntry& e : d.read_set_.entries()) {
+    const LockWord cur = e.orec->load();
+    if (cur == e.seen) continue;  // unlocked, same version
+    if (is_locked(cur) && owner_of(cur) == &d) {
+      // We write-locked this stripe after reading it; valid iff nobody
+      // committed in between, i.e. the pre-lock version is what we read.
+      const OwnedOrec* oo = d.owned_.find(e.orec);
+      RUBIC_CHECK(oo != nullptr);
+      if (oo->pre_lock == e.seen) continue;
+    }
+    d.conflict_abort(AbortCause::kValidationFailed);
+  }
+}
+
+void OrecSwissEngine::extend(TxnDesc& d, std::uint64_t needed_version) {
+  const std::uint64_t new_rv = d.rt_.clock().load();
+  RUBIC_CHECK_MSG(new_rv >= needed_version,
+                  "clock precedes an observed commit timestamp");
+  validate_read_set(d);  // throws if any earlier read is now stale
+  d.rv_ = new_rv;
+  d.bump_extensions();
+}
+
+void OrecSwissEngine::acquire_commit_locks(TxnDesc& d) {
+  // Lock every written stripe in sorted orec order (deadlock-free between
+  // concurrent committers even without the contention manager's help).
+  std::vector<Orec*> orecs;
+  orecs.reserve(d.write_set_.size());
+  for (const WriteEntry& e : d.write_set_.entries()) {
+    orecs.push_back(&d.rt_.orecs().for_address(e.addr));
+  }
+  std::sort(orecs.begin(), orecs.end());
+  orecs.erase(std::unique(orecs.begin(), orecs.end()), orecs.end());
+  for (Orec* o : orecs) {
+    for (;;) {
+      const LockWord w = o->load();
+      if (is_locked(w)) {
+        if (owner_of(w) == &d) break;  // defensive: dedup should prevent
+        on_conflict(d, *o, w, AbortCause::kWriteConflict);
+        continue;
+      }
+      if (!o->try_lock(w, &d)) continue;
+      d.owned_.record(o, w);
+      break;
+    }
+  }
+}
+
+void OrecSwissEngine::rollback_locks(TxnDesc& d) noexcept {
+  // Restore stripes in reverse acquisition order (not required for
+  // correctness — each orec is restored independently — but keeps the
+  // lock-release order symmetric for reasoning).
+  const auto& owned = d.owned_.entries();
+  for (auto it = owned.rbegin(); it != owned.rend(); ++it) {
+    it->orec->restore(it->pre_lock);
+  }
+}
+
+}  // namespace rubic::stm

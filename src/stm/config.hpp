@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "src/stm/backend/backend.hpp"
+
 namespace rubic::stm {
 
 // Number of ownership records. Power of two so the address hash is a mask.
@@ -41,8 +43,18 @@ enum class CmPolicy : std::uint8_t {
 };
 
 struct RuntimeConfig {
+  // Concurrency-control engine for this runtime instance. The default
+  // honours the RUBIC_STM_BACKEND environment variable (see
+  // src/stm/backend/backend.hpp) so the whole suite can be re-run against a
+  // different protocol; code that *tests* a protocol-specific behaviour
+  // pins this field explicitly.
+  BackendKind backend = default_backend();
   CmPolicy cm = CmPolicy::kTimidBackoff;
   LockTiming lock_timing = LockTiming::kEncounterTime;
+  // Contention management (cm) and lock_timing only apply to the orec
+  // backend: NOrec buffers all writes and serializes writers on the global
+  // sequence lock, so there are no per-stripe locks to time or to fight
+  // over. Both fields are ignored under BackendKind::kNorec.
   // Backoff parameters for kTimidBackoff: wait is uniform in
   // [0, min(kMax, base << attempts)) iterations of a pause loop.
   std::uint32_t backoff_base = 32;

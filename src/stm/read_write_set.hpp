@@ -118,6 +118,32 @@ class WriteSet {
   std::uint64_t generation_ = 0;
 };
 
+// Value-based read log for the NOrec backend: the address and the exact
+// value a read returned. Validation re-loads every address and compares
+// values — no orec metadata involved, so an ABA overwrite that restores the
+// observed value revalidates successfully (value-based validation is
+// serializable regardless; see docs/stm.md).
+struct ValueReadEntry {
+  const std::uint64_t* addr;
+  std::uint64_t value;
+};
+
+class ValueReadSet {
+ public:
+  void record(const std::uint64_t* addr, std::uint64_t value) {
+    entries_.push_back({addr, value});
+  }
+  void clear() noexcept { entries_.clear(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+  const std::vector<ValueReadEntry>& entries() const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::vector<ValueReadEntry> entries_;
+};
+
 // Orecs write-locked by the running transaction, with the version word each
 // held before locking (needed both for abort rollback and for validating
 // reads that hit a stripe we already own through a different address).

@@ -108,6 +108,13 @@ void Runtime::drain_all_matured_quiescent() {
   for (const auto& ctx : contexts_) {
     RUBIC_CHECK_MSG(!ctx->active(),
                     "drain_all_matured_quiescent with a transaction running");
+    // A non-zero local epoch with an inactive status means an epoch_enter
+    // without its epoch_exit — advancing by 2 below would then reclaim
+    // entries that context may still reference. Catch the broken pairing
+    // in debug builds instead of silently corrupting limbo state.
+    RUBIC_DCHECK_MSG(
+        ctx->local_epoch_.load(std::memory_order_acquire) == 0,
+        "drain_all_matured_quiescent with a context still inside an epoch");
   }
   // Two bumps mature everything queued up to now.
   global_epoch_.fetch_add(2, std::memory_order_acq_rel);

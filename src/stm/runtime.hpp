@@ -37,6 +37,13 @@ class Runtime {
   GlobalClock& clock() noexcept { return clock_; }
   OrecTable& orecs() noexcept { return orecs_; }
   const RuntimeConfig& config() const noexcept { return config_; }
+  BackendKind backend() const noexcept { return config_.backend; }
+
+  // NOrec global sequence lock (even = unlocked, odd = a writer is in its
+  // commit critical section). Only the kNorec backend touches it; it lives
+  // here (not in the engine) because it is per-Runtime state, exactly like
+  // the version clock the orec backend uses instead.
+  std::atomic<std::uint64_t>& norec_seq() noexcept { return *norec_seq_; }
 
   // Sum of every registered thread's statistics.
   TxnStatsSnapshot aggregate_stats() const;
@@ -71,6 +78,7 @@ class Runtime {
   RuntimeConfig config_;
   GlobalClock clock_;
   OrecTable orecs_;
+  util::CacheAligned<std::atomic<std::uint64_t>> norec_seq_{0};
 
   mutable std::mutex registry_mutex_;
   std::vector<std::unique_ptr<TxnDesc>> contexts_;

@@ -1,12 +1,16 @@
 // Umbrella header for the RUBIC STM runtime.
 //
-// A word-based software transactional memory in the SwissTM/TL2 family:
-// global version clock, per-stripe ownership records, invisible validated
-// reads with timestamp extension, encounter-time write locking with
-// write-back buffering, epoch-based transactional memory reclamation, and
-// pluggable contention management. See DESIGN.md §1 (system #7).
+// A word-based software transactional memory with pluggable concurrency-
+// control backends (RuntimeConfig::backend / RUBIC_STM_BACKEND): the
+// orec-based SwissTM/TL2 hybrid (global version clock, per-stripe ownership
+// records, invisible validated reads with timestamp extension, encounter- or
+// commit-time write locking, pluggable contention management) and a NOrec
+// engine (single global sequence lock, value-based validation). Both are
+// write-back and share epoch-based transactional memory reclamation. See
+// docs/stm.md and DESIGN.md §1 (system #7).
 #pragma once
 
+#include "src/stm/backend/backend.hpp"  // IWYU pragma: export
 #include "src/stm/config.hpp"        // IWYU pragma: export
 #include "src/stm/global_clock.hpp"  // IWYU pragma: export
 #include "src/stm/orec.hpp"          // IWYU pragma: export

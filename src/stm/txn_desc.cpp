@@ -1,10 +1,10 @@
 #include "src/stm/txn_desc.hpp"
 
-#include <algorithm>
 #include <new>
-#include <thread>
 
 #include "src/fault/fault.hpp"
+#include "src/stm/backend/norec.hpp"
+#include "src/stm/backend/orec_swiss.hpp"
 #include "src/stm/raw_access.hpp"
 #include "src/stm/runtime.hpp"
 #include "src/telemetry/telemetry.hpp"
@@ -20,8 +20,11 @@ inline void bump(std::atomic<std::uint64_t>& c) noexcept {
 }
 
 // Registry references for the commit-path instrumentation, resolved once
-// (first armed transaction) and cached — the hot path never touches the
-// registry itself, only the striped cells behind these pointers.
+// per backend (first armed transaction) and cached — the hot path never
+// touches the registry itself, only the striped cells behind these
+// pointers. Every metric carries a {"backend": <name>} label so cross-
+// backend runs stay distinguishable in merged snapshots; a backend that
+// never runs armed registers nothing.
 struct StmTelemetry {
   telemetry::Counter& commits;
   telemetry::Counter& read_only_commits;
@@ -31,45 +34,62 @@ struct StmTelemetry {
   telemetry::Histogram& write_set_size;
   telemetry::Histogram& commit_latency_ns;
 
-  static StmTelemetry& get() {
-    static StmTelemetry instance = [] {
-      telemetry::Registry& reg = telemetry::registry();
-      StmTelemetry t{
-          reg.counter("rubic_stm_commits_total"),
-          reg.counter("rubic_stm_read_only_commits_total"),
-          {},
-          reg.histogram("rubic_stm_txn_retries"),
-          reg.histogram("rubic_stm_read_set_size"),
-          reg.histogram("rubic_stm_write_set_size"),
-          reg.histogram("rubic_stm_commit_latency_ns"),
-      };
-      for (std::size_t i = 0;
-           i < static_cast<std::size_t>(AbortCause::kCount); ++i) {
-        const auto cause = static_cast<AbortCause>(i);
-        t.aborts[i] = &reg.counter(
-            "rubic_stm_aborts_total",
-            {{"cause", std::string(abort_cause_name(cause))}});
-      }
-      return t;
-    }();
-    return instance;
+  static StmTelemetry make(BackendKind backend) {
+    telemetry::Registry& reg = telemetry::registry();
+    const telemetry::Labels labels = {
+        {"backend", std::string(backend_name(backend))}};
+    StmTelemetry t{
+        reg.counter("rubic_stm_commits_total", labels),
+        reg.counter("rubic_stm_read_only_commits_total", labels),
+        {},
+        reg.histogram("rubic_stm_txn_retries", labels),
+        reg.histogram("rubic_stm_read_set_size", labels),
+        reg.histogram("rubic_stm_write_set_size", labels),
+        reg.histogram("rubic_stm_commit_latency_ns", labels),
+    };
+    for (std::size_t i = 0; i < static_cast<std::size_t>(AbortCause::kCount);
+         ++i) {
+      const auto cause = static_cast<AbortCause>(i);
+      t.aborts[i] = &reg.counter(
+          "rubic_stm_aborts_total",
+          {{"backend", std::string(backend_name(backend))},
+           {"cause", std::string(abort_cause_name(cause))}});
+    }
+    return t;
+  }
+
+  static StmTelemetry& get(BackendKind backend) {
+    if (backend == BackendKind::kNorec) {
+      static StmTelemetry norec = make(BackendKind::kNorec);
+      return norec;
+    }
+    static StmTelemetry orec = make(BackendKind::kOrecSwiss);
+    return orec;
   }
 };
 
 }  // namespace
 
 TxnDesc::TxnDesc(Runtime& rt, std::uint32_t ctx_id, std::uint64_t rng_seed)
-    : rt_(rt), ctx_id_(ctx_id), rng_(rng_seed) {}
+    : rt_(rt),
+      ctx_id_(ctx_id),
+      backend_(rt.config().backend),
+      rng_(rng_seed) {}
 
 void TxnDesc::begin(bool first_attempt) {
   RUBIC_CHECK_MSG(!active(), "begin() with a transaction already running");
   rt_.epoch_enter(*this);
-  rv_ = rt_.clock().load();
+  if (backend_ == BackendKind::kNorec) {
+    NorecEngine::begin(*this);
+  } else {
+    OrecSwissEngine::begin(*this);
+  }
   if (first_attempt) {
     // Priority is fixed at the *first* attempt so a transaction that keeps
     // retrying ages into the oldest (highest-priority) one and eventually
     // wins every greedy-CM conflict — the classic starvation-freedom
-    // argument for Greedy contention management.
+    // argument for Greedy contention management. (NOrec never dooms, but
+    // keeps the field coherent for diagnostics.)
     priority_.store((rv_ << 20) | ctx_id_, std::memory_order_release);
   }
   status_.store(TxnStatus::kActive, std::memory_order_release);
@@ -90,88 +110,20 @@ void TxnDesc::conflict_abort(AbortCause cause) {
   throw detail::AbortTx{cause};
 }
 
-void TxnDesc::on_conflict(Orec& orec, LockWord observed, AbortCause cause) {
-  if (rt_.config().cm == CmPolicy::kTimidBackoff) {
-    conflict_abort(cause);
-  }
-  // Greedy timestamp CM. The owner descriptor stays valid for the lifetime
-  // of the Runtime, so dereferencing it through a stale lock word is safe;
-  // at worst we doom a *newer* transaction of the same context (spurious but
-  // harmless abort — it simply retries).
-  TxnDesc* owner = owner_of(observed);
-  if (owner->priority() <= priority()) {
-    // Owner is older (or ourselves aged equal): we lose.
-    conflict_abort(cause);
-  }
-  owner->try_doom();
-  // Wait (bounded) for the victim to notice and release the stripe. The
-  // bound guards against a victim that is preempted indefinitely on an
-  // oversubscribed machine — precisely the regime this paper studies.
-  for (std::uint32_t spins = 0; spins < (1u << 22); ++spins) {
-    if (orec.load(std::memory_order_acquire) != observed) return;
-    check_doomed();  // an even older transaction may doom us meanwhile
-    if ((spins & 1023u) == 1023u) std::this_thread::yield();
-  }
-  conflict_abort(cause);
-}
-
-void TxnDesc::validate_read_set() {
-  for (const ReadEntry& e : read_set_.entries()) {
-    const LockWord cur = e.orec->load();
-    if (cur == e.seen) continue;  // unlocked, same version
-    if (is_locked(cur) && owner_of(cur) == this) {
-      // We write-locked this stripe after reading it; valid iff nobody
-      // committed in between, i.e. the pre-lock version is what we read.
-      const OwnedOrec* oo = owned_.find(e.orec);
-      RUBIC_CHECK(oo != nullptr);
-      if (oo->pre_lock == e.seen) continue;
-    }
-    conflict_abort(AbortCause::kValidationFailed);
-  }
-}
-
-void TxnDesc::extend(std::uint64_t needed_version) {
-  const std::uint64_t new_rv = rt_.clock().load();
-  RUBIC_CHECK_MSG(new_rv >= needed_version,
-                  "clock precedes an observed commit timestamp");
-  validate_read_set();  // throws if any earlier read is now stale
-  rv_ = new_rv;
-  bump(stats_.extensions);
-}
+void TxnDesc::bump_extensions() noexcept { bump(stats_.extensions); }
 
 std::uint64_t TxnDesc::read_word(const std::uint64_t* addr) {
   RUBIC_CHECK_MSG(active(), "read_word outside a transaction");
   check_word_aligned(addr);
   check_doomed();
   bump(stats_.reads);
-  // Read-own-writes first: under commit-time locking this is the only
-  // place buffered writes are visible (no self-owned orec exists yet).
+  // Read-own-writes first (both engines are write-back): the buffer is the
+  // only place this transaction's own writes are visible.
   if (const WriteEntry* e = write_set_.find(addr)) return e->value;
-  Orec& o = rt_.orecs().for_address(addr);
-  for (;;) {
-    const LockWord w = o.load();
-    if (is_locked(w)) {
-      if (owner_of(w) == this) {
-        // Stripe owned through a different address (orec aliasing): memory
-        // still holds the pre-image (write-back), validated like a read of
-        // the pre-lock version.
-        const OwnedOrec* oo = owned_.find(&o);
-        RUBIC_CHECK(oo != nullptr);
-        const std::uint64_t v = load_raw(addr);
-        read_set_.record(&o, oo->pre_lock);
-        return v;
-      }
-      on_conflict(o, w, AbortCause::kReadConflict);
-      continue;  // lock released: re-read the orec
-    }
-    const std::uint64_t v = load_raw(addr);
-    if (o.load() != w) continue;  // raced with a writer; retry
-    if (version_of(w) > rv_) {
-      extend(version_of(w));  // aborts the txn if extension fails
-    }
-    read_set_.record(&o, w);
-    return v;
+  if (backend_ == BackendKind::kNorec) {
+    return NorecEngine::read_word(*this, addr);
   }
+  return OrecSwissEngine::read_word(*this, addr);
 }
 
 void TxnDesc::write_word(std::uint64_t* addr, std::uint64_t value) {
@@ -179,57 +131,12 @@ void TxnDesc::write_word(std::uint64_t* addr, std::uint64_t value) {
   check_word_aligned(addr);
   check_doomed();
   bump(stats_.writes);
-  if (rt_.config().lock_timing == LockTiming::kCommitTime) {
-    // Lazy W/W detection: buffer only; conflicts surface when commit
-    // acquires the locks.
+  if (backend_ == BackendKind::kNorec) {
+    // NOrec is commit-time by construction: no stripe to lock exists.
     write_set_.put(addr, value);
     return;
   }
-  Orec& o = rt_.orecs().for_address(addr);
-  for (;;) {
-    const LockWord w = o.load();
-    if (is_locked(w)) {
-      if (owner_of(w) == this) {
-        write_set_.put(addr, value);
-        return;
-      }
-      on_conflict(o, w, AbortCause::kWriteConflict);
-      continue;
-    }
-    // Acquiring a lock whose version is past rv is not by itself a conflict
-    // (blind writes commute), but extending here keeps the read timestamp
-    // fresh and lets subsequent reads of this stripe validate cheaply.
-    if (version_of(w) > rv_) extend(version_of(w));
-    if (!o.try_lock(w, this)) continue;  // lost the CAS race
-    owned_.record(&o, w);
-    write_set_.put(addr, value);
-    return;
-  }
-}
-
-void TxnDesc::acquire_commit_locks() {
-  // Lock every written stripe in sorted orec order (deadlock-free between
-  // concurrent committers even without the contention manager's help).
-  std::vector<Orec*> orecs;
-  orecs.reserve(write_set_.size());
-  for (const WriteEntry& e : write_set_.entries()) {
-    orecs.push_back(&rt_.orecs().for_address(e.addr));
-  }
-  std::sort(orecs.begin(), orecs.end());
-  orecs.erase(std::unique(orecs.begin(), orecs.end()), orecs.end());
-  for (Orec* o : orecs) {
-    for (;;) {
-      const LockWord w = o->load();
-      if (is_locked(w)) {
-        if (owner_of(w) == this) break;  // defensive: dedup should prevent
-        on_conflict(*o, w, AbortCause::kWriteConflict);
-        continue;
-      }
-      if (!o->try_lock(w, this)) continue;
-      owned_.record(o, w);
-      break;
-    }
-  }
+  OrecSwissEngine::write_word(*this, addr, value);
 }
 
 void TxnDesc::commit() {
@@ -241,31 +148,25 @@ void TxnDesc::commit() {
     // throws RetriesExhausted once the budget is spent).
     conflict_abort(AbortCause::kFaultInjected);
   }
-  if (write_set_.empty()) {
-    bump(stats_.commits);
-    bump(stats_.read_only_commits);
-    last_commit_ts_ = 0;
+  const bool read_only = write_set_.empty();
+  // Protocol-specific validation + publication. Throws detail::AbortTx on
+  // failure; everything below is the shared success epilogue, identical
+  // for both engines.
+  if (backend_ == BackendKind::kNorec) {
+    NorecEngine::commit_writes(*this);
   } else {
-    if (rt_.config().lock_timing == LockTiming::kCommitTime) {
-      acquire_commit_locks();  // may abort via the contention manager
-    }
-    const std::uint64_t wv = rt_.clock().next();
-    last_commit_ts_ = wv;
-    // If nobody committed since we (last) fixed rv, the read set is
-    // trivially still valid (TL2's commit-time fast path).
-    if (wv != rv_ + 1) validate_read_set();
-    for (const WriteEntry& e : write_set_.entries()) store_raw(e.addr, e.value);
-    for (const OwnedOrec& oo : owned_.entries()) oo.orec->release(wv);
-    bump(stats_.commits);
+    OrecSwissEngine::commit_writes(*this);
   }
+  bump(stats_.commits);
+  if (read_only) bump(stats_.read_only_commits);
   if (telemetry::armed()) [[unlikely]] {
     // Set sizes are captured here, before the epilogue clears them. A
     // transaction whose begin() ran disarmed contributes counters but no
     // latency/retry samples (tm_begin_ns_ == 0 sentinel).
-    StmTelemetry& t = StmTelemetry::get();
+    StmTelemetry& t = StmTelemetry::get(backend_);
     t.commits.add();
-    if (write_set_.empty()) t.read_only_commits.add();
-    t.read_set_size.observe(read_set_.size());
+    if (read_only) t.read_only_commits.add();
+    t.read_set_size.observe(read_set_size());
     t.write_set_size.observe(write_set_.size());
     if (tm_begin_ns_ != 0) {
       t.commit_latency_ns.observe(trace::monotonic_ns() - tm_begin_ns_);
@@ -282,6 +183,7 @@ void TxnDesc::commit() {
   for (void* p : frees_) rt_.defer_free(*this, p);
   frees_.clear();
   read_set_.clear();
+  value_reads_.clear();
   write_set_.clear();
   owned_.clear();
   trace::emit(trace::EventType::kTxnCommit, ctx_id_, last_commit_ts_);
@@ -289,24 +191,21 @@ void TxnDesc::commit() {
 
 void TxnDesc::rollback(AbortCause cause) {
   RUBIC_CHECK_MSG(active(), "rollback without a running transaction");
-  // Restore stripes in reverse acquisition order (not required for
-  // correctness — each orec is restored independently — but keeps the
-  // lock-release order symmetric for reasoning).
-  const auto& owned = owned_.entries();
-  for (auto it = owned.rbegin(); it != owned.rend(); ++it) {
-    it->orec->restore(it->pre_lock);
-  }
+  // Only the orec engine acquires per-stripe locks; under NOrec the owned
+  // set is always empty and this is a no-op.
+  OrecSwissEngine::rollback_locks(*this);
   // Speculative allocations were never published (write-back), free eagerly.
   for (void* p : allocs_) ::operator delete(p);
   allocs_.clear();
   frees_.clear();  // deferred frees are cancelled with the transaction
   stats_.bump_abort(cause);
   if (telemetry::armed()) [[unlikely]] {
-    StmTelemetry::get().aborts[static_cast<std::size_t>(cause)]->add();
+    StmTelemetry::get(backend_).aborts[static_cast<std::size_t>(cause)]->add();
   }
   status_.store(TxnStatus::kInactive, std::memory_order_release);
   rt_.epoch_exit(*this);
   read_set_.clear();
+  value_reads_.clear();
   write_set_.clear();
   owned_.clear();
   trace::emit(trace::EventType::kTxnAbort, ctx_id_,

@@ -1,21 +1,22 @@
 // Transaction descriptor: all per-transaction state plus the word-level
-// read/write/commit/rollback machinery.
+// read/write/commit/rollback entry points.
 //
-// Concurrency design (SwissTM/TL2 hybrid):
-//   * invisible reads, validated against a global version clock, with
-//     timestamp extension to cut false aborts on long read phases;
-//   * encounter-time write locking (eager write/write conflict detection,
-//     which SwissTM showed is decisive for STAMP-style workloads);
-//   * write-back buffering: memory is only updated at commit, so aborts
-//     never undo shared state;
-//   * contention management on conflict: timid backoff (default) or
-//     greedy timestamp priority with remote dooming.
+// The concurrency-control protocol behind those entry points is pluggable
+// (RuntimeConfig::backend): the orec-based SwissTM/TL2 hybrid in
+// backend/orec_swiss.* or the NOrec engine in backend/norec.*. TxnDesc owns
+// the protocol-independent pieces — lifecycle checks, statistics, telemetry,
+// tracing, fault injection, transactional allocation and epoch-based
+// reclamation — and tag-dispatches the per-word work to the engine chosen at
+// construction; both engines share write-back buffering, so aborts never
+// undo shared state. Engine hot paths are header-inline and compiled only
+// into txn_desc.cpp, keeping the dispatch a single predictable branch.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <vector>
 
+#include "src/stm/backend/backend.hpp"
 #include "src/stm/config.hpp"
 #include "src/stm/orec.hpp"
 #include "src/stm/read_write_set.hpp"
@@ -109,38 +110,43 @@ class alignas(util::kCacheLineSize) TxnDesc {
   std::uint32_t ctx_id() const noexcept { return ctx_id_; }
   Runtime& runtime() noexcept { return rt_; }
   util::Xoshiro256& rng() noexcept { return rng_; }
+  BackendKind backend() const noexcept { return backend_; }
 
-  std::size_t read_set_size() const noexcept { return read_set_.size(); }
+  std::size_t read_set_size() const noexcept {
+    return backend_ == BackendKind::kNorec ? value_reads_.size()
+                                           : read_set_.size();
+  }
   std::size_t write_set_size() const noexcept { return write_set_.size(); }
 
   // Serialization-point diagnostics, valid after a successful commit and
   // until the next begin(): the commit timestamp of the last writing
   // transaction (0 if it was read-only), and the final read timestamp
-  // (after any extensions). A writing transaction serializes at
-  // last_commit_timestamp(); a read-only one at last_read_timestamp().
+  // (after any extensions / snapshot re-adoptions). A writing transaction
+  // serializes at last_commit_timestamp(); a read-only one at
+  // last_read_timestamp(). Both backends provide the same contract — the
+  // orec engine uses version-clock timestamps, NOrec the global sequence
+  // (post-publish value for writers, final snapshot for readers) — so
   // tests/test_stm_serializability.cpp replays the global commit order
-  // against these to verify serializability end-to-end.
+  // against these to verify serializability end-to-end on either engine.
   std::uint64_t last_commit_timestamp() const noexcept {
     return last_commit_ts_;
   }
   std::uint64_t last_read_timestamp() const noexcept { return rv_; }
 
  private:
+  // The engines implement the protocol over this descriptor's state; the
+  // private surface they share is deliberately narrow (abort, doom check,
+  // the extension counter) so protocol state stays engine-owned.
+  friend struct OrecSwissEngine;
+  friend struct NorecEngine;
+
   [[noreturn]] void conflict_abort(AbortCause cause);
   void check_doomed();
-  // Re-validates the read set against current orec state; throws on failure.
-  void validate_read_set();
-  // Attempts to advance the read timestamp past `needed_version`.
-  void extend(std::uint64_t needed_version);
-  // Blocks (bounded) or aborts according to the contention policy.
-  // Postcondition on return: caller should re-load the orec and retry.
-  void on_conflict(Orec& orec, LockWord observed, AbortCause cause);
-  // Commit-time locking (LockTiming::kCommitTime): acquires all written
-  // stripes' locks in sorted orec order.
-  void acquire_commit_locks();
+  void bump_extensions() noexcept;
 
   Runtime& rt_;
   const std::uint32_t ctx_id_;
+  const BackendKind backend_;
 
   std::atomic<TxnStatus> status_{TxnStatus::kInactive};
   std::atomic<std::uint64_t> priority_{~std::uint64_t{0}};
@@ -148,9 +154,14 @@ class alignas(util::kCacheLineSize) TxnDesc {
   std::uint64_t rv_ = 0;  // read (validity) timestamp
   std::uint64_t last_commit_ts_ = 0;
 
-  ReadSet read_set_;
-  WriteSet write_set_;
-  OwnedSet owned_;
+  // Hot-path layout note: read_set_/write_set_/owned_ keep the original
+  // declaration order (write_set_.find runs on every single read), and the
+  // NOrec-only value log sits after them so the orec backend's working set
+  // spans the same cache lines as before the backend split.
+  ReadSet read_set_;    // orec backend: (orec, seen-version) log
+  WriteSet write_set_;  // both backends: write-back buffer
+  OwnedSet owned_;      // orec backend: write-locked stripes
+  ValueReadSet value_reads_;  // norec backend: (address, value) log
 
   std::vector<void*> allocs_;
   std::vector<void*> frees_;

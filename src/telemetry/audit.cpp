@@ -67,6 +67,11 @@ void append_header(std::string& out, const AuditMeta& meta) {
   append_i64(out, meta.processes);
   out += ",\"seed\":";
   append_u64(out, meta.seed);
+  if (!meta.stm_backend.empty()) {
+    out += ",\"stm_backend\":\"";
+    append_escaped(out, meta.stm_backend);
+    out += '"';
+  }
   out += "}\n";
 }
 
@@ -133,6 +138,8 @@ bool parse_header(Cursor& cur, AuditMeta* meta) {
       if (!cur.parse_int(&meta->processes)) return false;
     } else if (key == "seed") {
       if (!cur.parse_u64(&meta->seed)) return false;
+    } else if (key == "stm_backend") {
+      if (!cur.parse_string(&meta->stm_backend)) return false;
     } else {
       return cur.fail("unknown header key '" + key + "'");
     }

@@ -48,6 +48,9 @@ struct AuditMeta {
   double aimd_alpha = 0.5;
   int processes = 1;
   std::uint64_t seed = 0;
+  // STM concurrency-control backend the run used (stm::backend_name);
+  // empty in logs written before the field existed.
+  std::string stm_backend;
 
   bool operator==(const AuditMeta&) const = default;
 };

@@ -33,3 +33,15 @@ namespace rubic::util {
       ::rubic::util::check_failed(#expr, __FILE__, __LINE__, (msg));       \
     }                                                                      \
   } while (false)
+
+// Debug-build-only variant for preconditions too hot (or too pessimistic)
+// to verify in release: compiled out under NDEBUG without evaluating the
+// expression, while still type-checking it.
+#ifndef NDEBUG
+#define RUBIC_DCHECK_MSG(expr, msg) RUBIC_CHECK_MSG(expr, msg)
+#else
+#define RUBIC_DCHECK_MSG(expr, msg) \
+  do {                              \
+    (void)sizeof(!(expr));          \
+  } while (false)
+#endif

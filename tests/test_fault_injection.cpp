@@ -596,59 +596,69 @@ TEST_F(BusChaosTest, CorruptPayloadIsRejectedNotPropagated) {
 // left unlocked.)
 
 TEST_F(StmChaosTest, AbortStormExhaustsRetryBudgetExactlyAndReleasesLocks) {
-  stm::RuntimeConfig config;
-  config.max_retries = 3;
-  config.backoff_base = 1;  // keep the injected storm fast
-  config.backoff_max = 4;
-  stm::Runtime rt(config);
-  stm::TxnDesc& ctx = rt.register_thread();
-  stm::TVar<int> var(7);
+  // The forced-conflict probe sits in the backend-independent commit
+  // prologue, so the storm must behave identically on every engine.
+  for (const stm::BackendKind backend : stm::known_backends()) {
+    stm::RuntimeConfig config;
+    config.backend = backend;
+    config.max_retries = 3;
+    config.backoff_base = 1;  // keep the injected storm fast
+    config.backoff_max = 4;
+    stm::Runtime rt(config);
+    stm::TxnDesc& ctx = rt.register_thread();
+    stm::TVar<int> var(7);
 
-  auto plan = fault::Plan::parse("stm_conflict:every=1");
-  {
-    fault::Armed armed(*plan);
-    EXPECT_THROW(stm::atomically(ctx,
-                                 [&](stm::Txn& tx) {
-                                   var.write(tx, var.read(tx) + 1);
-                                 }),
-                 stm::RetriesExhausted);
+    auto plan = fault::Plan::parse("stm_conflict:every=1");
+    {
+      fault::Armed armed(*plan);
+      EXPECT_THROW(stm::atomically(ctx,
+                                   [&](stm::Txn& tx) {
+                                     var.write(tx, var.read(tx) + 1);
+                                   }),
+                   stm::RetriesExhausted);
+    }
+    // Exactly max_retries attempts reached commit, every one was aborted by
+    // the injected conflict, none committed.
+    EXPECT_EQ(plan->hits(fault::Site::kStmForceConflict), 3u);
+    EXPECT_EQ(plan->fires(fault::Site::kStmForceConflict), 3u);
+    const auto stats = rt.aggregate_stats();
+    EXPECT_EQ(stats.commits, 0u);
+    EXPECT_EQ(
+        stats.aborts[static_cast<std::size_t>(stm::AbortCause::kFaultInjected)],
+        3u);
+    EXPECT_EQ(var.unsafe_read(), 7);  // no torn half-commit
+
+    // The rollback released every lock (orecs / the NOrec sequence): a
+    // fresh transaction on the same stripe commits first try once the plan
+    // is disarmed.
+    const int result = stm::atomically(ctx, [&](stm::Txn& tx) {
+      var.write(tx, var.read(tx) + 1);
+      return var.read(tx);
+    });
+    EXPECT_EQ(result, 8) << "backend=" << stm::backend_name(backend);
+    EXPECT_EQ(rt.aggregate_stats().commits, 1u);
   }
-  // Exactly max_retries attempts reached commit, every one was aborted by
-  // the injected conflict, none committed.
-  EXPECT_EQ(plan->hits(fault::Site::kStmForceConflict), 3u);
-  EXPECT_EQ(plan->fires(fault::Site::kStmForceConflict), 3u);
-  const auto stats = rt.aggregate_stats();
-  EXPECT_EQ(stats.commits, 0u);
-  EXPECT_EQ(
-      stats.aborts[static_cast<std::size_t>(stm::AbortCause::kFaultInjected)],
-      3u);
-  EXPECT_EQ(var.unsafe_read(), 7);  // no torn half-commit
-
-  // The rollback released every orec: a fresh transaction on the same
-  // stripe commits first try once the plan is disarmed.
-  const int result = stm::atomically(ctx, [&](stm::Txn& tx) {
-    var.write(tx, var.read(tx) + 1);
-    return var.read(tx);
-  });
-  EXPECT_EQ(result, 8);
-  EXPECT_EQ(rt.aggregate_stats().commits, 1u);
 }
 
 TEST_F(StmChaosTest, ProbabilisticConflictInjectionStillMakesProgress) {
-  stm::Runtime rt;  // unlimited retries
-  stm::TxnDesc& ctx = rt.register_thread();
-  stm::TVar<int> var(0);
-  auto plan = fault::Plan::parse("seed=4;stm_conflict:prob=0.3");
-  fault::Armed armed(*plan);
-  for (int i = 0; i < 100; ++i) {
-    stm::atomically(ctx, [&](stm::Txn& tx) { var.write(tx, i); });
+  for (const stm::BackendKind backend : stm::known_backends()) {
+    stm::RuntimeConfig config;
+    config.backend = backend;
+    stm::Runtime rt(config);  // unlimited retries
+    stm::TxnDesc& ctx = rt.register_thread();
+    stm::TVar<int> var(0);
+    auto plan = fault::Plan::parse("seed=4;stm_conflict:prob=0.3");
+    fault::Armed armed(*plan);
+    for (int i = 0; i < 100; ++i) {
+      stm::atomically(ctx, [&](stm::Txn& tx) { var.write(tx, i); });
+    }
+    EXPECT_EQ(var.unsafe_read(), 99) << "backend=" << stm::backend_name(backend);
+    const auto stats = rt.aggregate_stats();
+    EXPECT_EQ(stats.commits, 100u);
+    EXPECT_GT(
+        stats.aborts[static_cast<std::size_t>(stm::AbortCause::kFaultInjected)],
+        0u);
   }
-  EXPECT_EQ(var.unsafe_read(), 99);
-  const auto stats = rt.aggregate_stats();
-  EXPECT_EQ(stats.commits, 100u);
-  EXPECT_GT(
-      stats.aborts[static_cast<std::size_t>(stm::AbortCause::kFaultInjected)],
-      0u);
 }
 
 // ---------------------------------------------------------------------------

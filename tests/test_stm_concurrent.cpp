@@ -215,6 +215,7 @@ TEST_P(StmConcurrentTest, ReclamationUnderConcurrentReaders) {
 
 TEST(StmGreedy, OlderTransactionDoomsYoungerLockHolder) {
   RuntimeConfig cfg;
+  cfg.backend = BackendKind::kOrecSwiss;  // remote dooming is orec-only
   cfg.cm = CmPolicy::kGreedyTimestamp;
   Runtime rt(cfg);
   TVar<std::int64_t> contested(0);

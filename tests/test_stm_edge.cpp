@@ -220,7 +220,9 @@ TEST(StmWriteSet, LargeWriteSetCommitsAtomically) {
 }
 
 TEST(StmWriteSet, RepeatedWritesToSameWordKeepLast) {
-  Runtime rt;
+  RuntimeConfig cfg;
+  cfg.backend = BackendKind::kOrecSwiss;  // asserts orec clock accounting
+  Runtime rt(cfg);
   TxnDesc& ctx = rt.register_thread();
   TVar<std::int64_t> x(0);
   atomically(ctx, [&](Txn& tx) {

@@ -8,23 +8,30 @@
 // timestamp order from the initial state and verifies:
 //
 //   1. every writer's recorded reads equal the replayed state just before
-//      its commit point (TL2-family writers serialize at their wv);
+//      its commit point (TL2-family writers serialize at their wv; NOrec
+//      writers at the sequence value they publish);
 //   2. every read-only transaction's reads equal the replayed state as of
-//      its read timestamp (they serialize at rv);
+//      its read timestamp (they serialize at rv — the final snapshot);
 //   3. the final replayed state equals the actual memory contents.
 //
 // Any opacity violation, lost update, torn snapshot or validation bug in
-// the STM shows up here as a concrete value mismatch. Runs over the full
-// contention-manager × lock-timing matrix.
+// the STM shows up here as a concrete value mismatch. Runs over the
+// contention-manager × lock-timing matrix on the orec backend, on the NOrec
+// backend (whose value-based validation gets replay-verified end-to-end
+// through the same contract), and for both backends under an armed
+// fault plan forcing kFaultInjected commit aborts (the same forced
+// conflicts `rubic_colocate --fault-spec` arms).
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <map>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <tuple>
 #include <vector>
 
+#include "src/fault/fault.hpp"
 #include "src/stm/stm.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/spin_barrier.hpp"
@@ -43,14 +50,36 @@ struct CommittedTxn {
   std::vector<std::pair<int, std::int64_t>> writes;
 };
 
+struct SerializabilityCase {
+  const char* name;
+  BackendKind backend;
+  CmPolicy cm;
+  LockTiming lock_timing;
+  // When non-null, armed for the whole run: injected commit aborts must
+  // never let a non-serializable history commit.
+  const char* fault_spec;
+};
+
 class SerializabilityTest
-    : public ::testing::TestWithParam<std::tuple<CmPolicy, LockTiming>> {};
+    : public ::testing::TestWithParam<SerializabilityCase> {
+ protected:
+  void TearDown() override { fault::disarm(); }
+};
 
 TEST_P(SerializabilityTest, CommitOrderReplayMatchesEveryObservation) {
+  const SerializabilityCase& test_case = GetParam();
   RuntimeConfig config;
-  config.cm = std::get<0>(GetParam());
-  config.lock_timing = std::get<1>(GetParam());
+  config.backend = test_case.backend;
+  config.cm = test_case.cm;
+  config.lock_timing = test_case.lock_timing;
   Runtime rt(config);
+
+  std::unique_ptr<fault::Plan> plan;
+  std::unique_ptr<fault::Armed> armed;
+  if (test_case.fault_spec != nullptr) {
+    plan = fault::Plan::parse(test_case.fault_spec);
+    armed = std::make_unique<fault::Armed>(*plan);
+  }
 
   std::vector<TVar<std::int64_t>> vars(kVars);
   for (auto& var : vars) var.unsafe_write(kInitialValue);
@@ -126,7 +155,8 @@ TEST_P(SerializabilityTest, CommitOrderReplayMatchesEveryObservation) {
   std::sort(writers.begin(), writers.end(), [](const auto* a, const auto* b) {
     return a->serialization_point < b->serialization_point;
   });
-  // Commit timestamps are unique (one clock tick per writing commit).
+  // Commit timestamps are unique: one clock tick per writing commit on the
+  // orec backend, one +2 sequence step per writing commit on NOrec.
   for (std::size_t i = 1; i < writers.size(); ++i) {
     ASSERT_NE(writers[i - 1]->serialization_point,
               writers[i]->serialization_point)
@@ -180,25 +210,44 @@ TEST_P(SerializabilityTest, CommitOrderReplayMatchesEveryObservation) {
   // a conflict-free run).
   EXPECT_GT(rt.aggregate_stats().total_aborts(), 0u)
       << "test produced no conflicts; tighten the variable count";
+  if (test_case.fault_spec != nullptr) {
+    EXPECT_GT(rt.aggregate_stats()
+                  .aborts[static_cast<std::size_t>(AbortCause::kFaultInjected)],
+              0u)
+        << "the armed fault plan never fired; the variant is vacuous";
+  }
 }
 
+// NOrec ignores cm/lock-timing (no per-stripe locks), so one norec entry
+// per orthogonal axis of interest suffices; the orec engine runs the full
+// 2×2 matrix it always has.
 INSTANTIATE_TEST_SUITE_P(
     Matrix, SerializabilityTest,
-    ::testing::Combine(::testing::Values(CmPolicy::kTimidBackoff,
-                                         CmPolicy::kGreedyTimestamp),
-                       ::testing::Values(LockTiming::kEncounterTime,
-                                         LockTiming::kCommitTime)),
-    [](const auto& param_info) {
-      const std::string cm =
-          std::get<0>(param_info.param) == CmPolicy::kTimidBackoff
-              ? "Timid"
-              : "Greedy";
-      const std::string timing =
-          std::get<1>(param_info.param) == LockTiming::kEncounterTime
-              ? "Encounter"
-              : "CommitTime";
-      return cm + timing;
-    });
+    ::testing::Values(
+        SerializabilityCase{"TimidEncounterOrec", BackendKind::kOrecSwiss,
+                            CmPolicy::kTimidBackoff,
+                            LockTiming::kEncounterTime, nullptr},
+        SerializabilityCase{"TimidCommitTimeOrec", BackendKind::kOrecSwiss,
+                            CmPolicy::kTimidBackoff, LockTiming::kCommitTime,
+                            nullptr},
+        SerializabilityCase{"GreedyEncounterOrec", BackendKind::kOrecSwiss,
+                            CmPolicy::kGreedyTimestamp,
+                            LockTiming::kEncounterTime, nullptr},
+        SerializabilityCase{"GreedyCommitTimeOrec", BackendKind::kOrecSwiss,
+                            CmPolicy::kGreedyTimestamp,
+                            LockTiming::kCommitTime, nullptr},
+        SerializabilityCase{"Norec", BackendKind::kNorec,
+                            CmPolicy::kTimidBackoff,
+                            LockTiming::kEncounterTime, nullptr},
+        SerializabilityCase{"TimidEncounterOrecFaultStorm",
+                            BackendKind::kOrecSwiss, CmPolicy::kTimidBackoff,
+                            LockTiming::kEncounterTime,
+                            "seed=17;stm_conflict:prob=0.05"},
+        SerializabilityCase{"NorecFaultStorm", BackendKind::kNorec,
+                            CmPolicy::kTimidBackoff,
+                            LockTiming::kEncounterTime,
+                            "seed=17;stm_conflict:prob=0.05"}),
+    [](const auto& param_info) { return std::string(param_info.param.name); });
 
 }  // namespace
 }  // namespace rubic::stm

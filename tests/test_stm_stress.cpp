@@ -19,72 +19,85 @@ namespace {
 TEST(StmStress, EpochReclamationUnderChurn) {
   // Many threads continuously allocate, publish, unlink and free nodes
   // through a shared pointer array; the epoch scheme must neither crash
-  // (use-after-free) nor leak unboundedly (limbo must drain).
-  Runtime rt;
-  struct Node {
-    TVar<std::int64_t> value;
-  };
-  constexpr int kSlots = 32;
-  std::vector<TVar<Node*>> slots(kSlots);
-  {
-    TxnDesc& ctx = rt.register_thread();
-    atomically(ctx, [&](Txn& tx) {
-      for (auto& slot : slots) {
-        Node* n = tx.make<Node>();
-        n->value.unsafe_write(0);
-        slot.write(tx, n);
-      }
-    });
-  }
-  constexpr int kThreads = 4;
-  util::SpinBarrier barrier(kThreads);
-  std::atomic<bool> bad{false};
-  std::vector<std::thread> threads;
-  for (int t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&, t] {
+  // (use-after-free) nor leak unboundedly (limbo must drain). Reclamation
+  // is backend-independent machinery, so both engines get the full churn.
+  for (const BackendKind backend : known_backends()) {
+    RuntimeConfig cfg;
+    cfg.backend = backend;
+    Runtime rt(cfg);
+    struct Node {
+      TVar<std::int64_t> value;
+    };
+    constexpr int kSlots = 32;
+    std::vector<TVar<Node*>> slots(kSlots);
+    {
       TxnDesc& ctx = rt.register_thread();
-      util::Xoshiro256 rng(500 + t);
-      barrier.arrive_and_wait();
-      for (int op = 0; op < 4000; ++op) {
-        auto& slot = slots[rng.below(kSlots)];
-        if (rng.below(2) == 0) {
-          // Replace: free the old node, publish a fresh one.
-          atomically(ctx, [&](Txn& tx) {
-            Node* old = slot.read(tx);
-            Node* fresh = tx.make<Node>();
-            fresh->value.unsafe_write(op);
-            slot.write(tx, fresh);
-            tx.free(old);
-          });
-        } else {
-          // Read through: the node must always be dereferenceable.
-          const std::int64_t v = atomically(ctx, [&](Txn& tx) {
-            Node* n = slot.read(tx);
-            return n->value.read(tx);
-          });
-          if (v < 0) bad.store(true);
+      atomically(ctx, [&](Txn& tx) {
+        for (auto& slot : slots) {
+          Node* n = tx.make<Node>();
+          n->value.unsafe_write(0);
+          slot.write(tx, n);
         }
-      }
-    });
+      });
+    }
+    constexpr int kThreads = 4;
+    util::SpinBarrier barrier(kThreads);
+    std::atomic<bool> bad{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        TxnDesc& ctx = rt.register_thread();
+        util::Xoshiro256 rng(500 + t);
+        barrier.arrive_and_wait();
+        for (int op = 0; op < 4000; ++op) {
+          auto& slot = slots[rng.below(kSlots)];
+          if (rng.below(2) == 0) {
+            // Replace: free the old node, publish a fresh one.
+            atomically(ctx, [&](Txn& tx) {
+              Node* old = slot.read(tx);
+              Node* fresh = tx.make<Node>();
+              fresh->value.unsafe_write(op);
+              slot.write(tx, fresh);
+              tx.free(old);
+            });
+          } else {
+            // Read through: the node must always be dereferenceable.
+            const std::int64_t v = atomically(ctx, [&](Txn& tx) {
+              Node* n = slot.read(tx);
+              return n->value.read(tx);
+            });
+            if (v < 0) bad.store(true);
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_FALSE(bad.load()) << "backend=" << backend_name(backend);
+    // Exited workers leave queued frees behind; the quiescent drain must
+    // reclaim every one of them.
+    EXPECT_GT(rt.limbo_size(), 0u) << "churn should have deferred frees";
+    rt.drain_all_matured_quiescent();
+    EXPECT_EQ(rt.limbo_size(), 0u) << "backend=" << backend_name(backend);
+    // Final nodes cleaned up manually (they're live heap objects).
+    for (auto& slot : slots) ::operator delete(slot.unsafe_read());
   }
-  for (auto& th : threads) th.join();
-  EXPECT_FALSE(bad.load());
-  // Exited workers leave queued frees behind; the quiescent drain must
-  // reclaim every one of them.
-  EXPECT_GT(rt.limbo_size(), 0u) << "churn should have deferred frees";
-  rt.drain_all_matured_quiescent();
-  EXPECT_EQ(rt.limbo_size(), 0u);
-  // Final nodes cleaned up manually (they're live heap objects).
-  for (auto& slot : slots) ::operator delete(slot.unsafe_read());
 }
 
 TEST(StmStress, ExtremeSingleWordContentionCompletes) {
   // All threads increment a single word: total serialization, worst-case
   // abort rates — every increment must still land (no lost updates, no
-  // livelock) under both contention managers.
-  for (const CmPolicy cm : {CmPolicy::kTimidBackoff, CmPolicy::kGreedyTimestamp}) {
+  // livelock) under both contention managers and both backends (NOrec
+  // ignores cm, so one pass covers it).
+  struct Case {
+    BackendKind backend;
+    CmPolicy cm;
+  };
+  for (const Case c : {Case{BackendKind::kOrecSwiss, CmPolicy::kTimidBackoff},
+                       Case{BackendKind::kOrecSwiss, CmPolicy::kGreedyTimestamp},
+                       Case{BackendKind::kNorec, CmPolicy::kTimidBackoff}}) {
     RuntimeConfig cfg;
-    cfg.cm = cm;
+    cfg.backend = c.backend;
+    cfg.cm = c.cm;
     Runtime rt(cfg);
     TVar<std::int64_t> hot(0);
     constexpr int kThreads = 6;
@@ -102,7 +115,8 @@ TEST(StmStress, ExtremeSingleWordContentionCompletes) {
     }
     for (auto& th : threads) th.join();
     EXPECT_EQ(hot.unsafe_read(), kThreads * kPerThread)
-        << "cm=" << static_cast<int>(cm);
+        << "backend=" << backend_name(c.backend)
+        << " cm=" << static_cast<int>(c.cm);
   }
 }
 
@@ -137,8 +151,11 @@ TEST(StmStress, RetryBudgetSurfacesMidWorkload) {
 
 TEST(StmStress, ManyThreadsManyRuntimesIsolated) {
   // Two independent Runtime instances on interleaved threads must never
-  // interact: commits in one do not advance the other's clock.
-  Runtime rt_a, rt_b;
+  // interact: commits in one do not advance the other's clock. Pinned to
+  // the orec backend because it asserts exact clock values.
+  RuntimeConfig cfg;
+  cfg.backend = BackendKind::kOrecSwiss;
+  Runtime rt_a(cfg), rt_b(cfg);
   TVar<std::int64_t> a(0), b(0);
   std::thread worker_a([&] {
     TxnDesc& ctx = rt_a.register_thread();
@@ -160,9 +177,38 @@ TEST(StmStress, ManyThreadsManyRuntimesIsolated) {
   EXPECT_EQ(b.unsafe_read(), 300);
 }
 
+TEST(StmStress, NorecRuntimesIsolatedAndSequenceAccountsCommits) {
+  // The NOrec analogue: each runtime's global sequence lock is private, and
+  // after quiescence it equals exactly 2 × its own writing commits.
+  RuntimeConfig cfg;
+  cfg.backend = BackendKind::kNorec;
+  Runtime rt_a(cfg), rt_b(cfg);
+  TVar<std::int64_t> a(0), b(0);
+  std::thread worker_a([&] {
+    TxnDesc& ctx = rt_a.register_thread();
+    for (int i = 0; i < 500; ++i) {
+      atomically(ctx, [&](Txn& tx) { a.write(tx, a.read(tx) + 1); });
+    }
+  });
+  std::thread worker_b([&] {
+    TxnDesc& ctx = rt_b.register_thread();
+    for (int i = 0; i < 300; ++i) {
+      atomically(ctx, [&](Txn& tx) { b.write(tx, b.read(tx) + 1); });
+    }
+  });
+  worker_a.join();
+  worker_b.join();
+  EXPECT_EQ(rt_a.norec_seq().load(), 1000u);
+  EXPECT_EQ(rt_b.norec_seq().load(), 600u);
+  EXPECT_EQ(rt_a.clock().load(), 0u) << "NOrec must not touch the version clock";
+  EXPECT_EQ(a.unsafe_read(), 500);
+  EXPECT_EQ(b.unsafe_read(), 300);
+}
+
 TEST(StmStress, VacationHighContentionBothManagers) {
   for (const CmPolicy cm : {CmPolicy::kTimidBackoff, CmPolicy::kGreedyTimestamp}) {
     RuntimeConfig cfg;
+    cfg.backend = BackendKind::kOrecSwiss;  // cm only exists on orec
     cfg.cm = cm;
     Runtime rt(cfg);
     auto params = workloads::vacation::VacationParams::high_contention();
@@ -189,30 +235,37 @@ TEST(StmStress, VacationHighContentionBothManagers) {
 
 TEST(StmStress, RbTreeChurnWithTinyKeySpace) {
   // Two keys, four threads: near-every transaction conflicts structurally
-  // (root rotations), the tree's invariants must hold throughout.
-  Runtime rt;
-  workloads::RbTree tree;
-  constexpr int kThreads = 4;
-  util::SpinBarrier barrier(kThreads);
-  std::vector<std::thread> threads;
-  for (int t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&, t] {
-      TxnDesc& ctx = rt.register_thread();
-      util::Xoshiro256 rng(t);
-      barrier.arrive_and_wait();
-      for (int op = 0; op < 1500; ++op) {
-        const auto key = static_cast<std::int64_t>(rng.below(2));
-        if (rng.below(2) == 0) {
-          atomically(ctx, [&](Txn& tx) { tree.insert(tx, key, op); });
-        } else {
-          atomically(ctx, [&](Txn& tx) { tree.erase(tx, key); });
+  // (root rotations), the tree's invariants must hold throughout — on both
+  // backends (this is the worst case for NOrec's whole-read-set
+  // revalidation: every foreign commit forces one).
+  for (const BackendKind backend : known_backends()) {
+    RuntimeConfig cfg;
+    cfg.backend = backend;
+    Runtime rt(cfg);
+    workloads::RbTree tree;
+    constexpr int kThreads = 4;
+    util::SpinBarrier barrier(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        TxnDesc& ctx = rt.register_thread();
+        util::Xoshiro256 rng(t);
+        barrier.arrive_and_wait();
+        for (int op = 0; op < 1500; ++op) {
+          const auto key = static_cast<std::int64_t>(rng.below(2));
+          if (rng.below(2) == 0) {
+            atomically(ctx, [&](Txn& tx) { tree.insert(tx, key, op); });
+          } else {
+            atomically(ctx, [&](Txn& tx) { tree.erase(tx, key); });
+          }
         }
-      }
-    });
+      });
+    }
+    for (auto& th : threads) th.join();
+    std::string error;
+    EXPECT_TRUE(tree.check_invariants(&error))
+        << "backend=" << backend_name(backend) << ": " << error;
   }
-  for (auto& th : threads) th.join();
-  std::string error;
-  EXPECT_TRUE(tree.check_invariants(&error)) << error;
 }
 
 }  // namespace

@@ -272,10 +272,13 @@ std::uint64_t counter_value(const telemetry::Snapshot& snap,
 
 std::uint64_t histogram_count(const telemetry::Snapshot& snap,
                               std::string_view name) {
+  // Sum across label sets: STM metrics carry a per-backend label, so one
+  // name can appear once per backend exercised by the process.
+  std::uint64_t sum = 0;
   for (const auto& metric : snap.metrics) {
-    if (metric.name == name) return metric.count;
+    if (metric.name == name) sum += metric.count;
   }
-  return 0;
+  return sum;
 }
 
 TEST(StmIntegration, ArmedRunPopulatesProcessRegistry) {

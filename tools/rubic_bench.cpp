@@ -112,7 +112,14 @@ double bench_telemetry_count_armed_ns() {
 }
 
 stm::Runtime& bench_runtime() {
-  static stm::Runtime runtime;
+  // Pinned to the orec backend: the gated stm_* metrics are the orec
+  // hot-path regression gate and must not silently follow
+  // RUBIC_STM_BACKEND; the micro_backend_compare suite covers the rest.
+  static stm::Runtime runtime([] {
+    stm::RuntimeConfig cfg;
+    cfg.backend = stm::BackendKind::kOrecSwiss;
+    return cfg;
+  }());
   return runtime;
 }
 
@@ -165,6 +172,100 @@ double bench_stm_rbtree_lookup_ns() {
   constexpr std::uint64_t kOps = 1 << 17;
   auto& tree = bench_tree();
   auto& ctx = bench_ctx();
+  std::int64_t key = 0;
+  bool found = false;
+  const double start = now_seconds();
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    key = (key + 101) % 8192;
+    found ^= stm::atomically(
+        ctx, [&](stm::Txn& tx) { return tree.contains(tx, key); });
+  }
+  const double elapsed = now_seconds() - start;
+  if (found && key == -1) std::abort();
+  return elapsed * 1e9 / static_cast<double>(kOps);
+}
+
+// --- cross-backend micro comparison (micro_backend_compare suite) ---
+//
+// Each bench builds a fresh runtime on the requested backend so orec and
+// NOrec run the identical op sequence on identical state; setup (runtime
+// construction, tree population, warm-up) is excluded from the timed
+// region. Single-threaded and uncontended: these compare the protocols'
+// instruction-path costs, not their conflict behaviour.
+
+double bench_backend_read1_ns(stm::BackendKind backend) {
+  constexpr std::uint64_t kOps = 1 << 18;
+  stm::RuntimeConfig cfg;
+  cfg.backend = backend;
+  stm::Runtime rt(cfg);
+  stm::TxnDesc& ctx = rt.register_thread();
+  stm::TVar<std::int64_t> x(42);
+  std::int64_t sum = 0;
+  for (int i = 0; i < 1024; ++i) {  // warm-up
+    sum += stm::atomically(ctx, [&](stm::Txn& tx) { return x.read(tx); });
+  }
+  const double start = now_seconds();
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    sum += stm::atomically(ctx, [&](stm::Txn& tx) { return x.read(tx); });
+  }
+  const double elapsed = now_seconds() - start;
+  if (sum == -1) std::abort();  // defeat dead-code elimination
+  return elapsed * 1e9 / static_cast<double>(kOps);
+}
+
+double bench_backend_write1_ns(stm::BackendKind backend) {
+  constexpr std::uint64_t kOps = 1 << 17;
+  stm::RuntimeConfig cfg;
+  cfg.backend = backend;
+  stm::Runtime rt(cfg);
+  stm::TxnDesc& ctx = rt.register_thread();
+  stm::TVar<std::int64_t> x(0);
+  for (int i = 0; i < 1024; ++i) {  // warm-up
+    stm::atomically(ctx, [&](stm::Txn& tx) { x.write(tx, i); });
+  }
+  const double start = now_seconds();
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    stm::atomically(ctx, [&](stm::Txn& tx) {
+      x.write(tx, static_cast<std::int64_t>(i));
+    });
+  }
+  return (now_seconds() - start) * 1e9 / static_cast<double>(kOps);
+}
+
+// Read-modify-write over 8 words: the mixed transaction shape where the
+// protocols genuinely differ (orec: 8 orec loads + 8 lock acquisitions;
+// NOrec: 8 value records + one sequence CAS).
+double bench_backend_rmw8_ns(stm::BackendKind backend) {
+  constexpr std::uint64_t kOps = 1 << 16;
+  constexpr int kWords = 8;
+  stm::RuntimeConfig cfg;
+  cfg.backend = backend;
+  stm::Runtime rt(cfg);
+  stm::TxnDesc& ctx = rt.register_thread();
+  std::vector<stm::TVar<std::int64_t>> words(kWords);
+  const auto rmw = [&](stm::Txn& tx) {
+    for (auto& w : words) w.write(tx, w.read(tx) + 1);
+  };
+  for (int i = 0; i < 256; ++i) {  // warm-up
+    stm::atomically(ctx, rmw);
+  }
+  const double start = now_seconds();
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    stm::atomically(ctx, rmw);
+  }
+  return (now_seconds() - start) * 1e9 / static_cast<double>(kOps);
+}
+
+double bench_backend_rbtree_lookup_ns(stm::BackendKind backend) {
+  constexpr std::uint64_t kOps = 1 << 15;
+  stm::RuntimeConfig cfg;
+  cfg.backend = backend;
+  stm::Runtime rt(cfg);
+  stm::TxnDesc& ctx = rt.register_thread();
+  workloads::RbTree tree;
+  for (std::int64_t i = 0; i < 4096; ++i) {
+    stm::atomically(ctx, [&](stm::Txn& tx) { tree.insert(tx, i * 2, i); });
+  }
   std::int64_t key = 0;
   bool found = false;
   const double start = now_seconds();
@@ -383,6 +484,27 @@ std::vector<BenchDef> make_benches(milliseconds scenario_ms) {
        bench_stm_commit_telemetry_disarmed_pct},
       {"stm_commit_telemetry_armed_pct", "percent", "lower", false, false,
        bench_stm_commit_telemetry_armed_pct},
+      // Cross-backend pairs: the orec rmw8 number is gated (it is the orec
+      // commit hot path end to end: reads, lock acquisition, write-back,
+      // orec release); the rest are recorded for orec-vs-norec medians.
+      {"backend_orec_read1_ns", "ns_per_op", "lower", false, false,
+       [] { return bench_backend_read1_ns(stm::BackendKind::kOrecSwiss); }},
+      {"backend_norec_read1_ns", "ns_per_op", "lower", false, false,
+       [] { return bench_backend_read1_ns(stm::BackendKind::kNorec); }},
+      {"backend_orec_write1_ns", "ns_per_op", "lower", false, false,
+       [] { return bench_backend_write1_ns(stm::BackendKind::kOrecSwiss); }},
+      {"backend_norec_write1_ns", "ns_per_op", "lower", false, false,
+       [] { return bench_backend_write1_ns(stm::BackendKind::kNorec); }},
+      {"backend_orec_rmw8_ns", "ns_per_op", "lower", true, false,
+       [] { return bench_backend_rmw8_ns(stm::BackendKind::kOrecSwiss); }},
+      {"backend_norec_rmw8_ns", "ns_per_op", "lower", false, false,
+       [] { return bench_backend_rmw8_ns(stm::BackendKind::kNorec); }},
+      {"backend_orec_rbtree_lookup_ns", "ns_per_op", "lower", false, false,
+       [] {
+         return bench_backend_rbtree_lookup_ns(stm::BackendKind::kOrecSwiss);
+       }},
+      {"backend_norec_rbtree_lookup_ns", "ns_per_op", "lower", false, false,
+       [] { return bench_backend_rbtree_lookup_ns(stm::BackendKind::kNorec); }},
       {"tuned_process_tasks_per_s", "tasks_per_s", "higher", false, true,
        [scenario_ms] {
          return bench_tuned_process_tasks_per_s(scenario_ms);
@@ -411,11 +533,19 @@ std::vector<std::string> suite_members(const std::string& suite) {
             "stm_commit_telemetry_disarmed_pct",
             "stm_commit_telemetry_armed_pct"};
   }
+  if (suite == "micro_backend_compare") {
+    // Orec-vs-NOrec medians on identical single-threaded op sequences.
+    return {"backend_orec_read1_ns", "backend_norec_read1_ns",
+            "backend_orec_write1_ns", "backend_norec_write1_ns",
+            "backend_orec_rmw8_ns", "backend_norec_rmw8_ns",
+            "backend_orec_rbtree_lookup_ns", "backend_norec_rbtree_lookup_ns"};
+  }
   if (suite == "ci-fast") {
     // The CI gate set: every gated micro metric plus the headline disarmed
     // overhead percentages, sized to finish in about a minute.
     return {"trace_emit_disarmed_ns", "trace_emit_armed_ns",
             "stm_read_only_1_ns", "stm_write_1_ns", "stm_rbtree_lookup_ns",
+            "backend_orec_rmw8_ns",
             "runtime_overhead_disarmed_pct", "telemetry_count_disarmed_ns",
             "telemetry_count_armed_ns", "stm_commit_telemetry_disarmed_pct"};
   }
@@ -536,7 +666,8 @@ int main(int argc, char** argv) {
     auto benches = make_benches(seconds(scenario_seconds));
     if (list) {
       std::printf("suites: micro_stm_overhead micro_runtime_overhead "
-                  "micro_telemetry_overhead colocate ci-fast all\nbenches:\n");
+                  "micro_telemetry_overhead micro_backend_compare colocate "
+                  "ci-fast all\nbenches:\n");
       for (const auto& bench : benches) {
         std::printf("  %-32s %-12s better=%s gate=%s\n", bench.name.c_str(),
                     bench.metric.c_str(), bench.better.c_str(),

@@ -58,6 +58,9 @@ struct Options {
   int procs = 2;
   std::string workload = "intruder";
   std::string policy = "rubic";
+  // Concurrency-control backend for every child's STM runtime (and the
+  // sequential baseline, so speedups compare like with like).
+  stm::BackendKind stm_backend = stm::default_backend();
   int seconds = 5;
   int baseline_seconds = 1;
   int contexts = 0;  // 0 → hardware_concurrency
@@ -181,7 +184,9 @@ int run_child(const Options& opt, ipc::CoLocationBus& bus, int child_index) {
                  "falling back to solo (bus-less) tuning\n",
                  static_cast<int>(getpid()));
   }
-  stm::Runtime rt;
+  stm::RuntimeConfig stm_config;
+  stm_config.backend = opt.stm_backend;
+  stm::Runtime rt(stm_config);
   auto workload = workloads::make_workload(opt.workload, rt);
 
   std::unique_ptr<control::Controller> controller;
@@ -218,6 +223,7 @@ int run_child(const Options& opt, ipc::CoLocationBus& bus, int child_index) {
     meta.pool = opt.pool;
     meta.processes = opt.procs;
     meta.seed = config.pool.seed;
+    meta.stm_backend = std::string(stm::backend_name(opt.stm_backend));
     audit_log.set_meta(meta);
     config.monitor.audit = &audit_log;
   }
@@ -278,7 +284,9 @@ int run_child(const Options& opt, ipc::CoLocationBus& bus, int child_index) {
 }
 
 double measure_baseline(const Options& opt) {
-  stm::Runtime rt;
+  stm::RuntimeConfig stm_config;
+  stm_config.backend = opt.stm_backend;
+  stm::Runtime rt(stm_config);
   auto workload = workloads::make_workload(opt.workload, rt);
   control::FixedController sequential(control::LevelBounds{1, 1}, 1, "Seq");
   runtime::ProcessConfig config;
@@ -327,6 +335,7 @@ std::string format_report(const Options& opt, double baseline,
                 "  \"tool\": \"rubic_colocate\",\n"
                 "  \"workload\": \"%s\",\n"
                 "  \"policy\": \"%s\",\n"
+                "  \"stm_backend\": \"%s\",\n"
                 "  \"procs\": %d,\n"
                 "  \"contexts\": %d,\n"
                 "  \"pool\": %d,\n"
@@ -335,7 +344,9 @@ std::string format_report(const Options& opt, double baseline,
                 "  \"baseline_tasks_per_second\": %.3f,\n"
                 "  \"processes\": [\n",
                 json_escape(opt.workload).c_str(),
-                json_escape(opt.policy).c_str(), opt.procs, opt.contexts,
+                json_escape(opt.policy).c_str(),
+                std::string(stm::backend_name(opt.stm_backend)).c_str(),
+                opt.procs, opt.contexts,
                 opt.pool, opt.seconds, wall_seconds, baseline);
   out += buffer;
   for (std::size_t i = 0; i < children.size(); ++i) {
@@ -393,7 +404,8 @@ int main(int argc, char** argv) {
     util::Cli cli(argc, argv);
     const bool list_workloads = cli.get_bool("list-workloads");
     const bool list_controllers = cli.get_bool("list-controllers");
-    if (list_workloads || list_controllers) {
+    const bool list_backends = cli.get_bool("list-backends");
+    if (list_workloads || list_controllers || list_backends) {
       if (list_workloads) {
         for (const auto& name : workloads::known_workloads()) {
           std::printf("%.*s\n", static_cast<int>(name.size()), name.data());
@@ -404,12 +416,30 @@ int main(int argc, char** argv) {
           std::printf("%.*s\n", static_cast<int>(name.size()), name.data());
         }
       }
+      if (list_backends) {
+        for (const auto k : stm::known_backends()) {
+          const auto name = stm::backend_name(k);
+          std::printf("%.*s\n", static_cast<int>(name.size()), name.data());
+        }
+      }
       return 0;
     }
 
     opt.procs = static_cast<int>(cli.get_int("procs", opt.procs));
     opt.workload = cli.get_string("workload", opt.workload);
     opt.policy = cli.get_string("policy", opt.policy);
+    const std::string backend_flag = cli.get_string("stm-backend", "");
+    if (!backend_flag.empty()) {
+      const auto parsed = stm::parse_backend(backend_flag);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "rubic_colocate: unknown --stm-backend '%s' "
+                     "(try --list-backends)\n",
+                     backend_flag.c_str());
+        return 2;
+      }
+      opt.stm_backend = *parsed;
+    }
     opt.seconds = static_cast<int>(cli.get_int("seconds", opt.seconds));
     opt.baseline_seconds = static_cast<int>(
         cli.get_int("baseline-seconds", opt.baseline_seconds));
@@ -433,13 +463,15 @@ int main(int argc, char** argv) {
     if (opt.procs < 1 || opt.seconds < 1) {
       std::fprintf(stderr,
                    "usage: rubic_colocate --procs N --workload W --policy P "
+                   "[--stm-backend B] "
                    "[--seconds S] [--contexts C] [--pool SZ] [--period-ms M] "
                    "[--baseline-seconds B] [--chaos-kill-ms T] "
                    "[--fault-spec SPEC] [--bus /name] "
                    "[--json out.json] [--trace-out trace.json] "
                    "[--telemetry] [--prom-out metrics.prom] "
                    "[--audit-out prefix] "
-                   "[--list-workloads] [--list-controllers]\n");
+                   "[--list-workloads] [--list-controllers] "
+                   "[--list-backends]\n");
       return 2;
     }
     if (opt.contexts <= 0) {

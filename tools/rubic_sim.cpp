@@ -21,6 +21,7 @@
 #include "src/metrics/timeseries.hpp"
 #include "src/sim/sim_system.hpp"
 #include "src/sim/workload_profiles.hpp"
+#include "src/stm/backend/backend.hpp"
 #include "src/telemetry/telemetry.hpp"
 #include "src/trace/trace.hpp"
 #include "src/util/cli.hpp"
@@ -67,7 +68,8 @@ int main(int argc, char** argv) {
     // list comes from the one factory both binaries call.
     const bool list_workloads = cli.get_bool("list-workloads");
     const bool list_controllers = cli.get_bool("list-controllers");
-    if (list_workloads || list_controllers) {
+    const bool list_backends = cli.get_bool("list-backends");
+    if (list_workloads || list_controllers || list_backends) {
       if (list_workloads) {
         for (const auto& name : sim::profile_names()) {
           std::printf("%.*s\n", static_cast<int>(name.size()), name.data());
@@ -75,6 +77,12 @@ int main(int argc, char** argv) {
       }
       if (list_controllers) {
         for (const auto& name : control::known_policies()) {
+          std::printf("%.*s\n", static_cast<int>(name.size()), name.data());
+        }
+      }
+      if (list_backends) {
+        for (const auto k : stm::known_backends()) {
+          const auto name = stm::backend_name(k);
           std::printf("%.*s\n", static_cast<int>(name.size()), name.data());
         }
       }
@@ -94,13 +102,31 @@ int main(int argc, char** argv) {
     config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
     const std::string csv_path = cli.get_string("csv", "");
     const std::string metrics_path = cli.get_string("metrics-out", "");
+    // The simulator replays fitted scalability curves, not real STM code;
+    // --stm-backend is accepted (and validated) for CLI parity with the
+    // live tools and recorded in the metrics output as run metadata so
+    // downstream joins against live runs line up.
+    const std::string backend_flag = cli.get_string("stm-backend", "");
     cli.check_unknown();
+    stm::BackendKind stm_backend = stm::default_backend();
+    if (!backend_flag.empty()) {
+      const auto parsed = stm::parse_backend(backend_flag);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "rubic_sim: unknown --stm-backend '%s' "
+                     "(try --list-backends)\n",
+                     backend_flag.c_str());
+        return 2;
+      }
+      stm_backend = *parsed;
+    }
 
     if (processes.empty()) {
       std::fprintf(stderr,
                    "usage: rubic_sim --p1 POLICY:WORKLOAD[:ARRIVAL[:DEP]] "
                    "[--p2 ...] [--contexts 64] [--seconds 10] [--noise s] "
-                   "[--seed n] [--csv out.csv] [--metrics-out out.json]\n");
+                   "[--seed n] [--csv out.csv] [--metrics-out out.json] "
+                   "[--stm-backend B] [--list-backends]\n");
       return 2;
     }
 
@@ -169,6 +195,10 @@ int main(int argc, char** argv) {
       reg.gauge("rubic_sim_total_mean_threads")
           .set(result.total_mean_threads);
       reg.gauge("rubic_sim_contexts").set(config.contexts);
+      // Info-style metric: value 1, the payload is the label.
+      reg.gauge("rubic_sim_stm_backend_info",
+                {{"backend", std::string(stm::backend_name(stm_backend))}})
+          .set(1.0);
       if (trace::write_file(metrics_path, telemetry::to_json(reg.snapshot()))) {
         std::printf("metrics written to %s\n", metrics_path.c_str());
       } else {

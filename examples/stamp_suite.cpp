@@ -8,13 +8,17 @@
 //
 // Run:  ./stamp_suite [--seconds-each 1] [--pool 8] [--policy rubic]
 //                     [--stm-backend orec_swiss|norec]
+//       ./stamp_suite --list-workloads / --list-controllers / --list-backends
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <string_view>
+#include <vector>
 
 #include "src/control/factory.hpp"
 #include "src/runtime/process.hpp"
 #include "src/util/cli.hpp"
+#include "src/util/listing.hpp"
 #include "src/workloads/registry.hpp"
 
 int main(int argc, char** argv) {
@@ -24,13 +28,26 @@ int main(int argc, char** argv) {
   const auto pool_size = static_cast<int>(cli.get_int("pool", 8));
   const auto policy = cli.get_string("policy", "rubic");
   const auto backend_flag = cli.get_string("stm-backend", "");
+  const bool list_workloads = cli.get_bool("list-workloads");
+  const bool list_controllers = cli.get_bool("list-controllers");
   const bool list_backends = cli.get_bool("list-backends");
   cli.check_unknown();
 
-  if (list_backends) {
-    for (const auto k : stm::known_backends()) {
-      std::printf("%.*s\n", static_cast<int>(stm::backend_name(k).size()),
-                  stm::backend_name(k).data());
+  if (list_workloads || list_controllers || list_backends) {
+    // Same shared renderer as rubic_colocate/rubic_sim/rubic_traffic —
+    // sorted, deduplicated, byte-identical across binaries per registry.
+    if (list_workloads) {
+      util::print_name_list(workloads::known_workloads());
+    }
+    if (list_controllers) {
+      util::print_name_list(control::known_policies());
+    }
+    if (list_backends) {
+      std::vector<std::string_view> names;
+      for (const auto k : stm::known_backends()) {
+        names.push_back(stm::backend_name(k));
+      }
+      util::print_name_list(std::move(names));
     }
     return 0;
   }

@@ -36,6 +36,7 @@ constexpr std::string_view kSiteNames[kSiteCount] = {
     "bus_suppress",       // kBusSuppressHeartbeat
     "bus_corrupt",        // kBusCorruptPayload
     "stm_conflict",       // kStmForceConflict
+    "traffic_stall",      // kTrafficStall
 };
 
 constexpr std::size_t idx(Site site) noexcept {

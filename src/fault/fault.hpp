@@ -44,6 +44,7 @@ enum class Site : std::uint32_t {
   kBusSuppressHeartbeat,  // a monitor publish is silently dropped
   kBusCorruptPayload,     // a publish writes a scrambled payload
   kStmForceConflict,      // a commit aborts with a forced conflict
+  kTrafficStall,          // a traffic request stalls: value = stall, µs
   kCount,
 };
 

@@ -75,6 +75,42 @@ std::vector<std::uint64_t> Histogram::buckets() const {
   return out;
 }
 
+double Histogram::quantile(double q) const {
+  const std::vector<std::uint64_t> snapshot = buckets();
+  return quantile_from_buckets(snapshot, q);
+}
+
+double quantile_from_buckets(std::span<const std::uint64_t> buckets,
+                             double q) noexcept {
+  if (q < 0.0 || std::isnan(q)) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  std::uint64_t count = 0;
+  for (const std::uint64_t n : buckets) count += n;
+  if (count == 0) return 0.0;
+  // Target rank in (0, count]: the q-fraction of the mass, with q = 0
+  // pinned to the first sample so quantile(0) is the observed minimum's
+  // bucket floor, not an extrapolation below it.
+  const double target =
+      std::max(1.0, q * static_cast<double>(count));
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets[i]);
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket >= target) {
+      const double lower = static_cast<double>(
+          i == 0 ? 0 : std::uint64_t{1} << (i - 1));
+      const double upper = static_cast<double>(bucket_upper_bound(i));
+      const double fraction = (target - cumulative) / in_bucket;
+      return lower + fraction * (upper - lower);
+    }
+    cumulative += in_bucket;
+  }
+  // Unreachable for consistent inputs; be defensive about concurrent
+  // updates between the count pass and the walk.
+  return static_cast<double>(
+      bucket_upper_bound(buckets.empty() ? 0 : buckets.size() - 1));
+}
+
 // --- Registry --------------------------------------------------------------
 
 namespace {

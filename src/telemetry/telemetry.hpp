@@ -76,6 +76,17 @@ inline std::uint64_t bucket_upper_bound(std::size_t index) noexcept {
   return (std::uint64_t{1} << index) - 1;
 }
 
+// Interpolated quantile over power-of-2 histogram buckets (bucket_index
+// layout above). `q` is clamped to [0, 1]; the target rank q·count is
+// located in the cumulative bucket counts and the answer interpolated
+// linearly between the containing bucket's lower and upper bound — the
+// usual Prometheus histogram_quantile estimator, specialized to this
+// bucketing. An empty histogram yields 0. The error is bounded by the
+// bucket width (a factor of 2), which is what the SLO reports in
+// src/traffic/ quote as p50/p99/p999.
+double quantile_from_buckets(std::span<const std::uint64_t> buckets,
+                             double q) noexcept;
+
 // Static labels, attached at registration. Kept sorted by key so the
 // (name, labels) identity and every export are deterministic.
 using Labels = std::vector<std::pair<std::string, std::string>>;
@@ -166,6 +177,10 @@ class Histogram {
   std::uint64_t sum() const noexcept;
   // Per-bucket counts, trimmed after the last non-empty bucket.
   std::vector<std::uint64_t> buckets() const;
+  // Interpolated quantile of the recorded samples (see
+  // quantile_from_buckets); takes a bucket snapshot, so it is a
+  // consistent-enough statistical view like any scrape.
+  double quantile(double q) const;
 
  private:
   struct Stripe {

@@ -1,0 +1,209 @@
+#include "src/traffic/arrival.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/traffic/keydist.hpp"
+#include "src/util/rng.hpp"
+
+namespace rubic::traffic {
+namespace {
+
+[[noreturn]] void bad_config(std::string_view what) {
+  throw std::invalid_argument("bad traffic config: " + std::string(what));
+}
+
+std::uint64_t parse_u64(std::string_view text, std::string_view key) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    bad_config(std::string(key) + " wants an unsigned integer, got '" +
+               std::string(text) + "'");
+  }
+  return value;
+}
+
+double parse_f64(std::string_view text, std::string_view key) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    bad_config(std::string(key) + " wants a number, got '" +
+               std::string(text) + "'");
+  }
+  return value;
+}
+
+// Either distribution behind one sampling call so the schedule builder
+// doesn't branch per request.
+class KeySampler {
+ public:
+  KeySampler(const TrafficConfig& config)
+      : uniform_(config.keys),
+        zipfian_(config.keys, config.theta),
+        use_zipfian_(config.dist == "zipfian") {
+    if (config.dist != "zipfian" && config.dist != "uniform") {
+      bad_config("dist must be zipfian or uniform, got '" + config.dist +
+                 "'");
+    }
+  }
+
+  std::uint64_t sample(util::Xoshiro256& rng) const noexcept {
+    return use_zipfian_ ? zipfian_.sample(rng) : uniform_.sample(rng);
+  }
+
+ private:
+  UniformSampler uniform_;
+  ZipfianSampler zipfian_;
+  bool use_zipfian_;
+};
+
+}  // namespace
+
+TrafficConfig parse_traffic_config(std::string_view spec) {
+  TrafficConfig config;
+  while (!spec.empty()) {
+    const std::size_t sep = spec.find(';');
+    const std::string_view field =
+        sep == std::string_view::npos ? spec : spec.substr(0, sep);
+    spec = sep == std::string_view::npos ? std::string_view{}
+                                         : spec.substr(sep + 1);
+    if (field.empty()) continue;
+    const std::size_t eq = field.find('=');
+    if (eq == std::string_view::npos) {
+      bad_config("expected key=value, got '" + std::string(field) + "'");
+    }
+    const std::string_view key = field.substr(0, eq);
+    const std::string_view value = field.substr(eq + 1);
+    if (key == "mix") {
+      config.mix = std::string(value);
+    } else if (key == "dist") {
+      config.dist = std::string(value);
+    } else if (key == "theta") {
+      config.theta = parse_f64(value, key);
+    } else if (key == "keys") {
+      config.keys = parse_u64(value, key);
+    } else if (key == "accounts") {
+      config.accounts = parse_u64(value, key);
+    } else if (key == "clients") {
+      config.clients = static_cast<std::uint32_t>(parse_u64(value, key));
+    } else if (key == "scan_len") {
+      config.scan_len = parse_u64(value, key);
+    } else if (key == "seed") {
+      config.seed = parse_u64(value, key);
+    } else if (key == "curve") {
+      config.curve = std::string(value);
+    } else if (key == "slo_ms") {
+      config.slo_us = static_cast<std::uint64_t>(
+          parse_f64(value, key) * 1000.0);
+    } else if (key == "slo_us") {
+      config.slo_us = parse_u64(value, key);
+    } else {
+      bad_config("unknown key '" + std::string(key) +
+                 "' (known: mix dist theta keys accounts clients scan_len "
+                 "seed curve slo_ms slo_us)");
+    }
+  }
+  return config;
+}
+
+Schedule build_schedule(const TrafficConfig& config) {
+  if (config.keys == 0) bad_config("keys must be > 0");
+  if (config.clients == 0) bad_config("clients must be > 0");
+  if (config.accounts < 2 * kWarehouseAccounts) {
+    bad_config("accounts must be >= 8");
+  }
+  if (config.scan_len == 0) bad_config("scan_len must be > 0");
+
+  const OpMix& mix = mix_by_name(config.mix);  // throws on unknown mix
+  Schedule schedule{config, RateCurve::parse(config.curve), {}, 0, 0};
+  const RateCurve& curve = schedule.curve;
+
+  util::Xoshiro256 rng(config.seed);
+  const KeySampler sampler(config);
+  std::vector<std::uint32_t> next_seq(config.clients, 1);
+
+  const double total = curve.total_seconds();
+  schedule.requests.reserve(static_cast<std::size_t>(
+      RateCurve::mean_rate(curve.phases().front()) * total) +
+      1024);
+
+  // Piecewise inversion: exponential gaps at the instantaneous rate, with
+  // zero-rate stretches skipped to the next phase boundary. Rates change
+  // slowly relative to the gap length, so sampling at the left endpoint is
+  // an adequate approximation of the nonhomogeneous process.
+  double t = 0.0;
+  while (t < total) {
+    const double rate = curve.rate_at(t);
+    if (rate <= 1e-9) {
+      const std::size_t phase = curve.phase_index_at(t);
+      if (phase + 1 >= curve.phases().size()) break;
+      double boundary = 0.0;
+      for (std::size_t i = 0; i <= phase; ++i) {
+        boundary += curve.phases()[i].seconds;
+      }
+      t = boundary;
+      continue;
+    }
+    t += -std::log1p(-rng.uniform()) / rate;
+    if (t >= total) break;
+
+    Request req;
+    req.arrival_ns = static_cast<std::uint64_t>(t * 1e9);
+    req.phase = static_cast<std::uint16_t>(curve.phase_index_at(t));
+    req.client = static_cast<std::uint32_t>(rng.below(config.clients));
+    req.seq = next_seq[req.client]++;
+    req.op = mix.pick(rng.uniform());
+    switch (req.op) {
+      case OpKind::kRead:
+      case OpKind::kUpdate:
+      case OpKind::kRmw:
+        req.key = static_cast<std::int64_t>(sampler.sample(rng));
+        break;
+      case OpKind::kInsert:
+        req.key =
+            static_cast<std::int64_t>(config.keys + schedule.insert_keys++);
+        break;
+      case OpKind::kScan:
+        req.key = static_cast<std::int64_t>(sampler.sample(rng));
+        req.aux = static_cast<std::int64_t>(config.scan_len);
+        break;
+      case OpKind::kTransfer: {
+        const std::uint64_t a = rng.below(config.accounts);
+        std::uint64_t b = rng.below(config.accounts - 1);
+        if (b >= a) ++b;
+        req.key = kAccountBase + static_cast<std::int64_t>(a);
+        req.key2 = kAccountBase + static_cast<std::int64_t>(b);
+        req.aux = 1 + static_cast<std::int64_t>(rng.below(100));
+        break;
+      }
+      case OpKind::kPayment: {
+        const std::uint64_t customer =
+            kWarehouseAccounts +
+            rng.below(config.accounts - kWarehouseAccounts);
+        const std::uint64_t warehouse = rng.below(kWarehouseAccounts);
+        req.key = kAccountBase + static_cast<std::int64_t>(customer);
+        req.key2 = kAccountBase + static_cast<std::int64_t>(warehouse);
+        req.aux = 1 + static_cast<std::int64_t>(rng.below(500));
+        break;
+      }
+      case OpKind::kNewOrder:
+        req.key = kDistrictBase +
+                  static_cast<std::int64_t>(rng.below(kDistricts));
+        req.key2 =
+            kOrderBase + static_cast<std::int64_t>(schedule.order_rows++);
+        req.aux = static_cast<std::int64_t>(rng.below(kStockKeys));
+        break;
+      case OpKind::kStockScan:
+        req.key = static_cast<std::int64_t>(rng.below(kStockKeys));
+        req.aux = static_cast<std::int64_t>(kStockScanLen);
+        break;
+    }
+    schedule.requests.push_back(req);
+  }
+  return schedule;
+}
+
+}  // namespace rubic::traffic

@@ -1,0 +1,90 @@
+// Precomputed open-loop arrival schedules.
+//
+// The generator inverts a seeded nonhomogeneous Poisson process over the
+// run's RateCurve before any worker starts: every request's arrival time,
+// client, operation, and keys are fixed up front. Dispatch then only waits
+// for the wall clock to reach each precomputed arrival — when the server
+// falls behind, requests queue (backlog grows, latency inflates) instead of
+// the generator quietly slowing down, which is the property that makes SLO
+// comparisons between controllers honest. Two runs with the same
+// TrafficConfig produce bit-identical schedules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/traffic/mix.hpp"
+#include "src/traffic/rate_curve.hpp"
+
+namespace rubic::traffic {
+
+// Key-space layout inside the one transactional hash map. Data keys live at
+// [0, keys); everything else sits in disjoint high namespaces so the mixes
+// can share the map without colliding.
+inline constexpr std::int64_t kAccountBase = std::int64_t{1} << 40;
+inline constexpr std::int64_t kOrderBase = std::int64_t{2} << 40;
+inline constexpr std::int64_t kStockBase = std::int64_t{3} << 40;
+inline constexpr std::int64_t kDistrictBase = std::int64_t{4} << 40;
+inline constexpr std::int64_t kClientBase = std::int64_t{5} << 40;
+
+inline constexpr std::uint64_t kStockKeys = 1024;   // contended stock rows
+inline constexpr std::uint64_t kDistricts = 16;     // new-order counters
+inline constexpr std::uint64_t kWarehouseAccounts = 4;  // payment sinks
+inline constexpr std::uint64_t kStockScanLen = 8;
+
+struct TrafficConfig {
+  std::string mix = "ycsb-b";
+  std::string dist = "zipfian";  // zipfian | uniform
+  double theta = 0.99;           // zipfian skew, in (0, 1)
+  std::uint64_t keys = 16384;    // pre-populated data keys
+  std::uint64_t accounts = 256;  // zero-sum balance accounts (>= 8)
+  std::uint32_t clients = 64;    // logical request sources
+  std::uint64_t scan_len = 16;   // keys touched by a YCSB scan
+  std::uint64_t seed = 1;
+  std::string curve = "constant:rate=2000,seconds=5";
+  std::uint64_t slo_us = 10000;  // per-request latency budget
+};
+
+// Parses the ';'-separated key=value grammar used by rubic_colocate's
+// "traffic:..." workload spec, e.g.
+//   mix=ycsb-a;curve=flash:base=500,spike=4000,seconds=6;keys=8192
+// (';' as the field separator lets curve specs keep their ',' and ':').
+// Unknown keys and malformed values throw std::invalid_argument.
+TrafficConfig parse_traffic_config(std::string_view spec);
+
+// One precomputed request. Key fields by op:
+//   read/update/rmw: key = data key
+//   insert:          key = fresh data key (never pre-populated)
+//   scan:            key = start data key, aux = scan length
+//   transfer:        key = source account, key2 = destination, aux = amount
+//   payment:         key = customer account, key2 = warehouse, aux = amount
+//   new_order:       key = district counter, key2 = fresh order row,
+//                    aux = first stock index (two consecutive rows RMWed)
+//   stock_scan:      key = first stock index, aux = kStockScanLen
+struct Request {
+  std::uint64_t arrival_ns = 0;  // offset from run start
+  std::int64_t key = 0;
+  std::int64_t key2 = 0;
+  std::int64_t aux = 0;
+  std::uint32_t client = 0;
+  std::uint32_t seq = 0;  // per-client sequence, starting at 1
+  OpKind op = OpKind::kRead;
+  std::uint16_t phase = 0;  // index into the curve's phases
+};
+
+struct Schedule {
+  TrafficConfig config;
+  RateCurve curve;
+  std::vector<Request> requests;  // nondecreasing arrival_ns
+  std::uint64_t insert_keys = 0;  // fresh data keys consumed by kInsert
+  std::uint64_t order_rows = 0;   // fresh order rows consumed by kNewOrder
+};
+
+// Deterministic per config (the seed covers arrivals, clients, ops, and
+// keys). Throws std::invalid_argument on bad mix/dist/curve or out-of-range
+// sizing (accounts < 8, clients == 0, keys == 0, scan_len == 0).
+Schedule build_schedule(const TrafficConfig& config);
+
+}  // namespace rubic::traffic

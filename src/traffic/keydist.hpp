@@ -1,0 +1,85 @@
+// Seeded key-popularity distributions for the traffic generator.
+//
+// The service workloads draw keys from either a uniform distribution or the
+// YCSB zipfian distribution (Gray et al.'s rejection-free inversion over a
+// precomputed zeta sum): rank 0 is the hottest key, and with the YCSB
+// default theta = 0.99 the head of the keyspace absorbs most of the traffic
+// — the skew that makes concurrency-control decisions interesting on a
+// hash map whose buckets would otherwise never conflict. Sampling is
+// allocation-free and deterministic given the caller's seeded generator;
+// the zeta precompute is O(n) and paid once at schedule-build time.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/util/check.hpp"
+#include "src/util/rng.hpp"
+
+namespace rubic::traffic {
+
+// Uniform over [0, n).
+class UniformSampler {
+ public:
+  explicit UniformSampler(std::uint64_t n) : n_(n) { RUBIC_CHECK(n > 0); }
+
+  std::uint64_t sample(util::Xoshiro256& rng) const noexcept {
+    return rng.below(n_);
+  }
+
+  std::uint64_t n() const noexcept { return n_; }
+
+ private:
+  std::uint64_t n_;
+};
+
+// Zipfian over ranks [0, n): P(rank k) ∝ 1 / (k+1)^theta. The YCSB
+// generator (Gray et al., "Quickly Generating Billion-Record Synthetic
+// Databases"): invert a uniform draw through the zeta CDF closed form.
+// theta must be in (0, 1); 0.99 is the YCSB default.
+class ZipfianSampler {
+ public:
+  ZipfianSampler(std::uint64_t n, double theta = 0.99)
+      : n_(n), theta_(theta) {
+    RUBIC_CHECK(n > 0);
+    RUBIC_CHECK_MSG(theta > 0.0 && theta < 1.0, "zipfian theta not in (0,1)");
+    zetan_ = zeta(n, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    const double zeta2 = zeta(2, theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  std::uint64_t sample(util::Xoshiro256& rng) const noexcept {
+    const double u = rng.uniform();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto rank = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+  }
+
+  // Expected frequency of the hottest rank — the head-key bound the
+  // distribution tests assert against.
+  double head_probability() const noexcept { return 1.0 / zetan_; }
+
+  std::uint64_t n() const noexcept { return n_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) noexcept {
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  double zetan_ = 0.0;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+};
+
+}  // namespace rubic::traffic

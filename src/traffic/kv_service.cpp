@@ -1,0 +1,452 @@
+#include "src/traffic/kv_service.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <unordered_map>
+
+#include "src/fault/fault.hpp"
+#include "src/util/check.hpp"
+
+namespace rubic::traffic {
+namespace {
+
+using stm::Txn;
+
+constexpr std::uint64_t kStockTouchesPerOrder = 2;
+constexpr std::int64_t kInitialStock = 1'000'000;
+
+std::int64_t client_count_key(std::uint32_t client) noexcept {
+  return kClientBase + 2 * static_cast<std::int64_t>(client);
+}
+std::int64_t client_sum_key(std::uint32_t client) noexcept {
+  return kClientBase + 2 * static_cast<std::int64_t>(client) + 1;
+}
+
+// Atomic max over a relaxed cell (per-phase peak backlog).
+void update_max(std::atomic<std::uint64_t>& cell, std::uint64_t value) {
+  std::uint64_t seen = cell.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !cell.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+KvTrafficWorkload::KvTrafficWorkload(stm::Runtime& rt, Schedule schedule)
+    : schedule_(std::move(schedule)),
+      map_(static_cast<std::size_t>(
+          schedule_.config.keys + schedule_.insert_keys +
+          schedule_.config.accounts + kStockKeys + kDistricts +
+          schedule_.order_rows + 2 * schedule_.config.clients)) {
+  arrivals_.reserve(schedule_.requests.size());
+  for (const Request& req : schedule_.requests) {
+    arrivals_.push_back(req.arrival_ns);
+  }
+
+  const auto& curve_phases = schedule_.curve.phases();
+  scheduled_per_phase_.assign(curve_phases.size(), 0);
+  for (const Request& req : schedule_.requests) {
+    ++scheduled_per_phase_[req.phase];
+  }
+  phases_.reserve(curve_phases.size());
+  for (std::size_t i = 0; i < curve_phases.size(); ++i) {
+    auto agg = std::make_unique<PhaseAgg>();
+    const telemetry::Labels labels = {{"mix", schedule_.config.mix},
+                                      {"phase", curve_phases[i].name}};
+    auto& reg = telemetry::registry();
+    agg->requests_mirror =
+        &reg.counter("rubic_traffic_requests_total", labels);
+    agg->slo_ok_mirror = &reg.counter("rubic_traffic_slo_ok_total", labels);
+    agg->latency_mirror = &reg.histogram("rubic_traffic_latency_us", labels);
+    phases_.push_back(std::move(agg));
+  }
+  backlog_mirror_ = &telemetry::registry().gauge(
+      "rubic_traffic_backlog", {{"mix", schedule_.config.mix}});
+
+  populate(rt);
+}
+
+void KvTrafficWorkload::populate(stm::Runtime& rt) {
+  stm::TxnDesc& ctx = rt.register_thread();
+  std::vector<std::int64_t> keys;
+  keys.reserve(schedule_.config.keys + schedule_.config.accounts +
+               kStockKeys + kDistricts + 2 * schedule_.config.clients);
+  for (std::uint64_t k = 0; k < schedule_.config.keys; ++k) {
+    keys.push_back(static_cast<std::int64_t>(k));
+  }
+  for (std::uint64_t a = 0; a < schedule_.config.accounts; ++a) {
+    keys.push_back(kAccountBase + static_cast<std::int64_t>(a));
+  }
+  for (std::uint64_t s = 0; s < kStockKeys; ++s) {
+    keys.push_back(kStockBase + static_cast<std::int64_t>(s));
+  }
+  for (std::uint64_t d = 0; d < kDistricts; ++d) {
+    keys.push_back(kDistrictBase + static_cast<std::int64_t>(d));
+  }
+  for (std::uint32_t c = 0; c < schedule_.config.clients; ++c) {
+    keys.push_back(client_count_key(c));
+    keys.push_back(client_sum_key(c));
+  }
+  // Batched population: one transaction per chunk keeps write sets small
+  // while staying far faster than one transaction per key.
+  constexpr std::size_t kBatch = 128;
+  for (std::size_t at = 0; at < keys.size(); at += kBatch) {
+    const std::size_t end = std::min(at + kBatch, keys.size());
+    stm::atomically(ctx, [&](Txn& tx) {
+      for (std::size_t i = at; i < end; ++i) {
+        const std::int64_t key = keys[i];
+        map_.put(tx, key, key >= kStockBase && key < kDistrictBase
+                              ? kInitialStock
+                              : 0);
+      }
+    });
+  }
+}
+
+void KvTrafficWorkload::ensure_clock_started() {
+  std::call_once(clock_once_, [this] {
+    start_ = std::chrono::steady_clock::now();
+    clock_started_.store(true, std::memory_order_release);
+  });
+}
+
+std::uint64_t KvTrafficWorkload::elapsed_ns() const {
+  if (!clock_started_.load(std::memory_order_acquire)) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+}
+
+std::uint64_t KvTrafficWorkload::due_by(std::uint64_t elapsed) const {
+  const auto it =
+      std::upper_bound(arrivals_.begin(), arrivals_.end(), elapsed);
+  return static_cast<std::uint64_t>(it - arrivals_.begin());
+}
+
+std::uint64_t KvTrafficWorkload::backlog_now() const {
+  const std::uint64_t due = due_by(elapsed_ns());
+  const std::uint64_t executed = executed_.load(std::memory_order_acquire);
+  return due > executed ? due - executed : 0;
+}
+
+void KvTrafficWorkload::wait_until(std::uint64_t arrival_ns) const {
+  const auto target = start_ + std::chrono::nanoseconds(arrival_ns);
+  // Chunked sleeps so halt() and pool shrink/stop stay responsive even for
+  // arrivals far in the future.
+  constexpr auto kChunk = std::chrono::milliseconds(1);
+  while (!halted_.load(std::memory_order_acquire)) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= target) return;
+    const auto remain = target - now;
+    std::this_thread::sleep_for(remain < kChunk ? remain : kChunk);
+  }
+}
+
+void KvTrafficWorkload::run_task(stm::TxnDesc& ctx, util::Xoshiro256&) {
+  const std::uint64_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= schedule_.requests.size()) {
+    // Surplus worker past the end of the schedule: park briefly; done()
+    // flips once the in-flight tail finishes and the pool stops pulling.
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+    return;
+  }
+  const Request& req = schedule_.requests[idx];
+  ensure_clock_started();
+  wait_until(req.arrival_ns);
+  if (const fault::Fire f = fault::probe(fault::Site::kTrafficStall);
+      f.fired) [[unlikely]] {
+    std::this_thread::sleep_for(std::chrono::duration_cast<
+                                std::chrono::steady_clock::duration>(
+        std::chrono::duration<double, std::micro>(f.value)));
+  }
+
+  execute(ctx, req);
+
+  const std::uint64_t now = elapsed_ns();
+  const std::uint64_t latency_ns =
+      now > req.arrival_ns ? now - req.arrival_ns : 0;
+  const std::uint64_t latency_us = latency_ns / 1000;
+  PhaseAgg& agg = *phases_[req.phase];
+  agg.latency_us.observe(latency_us);
+  agg.completed.fetch_add(1, std::memory_order_relaxed);
+  const bool within_slo = latency_us <= schedule_.config.slo_us;
+  if (within_slo) agg.slo_ok.fetch_add(1, std::memory_order_relaxed);
+
+  const std::uint64_t executed =
+      1 + executed_.fetch_add(1, std::memory_order_acq_rel);
+  const std::uint64_t due = due_by(now);
+  update_max(agg.max_backlog, due > executed ? due - executed : 0);
+
+  if (telemetry::armed()) {
+    agg.requests_mirror->add(1);
+    if (within_slo) agg.slo_ok_mirror->add(1);
+    agg.latency_mirror->observe(latency_us);
+    backlog_mirror_->set(
+        static_cast<double>(due > executed ? due - executed : 0));
+  }
+}
+
+bool KvTrafficWorkload::done() const {
+  const std::uint64_t size = schedule_.requests.size();
+  return next_.load(std::memory_order_acquire) >= size &&
+         executed_.load(std::memory_order_acquire) >= size;
+}
+
+void KvTrafficWorkload::mark_applied(Txn& tx, const Request& req) {
+  const std::int64_t ck = client_count_key(req.client);
+  const std::int64_t sk = client_sum_key(req.client);
+  map_.put(tx, ck, map_.get(tx, ck).value_or(0) + 1);
+  map_.put(tx, sk,
+           map_.get(tx, sk).value_or(0) + static_cast<std::int64_t>(req.seq));
+}
+
+void KvTrafficWorkload::execute(stm::TxnDesc& ctx, const Request& req) {
+  switch (req.op) {
+    case OpKind::kRead:
+      stm::atomically(ctx, [&](Txn& tx) { (void)map_.get(tx, req.key); });
+      break;
+    case OpKind::kUpdate:
+      stm::atomically(ctx, [&](Txn& tx) {
+        map_.put(tx, req.key, static_cast<std::int64_t>(req.seq));
+        mark_applied(tx, req);
+      });
+      break;
+    case OpKind::kInsert:
+      stm::atomically(ctx, [&](Txn& tx) {
+        map_.insert(tx, req.key, static_cast<std::int64_t>(req.seq));
+        mark_applied(tx, req);
+      });
+      break;
+    case OpKind::kScan: {
+      const auto span = static_cast<std::int64_t>(schedule_.config.keys);
+      stm::atomically(ctx, [&](Txn& tx) {
+        for (std::int64_t i = 0; i < req.aux; ++i) {
+          (void)map_.get(tx, (req.key + i) % span);
+        }
+      });
+      break;
+    }
+    case OpKind::kRmw:
+      stm::atomically(ctx, [&](Txn& tx) {
+        map_.put(tx, req.key, map_.get(tx, req.key).value_or(0) + 1);
+        mark_applied(tx, req);
+      });
+      break;
+    case OpKind::kTransfer:
+    case OpKind::kPayment:
+      // Zero-sum move: the two writes always cancel, so the account total
+      // is invariant under any serialization of transfers.
+      stm::atomically(ctx, [&](Txn& tx) {
+        map_.put(tx, req.key, map_.get(tx, req.key).value_or(0) - req.aux);
+        map_.put(tx, req.key2, map_.get(tx, req.key2).value_or(0) + req.aux);
+        mark_applied(tx, req);
+      });
+      break;
+    case OpKind::kNewOrder:
+      stm::atomically(ctx, [&](Txn& tx) {
+        const std::int64_t oid = map_.get(tx, req.key).value_or(0);
+        map_.put(tx, req.key, oid + 1);
+        map_.insert(tx, req.key2, oid);
+        for (std::uint64_t i = 0; i < kStockTouchesPerOrder; ++i) {
+          const std::int64_t stock =
+              kStockBase +
+              static_cast<std::int64_t>(
+                  (static_cast<std::uint64_t>(req.aux) + i) % kStockKeys);
+          map_.put(tx, stock, map_.get(tx, stock).value_or(0) - 1);
+        }
+        mark_applied(tx, req);
+      });
+      break;
+    case OpKind::kStockScan:
+      stm::atomically(ctx, [&](Txn& tx) {
+        for (std::int64_t i = 0; i < req.aux; ++i) {
+          const std::int64_t stock =
+              kStockBase +
+              static_cast<std::int64_t>(
+                  (static_cast<std::uint64_t>(req.key) +
+                   static_cast<std::uint64_t>(i)) %
+                  kStockKeys);
+          (void)map_.get(tx, stock);
+        }
+      });
+      break;
+  }
+}
+
+bool KvTrafficWorkload::verify(std::string* error) {
+  const auto fail = [error](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return false;
+  };
+
+  if (std::string map_error; !map_.check_invariants(&map_error)) {
+    return fail("thashmap: " + map_error);
+  }
+
+  // Quiescent scan of the whole map, bucketed by key namespace.
+  std::int64_t balance_sum = 0;
+  std::uint64_t account_rows = 0;
+  std::uint64_t order_rows = 0;
+  std::uint64_t data_rows = 0;
+  std::unordered_map<std::int64_t, std::int64_t> client_rows;
+  map_.unsafe_for_each([&](std::int64_t key, std::int64_t value) {
+    if (key >= kClientBase) {
+      client_rows.emplace(key, value);
+    } else if (key >= kDistrictBase) {
+      // district counters: consistency is covered by order-row counting
+    } else if (key >= kStockBase) {
+      // stock rows: drained by new_order; no standalone invariant
+    } else if (key >= kOrderBase) {
+      ++order_rows;
+    } else if (key >= kAccountBase) {
+      balance_sum += value;
+      ++account_rows;
+    } else {
+      ++data_rows;
+    }
+  });
+
+  if (balance_sum != 0) {
+    return fail("zero-sum violated: account balances sum to " +
+                std::to_string(balance_sum) + " across " +
+                std::to_string(account_rows) + " accounts");
+  }
+  if (account_rows != schedule_.config.accounts) {
+    return fail("account rows lost: " + std::to_string(account_rows) +
+                " present, " + std::to_string(schedule_.config.accounts) +
+                " expected");
+  }
+
+  // Recompute expectations over the executed prefix. Dispatch hands out
+  // indices in order and run_task always finishes its request, so after
+  // quiescence exactly [0, min(next_, size)) must have taken effect.
+  const std::uint64_t size = schedule_.requests.size();
+  const std::uint64_t dispatched =
+      std::min(next_.load(std::memory_order_acquire), size);
+  const std::uint64_t executed = executed_.load(std::memory_order_acquire);
+  if (executed != dispatched) {
+    return fail("request accounting: dispatched " +
+                std::to_string(dispatched) + " but executed " +
+                std::to_string(executed));
+  }
+
+  std::vector<std::int64_t> want_count(schedule_.config.clients, 0);
+  std::vector<std::int64_t> want_sum(schedule_.config.clients, 0);
+  std::uint64_t want_orders = 0;
+  std::uint64_t want_inserts = 0;
+  for (std::uint64_t i = 0; i < dispatched; ++i) {
+    const Request& req = schedule_.requests[i];
+    if (!op_writes(req.op)) continue;
+    ++want_count[req.client];
+    want_sum[req.client] += static_cast<std::int64_t>(req.seq);
+    if (req.op == OpKind::kNewOrder) ++want_orders;
+    if (req.op == OpKind::kInsert) ++want_inserts;
+  }
+
+  for (std::uint32_t c = 0; c < schedule_.config.clients; ++c) {
+    const auto count_it = client_rows.find(client_count_key(c));
+    const auto sum_it = client_rows.find(client_sum_key(c));
+    const std::int64_t got_count =
+        count_it == client_rows.end() ? -1 : count_it->second;
+    const std::int64_t got_sum =
+        sum_it == client_rows.end() ? -1 : sum_it->second;
+    if (got_count != want_count[c]) {
+      return fail("client " + std::to_string(c) + ": applied count " +
+                  std::to_string(got_count) + ", expected " +
+                  std::to_string(want_count[c]) +
+                  " (lost or duplicated effect)");
+    }
+    if (got_sum != want_sum[c]) {
+      return fail("client " + std::to_string(c) + ": sequence checksum " +
+                  std::to_string(got_sum) + ", expected " +
+                  std::to_string(want_sum[c]) +
+                  " (lost or duplicated effect)");
+    }
+  }
+
+  if (order_rows != want_orders) {
+    return fail("order rows: " + std::to_string(order_rows) + " present, " +
+                std::to_string(want_orders) + " expected");
+  }
+  if (data_rows != schedule_.config.keys + want_inserts) {
+    return fail("data rows: " + std::to_string(data_rows) + " present, " +
+                std::to_string(schedule_.config.keys + want_inserts) +
+                " expected");
+  }
+  return true;
+}
+
+TrafficSummary KvTrafficWorkload::summary() const {
+  TrafficSummary out;
+  const std::uint64_t size = schedule_.requests.size();
+  out.scheduled = size;
+  out.dispatched = std::min(next_.load(std::memory_order_acquire), size);
+  out.executed = executed_.load(std::memory_order_acquire);
+  out.slo_us = schedule_.config.slo_us;
+
+  std::vector<std::uint64_t> merged_buckets;
+  std::uint64_t merged_sum = 0;
+  const auto& curve_phases = schedule_.curve.phases();
+  out.phases.reserve(curve_phases.size());
+  for (std::size_t i = 0; i < curve_phases.size(); ++i) {
+    const PhaseAgg& agg = *phases_[i];
+    PhaseSummary phase;
+    phase.name = curve_phases[i].name;
+    phase.seconds = curve_phases[i].seconds;
+    phase.scheduled = scheduled_per_phase_[i];
+    phase.offered_rps =
+        static_cast<double>(phase.scheduled) / curve_phases[i].seconds;
+    phase.completed = agg.completed.load(std::memory_order_relaxed);
+    phase.slo_ok = agg.slo_ok.load(std::memory_order_relaxed);
+    phase.slo_attainment =
+        phase.completed == 0
+            ? 0.0
+            : static_cast<double>(phase.slo_ok) /
+                  static_cast<double>(phase.completed);
+    phase.max_backlog = agg.max_backlog.load(std::memory_order_relaxed);
+    const std::vector<std::uint64_t> buckets = agg.latency_us.buckets();
+    phase.p50_us = telemetry::quantile_from_buckets(buckets, 0.50);
+    phase.p99_us = telemetry::quantile_from_buckets(buckets, 0.99);
+    phase.p999_us = telemetry::quantile_from_buckets(buckets, 0.999);
+    const std::uint64_t count = agg.latency_us.count();
+    phase.mean_us = count == 0 ? 0.0
+                               : static_cast<double>(agg.latency_us.sum()) /
+                                     static_cast<double>(count);
+    if (buckets.size() > merged_buckets.size()) {
+      merged_buckets.resize(buckets.size(), 0);
+    }
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      merged_buckets[b] += buckets[b];
+    }
+    merged_sum += agg.latency_us.sum();
+    out.phases.push_back(std::move(phase));
+  }
+
+  PhaseSummary& overall = out.overall;
+  overall.name = "overall";
+  overall.seconds = schedule_.curve.total_seconds();
+  for (const PhaseSummary& phase : out.phases) {
+    overall.scheduled += phase.scheduled;
+    overall.completed += phase.completed;
+    overall.slo_ok += phase.slo_ok;
+    overall.max_backlog = std::max(overall.max_backlog, phase.max_backlog);
+  }
+  overall.offered_rps =
+      static_cast<double>(overall.scheduled) / overall.seconds;
+  overall.slo_attainment =
+      overall.completed == 0
+          ? 0.0
+          : static_cast<double>(overall.slo_ok) /
+                static_cast<double>(overall.completed);
+  overall.p50_us = telemetry::quantile_from_buckets(merged_buckets, 0.50);
+  overall.p99_us = telemetry::quantile_from_buckets(merged_buckets, 0.99);
+  overall.p999_us = telemetry::quantile_from_buckets(merged_buckets, 0.999);
+  overall.mean_us = overall.completed == 0
+                        ? 0.0
+                        : static_cast<double>(merged_sum) /
+                              static_cast<double>(overall.completed);
+  return out;
+}
+
+}  // namespace rubic::traffic

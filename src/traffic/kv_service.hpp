@@ -1,0 +1,140 @@
+// Open-loop transactional KV service workload.
+//
+// Plugs a precomputed arrival Schedule (arrival.hpp) into the malleable
+// runtime's Workload interface: workers pull the next request, wait for its
+// wall-clock arrival, execute it as one transaction against a shared
+// THashMap, and record enqueue→commit latency into per-phase histograms.
+// Because arrivals are fixed up front, a server that cannot keep up grows a
+// backlog and inflates latency — it never throttles the offered load — so
+// SLO attainment is a fair comparison axis between parallelism controllers.
+//
+// Correctness checking (the load_generator.py design from the RocksDB
+// stress suite, SNIPPETS.md #3, adapted to STM): balance transfers move
+// value between account keys whose total must stay exactly zero, and every
+// effectful request also increments its client's applied-count row and adds
+// its sequence number to the client's checksum row *inside the same
+// transaction*. verify() recomputes both from the executed schedule prefix
+// — a lost effect, duplicated effect, or torn transaction under chaos shows
+// up as a count or checksum mismatch even when the zero-sum total survives.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/stm/stm.hpp"
+#include "src/telemetry/telemetry.hpp"
+#include "src/traffic/arrival.hpp"
+#include "src/util/rng.hpp"
+#include "src/workloads/thashmap.hpp"
+#include "src/workloads/workload.hpp"
+
+namespace rubic::traffic {
+
+// Per-phase slice of the run report; quantiles are interpolated from the
+// power-of-2 latency histogram (telemetry::quantile_from_buckets).
+struct PhaseSummary {
+  std::string name;
+  double seconds = 0.0;
+  double offered_rps = 0.0;       // scheduled / seconds
+  std::uint64_t scheduled = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t slo_ok = 0;
+  double slo_attainment = 0.0;    // slo_ok / completed (0 when empty)
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double mean_us = 0.0;
+  std::uint64_t max_backlog = 0;  // peak (due − executed) seen in the phase
+};
+
+struct TrafficSummary {
+  std::vector<PhaseSummary> phases;
+  PhaseSummary overall;  // name "overall", bucket-merged across phases
+  std::uint64_t scheduled = 0;
+  std::uint64_t dispatched = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t slo_us = 0;
+};
+
+class KvTrafficWorkload final : public workloads::Workload {
+ public:
+  // Populates the map (data keys, accounts, stock rows, district counters,
+  // client verification rows) single-threaded through `rt`.
+  KvTrafficWorkload(stm::Runtime& rt, Schedule schedule);
+
+  std::string_view name() const override { return "kv-traffic"; }
+
+  // One open-loop request: claim the next schedule index, sleep until its
+  // arrival time, execute transactionally, record latency + SLO. Past the
+  // end of the schedule this parks briefly so surplus workers idle until
+  // done() flips.
+  void run_task(stm::TxnDesc& ctx, util::Xoshiro256& rng) override;
+
+  // All requests dispatched *and* executed.
+  bool done() const override;
+
+  // Zero-sum account invariant, per-client applied-count and sequence
+  // checksums, order/insert row counts, and THashMap chain invariants.
+  bool verify(std::string* error = nullptr) override;
+
+  // Stops arrival waits (requests still execute immediately); for
+  // shutting a run down early without breaking the executed accounting.
+  void halt() noexcept { halted_.store(true, std::memory_order_release); }
+
+  // Requests due by now but not yet executed (0 before the clock starts).
+  std::uint64_t backlog_now() const;
+
+  TrafficSummary summary() const;
+
+  const Schedule& schedule() const noexcept { return schedule_; }
+
+  // Direct access to the shared map — for tests that tamper with state to
+  // prove verify() catches it. Quiescent use only.
+  workloads::THashMap& map() noexcept { return map_; }
+
+ private:
+  struct PhaseAgg {
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> slo_ok{0};
+    std::atomic<std::uint64_t> max_backlog{0};
+    telemetry::Histogram latency_us;
+    // Global-registry mirrors (labels: mix, phase) — only touched when
+    // telemetry is armed, so co-located runs surface SLO stats through the
+    // normal scrape/merge pipeline without double-counting private stats.
+    telemetry::Counter* requests_mirror = nullptr;
+    telemetry::Counter* slo_ok_mirror = nullptr;
+    telemetry::Histogram* latency_mirror = nullptr;
+  };
+
+  void populate(stm::Runtime& rt);
+  void ensure_clock_started();
+  void wait_until(std::uint64_t arrival_ns) const;
+  void execute(stm::TxnDesc& ctx, const Request& req);
+  void mark_applied(stm::Txn& tx, const Request& req);
+  std::uint64_t elapsed_ns() const;
+  std::uint64_t due_by(std::uint64_t elapsed) const;
+
+  Schedule schedule_;
+  workloads::THashMap map_;
+  std::vector<std::uint64_t> arrivals_;  // sorted copy for backlog search
+
+  std::atomic<std::uint64_t> next_{0};      // dispatch cursor
+  std::atomic<std::uint64_t> executed_{0};  // completed requests
+  std::atomic<bool> halted_{false};
+
+  std::once_flag clock_once_;
+  std::atomic<bool> clock_started_{false};
+  std::chrono::steady_clock::time_point start_{};
+
+  std::vector<std::unique_ptr<PhaseAgg>> phases_;
+  std::vector<std::uint64_t> scheduled_per_phase_;
+  telemetry::Gauge* backlog_mirror_ = nullptr;
+};
+
+}  // namespace rubic::traffic

@@ -1,0 +1,105 @@
+#include "src/traffic/mix.hpp"
+
+#include <stdexcept>
+
+namespace rubic::traffic {
+namespace {
+
+OpMix make_mix(std::string name,
+               std::initializer_list<std::pair<OpKind, double>> shares) {
+  OpMix mix;
+  mix.name = std::move(name);
+  for (const auto& [op, share] : shares) {
+    mix.share[static_cast<std::size_t>(op)] = share;
+  }
+  return mix;
+}
+
+// Canonical registry. YCSB letters follow the standard core workloads with
+// a transfer slice carved out of the dominant op; tpcc-lite approximates the
+// TPC-C transaction ratio with new-order and payment at parity.
+const std::vector<OpMix>& all_mixes() {
+  static const std::vector<OpMix> mixes = {
+      make_mix("ycsb-a", {{OpKind::kRead, 0.45},
+                          {OpKind::kUpdate, 0.45},
+                          {OpKind::kTransfer, 0.10}}),
+      make_mix("ycsb-b", {{OpKind::kRead, 0.85},
+                          {OpKind::kUpdate, 0.05},
+                          {OpKind::kInsert, 0.02},
+                          {OpKind::kRmw, 0.03},
+                          {OpKind::kTransfer, 0.05}}),
+      make_mix("ycsb-c", {{OpKind::kRead, 0.95}, {OpKind::kTransfer, 0.05}}),
+      make_mix("ycsb-e", {{OpKind::kScan, 0.90},
+                          {OpKind::kInsert, 0.05},
+                          {OpKind::kTransfer, 0.05}}),
+      make_mix("ycsb-f", {{OpKind::kRead, 0.45},
+                          {OpKind::kRmw, 0.45},
+                          {OpKind::kTransfer, 0.10}}),
+      make_mix("tpcc-lite", {{OpKind::kNewOrder, 0.44},
+                             {OpKind::kPayment, 0.44},
+                             {OpKind::kStockScan, 0.12}}),
+  };
+  return mixes;
+}
+
+}  // namespace
+
+std::string_view op_name(OpKind op) noexcept {
+  switch (op) {
+    case OpKind::kRead:
+      return "read";
+    case OpKind::kUpdate:
+      return "update";
+    case OpKind::kInsert:
+      return "insert";
+    case OpKind::kScan:
+      return "scan";
+    case OpKind::kRmw:
+      return "rmw";
+    case OpKind::kTransfer:
+      return "transfer";
+    case OpKind::kNewOrder:
+      return "new_order";
+    case OpKind::kPayment:
+      return "payment";
+    case OpKind::kStockScan:
+      return "stock_scan";
+  }
+  return "unknown";
+}
+
+OpKind OpMix::pick(double u) const noexcept {
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < share.size(); ++i) {
+    cumulative += share[i];
+    if (u < cumulative) return static_cast<OpKind>(i);
+  }
+  // Rounding residue at u ~ 1: fall back to the largest share.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < share.size(); ++i) {
+    if (share[i] > share[best]) best = i;
+  }
+  return static_cast<OpKind>(best);
+}
+
+std::vector<std::string> known_mixes() {
+  std::vector<std::string> names;
+  names.reserve(all_mixes().size());
+  for (const OpMix& mix : all_mixes()) names.push_back(mix.name);
+  return names;
+}
+
+const OpMix& mix_by_name(std::string_view name) {
+  for (const OpMix& mix : all_mixes()) {
+    if (mix.name == name) return mix;
+  }
+  std::string known;
+  for (const OpMix& mix : all_mixes()) {
+    if (!known.empty()) known += ", ";
+    known += mix.name;
+  }
+  throw std::invalid_argument("unknown traffic mix '" + std::string(name) +
+                              "' (known: " + known + ")");
+}
+
+}  // namespace rubic::traffic

@@ -1,0 +1,67 @@
+// Operation mixes for the transactional KV service.
+//
+// YCSB-style mixes (a/b/c/e/f) plus a TPC-C-lite new-order/payment mix.
+// Every mix reserves a slice for zero-sum balance transfers so the
+// transfer invariant is exercised no matter which mix a run selects, and
+// every effectful op additionally bumps its client's applied-count and
+// sequence-checksum rows inside the same transaction — the two hooks the
+// exit-time verifier uses to detect lost or duplicated effects.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rubic::traffic {
+
+enum class OpKind : std::uint8_t {
+  kRead,       // point lookup of a data key
+  kUpdate,     // blind write of a data key
+  kInsert,     // insert of a fresh (never-seen) data key
+  kScan,       // short range read starting at a data key
+  kRmw,        // read-modify-write increment of a data key
+  kTransfer,   // zero-sum balance move between two account keys
+  kNewOrder,   // TPC-C-lite: district counter RMW + order insert + stock RMWs
+  kPayment,    // TPC-C-lite: zero-sum customer -> warehouse transfer
+  kStockScan,  // TPC-C-lite: read-only sweep over contended stock keys
+};
+inline constexpr std::size_t kOpKindCount = 9;
+
+std::string_view op_name(OpKind op) noexcept;
+
+// True for ops whose effects the verifier counts (everything that writes).
+constexpr bool op_writes(OpKind op) noexcept {
+  switch (op) {
+    case OpKind::kRead:
+    case OpKind::kScan:
+    case OpKind::kStockScan:
+      return false;
+    case OpKind::kUpdate:
+    case OpKind::kInsert:
+    case OpKind::kRmw:
+    case OpKind::kTransfer:
+    case OpKind::kNewOrder:
+    case OpKind::kPayment:
+      return true;
+  }
+  return false;
+}
+
+// A probability share per OpKind; shares sum to 1 for the built-in mixes.
+struct OpMix {
+  std::string name;
+  std::array<double, kOpKindCount> share{};
+
+  // Draws an op from the mix given a uniform u in [0, 1).
+  OpKind pick(double u) const noexcept;
+};
+
+// Built-in mix names, canonical (registration) order.
+std::vector<std::string> known_mixes();
+
+// Throws std::invalid_argument for unknown names, listing the known ones.
+const OpMix& mix_by_name(std::string_view name);
+
+}  // namespace rubic::traffic

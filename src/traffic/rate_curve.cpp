@@ -1,0 +1,183 @@
+#include "src/traffic/rate_curve.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <stdexcept>
+#include <utility>
+
+namespace rubic::traffic {
+namespace {
+
+[[noreturn]] void bad_spec(std::string_view spec, std::string_view why) {
+  throw std::invalid_argument("bad rate curve '" + std::string(spec) +
+                              "': " + std::string(why));
+}
+
+double parse_number(std::string_view text, std::string_view spec) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    bad_spec(spec, "expected a number, got '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> parts;
+  while (true) {
+    const std::size_t pos = text.find(sep);
+    if (pos == std::string_view::npos) {
+      if (!text.empty()) parts.push_back(text);
+      return parts;
+    }
+    if (pos > 0) parts.push_back(text.substr(0, pos));
+    text.remove_prefix(pos + 1);
+  }
+}
+
+// "k=v,k=v" fields for the fixed-shape curves; every key must be known and
+// every required key present.
+struct Fields {
+  std::vector<std::pair<std::string_view, double>> kv;
+
+  double get(std::string_view key, std::string_view spec) const {
+    for (const auto& [k, v] : kv) {
+      if (k == key) return v;
+    }
+    bad_spec(spec, "missing field '" + std::string(key) + "'");
+  }
+
+  double get_or(std::string_view key, double fallback) const {
+    for (const auto& [k, v] : kv) {
+      if (k == key) return v;
+    }
+    return fallback;
+  }
+};
+
+Fields parse_fields(std::string_view body, std::string_view spec,
+                    std::initializer_list<std::string_view> known) {
+  Fields fields;
+  for (const std::string_view part : split(body, ',')) {
+    const std::size_t eq = part.find('=');
+    if (eq == std::string_view::npos) {
+      bad_spec(spec, "expected key=value, got '" + std::string(part) + "'");
+    }
+    const std::string_view key = part.substr(0, eq);
+    if (std::find(known.begin(), known.end(), key) == known.end()) {
+      bad_spec(spec, "unknown field '" + std::string(key) + "'");
+    }
+    fields.kv.emplace_back(key, parse_number(part.substr(eq + 1), spec));
+  }
+  return fields;
+}
+
+std::vector<Phase> parse_phase_list(std::string_view body,
+                                    std::string_view spec) {
+  std::vector<Phase> phases;
+  for (const std::string_view part : split(body, ',')) {
+    const std::size_t eq = part.find('=');
+    const std::size_t at = part.find('@');
+    if (eq == std::string_view::npos || at == std::string_view::npos ||
+        at < eq) {
+      bad_spec(spec, "expected NAME=RATE@SECS, got '" + std::string(part) +
+                         "'");
+    }
+    const double rate = parse_number(part.substr(eq + 1, at - eq - 1), spec);
+    const double secs = parse_number(part.substr(at + 1), spec);
+    phases.push_back({std::string(part.substr(0, eq)), secs, rate, rate});
+  }
+  if (phases.empty()) bad_spec(spec, "phase list is empty");
+  return phases;
+}
+
+}  // namespace
+
+RateCurve::RateCurve(std::vector<Phase> phases) : phases_(std::move(phases)) {
+  if (phases_.empty()) {
+    throw std::invalid_argument("rate curve needs at least one phase");
+  }
+  starts_.reserve(phases_.size());
+  for (const Phase& p : phases_) {
+    if (!(p.seconds > 0.0)) {
+      throw std::invalid_argument("rate curve phase '" + p.name +
+                                  "' has non-positive duration");
+    }
+    if (p.rate_begin < 0.0 || p.rate_end < 0.0) {
+      throw std::invalid_argument("rate curve phase '" + p.name +
+                                  "' has a negative rate");
+    }
+    starts_.push_back(total_seconds_);
+    total_seconds_ += p.seconds;
+  }
+}
+
+double RateCurve::rate_at(double t) const noexcept {
+  if (t < 0.0 || t >= total_seconds_) return 0.0;
+  const std::size_t i = phase_index_at(t);
+  const Phase& p = phases_[i];
+  const double frac = (t - starts_[i]) / p.seconds;
+  return p.rate_begin + frac * (p.rate_end - p.rate_begin);
+}
+
+std::size_t RateCurve::phase_index_at(double t) const noexcept {
+  const auto it = std::upper_bound(starts_.begin(), starts_.end(), t);
+  if (it == starts_.begin()) return 0;
+  return static_cast<std::size_t>(it - starts_.begin()) - 1;
+}
+
+RateCurve RateCurve::parse(std::string_view spec) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string_view::npos) {
+    bad_spec(spec, "expected SHAPE:fields");
+  }
+  const std::string_view shape = spec.substr(0, colon);
+  const std::string_view body = spec.substr(colon + 1);
+
+  if (shape == "constant") {
+    const Fields f = parse_fields(body, spec, {"rate", "seconds"});
+    const double rate = f.get("rate", spec);
+    const double secs = f.get("seconds", spec);
+    return RateCurve({{"steady", secs, rate, rate}});
+  }
+  if (shape == "ramp") {
+    const Fields f = parse_fields(body, spec, {"from", "to", "seconds"});
+    const double from = f.get("from", spec);
+    const double to = f.get("to", spec);
+    const double secs = f.get("seconds", spec);
+    return RateCurve({{"ramp", secs, from, to}});
+  }
+  if (shape == "diurnal") {
+    const Fields f = parse_fields(body, spec, {"low", "high", "seconds"});
+    const double low = f.get("low", spec);
+    const double high = f.get("high", spec);
+    const double q = f.get("seconds", spec) / 4.0;
+    return RateCurve({{"trough", q, low, low},
+                      {"rise", q, low, high},
+                      {"peak", q, high, high},
+                      {"fall", q, high, low}});
+  }
+  if (shape == "flash") {
+    const Fields f = parse_fields(
+        body, spec, {"base", "spike", "seconds", "spike_at", "spike_len"});
+    const double base = f.get("base", spec);
+    const double spike = f.get("spike", spec);
+    const double secs = f.get("seconds", spec);
+    const double at = f.get_or("spike_at", 0.4);
+    const double len = f.get_or("spike_len", 0.2);
+    if (at <= 0.0 || len <= 0.0 || at + len >= 1.0) {
+      bad_spec(spec, "need 0 < spike_at, 0 < spike_len, spike_at+spike_len < 1");
+    }
+    return RateCurve({{"pre", secs * at, base, base},
+                      {"spike", secs * len, spike, spike},
+                      {"post", secs * (1.0 - at - len), base, base}});
+  }
+  if (shape == "phases") {
+    return RateCurve(parse_phase_list(body, spec));
+  }
+  bad_spec(spec, "unknown shape '" + std::string(shape) +
+                     "' (want constant|ramp|diurnal|flash|phases)");
+}
+
+}  // namespace rubic::traffic

@@ -1,0 +1,62 @@
+// Piecewise-linear offered-load curves for the open-loop generator.
+//
+// A curve is a sequence of named phases, each ramping linearly from
+// rate_begin to rate_end requests/second over its duration. Arrival
+// schedules are precomputed from the curve before the run starts, so the
+// offered rate is a property of the curve alone — a slow server grows a
+// backlog instead of silently throttling the generator (open-loop
+// semantics). Phase names key the per-phase latency/SLO report.
+//
+// Spec grammar (parsed by RateCurve::parse; docs/traffic.md has examples):
+//   constant:rate=R,seconds=S
+//   ramp:from=A,to=B,seconds=S
+//   diurnal:low=L,high=H,seconds=S          trough/rise/peak/fall quarters
+//   flash:base=B,spike=K,seconds=S[,spike_at=F,spike_len=F]
+//   phases:NAME=RATE@SECS,NAME=RATE@SECS,...
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rubic::traffic {
+
+struct Phase {
+  std::string name;
+  double seconds = 0.0;
+  double rate_begin = 0.0;  // requests/second at phase start
+  double rate_end = 0.0;    // requests/second at phase end (linear in between)
+};
+
+class RateCurve {
+ public:
+  // Throws std::invalid_argument on an unknown shape, a malformed field, a
+  // non-positive duration, or a negative rate.
+  static RateCurve parse(std::string_view spec);
+
+  explicit RateCurve(std::vector<Phase> phases);
+
+  const std::vector<Phase>& phases() const noexcept { return phases_; }
+  double total_seconds() const noexcept { return total_seconds_; }
+
+  // Instantaneous offered rate at time t seconds from the start of the
+  // curve; 0 outside [0, total_seconds).
+  double rate_at(double t) const noexcept;
+
+  // Index into phases() of the phase containing time t; times at or past
+  // the end map to the last phase.
+  std::size_t phase_index_at(double t) const noexcept;
+
+  // Mean offered rate of one phase (trapezoid of the linear ramp).
+  static double mean_rate(const Phase& p) noexcept {
+    return 0.5 * (p.rate_begin + p.rate_end);
+  }
+
+ private:
+  std::vector<Phase> phases_;
+  std::vector<double> starts_;  // cumulative start time of each phase
+  double total_seconds_ = 0.0;
+};
+
+}  // namespace rubic::traffic

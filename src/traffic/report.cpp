@@ -1,0 +1,134 @@
+#include "src/traffic/report.hpp"
+
+#include <cstdio>
+
+namespace rubic::traffic {
+namespace {
+
+std::string json_escape(const std::string& in) {
+  std::string out;
+  for (char c : in) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+  }
+  return out;
+}
+
+void append_phase(std::string& out, const PhaseSummary& phase,
+                  const char* indent, bool last) {
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof buffer,
+      "%s{\"name\": \"%s\", \"seconds\": %.3f, \"offered_rps\": %.1f, "
+      "\"scheduled\": %llu, \"completed\": %llu, \"slo_ok\": %llu, "
+      "\"slo_attainment\": %.4f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
+      "\"p999_us\": %.1f, \"mean_us\": %.1f, \"max_backlog\": %llu}%s\n",
+      indent, json_escape(phase.name).c_str(), phase.seconds,
+      phase.offered_rps, static_cast<unsigned long long>(phase.scheduled),
+      static_cast<unsigned long long>(phase.completed),
+      static_cast<unsigned long long>(phase.slo_ok), phase.slo_attainment,
+      phase.p50_us, phase.p99_us, phase.p999_us, phase.mean_us,
+      static_cast<unsigned long long>(phase.max_backlog), last ? "" : ",");
+  out += buffer;
+}
+
+}  // namespace
+
+std::string format_traffic_report(const TrafficConfig& config,
+                                  const std::vector<RunResult>& runs) {
+  char buffer[512];
+  std::string out = "{\n";
+  std::snprintf(
+      buffer, sizeof buffer,
+      "  \"schema\": \"%.*s\",\n"
+      "  \"tool\": \"rubic_traffic\",\n"
+      "  \"config\": {\"mix\": \"%s\", \"dist\": \"%s\", \"theta\": %.3f, "
+      "\"keys\": %llu, \"accounts\": %llu, \"clients\": %u, "
+      "\"scan_len\": %llu, \"seed\": %llu, \"slo_us\": %llu, "
+      "\"curve\": \"%s\"},\n"
+      "  \"runs\": [\n",
+      static_cast<int>(kReportSchema.size()), kReportSchema.data(),
+      json_escape(config.mix).c_str(), json_escape(config.dist).c_str(),
+      config.theta, static_cast<unsigned long long>(config.keys),
+      static_cast<unsigned long long>(config.accounts), config.clients,
+      static_cast<unsigned long long>(config.scan_len),
+      static_cast<unsigned long long>(config.seed),
+      static_cast<unsigned long long>(config.slo_us),
+      json_escape(config.curve).c_str());
+  out += buffer;
+
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& run = runs[i];
+    const TrafficSummary& s = run.summary;
+    std::snprintf(
+        buffer, sizeof buffer,
+        "    {\"policy\": \"%s\", \"backend\": \"%s\", "
+        "\"completed\": %s, \"verified\": %s, \"verify_error\": \"%s\",\n"
+        "     \"makespan_s\": %.3f, \"scheduled\": %llu, "
+        "\"dispatched\": %llu, \"executed\": %llu, \"mean_level\": %.2f, "
+        "\"final_level\": %d, \"commits\": %llu, \"aborts\": %llu,\n",
+        json_escape(run.policy).c_str(), json_escape(run.backend).c_str(),
+        run.completed ? "true" : "false", run.verified ? "true" : "false",
+        json_escape(run.verify_error).c_str(), run.makespan_s,
+        static_cast<unsigned long long>(s.scheduled),
+        static_cast<unsigned long long>(s.dispatched),
+        static_cast<unsigned long long>(s.executed), run.mean_level,
+        run.final_level, static_cast<unsigned long long>(run.commits),
+        static_cast<unsigned long long>(run.aborts));
+    out += buffer;
+    out += "     \"overall\":\n";
+    append_phase(out, s.overall, "      ", true);
+    out += "     ,\"phases\": [\n";
+    for (std::size_t p = 0; p < s.phases.size(); ++p) {
+      append_phase(out, s.phases[p], "      ", p + 1 == s.phases.size());
+    }
+    out += "    ]}";
+    out += i + 1 < runs.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string format_bench_results(const TrafficConfig& config,
+                                 const std::vector<RunResult>& runs,
+                                 const std::string& git_sha) {
+  char buffer[512];
+  std::string out = "{\n";
+  std::snprintf(buffer, sizeof buffer,
+                "  \"schema\": \"rubic-bench-results/v1\",\n"
+                "  \"suite\": \"traffic:%s\",\n"
+                "  \"reps\": 1,\n"
+                "  \"git_sha\": \"%s\",\n"
+                "  \"results\": [\n",
+                json_escape(config.mix).c_str(),
+                json_escape(git_sha).c_str());
+  out += buffer;
+
+  const auto emit = [&](const std::string& name, const char* metric,
+                        const char* better, double value, bool last) {
+    std::snprintf(buffer, sizeof buffer,
+                  "    {\"name\": \"%s\", \"metric\": \"%s\", "
+                  "\"better\": \"%s\", \"gate\": false, "
+                  "\"median\": %.6g, \"p95\": %.6g, \"min\": %.6g, "
+                  "\"mean\": %.6g, \"values\": [%.6g]}%s\n",
+                  json_escape(name).c_str(), metric, better, value, value,
+                  value, value, value, last ? "" : ",");
+    out += buffer;
+  };
+
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& run = runs[i];
+    const PhaseSummary& overall = run.summary.overall;
+    const std::string prefix = "traffic_" + run.policy + "_";
+    const bool last = i + 1 == runs.size();
+    emit(prefix + "p50_us", "us", "lower", overall.p50_us, false);
+    emit(prefix + "p99_us", "us", "lower", overall.p99_us, false);
+    emit(prefix + "p999_us", "us", "lower", overall.p999_us, false);
+    emit(prefix + "slo_attainment", "fraction", "higher",
+         overall.slo_attainment, last);
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace rubic::traffic

@@ -1,0 +1,46 @@
+// JSON rendering for traffic runs (tools/rubic_traffic).
+//
+// Two output shapes: the native "rubic-traffic-report/v1" document — config
+// echo plus one entry per controller run with per-phase p50/p99/p999,
+// SLO-attainment fractions and verification status — and a
+// "rubic-bench-results/v1" projection of the same runs so
+// scripts/bench_compare.py and the CI perf gate consume traffic numbers
+// without a second comparison tool.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/traffic/kv_service.hpp"
+
+namespace rubic::traffic {
+
+inline constexpr std::string_view kReportSchema = "rubic-traffic-report/v1";
+
+// One controller's run over the shared schedule.
+struct RunResult {
+  std::string policy;
+  std::string backend;
+  TrafficSummary summary;
+  double makespan_s = 0.0;  // wall time to drain the schedule
+  bool completed = false;   // drained before the tool's timeout
+  bool verified = false;
+  std::string verify_error;
+  double mean_level = 0.0;
+  int final_level = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+};
+
+std::string format_traffic_report(const TrafficConfig& config,
+                                  const std::vector<RunResult>& runs);
+
+// Per-run overall p50/p99/p999 latency and SLO attainment as bench-schema
+// results (all gate:false — regression gating picks specific names via the
+// curated baseline, not this file).
+std::string format_bench_results(const TrafficConfig& config,
+                                 const std::vector<RunResult>& runs,
+                                 const std::string& git_sha);
+
+}  // namespace rubic::traffic

@@ -1,0 +1,15 @@
+// Umbrella header for the traffic subsystem (docs/traffic.md).
+//
+// Open-loop transactional KV service workloads: seeded key distributions
+// (keydist.hpp), offered-load curves (rate_curve.hpp), precomputed arrival
+// schedules (arrival.hpp), the service workload with SLO accounting and
+// exit-time verification (kv_service.hpp), and report rendering
+// (report.hpp).
+#pragma once
+
+#include "src/traffic/arrival.hpp"
+#include "src/traffic/keydist.hpp"
+#include "src/traffic/kv_service.hpp"
+#include "src/traffic/mix.hpp"
+#include "src/traffic/rate_curve.hpp"
+#include "src/traffic/report.hpp"

@@ -1,0 +1,24 @@
+#include "src/util/listing.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rubic::util {
+
+std::string format_name_list(std::vector<std::string_view> names) {
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  std::string out;
+  for (const std::string_view name : names) {
+    out += name;
+    out += '\n';
+  }
+  return out;
+}
+
+void print_name_list(std::vector<std::string_view> names) {
+  const std::string rendered = format_name_list(std::move(names));
+  std::fputs(rendered.c_str(), stdout);
+}
+
+}  // namespace rubic::util

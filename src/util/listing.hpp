@@ -1,0 +1,24 @@
+// Shared renderer for every binary's --list-workloads / --list-controllers /
+// --list-backends flag.
+//
+// Each registry (workloads::known_workloads, control::known_policies,
+// stm::known_backends, traffic::known_mixes, sim::profile_names) keeps its
+// own canonical order; the CLI listing is presentation, and scripts diff it,
+// so all binaries render through this one function: sorted, deduplicated,
+// one name per line. A test asserts the registries round-trip through it.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rubic::util {
+
+// Sorted, deduplicated, newline-terminated ("a\nb\n..."); empty input
+// renders as the empty string.
+std::string format_name_list(std::vector<std::string_view> names);
+
+// format_name_list straight to stdout.
+void print_name_list(std::vector<std::string_view> names);
+
+}  // namespace rubic::util

@@ -19,6 +19,7 @@
 #include "src/stm/stm.hpp"
 #include "src/telemetry/audit.hpp"
 #include "src/telemetry/telemetry.hpp"
+#include "src/util/rng.hpp"
 #include "src/workloads/rbset_workload.hpp"
 
 namespace rubic {
@@ -54,6 +55,68 @@ TEST(Bucketing, UpperBoundsMatchIndex) {
 }
 
 // --- metric primitives ------------------------------------------------------
+
+TEST(Quantile, EmptyHistogramYieldsZero) {
+  const std::vector<std::uint64_t> empty;
+  EXPECT_DOUBLE_EQ(telemetry::quantile_from_buckets(empty, 0.5), 0.0);
+  telemetry::Histogram histogram;
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 0.0);
+}
+
+TEST(Quantile, SingleBucketStaysWithinItsBounds) {
+  telemetry::Histogram histogram;
+  for (int i = 0; i < 1000; ++i) histogram.observe(100);
+  // All mass sits in bucket [64, 127]: every quantile must land there —
+  // the factor-of-2 error bound the traffic SLO report quotes.
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 0.999, 1.0}) {
+    const double value = histogram.quantile(q);
+    EXPECT_GE(value, 64.0) << q;
+    EXPECT_LE(value, 128.0) << q;
+  }
+  // Value 0 is its own bucket and interpolates to exactly 0.
+  telemetry::Histogram zeros;
+  zeros.observe(0);
+  zeros.observe(0);
+  EXPECT_DOUBLE_EQ(zeros.quantile(0.5), 0.0);
+}
+
+TEST(Quantile, KnownUniformDistributionLandsInTheRightBuckets) {
+  telemetry::Histogram histogram;
+  for (std::uint64_t value = 1; value <= 1000; ++value) {
+    histogram.observe(value);
+  }
+  // True p50 = 500 lives in bucket [256, 511]; true p99 = 990 in
+  // [512, 1023]. Interpolation may not leave the containing bucket.
+  const double p50 = histogram.quantile(0.50);
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 512.0);
+  const double p99 = histogram.quantile(0.99);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1024.0);
+  const double p999 = histogram.quantile(0.999);
+  EXPECT_GE(p999, 512.0);
+  EXPECT_LE(p999, 1024.0);
+}
+
+TEST(Quantile, MonotonicInQAndClamped) {
+  telemetry::Histogram histogram;
+  util::Xoshiro256 rng(5);
+  for (int i = 0; i < 20000; ++i) histogram.observe(rng.below(100000));
+  double last = -1.0;
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const double value = histogram.quantile(q);
+    EXPECT_GE(value, last) << q;
+    last = value;
+  }
+  const std::vector<std::uint64_t> buckets = histogram.buckets();
+  EXPECT_DOUBLE_EQ(telemetry::quantile_from_buckets(buckets, -0.5),
+                   telemetry::quantile_from_buckets(buckets, 0.0));
+  EXPECT_DOUBLE_EQ(telemetry::quantile_from_buckets(buckets, 2.0),
+                   telemetry::quantile_from_buckets(buckets, 1.0));
+  // The member wrapper is the same estimator over the same snapshot.
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.9),
+                   telemetry::quantile_from_buckets(buckets, 0.9));
+}
 
 TEST(Metrics, CounterSumsAcrossThreads) {
   telemetry::Registry reg;

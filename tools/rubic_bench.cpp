@@ -39,7 +39,9 @@
 #include "src/stm/stm.hpp"
 #include "src/telemetry/telemetry.hpp"
 #include "src/trace/trace.hpp"
+#include "src/traffic/traffic.hpp"
 #include "src/util/cli.hpp"
+#include "src/util/rng.hpp"
 #include "src/workloads/rbset_workload.hpp"
 #include "src/workloads/rbtree.hpp"
 
@@ -390,6 +392,67 @@ double bench_stm_commit_telemetry_armed_pct() {
   return std::max(0.0, (armed - plain) / plain * 100.0);
 }
 
+// --- traffic subsystem micro benches (micro_traffic suite) ---
+
+// Cost of one YCSB zipfian draw at the production size/skew — paid once per
+// generated request at schedule-build time.
+double bench_traffic_zipf_sample_ns() {
+  constexpr std::uint64_t kOps = 1 << 22;
+  traffic::ZipfianSampler sampler(16384, 0.99);
+  util::Xoshiro256 rng(7);
+  std::uint64_t acc = 0;
+  const double start = now_seconds();
+  for (std::uint64_t i = 0; i < kOps; ++i) acc += sampler.sample(rng);
+  const double elapsed = now_seconds() - start;
+  if (acc == ~std::uint64_t{0}) std::abort();  // defeat dead-code elimination
+  return elapsed * 1e9 / static_cast<double>(kOps);
+}
+
+// Per-request cost of precomputing an arrival schedule (Poisson inversion,
+// op draw, key fill, request append). Allocation-inclusive by design — this
+// is the real pre-run latency a traffic run pays.
+double bench_traffic_arrival_gen_ns() {
+  traffic::TrafficConfig config;
+  config.mix = "ycsb-a";
+  config.keys = 8192;
+  config.accounts = 128;
+  config.clients = 32;
+  config.seed = 29;
+  config.curve = "constant:rate=100000,seconds=1";
+  const double start = now_seconds();
+  const traffic::Schedule schedule = traffic::build_schedule(config);
+  const double elapsed = now_seconds() - start;
+  if (schedule.requests.empty()) std::abort();
+  return elapsed * 1e9 / static_cast<double>(schedule.requests.size());
+}
+
+// Closed-loop per-request service cost on the orec backend: one thread
+// drains a halted schedule (halt() skips the arrival waits) back-to-back,
+// so the number is the KV transaction + verification bookkeeping itself,
+// not open-loop idle time. Map population is excluded from the timed
+// region.
+double bench_traffic_kv_request_ns() {
+  traffic::TrafficConfig config;
+  config.mix = "ycsb-b";
+  config.keys = 4096;
+  config.accounts = 64;
+  config.clients = 16;
+  config.seed = 17;
+  config.curve = "constant:rate=40000,seconds=1";
+  stm::RuntimeConfig cfg;
+  cfg.backend = stm::BackendKind::kOrecSwiss;
+  stm::Runtime rt(cfg);
+  traffic::KvTrafficWorkload workload(rt, traffic::build_schedule(config));
+  const auto total =
+      static_cast<double>(workload.schedule().requests.size());
+  workload.halt();
+  stm::TxnDesc& ctx = rt.register_thread();
+  util::Xoshiro256 rng(23);
+  const double start = now_seconds();
+  while (!workload.done()) workload.run_task(ctx, rng);
+  return (now_seconds() - start) * 1e9 / total;
+}
+
 // Scenario: one tuned process (RUBIC policy) on the rb-set microbenchmark.
 // Wall-clock tasks/s — recorded, never gated.
 double bench_tuned_process_tasks_per_s(milliseconds run_ms) {
@@ -505,6 +568,15 @@ std::vector<BenchDef> make_benches(milliseconds scenario_ms) {
        }},
       {"backend_norec_rbtree_lookup_ns", "ns_per_op", "lower", false, false,
        [] { return bench_backend_rbtree_lookup_ns(stm::BackendKind::kNorec); }},
+      // Traffic subsystem: the sampler and the closed-loop request costs
+      // are stable single-threaded micro paths (gated); schedule
+      // generation is allocation-heavy and only recorded.
+      {"traffic_zipf_sample_ns", "ns_per_op", "lower", true, false,
+       bench_traffic_zipf_sample_ns},
+      {"traffic_arrival_gen_ns", "ns_per_op", "lower", false, false,
+       bench_traffic_arrival_gen_ns},
+      {"traffic_kv_request_ns", "ns_per_op", "lower", true, false,
+       bench_traffic_kv_request_ns},
       {"tuned_process_tasks_per_s", "tasks_per_s", "higher", false, true,
        [scenario_ms] {
          return bench_tuned_process_tasks_per_s(scenario_ms);
@@ -540,6 +612,11 @@ std::vector<std::string> suite_members(const std::string& suite) {
             "backend_orec_rmw8_ns", "backend_norec_rmw8_ns",
             "backend_orec_rbtree_lookup_ns", "backend_norec_rbtree_lookup_ns"};
   }
+  if (suite == "micro_traffic") {
+    // Traffic generator + KV service hot paths (src/traffic/).
+    return {"traffic_zipf_sample_ns", "traffic_arrival_gen_ns",
+            "traffic_kv_request_ns"};
+  }
   if (suite == "ci-fast") {
     // The CI gate set: every gated micro metric plus the headline disarmed
     // overhead percentages, sized to finish in about a minute.
@@ -547,7 +624,9 @@ std::vector<std::string> suite_members(const std::string& suite) {
             "stm_read_only_1_ns", "stm_write_1_ns", "stm_rbtree_lookup_ns",
             "backend_orec_rmw8_ns",
             "runtime_overhead_disarmed_pct", "telemetry_count_disarmed_ns",
-            "telemetry_count_armed_ns", "stm_commit_telemetry_disarmed_pct"};
+            "telemetry_count_armed_ns", "stm_commit_telemetry_disarmed_pct",
+            "traffic_zipf_sample_ns", "traffic_arrival_gen_ns",
+            "traffic_kv_request_ns"};
   }
   return {};
 }
@@ -666,8 +745,8 @@ int main(int argc, char** argv) {
     auto benches = make_benches(seconds(scenario_seconds));
     if (list) {
       std::printf("suites: micro_stm_overhead micro_runtime_overhead "
-                  "micro_telemetry_overhead micro_backend_compare colocate "
-                  "ci-fast all\nbenches:\n");
+                  "micro_telemetry_overhead micro_backend_compare "
+                  "micro_traffic colocate ci-fast all\nbenches:\n");
       for (const auto& bench : benches) {
         std::printf("  %-32s %-12s better=%s gate=%s\n", bench.name.c_str(),
                     bench.metric.c_str(), bench.better.c_str(),

@@ -46,7 +46,9 @@
 #include "src/telemetry/audit.hpp"
 #include "src/telemetry/telemetry.hpp"
 #include "src/trace/trace.hpp"
+#include "src/traffic/traffic.hpp"
 #include "src/util/cli.hpp"
+#include "src/util/listing.hpp"
 #include "src/workloads/registry.hpp"
 
 using namespace rubic;
@@ -128,6 +130,24 @@ std::string read_file(const std::string& path) {
   return out;
 }
 
+// Builds the child workload: names from the registry, or a traffic-driven
+// KV service child via the "traffic:<spec>" form (spec grammar in
+// src/traffic/arrival.hpp — ';'-separated key=value, e.g.
+// "traffic:mix=ycsb-a;curve=flash:base=500,spike=4000,seconds=6"). Traffic
+// children run the same open-loop schedule in every process, so controllers
+// co-located against each other compare on SLO attainment; their per-phase
+// latency/SLO metrics flow through --telemetry into the merged report.
+std::unique_ptr<workloads::Workload> make_child_workload(
+    const std::string& spec, stm::Runtime& rt) {
+  constexpr std::string_view kTrafficPrefix = "traffic:";
+  if (spec.rfind(kTrafficPrefix, 0) == 0) {
+    return std::make_unique<traffic::KvTrafficWorkload>(
+        rt, traffic::build_schedule(traffic::parse_traffic_config(
+                spec.substr(kTrafficPrefix.size()))));
+  }
+  return workloads::make_workload(spec, rt);
+}
+
 struct ChildResult {
   pid_t pid = 0;
   bool completed = false;  // exited 0 AND published a final report
@@ -187,7 +207,7 @@ int run_child(const Options& opt, ipc::CoLocationBus& bus, int child_index) {
   stm::RuntimeConfig stm_config;
   stm_config.backend = opt.stm_backend;
   stm::Runtime rt(stm_config);
-  auto workload = workloads::make_workload(opt.workload, rt);
+  auto workload = make_child_workload(opt.workload, rt);
 
   std::unique_ptr<control::Controller> controller;
   if (opt.policy == "equalshare" && have_slot) {
@@ -287,7 +307,7 @@ double measure_baseline(const Options& opt) {
   stm::RuntimeConfig stm_config;
   stm_config.backend = opt.stm_backend;
   stm::Runtime rt(stm_config);
-  auto workload = workloads::make_workload(opt.workload, rt);
+  auto workload = make_child_workload(opt.workload, rt);
   control::FixedController sequential(control::LevelBounds{1, 1}, 1, "Seq");
   runtime::ProcessConfig config;
   config.pool.pool_size = 1;
@@ -406,21 +426,20 @@ int main(int argc, char** argv) {
     const bool list_controllers = cli.get_bool("list-controllers");
     const bool list_backends = cli.get_bool("list-backends");
     if (list_workloads || list_controllers || list_backends) {
+      // One shared renderer (util/listing.hpp) so every binary's listing is
+      // sorted and byte-identical for the same registry.
       if (list_workloads) {
-        for (const auto& name : workloads::known_workloads()) {
-          std::printf("%.*s\n", static_cast<int>(name.size()), name.data());
-        }
+        util::print_name_list(workloads::known_workloads());
       }
       if (list_controllers) {
-        for (const auto& name : control::known_policies()) {
-          std::printf("%.*s\n", static_cast<int>(name.size()), name.data());
-        }
+        util::print_name_list(control::known_policies());
       }
       if (list_backends) {
+        std::vector<std::string_view> names;
         for (const auto k : stm::known_backends()) {
-          const auto name = stm::backend_name(k);
-          std::printf("%.*s\n", static_cast<int>(name.size()), name.data());
+          names.push_back(stm::backend_name(k));
         }
+        util::print_name_list(std::move(names));
       }
       return 0;
     }
@@ -463,6 +482,7 @@ int main(int argc, char** argv) {
     if (opt.procs < 1 || opt.seconds < 1) {
       std::fprintf(stderr,
                    "usage: rubic_colocate --procs N --workload W --policy P "
+                   "(W: registry name or traffic:mix=...;curve=...) "
                    "[--stm-backend B] "
                    "[--seconds S] [--contexts C] [--pool SZ] [--period-ms M] "
                    "[--baseline-seconds B] [--chaos-kill-ms T] "

@@ -25,6 +25,7 @@
 #include "src/telemetry/telemetry.hpp"
 #include "src/trace/trace.hpp"
 #include "src/util/cli.hpp"
+#include "src/util/listing.hpp"
 
 using namespace rubic;
 
@@ -70,21 +71,21 @@ int main(int argc, char** argv) {
     const bool list_controllers = cli.get_bool("list-controllers");
     const bool list_backends = cli.get_bool("list-backends");
     if (list_workloads || list_controllers || list_backends) {
+      // Rendered through util/listing.hpp like every other binary, so the
+      // controller/backend listings are byte-identical across tools (the
+      // sim's workloads are its own fitted profiles, sorted the same way).
       if (list_workloads) {
-        for (const auto& name : sim::profile_names()) {
-          std::printf("%.*s\n", static_cast<int>(name.size()), name.data());
-        }
+        util::print_name_list(sim::profile_names());
       }
       if (list_controllers) {
-        for (const auto& name : control::known_policies()) {
-          std::printf("%.*s\n", static_cast<int>(name.size()), name.data());
-        }
+        util::print_name_list(control::known_policies());
       }
       if (list_backends) {
+        std::vector<std::string_view> names;
         for (const auto k : stm::known_backends()) {
-          const auto name = stm::backend_name(k);
-          std::printf("%.*s\n", static_cast<int>(name.size()), name.data());
+          names.push_back(stm::backend_name(k));
         }
+        util::print_name_list(std::move(names));
       }
       return 0;
     }

@@ -1,0 +1,233 @@
+#!/usr/bin/env python3
+"""Validate a rubic_soak report against the rubic-soak-report/v1 schema.
+
+Beyond field shape, this enforces the report's internal consistency: the
+top-level verdict must agree with the per-invariant verdicts and process
+outcomes, every failed invariant must carry a violation timestamp and its
+nearest telemetry snapshot must exist on the timeline, trouble delivery
+timestamps may not precede their scheduled offsets, and the telemetry part
+accounting must balance (expected == merged + missing + discarded).
+
+Usage:
+    check_soak.py REPORT.json [--expect-fail]
+
+--expect-fail flips the verdict check for negative scenarios (e.g. the
+committed violation_tamper.scn): the report must be well-formed AND say
+passed=false. Exit code 0 when every check passes; 1 with a diagnostic on
+stderr otherwise. CI runs this on the PR soak smoke and the nightly soak
+(see .github/workflows/ci.yml and tests/CMakeLists.txt).
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "rubic-soak-report/v1"
+TELEMETRY_SCHEMA = "rubic-telemetry/v1"
+
+OUTCOMES = {
+    "not-started",
+    "chaos-killed",
+    "hung",
+    "completed",
+    "verify-failed",
+    "crashed",
+    "died",
+}
+BAD_OUTCOMES = {"hung", "crashed", "died", "verify-failed"}
+TROUBLE_KINDS = {"kill", "freeze", "thaw"}
+INVARIANT_KINDS = {
+    "verified",
+    "liveness",
+    "slo_floor",
+    "jain_min",
+    "counter_max",
+    "counter_min",
+}
+
+
+def fail(message):
+    print(f"check_soak: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def need(obj, key, kinds, where):
+    value = obj.get(key)
+    if not isinstance(value, kinds):
+        fail(f"{where}: {key} is {value!r}, want {kinds}")
+    return value
+
+
+def check_scenario(doc):
+    scenario = need(doc, "scenario", dict, "report")
+    need(scenario, "name", str, "scenario")
+    need(scenario, "seed", int, "scenario")
+    for key in ("seconds", "tick_ms", "hung_after_ms"):
+        if need(scenario, key, int, "scenario") <= 0:
+            fail(f"scenario: {key} must be positive")
+    for key in ("contexts", "pool"):
+        if need(scenario, key, int, "scenario") < 0:
+            fail(f"scenario: {key} must be non-negative")
+
+
+def check_processes(doc):
+    processes = need(doc, "processes", list, "report")
+    if not processes:
+        fail("report: no processes")
+    for proc in processes:
+        name = need(proc, "name", str, "process")
+        where = f"process {name!r}"
+        outcome = need(proc, "outcome", str, where)
+        if outcome not in OUTCOMES:
+            fail(f"{where}: unknown outcome {outcome!r}")
+        need(proc, "pid", int, where)
+        need(proc, "exit_code", int, where)
+        need(proc, "signal", int, where)
+        need(proc, "completed_on_bus", bool, where)
+        need(proc, "tasks_per_second", (int, float), where)
+        need(proc, "tasks_completed", int, where)
+        started = need(proc, "started_at_ms", int, where)
+        ended = need(proc, "ended_at_ms", int, where)
+        if outcome == "not-started":
+            if started >= 0:
+                fail(f"{where}: not-started but started_at_ms={started}")
+        elif started < 0:
+            fail(f"{where}: outcome {outcome!r} but never started")
+        if ended >= 0 and started >= 0 and ended < started:
+            fail(f"{where}: ended_at_ms {ended} precedes started_at_ms {started}")
+    return processes
+
+
+def check_troubles(doc):
+    for trouble in need(doc, "troubles", list, "report"):
+        kind = need(trouble, "kind", str, "trouble")
+        if kind not in TROUBLE_KINDS:
+            fail(f"trouble: unknown kind {kind!r}")
+        target = need(trouble, "target", str, "trouble")
+        where = f"trouble {kind}@{target}"
+        at_ms = need(trouble, "at_ms", int, where)
+        applied = need(trouble, "applied_at_ms", int, where)
+        delivered = need(trouble, "delivered", bool, where)
+        if at_ms < 0:
+            fail(f"{where}: negative at_ms")
+        if delivered and applied < at_ms:
+            fail(f"{where}: applied at {applied} before scheduled {at_ms}")
+
+
+def check_timeline(doc):
+    timeline = need(doc, "timeline", list, "report")
+    snapshot_times = set()
+    previous = -1
+    for point in timeline:
+        at_ms = need(point, "at_ms", int, "timeline point")
+        if at_ms <= previous:
+            fail(f"timeline: at_ms {at_ms} not strictly increasing")
+        previous = at_ms
+        snapshot_times.add(at_ms)
+        if need(point, "live", int, "timeline point") < 0:
+            fail(f"timeline {at_ms}: negative live count")
+        for peer in need(point, "peers", list, f"timeline {at_ms}"):
+            need(peer, "label", str, f"timeline {at_ms} peer")
+            need(peer, "pid", int, f"timeline {at_ms} peer")
+            need(peer, "heartbeat", int, f"timeline {at_ms} peer")
+            need(peer, "done", bool, f"timeline {at_ms} peer")
+    return snapshot_times
+
+
+def check_invariants(doc, snapshot_times):
+    verdicts = need(doc, "invariants", list, "report")
+    all_passed = True
+    for verdict in verdicts:
+        kind = need(verdict, "kind", str, "invariant")
+        if kind not in INVARIANT_KINDS:
+            fail(f"invariant: unknown kind {kind!r}")
+        where = f"invariant {kind}"
+        need(verdict, "params", str, where)
+        need(verdict, "detail", str, where)
+        passed = need(verdict, "passed", bool, where)
+        first = need(verdict, "first_violation_ms", int, where)
+        nearest = need(verdict, "nearest_snapshot_ms", int, where)
+        if passed:
+            if first >= 0:
+                fail(f"{where}: passed but first_violation_ms={first}")
+        else:
+            all_passed = False
+            if first < 0:
+                fail(f"{where}: failed without a violation timestamp")
+            if not need(verdict, "detail", str, where):
+                fail(f"{where}: failed without a detail message")
+            if snapshot_times and nearest not in snapshot_times:
+                fail(
+                    f"{where}: nearest_snapshot_ms {nearest} names no "
+                    f"timeline snapshot"
+                )
+    return all_passed
+
+
+def check_telemetry(doc):
+    telemetry = need(doc, "telemetry", dict, "report")
+    enabled = need(telemetry, "enabled", bool, "telemetry")
+    parts = need(telemetry, "parts", dict, "telemetry")
+    counts = {
+        key: need(parts, key, int, "telemetry.parts")
+        for key in ("expected", "merged", "missing", "discarded")
+    }
+    for key, value in counts.items():
+        if value < 0:
+            fail(f"telemetry.parts: negative {key}")
+    balance = counts["merged"] + counts["missing"] + counts["discarded"]
+    if counts["expected"] != balance:
+        fail(
+            f"telemetry.parts: expected {counts['expected']} != "
+            f"merged+missing+discarded {balance}"
+        )
+    if enabled:
+        if telemetry.get("schema") != TELEMETRY_SCHEMA:
+            fail(f"telemetry: schema is {telemetry.get('schema')!r}")
+        if not isinstance(telemetry.get("merged"), list):
+            fail("telemetry: merged metrics must be an array")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="rubic_soak --json output")
+    parser.add_argument(
+        "--expect-fail",
+        action="store_true",
+        help="require passed=false (negative scenarios)",
+    )
+    args = parser.parse_args()
+
+    with open(args.report, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict):
+        fail(f"{args.report}: top level is not an object")
+    if doc.get("schema") != SCHEMA:
+        fail(f"{args.report}: schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    check_scenario(doc)
+    passed = need(doc, "passed", bool, "report")
+    wall = need(doc, "wall_seconds", (int, float), "report")
+    if wall < 0:
+        fail("report: negative wall_seconds")
+
+    processes = check_processes(doc)
+    check_troubles(doc)
+    snapshot_times = check_timeline(doc)
+    invariants_passed = check_invariants(doc, snapshot_times)
+    check_telemetry(doc)
+
+    outcomes_ok = not any(p["outcome"] in BAD_OUTCOMES for p in processes)
+    consistent = invariants_passed and outcomes_ok
+    if passed != consistent:
+        fail(
+            f"report: passed={passed} but invariants_passed="
+            f"{invariants_passed}, outcomes_ok={outcomes_ok}"
+        )
+    if args.expect_fail == passed:
+        want = "passed=false" if args.expect_fail else "passed=true"
+        fail(f"report: verdict is passed={passed}, want {want}")
+    print(f"check_soak: OK ({args.report}: passed={passed})")
+
+
+if __name__ == "__main__":
+    main()

@@ -54,6 +54,10 @@ std::string_view site_name(Site site) noexcept {
   return idx(site) < kSiteCount ? kSiteNames[idx(site)] : "?";
 }
 
+std::vector<std::string_view> known_site_names() {
+  return {std::begin(kSiteNames), std::end(kSiteNames)};
+}
+
 void Plan::add(const Rule& rule) {
   RUBIC_CHECK_MSG(rule.site != Site::kCount, "rule needs a valid site");
   RUBIC_CHECK_MSG(rule.every >= 1, "rule.every must be >= 1");
@@ -138,7 +142,16 @@ Site parse_site(std::string_view token) {
   for (std::size_t i = 0; i < kSiteCount; ++i) {
     if (kSiteNames[i] == token) return static_cast<Site>(i);
   }
-  parse_error("unknown site", token);
+  // Name the registered sites so a typo is fixable from the message alone
+  // (the CLIs additionally expose the same list via --list-fault-sites).
+  std::string known;
+  for (const std::string_view name : kSiteNames) {
+    if (!known.empty()) known += ", ";
+    known += name;
+  }
+  throw std::invalid_argument("fault spec: unknown site '" +
+                              std::string(token) + "' (known sites: " + known +
+                              ")");
 }
 
 // Splits `in` at the first `sep`; returns the head and leaves the tail.

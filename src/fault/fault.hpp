@@ -54,6 +54,11 @@ inline constexpr std::size_t kSiteCount = static_cast<std::size_t>(Site::kCount)
 // (e.g. "monitor_stall", "bus_corrupt"). "?" for out-of-range values.
 std::string_view site_name(Site site) noexcept;
 
+// Every registered site token, in enum order — the registry behind the
+// --list-fault-sites flag on rubic_colocate/rubic_traffic/rubic_soak and
+// the candidate list quoted by Plan::parse on an unknown site.
+std::vector<std::string_view> known_site_names();
+
 // One scheduled fault class. A rule fires at site hits
 // first_hit, first_hit + every, ... up to last_hit, each firing further
 // gated by `probability` (decided by hash(seed, site, hit) — deterministic,

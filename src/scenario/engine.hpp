@@ -1,0 +1,118 @@
+// The soak-scenario orchestrator (the "troubleaux" engine).
+//
+// run_scenario() executes one parsed ScenarioSpec against real forked
+// processes on a private co-location bus:
+//
+//   tick loop (spec.tick_ms)
+//     ├── fork processes whose start_ms has arrived (launcher.hpp — the
+//     │   same child body rubic_colocate uses);
+//     ├── deliver scripted troubles whose at_ms has arrived (SIGKILL /
+//     │   SIGSTOP / SIGCONT by process name);
+//     ├── reap exits non-blockingly, timestamping each departure;
+//     ├── append a bus snapshot to the timeline (per-peer level,
+//     │   throughput, commit ratio — the "nearest telemetry snapshot"
+//     │   every violation points at);
+//     └── evaluate the continuous liveness invariants: every running,
+//         unfrozen, slot-holding process must advance its bus heartbeat
+//         within grace_ms.
+//
+// After the horizon: thaw anything still frozen, reap the stragglers under
+// the hung-child watchdog, collect + merge the per-child telemetry parts
+// (with explicit missing/discarded accounting for children that died
+// mid-write), evaluate the exit-time invariants, and render one
+// rubic-soak-report/v1 JSON document.
+//
+// Determinism: the spec plus its seed fix every derived schedule (child
+// fault plans via effective_fault_spec). Wall-clock jitter moves timestamps
+// but — for scenarios with sane margins — never the verdicts: the same
+// seed yields the same fault schedule and the same pass/fail outcome.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/scenario/invariant.hpp"
+#include "src/scenario/launcher.hpp"
+#include "src/scenario/spec.hpp"
+
+namespace rubic::scenario {
+
+inline constexpr std::string_view kSoakReportSchema = "rubic-soak-report/v1";
+
+struct EngineOptions {
+  std::string bus_name;        // "" = /rubic-soak-<parent pid>
+  std::string part_base;       // telemetry part base; "" = derived from bus
+  bool telemetry = true;       // arm children, merge their snapshot parts
+  bool echo_child_stderr = true;  // false: children write to /dev/null
+};
+
+// One process's fate, as the report tells it.
+struct ProcessOutcome {
+  std::string name;
+  pid_t pid = 0;
+  bool started = false;
+  bool chaos_killed = false;  // scripted kill (or killed while frozen)
+  bool hung = false;          // watchdog SIGKILL
+  int exit_code = -1;
+  int signal = 0;
+  bool completed_on_bus = false;  // final sample published before exit
+  double tasks_per_second = 0.0;
+  std::uint64_t tasks_completed = 0;
+  std::int64_t started_at_ms = -1;
+  std::int64_t ended_at_ms = -1;  // -1 while running at horizon
+  // "completed" | "verify-failed" | "chaos-killed" | "hung" | "died" |
+  // "crashed" | "not-started"
+  std::string outcome;
+};
+
+struct TroubleOutcome {
+  TroubleSpec spec;
+  std::int64_t applied_at_ms = -1;  // actual delivery timestamp
+  bool delivered = false;  // false: target not running when it came due
+};
+
+// One timeline entry: the bus as seen at at_ms.
+struct PeerPoint {
+  std::string label;
+  std::int32_t pid = 0;
+  int level = 0;
+  double throughput = 0.0;
+  double commit_ratio = 1.0;
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t heartbeat = 0;
+  bool done = false;
+};
+
+struct TimelinePoint {
+  std::int64_t at_ms = 0;
+  int live = 0;
+  std::vector<PeerPoint> peers;
+};
+
+struct RunResult {
+  ScenarioSpec spec;
+  bool passed = false;
+  double wall_seconds = 0.0;
+  std::vector<ProcessOutcome> processes;
+  std::vector<TroubleOutcome> troubles;
+  std::vector<InvariantVerdict> verdicts;
+  std::vector<TimelinePoint> timeline;
+  // Exit-time telemetry merge + the part accounting (launcher.hpp).
+  bool telemetry_enabled = false;
+  telemetry::Snapshot merged_telemetry;
+  int parts_expected = 0;
+  int parts_merged = 0;
+  int parts_missing = 0;
+  int parts_discarded = 0;
+};
+
+// Runs the scenario to completion. Throws std::invalid_argument on
+// un-runnable specs (unknown policy names surface here, before any fork).
+RunResult run_scenario(const ScenarioSpec& spec, const EngineOptions& opt);
+
+// Renders the rubic-soak-report/v1 document (scripts/check_soak.py is the
+// schema's executable spec).
+std::string report_json(const RunResult& result);
+
+}  // namespace rubic::scenario

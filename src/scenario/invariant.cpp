@@ -1,0 +1,228 @@
+#include "src/scenario/invariant.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/util/stats.hpp"
+
+namespace rubic::scenario {
+
+namespace {
+
+void set_detail(std::string* detail, std::string text) {
+  if (detail != nullptr) *detail = std::move(text);
+}
+
+std::string format_double(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", value);
+  return buf;
+}
+
+// The label filter for counter bounds: no filter matches everything.
+bool labels_match(const Invariant& invariant,
+                  const telemetry::Labels& labels) {
+  if (invariant.label_key.empty()) return true;
+  for (const auto& [key, value] : labels) {
+    if (key == invariant.label_key) return value == invariant.label_value;
+  }
+  return false;
+}
+
+std::string_view label_value_of(const telemetry::Labels& labels,
+                                std::string_view key) {
+  for (const auto& [k, v] : labels) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string_view invariant_kind_name(InvariantKind kind) noexcept {
+  switch (kind) {
+    case InvariantKind::kVerified:
+      return "verified";
+    case InvariantKind::kLiveness:
+      return "liveness";
+    case InvariantKind::kSloFloor:
+      return "slo_floor";
+    case InvariantKind::kJainMin:
+      return "jain_min";
+    case InvariantKind::kCounterMax:
+      return "counter_max";
+    case InvariantKind::kCounterMin:
+      return "counter_min";
+  }
+  return "?";
+}
+
+std::string describe(const Invariant& invariant) {
+  switch (invariant.kind) {
+    case InvariantKind::kVerified:
+      return "";
+    case InvariantKind::kLiveness:
+      return "grace_ms=" + std::to_string(invariant.grace_ms);
+    case InvariantKind::kSloFloor: {
+      std::string out = "min=" + format_double(invariant.min);
+      if (!invariant.phase.empty()) out += " phase=" + invariant.phase;
+      return out;
+    }
+    case InvariantKind::kJainMin:
+      return "min=" + format_double(invariant.min);
+    case InvariantKind::kCounterMax:
+    case InvariantKind::kCounterMin: {
+      std::string out = "metric=" + invariant.metric;
+      if (!invariant.label_key.empty()) {
+        out += " label=" + invariant.label_key + "=" + invariant.label_value;
+      }
+      out += invariant.kind == InvariantKind::kCounterMax
+                 ? " max=" + format_double(invariant.max)
+                 : " min=" + format_double(invariant.min);
+      return out;
+    }
+  }
+  return "";
+}
+
+bool eval_verified(std::span<const ProcessExit> exits, std::string* detail) {
+  for (const ProcessExit& exit : exits) {
+    if (!exit.started || exit.chaos_killed) continue;
+    if (exit.hung) {
+      set_detail(detail, "process '" + exit.name +
+                             "' hung (SIGKILLed by the watchdog)");
+      return false;
+    }
+    if (exit.verify_failed) {
+      set_detail(detail, "process '" + exit.name +
+                             "' failed its exit-time verification");
+      return false;
+    }
+    if (!exit.clean_exit) {
+      set_detail(detail,
+                 "process '" + exit.name + "' died without a clean exit");
+      return false;
+    }
+  }
+  return true;
+}
+
+bool eval_slo_floor(const Invariant& invariant,
+                    const telemetry::Snapshot& merged, std::string* detail) {
+  // Pair up the per-phase request/slo_ok counters the traffic workload
+  // mirrors into the registry; the metrics arrive sorted by (name, labels),
+  // so the two families align phase-for-phase.
+  struct PhaseCounts {
+    std::string phase;
+    std::uint64_t requests = 0;
+    std::uint64_t slo_ok = 0;
+    bool has_requests = false;
+  };
+  std::vector<PhaseCounts> phases;
+  auto slot_for = [&phases](std::string_view phase) -> PhaseCounts& {
+    for (PhaseCounts& entry : phases) {
+      if (entry.phase == phase) return entry;
+    }
+    phases.push_back({std::string(phase), 0, 0, false});
+    return phases.back();
+  };
+  for (const telemetry::MetricSnapshot& metric : merged.metrics) {
+    if (metric.type != telemetry::MetricType::kCounter) continue;
+    const std::string_view phase = label_value_of(metric.labels, "phase");
+    if (!invariant.phase.empty() && phase != invariant.phase) continue;
+    if (metric.name == "rubic_traffic_requests_total") {
+      PhaseCounts& entry = slot_for(phase);
+      entry.requests += metric.value_u64;
+      entry.has_requests = true;
+    } else if (metric.name == "rubic_traffic_slo_ok_total") {
+      slot_for(phase).slo_ok += metric.value_u64;
+    }
+  }
+  bool judged = false;
+  for (const PhaseCounts& entry : phases) {
+    if (!entry.has_requests || entry.requests == 0) continue;
+    judged = true;
+    const double attainment = static_cast<double>(entry.slo_ok) /
+                              static_cast<double>(entry.requests);
+    if (attainment < invariant.min) {
+      set_detail(detail, "phase '" + entry.phase + "' SLO attainment " +
+                             format_double(attainment) + " < floor " +
+                             format_double(invariant.min));
+      return false;
+    }
+  }
+  if (!judged) {
+    // A floor over metrics that never existed is a misconfigured scenario
+    // (wrong phase name, non-traffic workload): fail loudly, don't
+    // vacuously pass.
+    set_detail(detail, invariant.phase.empty()
+                           ? std::string("no traffic SLO metrics in the "
+                                         "merged telemetry")
+                           : "no traffic SLO metrics for phase '" +
+                                 invariant.phase + "'");
+    return false;
+  }
+  return true;
+}
+
+bool eval_jain_min(const Invariant& invariant,
+                   std::span<const ProcessExit> exits, std::string* detail) {
+  std::vector<double> rates;
+  for (const ProcessExit& exit : exits) {
+    if (exit.completed_on_bus && !exit.chaos_killed) {
+      rates.push_back(exit.tasks_per_second);
+    }
+  }
+  if (rates.size() < 2) return true;  // fairness needs at least two parties
+  const double jain = util::jain_index(rates);
+  if (jain < invariant.min) {
+    set_detail(detail, "Jain index " + format_double(jain) + " over " +
+                           std::to_string(rates.size()) +
+                           " completed processes < floor " +
+                           format_double(invariant.min));
+    return false;
+  }
+  return true;
+}
+
+bool eval_counter_bound(const Invariant& invariant,
+                        const telemetry::Snapshot& merged,
+                        std::string* detail) {
+  std::uint64_t sum = 0;
+  bool found = false;
+  for (const telemetry::MetricSnapshot& metric : merged.metrics) {
+    if (metric.type != telemetry::MetricType::kCounter) continue;
+    if (metric.name != invariant.metric) continue;
+    if (!labels_match(invariant, metric.labels)) continue;
+    sum += metric.value_u64;
+    found = true;
+  }
+  const double value = static_cast<double>(sum);
+  if (invariant.kind == InvariantKind::kCounterMax) {
+    // An absent counter sums to zero, which trivially satisfies any upper
+    // bound — exactly right for "this failure class never fired".
+    if (value > invariant.max) {
+      set_detail(detail, "counter " + invariant.metric + " = " +
+                             std::to_string(sum) + " > max " +
+                             format_double(invariant.max));
+      return false;
+    }
+    return true;
+  }
+  if (!found && invariant.min > 0.0) {
+    set_detail(detail,
+               "counter " + invariant.metric + " absent from the merged "
+               "telemetry (floor " + format_double(invariant.min) + ")");
+    return false;
+  }
+  if (value < invariant.min) {
+    set_detail(detail, "counter " + invariant.metric + " = " +
+                           std::to_string(sum) + " < min " +
+                           format_double(invariant.min));
+    return false;
+  }
+  return true;
+}
+
+}  // namespace rubic::scenario

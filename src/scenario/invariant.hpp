@@ -1,0 +1,91 @@
+// Declared scenario invariants and their evaluators.
+//
+// A soak run is only a proof if the expectations are explicit: every
+// scenario declares the invariants it must uphold and the engine turns each
+// into a pass/fail verdict with the timestamp of the first violation and a
+// pointer at the telemetry snapshot nearest to it. Two evaluation moments:
+//
+//   * continuous — the liveness watchdog runs on every engine tick against
+//     the co-location bus (every surviving, unfrozen process must advance
+//     its heartbeat within grace_ms);
+//   * at exit — everything else is judged from the run's merged artifacts:
+//     child exit codes (the zero-sum / per-client checksum verification
+//     runs *inside* each child, a verify failure is a distinct exit code),
+//     bus final samples (Jain fairness over per-process throughput), and
+//     the merged telemetry snapshot (per-phase SLO floors, counter sanity
+//     bounds such as "aborts by cause stays under N" or "no sanitized-input
+//     runaway").
+//
+// The evaluators take plain data so tests can drive every class directly
+// (tests/test_scenario.cpp) without forking a single child.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "src/telemetry/telemetry.hpp"
+
+namespace rubic::scenario {
+
+enum class InvariantKind : std::uint8_t {
+  kVerified,    // every non-chaos-killed child exits 0 (workload verify())
+  kLiveness,    // bus heartbeat advances within grace_ms (continuous)
+  kSloFloor,    // per-phase SLO attainment >= min (merged traffic metrics)
+  kJainMin,     // Jain fairness over completed children's throughput >= min
+  kCounterMax,  // summed telemetry counter <= max
+  kCounterMin,  // summed telemetry counter >= min
+};
+
+std::string_view invariant_kind_name(InvariantKind kind) noexcept;
+
+struct Invariant {
+  InvariantKind kind = InvariantKind::kVerified;
+  std::int64_t grace_ms = 2000;  // liveness: heartbeat deadline
+  std::string phase;             // slo_floor: phase name ("" = every phase)
+  double min = 0.0;              // slo_floor / jain_min / counter_min bound
+  double max = 0.0;              // counter_max bound
+  std::string metric;            // counter bounds: telemetry counter name
+  std::string label_key;         // counter bounds: optional label filter
+  std::string label_value;
+};
+
+// Human-readable parameter echo ("grace_ms=2000", "metric=... max=10"),
+// stable for reports and report-diffing.
+std::string describe(const Invariant& invariant);
+
+// One invariant's run verdict, accumulated by the engine.
+struct InvariantVerdict {
+  Invariant invariant;
+  bool passed = true;
+  std::int64_t first_violation_ms = -1;   // -1 = never violated
+  std::int64_t nearest_snapshot_ms = -1;  // timeline entry closest to it
+  std::string detail;                     // first violation's diagnosis
+};
+
+// What the engine knows about one child after reaping it — the plain-data
+// input to the exit-time evaluators.
+struct ProcessExit {
+  std::string name;
+  bool started = false;       // ever forked (a spec process may never start)
+  bool chaos_killed = false;  // scripted kill/never-thawed freeze: expected
+  bool hung = false;          // watchdog SIGKILL (distinct from chaos)
+  bool verify_failed = false; // exit code says verify() rejected the state
+  bool clean_exit = false;    // exited 0
+  bool completed_on_bus = false;  // published a final sample before exiting
+  double tasks_per_second = 0.0;  // from the bus final sample
+};
+
+// Exit-time evaluators. Each returns true when the invariant holds; on a
+// violation, *detail (if non-null) gets the diagnosis.
+bool eval_verified(std::span<const ProcessExit> exits, std::string* detail);
+bool eval_slo_floor(const Invariant& invariant,
+                    const telemetry::Snapshot& merged, std::string* detail);
+bool eval_jain_min(const Invariant& invariant,
+                   std::span<const ProcessExit> exits, std::string* detail);
+bool eval_counter_bound(const Invariant& invariant,
+                        const telemetry::Snapshot& merged,
+                        std::string* detail);
+
+}  // namespace rubic::scenario

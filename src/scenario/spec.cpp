@@ -1,0 +1,369 @@
+#include "src/scenario/spec.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "src/fault/fault.hpp"
+
+namespace rubic::scenario {
+
+namespace {
+
+[[noreturn]] void spec_error(int line, const std::string& what) {
+  throw std::invalid_argument("scenario spec: line " + std::to_string(line) +
+                              ": " + what);
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         (text.back() == ' ' || text.back() == '\t' || text.back() == '\r')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+std::int64_t parse_int(int line, std::string_view key, std::string_view value) {
+  const std::string buf(value);
+  char* end = nullptr;
+  const long long parsed = std::strtoll(buf.c_str(), &end, 10);
+  if (end == buf.c_str() || *end != '\0') {
+    spec_error(line, std::string(key) + ": bad integer '" + buf + "'");
+  }
+  return parsed;
+}
+
+double parse_double(int line, std::string_view key, std::string_view value) {
+  const std::string buf(value);
+  char* end = nullptr;
+  const double parsed = std::strtod(buf.c_str(), &end);
+  if (end == buf.c_str() || *end != '\0') {
+    spec_error(line, std::string(key) + ": bad number '" + buf + "'");
+  }
+  return parsed;
+}
+
+bool parse_bool(int line, std::string_view key, std::string_view value) {
+  if (value == "true" || value == "1") return true;
+  if (value == "false" || value == "0") return false;
+  spec_error(line, std::string(key) + ": bad bool '" + std::string(value) +
+                       "' (want true/false)");
+}
+
+TroubleKind parse_trouble_kind(int line, std::string_view value) {
+  if (value == "kill") return TroubleKind::kKill;
+  if (value == "freeze") return TroubleKind::kFreeze;
+  if (value == "thaw") return TroubleKind::kThaw;
+  spec_error(line, "unknown trouble kind '" + std::string(value) +
+                       "' (want kill/freeze/thaw)");
+}
+
+InvariantKind parse_invariant_kind(int line, std::string_view value) {
+  for (const InvariantKind kind :
+       {InvariantKind::kVerified, InvariantKind::kLiveness,
+        InvariantKind::kSloFloor, InvariantKind::kJainMin,
+        InvariantKind::kCounterMax, InvariantKind::kCounterMin}) {
+    if (invariant_kind_name(kind) == value) return kind;
+  }
+  spec_error(line, "unknown invariant kind '" + std::string(value) + "'");
+}
+
+// What section the cursor is inside while scanning line by line.
+enum class Section { kTop, kProcess, kTrouble, kInvariant };
+
+}  // namespace
+
+std::string_view trouble_kind_name(TroubleKind kind) noexcept {
+  switch (kind) {
+    case TroubleKind::kKill:
+      return "kill";
+    case TroubleKind::kFreeze:
+      return "freeze";
+    case TroubleKind::kThaw:
+      return "thaw";
+  }
+  return "?";
+}
+
+std::string ScenarioSpec::effective_fault_spec(
+    std::size_t process_index) const {
+  const std::string& spec = processes.at(process_index).fault_spec;
+  if (spec.empty() || spec.find("seed=") != std::string::npos) return spec;
+  // Derive a per-process seed from the scenario seed so sibling plans differ
+  // but the whole run replays from one number.
+  const std::uint64_t derived =
+      seed * 0x9e3779b97f4a7c15ULL + (process_index + 1);
+  return "seed=" + std::to_string(derived) + ";" + spec;
+}
+
+ScenarioSpec parse_scenario(std::string_view text) {
+  ScenarioSpec spec;
+  Section section = Section::kTop;
+  ProcessSpec* process = nullptr;
+  TroubleSpec* trouble = nullptr;
+  Invariant* invariant = nullptr;
+
+  int line_no = 0;
+  std::string_view rest = text;
+  while (!rest.empty()) {
+    const std::size_t eol = rest.find('\n');
+    std::string_view line = rest.substr(0, eol);
+    rest = eol == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(eol + 1);
+    ++line_no;
+    line = trim(line);
+    if (line.empty() || line.front() == '#') continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') spec_error(line_no, "unterminated section");
+      const std::string_view header = trim(line.substr(1, line.size() - 2));
+      const std::size_t space = header.find(' ');
+      const std::string_view word = header.substr(0, space);
+      const std::string_view arg =
+          space == std::string_view::npos ? std::string_view{}
+                                          : trim(header.substr(space + 1));
+      if (word == "process") {
+        if (arg.empty()) spec_error(line_no, "[process] needs a name");
+        for (const ProcessSpec& existing : spec.processes) {
+          if (existing.name == arg) {
+            spec_error(line_no,
+                       "duplicate process name '" + std::string(arg) + "'");
+          }
+        }
+        spec.processes.emplace_back();
+        process = &spec.processes.back();
+        process->name = std::string(arg);
+        section = Section::kProcess;
+      } else if (word == "trouble") {
+        if (!arg.empty()) spec_error(line_no, "[trouble] takes no argument");
+        spec.troubles.emplace_back();
+        trouble = &spec.troubles.back();
+        section = Section::kTrouble;
+      } else if (word == "invariant") {
+        if (arg.empty()) spec_error(line_no, "[invariant] needs a kind");
+        spec.invariants.emplace_back();
+        invariant = &spec.invariants.back();
+        invariant->kind = parse_invariant_kind(line_no, arg);
+        section = Section::kInvariant;
+      } else {
+        spec_error(line_no, "unknown section '" + std::string(word) + "'");
+      }
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      spec_error(line_no, "expected 'key = value'");
+    }
+    const std::string_view key = trim(line.substr(0, eq));
+    const std::string_view value = trim(line.substr(eq + 1));
+    if (key.empty()) spec_error(line_no, "empty key");
+
+    switch (section) {
+      case Section::kTop:
+        if (key == "name") {
+          spec.name = std::string(value);
+        } else if (key == "seed") {
+          spec.seed = static_cast<std::uint64_t>(
+              parse_int(line_no, key, value));
+        } else if (key == "seconds") {
+          spec.seconds = parse_int(line_no, key, value);
+        } else if (key == "contexts") {
+          spec.contexts = static_cast<int>(parse_int(line_no, key, value));
+        } else if (key == "pool") {
+          spec.pool = static_cast<int>(parse_int(line_no, key, value));
+        } else if (key == "period_ms") {
+          spec.period_ms = static_cast<int>(parse_int(line_no, key, value));
+        } else if (key == "tick_ms") {
+          spec.tick_ms = parse_int(line_no, key, value);
+        } else if (key == "hung_after_ms") {
+          spec.hung_after_ms = parse_int(line_no, key, value);
+        } else {
+          spec_error(line_no, "unknown top-level key '" + std::string(key) +
+                                  "'");
+        }
+        break;
+      case Section::kProcess:
+        if (key == "workload") {
+          process->workload = std::string(value);
+        } else if (key == "policy") {
+          process->policy = std::string(value);
+        } else if (key == "backend") {
+          const auto parsed = stm::parse_backend(value);
+          if (!parsed) {
+            spec_error(line_no,
+                       "unknown backend '" + std::string(value) + "'");
+          }
+          process->backend = *parsed;
+        } else if (key == "fault_spec") {
+          process->fault_spec = std::string(value);
+        } else if (key == "start_ms") {
+          process->start_ms = parse_int(line_no, key, value);
+        } else if (key == "stop_ms") {
+          process->stop_ms = parse_int(line_no, key, value);
+        } else if (key == "tamper") {
+          if (value != "zero_sum") {
+            spec_error(line_no, "unknown tamper mode '" + std::string(value) +
+                                    "' (want zero_sum)");
+          }
+          process->tamper_zero_sum = true;
+        } else {
+          spec_error(line_no,
+                     "unknown process key '" + std::string(key) + "'");
+        }
+        break;
+      case Section::kTrouble:
+        if (key == "at_ms") {
+          trouble->at_ms = parse_int(line_no, key, value);
+        } else if (key == "kind") {
+          trouble->kind = parse_trouble_kind(line_no, value);
+        } else if (key == "target") {
+          trouble->target = std::string(value);
+        } else {
+          spec_error(line_no,
+                     "unknown trouble key '" + std::string(key) + "'");
+        }
+        break;
+      case Section::kInvariant:
+        if (key == "grace_ms") {
+          invariant->grace_ms = parse_int(line_no, key, value);
+        } else if (key == "phase") {
+          invariant->phase = std::string(value);
+        } else if (key == "min") {
+          invariant->min = parse_double(line_no, key, value);
+        } else if (key == "max") {
+          invariant->max = parse_double(line_no, key, value);
+        } else if (key == "metric") {
+          invariant->metric = std::string(value);
+        } else if (key == "label") {
+          const std::size_t sep = value.find('=');
+          if (sep == std::string_view::npos) {
+            spec_error(line_no, "label wants key=value");
+          }
+          invariant->label_key = std::string(trim(value.substr(0, sep)));
+          invariant->label_value = std::string(trim(value.substr(sep + 1)));
+        } else {
+          spec_error(line_no,
+                     "unknown invariant key '" + std::string(key) + "'");
+        }
+        (void)parse_bool;  // reserved for future boolean keys
+        break;
+    }
+  }
+
+  // -- cross-field validation ------------------------------------------------
+  if (spec.processes.empty()) {
+    throw std::invalid_argument("scenario spec: no [process] sections");
+  }
+  if (spec.seconds <= 0) {
+    throw std::invalid_argument("scenario spec: seconds must be positive");
+  }
+  if (spec.tick_ms <= 0 || spec.hung_after_ms <= 0) {
+    throw std::invalid_argument(
+        "scenario spec: tick_ms and hung_after_ms must be positive");
+  }
+  const std::int64_t horizon_ms = spec.seconds * 1000;
+  for (std::size_t i = 0; i < spec.processes.size(); ++i) {
+    const ProcessSpec& proc = spec.processes[i];
+    if (proc.workload.empty()) {
+      throw std::invalid_argument("scenario spec: process '" + proc.name +
+                                  "' has no workload");
+    }
+    if (proc.start_ms < 0 || proc.start_ms >= horizon_ms) {
+      throw std::invalid_argument("scenario spec: process '" + proc.name +
+                                  "' starts outside the scenario horizon");
+    }
+    if (proc.stop_ms != 0 && proc.stop_ms <= proc.start_ms) {
+      throw std::invalid_argument("scenario spec: process '" + proc.name +
+                                  "' departs at or before its arrival");
+    }
+    // Reject malformed fault plans at parse time (with the derived seed
+    // already substituted, exactly what the child will arm).
+    const std::string armed = spec.effective_fault_spec(i);
+    if (!armed.empty()) fault::Plan::parse(armed);
+  }
+  for (const TroubleSpec& t : spec.troubles) {
+    const bool known =
+        std::any_of(spec.processes.begin(), spec.processes.end(),
+                    [&t](const ProcessSpec& p) { return p.name == t.target; });
+    if (!known) {
+      throw std::invalid_argument("scenario spec: trouble targets unknown "
+                                  "process '" + t.target + "'");
+    }
+    if (t.at_ms < 0 || t.at_ms > horizon_ms) {
+      throw std::invalid_argument(
+          "scenario spec: trouble at_ms outside the scenario horizon");
+    }
+  }
+  // Stable order: troubles fire in (at_ms, declaration) order.
+  std::stable_sort(spec.troubles.begin(), spec.troubles.end(),
+                   [](const TroubleSpec& a, const TroubleSpec& b) {
+                     return a.at_ms < b.at_ms;
+                   });
+  // A thaw must have a freeze of the same target somewhere before it.
+  for (std::size_t i = 0; i < spec.troubles.size(); ++i) {
+    if (spec.troubles[i].kind != TroubleKind::kThaw) continue;
+    bool frozen = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (spec.troubles[j].target == spec.troubles[i].target &&
+          spec.troubles[j].kind == TroubleKind::kFreeze) {
+        frozen = true;
+      }
+    }
+    if (!frozen) {
+      throw std::invalid_argument("scenario spec: thaw of '" +
+                                  spec.troubles[i].target +
+                                  "' without a preceding freeze");
+    }
+  }
+  for (const Invariant& inv : spec.invariants) {
+    switch (inv.kind) {
+      case InvariantKind::kLiveness:
+        if (inv.grace_ms <= 0) {
+          throw std::invalid_argument(
+              "scenario spec: liveness grace_ms must be positive");
+        }
+        break;
+      case InvariantKind::kSloFloor:
+      case InvariantKind::kJainMin:
+        if (!(inv.min >= 0.0 && inv.min <= 1.0)) {
+          throw std::invalid_argument("scenario spec: " +
+                                      std::string(invariant_kind_name(
+                                          inv.kind)) +
+                                      " min must be in [0,1]");
+        }
+        break;
+      case InvariantKind::kCounterMax:
+      case InvariantKind::kCounterMin:
+        if (inv.metric.empty()) {
+          throw std::invalid_argument(
+              "scenario spec: counter invariant needs a metric name");
+        }
+        break;
+      case InvariantKind::kVerified:
+        break;
+    }
+  }
+  return spec;
+}
+
+ScenarioSpec load_scenario(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::invalid_argument("scenario spec: cannot read '" + path + "'");
+  }
+  std::string text;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof buffer, f)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(f);
+  return parse_scenario(text);
+}
+
+}  // namespace rubic::scenario

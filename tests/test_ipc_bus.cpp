@@ -10,6 +10,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <string>
@@ -268,6 +269,105 @@ TEST(IpcBus, EqualShareAcrossProcesses) {
     ASSERT_TRUE(WIFEXITED(status));
     EXPECT_EQ(WEXITSTATUS(status), 0) << "child " << child;
   }
+}
+
+// Slot lifecycle under sustained churn: generations of children claim
+// both slots of a 2-slot bus, are SIGKILLed with no cleanup, and the next
+// generation must reclaim in-place. Every slot is reused at least twice.
+// Invariants per generation: the peer table never exceeds max_slots (no
+// slot leak), and a reclaimed slot carries the new owner's pid and label —
+// never the dead generation's stale payload.
+TEST(IpcBus, SlotChurnReclaimsWithoutLeaksOrStaleAdoption) {
+  const std::string name = unique_name("churn");
+  Unlinker cleanup{name};
+  constexpr int kContexts = 8;
+  constexpr int kSlots = 2;
+  auto config = test_config(name, kContexts, kSlots);
+
+  auto bus = ipc::CoLocationBus::create_or_attach(config);
+  std::array<int, kSlots> reuses{};  // generations seen per slot beyond the first
+
+  constexpr int kGenerations = 3;
+  for (int generation = 0; generation < kGenerations; ++generation) {
+    std::array<pid_t, kSlots> children{};
+    for (int i = 0; i < kSlots; ++i) {
+      const pid_t pid = fork();
+      ASSERT_GE(pid, 0);
+      if (pid == 0) {
+        auto child_bus = ipc::CoLocationBus::create_or_attach(config);
+        const std::string label =
+            "gen" + std::to_string(generation) + "-" + std::to_string(i);
+        if (child_bus->acquire_slot(label) < 0) _exit(2);
+        for (;;) {
+          child_bus->publish({});
+          std::this_thread::sleep_for(milliseconds(2));
+        }
+      }
+      children[i] = pid;
+    }
+
+    // Both children of this generation must surface as live peers.
+    ASSERT_TRUE(eventually([&] {
+      const auto peers = bus->snapshot();
+      int live = 0;
+      for (const auto& peer : peers) {
+        for (const pid_t pid : children) {
+          if (peer.pid == pid && peer.state == ipc::PeerState::kAlive) ++live;
+        }
+      }
+      return live == kSlots;
+    })) << "generation " << generation;
+
+    const auto peers = bus->snapshot();
+    ASSERT_LE(peers.size(), static_cast<std::size_t>(kSlots))
+        << "slot leak in generation " << generation;
+    const std::string expected_prefix = "gen" + std::to_string(generation);
+    for (const auto& peer : peers) {
+      // Fresh ownership: current pid, current generation's label. A stale
+      // payload adopted from a dead generation would fail both.
+      EXPECT_TRUE(peer.pid == children[0] || peer.pid == children[1])
+          << "generation " << generation << " kept dead pid " << peer.pid;
+      EXPECT_EQ(std::string(peer.payload.label).rfind(expected_prefix, 0), 0u)
+          << "slot " << peer.slot << " shows stale label '"
+          << peer.payload.label << "' in generation " << generation;
+      if (generation > 0) ++reuses[static_cast<std::size_t>(peer.slot)];
+    }
+    // The bus is full of live peers: no slot for anyone else.
+    EXPECT_EQ(bus->acquire_slot("outsider"), -1);
+
+    for (const pid_t pid : children) {
+      ASSERT_EQ(kill(pid, SIGKILL), 0);
+      int status = 0;
+      ASSERT_EQ(waitpid(pid, &status, 0), pid);
+      ASSERT_TRUE(WIFSIGNALED(status));
+    }
+  }
+  for (int slot = 0; slot < kSlots; ++slot) {
+    EXPECT_GE(reuses[static_cast<std::size_t>(slot)], 2)
+        << "slot " << slot << " never churned";
+  }
+
+  // After all that churn, arbitration is undisturbed: the parent and one
+  // fresh child split the machine exactly in half under EqualShare.
+  ASSERT_GE(bus->acquire_slot("closer"), 0);
+  ipc::BusEqualShareController controller(*bus);
+  const pid_t peer = fork();
+  ASSERT_GE(peer, 0);
+  if (peer == 0) {
+    auto child_bus = ipc::CoLocationBus::create_or_attach(config);
+    if (child_bus->acquire_slot("closer-peer") < 0) _exit(2);
+    for (;;) {
+      child_bus->publish({});
+      std::this_thread::sleep_for(milliseconds(2));
+    }
+  }
+  ASSERT_TRUE(eventually([&] {
+    bus->publish({});
+    return controller.on_sample(100.0) == kContexts / 2;
+  }));
+  ASSERT_EQ(kill(peer, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(peer, &status, 0), peer);
 }
 
 // When one of the co-located processes is killed, the survivor's share

@@ -40,13 +40,11 @@
 #include "src/control/fixed.hpp"
 #include "src/fault/fault.hpp"
 #include "src/ipc/colocation_bus.hpp"
-#include "src/ipc/equal_share.hpp"
 #include "src/metrics/metrics.hpp"
 #include "src/runtime/process.hpp"
-#include "src/telemetry/audit.hpp"
+#include "src/scenario/launcher.hpp"
 #include "src/telemetry/telemetry.hpp"
 #include "src/trace/trace.hpp"
-#include "src/traffic/traffic.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/listing.hpp"
 #include "src/workloads/registry.hpp"
@@ -69,6 +67,10 @@ struct Options {
   int pool = 0;      // 0 → 2 × contexts
   int period_ms = 10;
   int chaos_kill_ms = 0;  // > 0: SIGKILL the first child after this delay
+  // Watchdog slack past the expected run end: a child that neither exits
+  // nor advances its bus heartbeat by then is SIGKILLed and reported as
+  // hung — a wedged child can no longer hang the launcher forever.
+  int hung_after_ms = 15000;
   std::string fault_spec;  // armed inside every child (see src/fault/)
   std::string bus_name;
   std::string json_path;
@@ -91,30 +93,13 @@ struct Options {
   bool telemetry_enabled() const { return telemetry || !prom_out.empty(); }
 };
 
-// Per-child trace fragment path. Keyed by pid so the parent can collect
-// fragments for exactly the children it forked.
-std::string trace_part_path(const Options& opt, pid_t pid) {
-  return opt.trace_out + "." + std::to_string(static_cast<int>(pid)) + ".part";
-}
-
-// Per-child telemetry snapshot path. The base is any output path the run
-// already has (parent and child compute it identically from the inherited
-// Options); parts are read and unlinked by the parent.
-std::string telemetry_part_path(const Options& opt, pid_t pid) {
-  std::string base = "rubic_colocate_telemetry";
-  if (!opt.json_path.empty()) {
-    base = opt.json_path;
-  } else if (!opt.prom_out.empty()) {
-    base = opt.prom_out;
-  }
-  return base + "." + std::to_string(static_cast<int>(pid)) + ".tpart";
-}
-
-// Per-child audit stream: <prefix>.<pid>.jsonl, the naming rubic_replay's
-// --prefix flag scans. These are outputs, not temp files — never unlinked.
-std::string audit_part_path(const Options& opt, pid_t pid) {
-  return opt.audit_out + "." + std::to_string(static_cast<int>(pid)) +
-         ".jsonl";
+// Base path for the per-child telemetry snapshot parts: any output path the
+// run already has (parent and children derive identical part names from it
+// via scenario::part_path).
+std::string telemetry_base(const Options& opt) {
+  if (!opt.json_path.empty()) return opt.json_path;
+  if (!opt.prom_out.empty()) return opt.prom_out;
+  return "rubic_colocate_telemetry";
 }
 
 std::string read_file(const std::string& path) {
@@ -130,28 +115,11 @@ std::string read_file(const std::string& path) {
   return out;
 }
 
-// Builds the child workload: names from the registry, or a traffic-driven
-// KV service child via the "traffic:<spec>" form (spec grammar in
-// src/traffic/arrival.hpp — ';'-separated key=value, e.g.
-// "traffic:mix=ycsb-a;curve=flash:base=500,spike=4000,seconds=6"). Traffic
-// children run the same open-loop schedule in every process, so controllers
-// co-located against each other compare on SLO attainment; their per-phase
-// latency/SLO metrics flow through --telemetry into the merged report.
-std::unique_ptr<workloads::Workload> make_child_workload(
-    const std::string& spec, stm::Runtime& rt) {
-  constexpr std::string_view kTrafficPrefix = "traffic:";
-  if (spec.rfind(kTrafficPrefix, 0) == 0) {
-    return std::make_unique<traffic::KvTrafficWorkload>(
-        rt, traffic::build_schedule(traffic::parse_traffic_config(
-                spec.substr(kTrafficPrefix.size()))));
-  }
-  return workloads::make_workload(spec, rt);
-}
-
 struct ChildResult {
   pid_t pid = 0;
   bool completed = false;  // exited 0 AND published a final report
   bool solo = false;       // exited 0 without a bus slot (degraded mode)
+  bool hung = false;       // watchdog SIGKILL: neither exited nor heartbeat
   int exit_code = -1;
   int signal = 0;
   bool found_on_bus = false;
@@ -160,154 +128,36 @@ struct ChildResult {
   double efficiency = 0.0;
 };
 
-// Claims a bus slot with capped exponential backoff: a transiently full or
-// contended segment (peers mid-reclaim, a chaos acquire-fail window) gets
-// ~1.3 s of retries before the caller degrades to solo tuning.
-int acquire_slot_with_backoff(ipc::CoLocationBus& bus,
-                              const std::string& label) {
-  int delay_ms = 1;
-  for (int attempt = 0; attempt < 10; ++attempt) {
-    const int slot = bus.acquire_slot(label);
-    if (slot >= 0) return slot;
-    std::this_thread::sleep_for(milliseconds(delay_ms));
-    delay_ms = std::min(2 * delay_ms, 250);
-  }
-  return bus.acquire_slot(label);
-}
-
-// One child process: claim a slot, run the workload under the policy for
-// the configured duration, publish the final report, verify. Never returns
-// to the caller's stack — the caller _exits with the returned code.
-int run_child(const Options& opt, ipc::CoLocationBus& bus, int child_index) {
-  if (!opt.fault_spec.empty()) {
-    // The plan must outlive the run; a child process leaks it on _exit.
-    fault::arm(*fault::Plan::parse(opt.fault_spec).release());
-  }
-  // Arm tracing before any worker thread exists; the tracer (like the fault
-  // plan) must outlive the run, so a child process leaks it on _exit.
-  trace::Tracer* tracer = nullptr;
-  if (!opt.trace_out.empty()) {
-    tracer = new trace::Tracer;
-    trace::arm(*tracer);
-  }
-  // Telemetry likewise arms before the first worker so every commit lands in
-  // the registry; the registry itself is a process singleton, nothing leaks.
-  if (opt.telemetry_enabled()) telemetry::arm();
-  const std::string label = opt.workload + "/" + opt.policy;
-  const bool have_slot = acquire_slot_with_backoff(bus, label) >= 0;
-  if (!have_slot) {
-    // The segment is unusable (full of live peers, or a chaos acquire-fail
-    // window): degrade to solo tuning — no publishes, no cross-process
-    // arbitration — instead of giving up the run.
-    std::fprintf(stderr,
-                 "rubic_colocate[%d]: no bus slot after retries; "
-                 "falling back to solo (bus-less) tuning\n",
-                 static_cast<int>(getpid()));
-  }
-  stm::RuntimeConfig stm_config;
-  stm_config.backend = opt.stm_backend;
-  stm::Runtime rt(stm_config);
-  auto workload = make_child_workload(opt.workload, rt);
-
-  std::unique_ptr<control::Controller> controller;
-  if (opt.policy == "equalshare" && have_slot) {
-    // The bus is the §4.3 "central entity", valid across address spaces.
-    controller = std::make_unique<ipc::BusEqualShareController>(bus, opt.pool);
-  } else if (opt.policy == "equalshare") {
-    // Solo EqualShare degenerates to "the whole machine is my share".
-    controller = control::make_greedy(std::min(opt.contexts, opt.pool));
-  } else {
-    control::PolicyConfig policy_config;
-    policy_config.contexts = opt.contexts;
-    policy_config.pool_size = opt.pool;
-    controller = control::make_controller(opt.policy, policy_config);
-  }
-
-  runtime::ProcessConfig config;
-  config.pool.pool_size = opt.pool;
-  config.pool.seed =
-      0x9001 + static_cast<std::uint64_t>(
-                   have_slot ? bus.slot_index() : 64 + child_index);
-  config.monitor.period = milliseconds(opt.period_ms);
-  config.monitor.stm_runtime = &rt;
-  config.monitor.bus = have_slot ? &bus : nullptr;
-  telemetry::AuditLog audit_log;
-  if (!opt.audit_out.empty()) {
-    // The guard inside the monitor is bounded to [1, pool_size]; the meta
-    // must carry the same bounds so replay clamps identically.
-    telemetry::AuditMeta meta;
-    meta.policy = opt.policy;
-    meta.min_level = 1;
-    meta.max_level = opt.pool;
-    meta.contexts = opt.contexts;
-    meta.pool = opt.pool;
-    meta.processes = opt.procs;
-    meta.seed = config.pool.seed;
-    meta.stm_backend = std::string(stm::backend_name(opt.stm_backend));
-    audit_log.set_meta(meta);
-    config.monitor.audit = &audit_log;
-  }
-  runtime::TunedProcess process(rt, *workload, *controller, config);
-  const runtime::RunReport report = process.run_for(seconds(opt.seconds));
-
-  ipc::FinalSample final_sample;
-  final_sample.final_level = report.final_level;
-  final_sample.seconds = report.seconds;
-  final_sample.mean_level = report.mean_level;
-  final_sample.tasks_per_second = report.tasks_per_second;
-  final_sample.tasks_completed = report.tasks_completed;
-  final_sample.commits = report.stm_stats.commits;
-  final_sample.aborts = report.stm_stats.total_aborts();
-  bus.publish_final(final_sample);  // no-op without a slot
-
-  if (tracer != nullptr) {
-    // run_for() stopped the monitor and the pool: writers are quiesced, so
-    // disarm-and-export is safe. The fragment is newline-separated Chrome
-    // event objects; the parent merges one fragment per surviving child.
-    trace::disarm();
-    const std::string fragment =
-        trace::to_chrome_events(*tracer, getpid(), label);
-    if (!trace::write_file(trace_part_path(opt, getpid()), fragment)) {
-      std::fprintf(stderr, "rubic_colocate[%d]: failed to write trace part\n",
-                   static_cast<int>(getpid()));
-    }
-  }
-
-  if (!opt.audit_out.empty()) {
-    // Audit parts are run outputs, not scratch files: rubic_replay's
-    // --prefix flag consumes <prefix>.<pid>.jsonl directly.
-    if (!trace::write_file(audit_part_path(opt, getpid()),
-                           telemetry::to_jsonl(audit_log))) {
-      std::fprintf(stderr, "rubic_colocate[%d]: failed to write audit log\n",
-                   static_cast<int>(getpid()));
-    }
-  }
-  if (opt.telemetry_enabled()) {
-    // Monitor and pool are stopped: the snapshot is quiescent and final.
-    telemetry::disarm();
-    const std::string snap = telemetry::to_json(
-        telemetry::registry().snapshot(), telemetry::JsonStyle::kCompact);
-    if (!trace::write_file(telemetry_part_path(opt, getpid()), snap)) {
-      std::fprintf(stderr,
-                   "rubic_colocate[%d]: failed to write telemetry part\n",
-                   static_cast<int>(getpid()));
-    }
-  }
-
-  std::string error;
-  if (!workload->verify(&error)) {
-    std::fprintf(stderr, "rubic_colocate[%d]: consistency violation: %s\n",
-                 static_cast<int>(getpid()), error.c_str());
-    return 3;
-  }
-  return 0;
+// The shared launcher's child configuration for one rubic_colocate child.
+// The child body itself (slot claim with backoff, solo fallback, policy
+// construction, final-sample publish, trace/audit/telemetry part dumps,
+// exit-time verify) lives in src/scenario/launcher.cpp, shared with the
+// rubic_soak orchestrator.
+scenario::ChildRun make_child_run(const Options& opt, int child_index) {
+  scenario::ChildRun run;
+  run.label = opt.workload + "/" + opt.policy;
+  run.workload = opt.workload;
+  run.policy = opt.policy;
+  run.backend = opt.stm_backend;
+  run.fault_spec = opt.fault_spec;
+  run.run_ms = static_cast<std::int64_t>(opt.seconds) * 1000;
+  run.contexts = opt.contexts;
+  run.pool = opt.pool;
+  run.period_ms = opt.period_ms;
+  run.child_index = child_index;
+  run.procs = opt.procs;
+  run.telemetry = opt.telemetry_enabled();
+  if (run.telemetry) run.telemetry_base = telemetry_base(opt);
+  run.trace_base = opt.trace_out;
+  run.audit_base = opt.audit_out;
+  return run;
 }
 
 double measure_baseline(const Options& opt) {
   stm::RuntimeConfig stm_config;
   stm_config.backend = opt.stm_backend;
   stm::Runtime rt(stm_config);
-  auto workload = make_child_workload(opt.workload, rt);
+  auto workload = scenario::make_child_workload(opt.workload, rt);
   control::FixedController sequential(control::LevelBounds{1, 1}, 1, "Seq");
   runtime::ProcessConfig config;
   config.pool.pool_size = 1;
@@ -375,14 +225,14 @@ std::string format_report(const Options& opt, double baseline,
     std::snprintf(
         buffer, sizeof buffer,
         "    {\"pid\": %d, \"label\": \"%s\", \"completed\": %s, "
-        "\"solo\": %s, \"exit_code\": %d, \"signal\": %d, "
+        "\"solo\": %s, \"hung\": %s, \"exit_code\": %d, \"signal\": %d, "
         "\"tasks_per_second\": %.3f, \"tasks_completed\": %llu, "
         "\"mean_level\": %.2f, \"final_level\": %d, "
         "\"commits\": %llu, \"aborts\": %llu, \"commit_ratio\": %.4f, "
         "\"speedup\": %.4f, \"efficiency\": %.4f}%s\n",
         static_cast<int>(child.pid), json_escape(p.label).c_str(),
         child.completed ? "true" : "false", child.solo ? "true" : "false",
-        child.exit_code, child.signal,
+        child.hung ? "true" : "false", child.exit_code, child.signal,
         child.completed ? p.tasks_per_second : p.throughput,
         static_cast<unsigned long long>(p.tasks_completed),
         child.completed ? p.mean_level : 0.0,
@@ -425,7 +275,9 @@ int main(int argc, char** argv) {
     const bool list_workloads = cli.get_bool("list-workloads");
     const bool list_controllers = cli.get_bool("list-controllers");
     const bool list_backends = cli.get_bool("list-backends");
-    if (list_workloads || list_controllers || list_backends) {
+    const bool list_fault_sites = cli.get_bool("list-fault-sites");
+    if (list_workloads || list_controllers || list_backends ||
+        list_fault_sites) {
       // One shared renderer (util/listing.hpp) so every binary's listing is
       // sorted and byte-identical for the same registry.
       if (list_workloads) {
@@ -440,6 +292,9 @@ int main(int argc, char** argv) {
           names.push_back(stm::backend_name(k));
         }
         util::print_name_list(std::move(names));
+      }
+      if (list_fault_sites) {
+        util::print_name_list(fault::known_site_names());
       }
       return 0;
     }
@@ -467,6 +322,8 @@ int main(int argc, char** argv) {
     opt.period_ms = static_cast<int>(cli.get_int("period-ms", opt.period_ms));
     opt.chaos_kill_ms =
         static_cast<int>(cli.get_int("chaos-kill-ms", opt.chaos_kill_ms));
+    opt.hung_after_ms =
+        static_cast<int>(cli.get_int("hung-after-ms", opt.hung_after_ms));
     opt.fault_spec = cli.get_string("fault-spec", "");
     opt.bus_name = cli.get_string("bus", "");
     opt.json_path = cli.get_string("json", "");
@@ -486,12 +343,13 @@ int main(int argc, char** argv) {
                    "[--stm-backend B] "
                    "[--seconds S] [--contexts C] [--pool SZ] [--period-ms M] "
                    "[--baseline-seconds B] [--chaos-kill-ms T] "
+                   "[--hung-after-ms T] "
                    "[--fault-spec SPEC] [--bus /name] "
                    "[--json out.json] [--trace-out trace.json] "
                    "[--telemetry] [--prom-out metrics.prom] "
                    "[--audit-out prefix] "
                    "[--list-workloads] [--list-controllers] "
-                   "[--list-backends]\n");
+                   "[--list-backends] [--list-fault-sites]\n");
       return 2;
     }
     if (opt.contexts <= 0) {
@@ -518,25 +376,16 @@ int main(int argc, char** argv) {
     bus_config.stale_after = milliseconds(25 * opt.period_ms);
     auto bus = ipc::CoLocationBus::create_or_attach(bus_config);
 
-    std::fflush(nullptr);  // children inherit stdio buffers: flush first
     std::vector<pid_t> pids;
     for (int i = 0; i < opt.procs; ++i) {
-      const pid_t pid = fork();
+      const scenario::ChildRun run = make_child_run(opt, i);
+      ipc::CoLocationBus* bus_ptr = bus.get();
+      const pid_t pid = scenario::spawn_child(
+          [&run, bus_ptr]() { return scenario::run_workload_child(run, bus_ptr); });
       if (pid < 0) {
         std::perror("fork");
         ipc::CoLocationBus::unlink(opt.bus_name);
         return 1;
-      }
-      if (pid == 0) {
-        int code = 5;
-        try {
-          code = run_child(opt, *bus, i);
-        } catch (const std::exception& e) {
-          std::fprintf(stderr, "rubic_colocate[%d]: %s\n",
-                       static_cast<int>(getpid()), e.what());
-        }
-        std::fflush(nullptr);
-        _exit(code);
       }
       pids.push_back(pid);
     }
@@ -549,16 +398,24 @@ int main(int argc, char** argv) {
                    static_cast<int>(pids.front()), opt.chaos_kill_ms);
     }
 
+    // Reap under the hung-child watchdog: each child gets its run duration
+    // plus --hung-after-ms of slack, after which a silent heartbeat means
+    // SIGKILL and a distinct "hung" verdict in the report.
+    std::vector<scenario::WatchedChild> watched;
+    for (const pid_t pid : pids) {
+      watched.push_back(
+          {pid, wall_start + milliseconds(static_cast<std::int64_t>(
+                                 opt.seconds) * 1000 + opt.hung_after_ms)});
+    }
+    const std::vector<scenario::ReapedChild> reaped =
+        scenario::reap_with_watchdog(watched, bus.get(),
+                                     milliseconds(25 * opt.period_ms));
     std::vector<ChildResult> children(pids.size());
     for (std::size_t i = 0; i < pids.size(); ++i) {
       children[i].pid = pids[i];
-      int status = 0;
-      if (waitpid(pids[i], &status, 0) < 0) {
-        std::perror("waitpid");
-        continue;
-      }
-      if (WIFEXITED(status)) children[i].exit_code = WEXITSTATUS(status);
-      if (WIFSIGNALED(status)) children[i].signal = WTERMSIG(status);
+      children[i].exit_code = reaped[i].exit_code;
+      children[i].signal = reaped[i].signal;
+      children[i].hung = reaped[i].hung;
     }
     const double wall_seconds =
         duration<double>(steady_clock::now() - wall_start).count();
@@ -589,7 +446,8 @@ int main(int argc, char** argv) {
       // tail); the merge skips missing files and partial lines.
       std::vector<std::string> fragments;
       for (const pid_t pid : pids) {
-        const std::string part = trace_part_path(opt, pid);
+        const std::string part = scenario::part_path(opt.trace_out, pid,
+                                                     ".part");
         fragments.push_back(read_file(part));
         ::unlink(part.c_str());
       }
@@ -601,37 +459,41 @@ int main(int argc, char** argv) {
 
     // Collect the per-child telemetry snapshots, merge them, and render the
     // report's "telemetry" key: per-process sections plus the cross-process
-    // aggregate. A chaos-killed child never wrote its part; it is skipped.
+    // aggregate. Every expected part is accounted for — parsed, missing (a
+    // chaos-killed or hung child never wrote one), or discarded (a torn
+    // mid-write fragment) — instead of being silently skipped.
     std::string telemetry_section;
     if (opt.telemetry_enabled()) {
+      std::vector<scenario::TelemetryPart> parts;
+      for (const pid_t pid : pids) {
+        parts.push_back(
+            {pid, scenario::part_path(telemetry_base(opt), pid, ".tpart")});
+      }
+      const scenario::CollectedTelemetry collected =
+          scenario::collect_telemetry_parts(parts);
       std::vector<telemetry::Snapshot> snapshots;
       std::string per_process;
-      for (const pid_t pid : pids) {
-        const std::string part = telemetry_part_path(opt, pid);
-        const std::string text = read_file(part);
-        ::unlink(part.c_str());
-        telemetry::Snapshot snap;
-        std::string parse_error;
-        if (text.empty() ||
-            !telemetry::parse_json_snapshot(text, &snap, &parse_error)) {
-          if (!text.empty()) {
-            std::fprintf(stderr, "bad telemetry part from child %d: %s\n",
-                         static_cast<int>(pid), parse_error.c_str());
-          }
-          continue;
-        }
+      for (const auto& [pid, snap] : collected.snapshots) {
         if (!per_process.empty()) per_process += ",";
         per_process += "\n      {\"pid\": ";
         per_process += std::to_string(static_cast<int>(pid));
         per_process += ", \"metrics\": ";
         per_process += telemetry::to_json_metrics(snap, "      ");
         per_process += "}";
-        snapshots.push_back(std::move(snap));
+        snapshots.push_back(snap);
       }
       const telemetry::Snapshot merged = telemetry::merge_snapshots(snapshots);
       telemetry_section = "{\n    \"schema\": \"";
       telemetry_section += telemetry::kJsonSchema;
-      telemetry_section += "\",\n    \"processes\": [";
+      telemetry_section += "\",\n    \"parts\": {\"expected\": ";
+      telemetry_section += std::to_string(collected.expected);
+      telemetry_section += ", \"merged\": ";
+      telemetry_section += std::to_string(collected.merged);
+      telemetry_section += ", \"missing\": ";
+      telemetry_section += std::to_string(collected.missing);
+      telemetry_section += ", \"discarded\": ";
+      telemetry_section += std::to_string(collected.discarded);
+      telemetry_section += "},\n    \"processes\": [";
       telemetry_section += per_process;
       if (!per_process.empty()) telemetry_section += "\n    ";
       telemetry_section += "],\n    \"merged\": ";
@@ -671,7 +533,14 @@ int main(int argc, char** argv) {
       const bool chaos_victim = opt.chaos_kill_ms > 0 && i == 0;
       if (child.completed || child.solo || chaos_victim) continue;
       ++failures;
-      if (child.signal != 0) {
+      if (child.hung) {
+        std::fprintf(stderr,
+                     "rubic_colocate: child %d (%s/%s) hung: no exit and no "
+                     "bus heartbeat within %d ms past its run; SIGKILLed by "
+                     "the watchdog\n",
+                     static_cast<int>(child.pid), opt.workload.c_str(),
+                     opt.policy.c_str(), opt.hung_after_ms);
+      } else if (child.signal != 0) {
         std::fprintf(stderr,
                      "rubic_colocate: child %d (%s/%s) died: killed by "
                      "signal %d (%s)\n",

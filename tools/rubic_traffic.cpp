@@ -142,13 +142,16 @@ int main(int argc, char** argv) {
     const bool list_mixes = cli.get_bool("list-mixes");
     const bool list_controllers = cli.get_bool("list-controllers");
     const bool list_backends = cli.get_bool("list-backends");
-    if (list_mixes || list_controllers || list_backends) {
+    const bool list_fault_sites = cli.get_bool("list-fault-sites");
+    if (list_mixes || list_controllers || list_backends || list_fault_sites) {
       std::vector<std::string_view> names;
       const auto mixes = traffic::known_mixes();
       if (list_mixes) {
         names.assign(mixes.begin(), mixes.end());
       } else if (list_controllers) {
         names = control::known_policies();
+      } else if (list_fault_sites) {
+        names = fault::known_site_names();
       } else {
         for (const auto k : stm::known_backends()) {
           names.push_back(stm::backend_name(k));
@@ -220,7 +223,8 @@ int main(int argc, char** argv) {
           "[--scan-len N] [--slo-ms MS] [--seed N] [--stm-backend B] "
           "[--contexts C] [--pool SZ] [--period-ms M] [--timeout-factor F] "
           "[--fault-spec SPEC] [--json out.json] [--bench-out bench.json] "
-          "[--list-mixes] [--list-controllers] [--list-backends]\n");
+          "[--list-mixes] [--list-controllers] [--list-backends] "
+          "[--list-fault-sites]\n");
       return 2;
     }
     if (opt.contexts <= 0) {

@@ -73,6 +73,7 @@ int main(int argc, char** argv) {
     control::PolicyConfig policy_config;
     policy_config.contexts = pool_size;
     policy_config.pool_size = pool_size;
+    policy_config.initial_backend = std::string(stm::backend_name(backend));
     if (policy == "equalshare") {
       policy_config.allocator =
           std::make_shared<control::CentralAllocator>(pool_size);
@@ -81,6 +82,10 @@ int main(int argc, char** argv) {
     auto controller = control::make_controller(policy, policy_config);
     runtime::ProcessConfig config;
     config.pool.pool_size = pool_size;
+    // Wired unconditionally: contention-signal policies feed on the commit
+    // ratio, and "adaptive" additionally retargets this runtime's backend
+    // online.
+    config.monitor.stm_runtime = &rt;
     runtime::TunedProcess process(rt, *workload, *controller, config);
     const auto report =
         process.run_for(std::chrono::milliseconds(1000 * seconds_each));

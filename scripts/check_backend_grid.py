@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Validate the nightly cross-backend bench grid for completeness and sanity.
+
+The soak-nightly backend-grid job runs `rubic_bench --suite
+micro_backend_compare --filter backend_<name>_` once per STM engine and
+uploads one rubic-bench-results/v1 artifact per backend. A missing engine, a
+bench that silently benchmarked zero work, or a filter that stopped matching
+after a rename would all still produce a green bench step — this checker is
+what turns those holes into a red nightly. It asserts that, across the given
+result files, every (backend, metric) cell of the grid is present exactly
+once, carries the full rep count, and holds a sane value (finite, positive,
+below an absurdity ceiling).
+
+Usage:
+    check_backend_grid.py RESULTS.json [RESULTS.json ...]
+        [--backends orec,norec,tl2,2plundo]
+        [--metrics read1_ns,write1_ns,rmw8_ns,rbtree_lookup_ns]
+        [--max-ns 1e7]
+
+Exit code 0 when the grid is complete and sane; 1 with a per-cell diagnostic
+on stderr otherwise.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+SCHEMA = "rubic-bench-results/v1"
+
+# Bench-name tokens, kept in sync with stm::known_backends()
+# (src/stm/backend/backend.hpp) and the micro_backend_compare suite
+# (tools/rubic_bench.cpp). The bench names abbreviate the orec_swiss engine
+# to "orec" (backend_orec_rmw8_ns etc.); the other tokens match the
+# runtime's backend names exactly.
+DEFAULT_BACKENDS = ["orec", "norec", "tl2", "2plundo"]
+DEFAULT_METRICS = ["read1_ns", "write1_ns", "rmw8_ns", "rbtree_lookup_ns"]
+
+
+def fail(message):
+    print(f"check_backend_grid: {message}", file=sys.stderr)
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", nargs="+", help="bench result JSON files")
+    parser.add_argument("--backends", default=",".join(DEFAULT_BACKENDS))
+    parser.add_argument("--metrics", default=",".join(DEFAULT_METRICS))
+    parser.add_argument(
+        "--max-ns",
+        type=float,
+        default=1e7,
+        help="absurdity ceiling for any ns_per_op median (default 1e7)",
+    )
+    args = parser.parse_args()
+    backends = [b for b in args.backends.split(",") if b]
+    metrics = [m for m in args.metrics.split(",") if m]
+
+    # cell name -> (median, reps, source file)
+    cells = {}
+    errors = 0
+    for path in args.results:
+        try:
+            with open(path, encoding="utf-8") as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            return fail(f"cannot read {path}: {exc}")
+        if data.get("schema") != SCHEMA:
+            return fail(
+                f"{path}: schema {data.get('schema')!r} != {SCHEMA!r}")
+        reps = data.get("reps")
+        if not isinstance(reps, int) or reps < 1:
+            return fail(f"{path}: bad reps {reps!r}")
+        for entry in data.get("results", []):
+            name = entry.get("name", "")
+            if not name.startswith("backend_"):
+                continue
+            if name in cells:
+                errors += fail(
+                    f"{path}: duplicate cell {name} "
+                    f"(already seen in {cells[name][2]})")
+                continue
+            values = entry.get("values", [])
+            if len(values) != reps:
+                errors += fail(
+                    f"{path}: {name} has {len(values)} values, "
+                    f"expected reps={reps}")
+            cells[name] = (entry.get("median"), reps, path)
+
+    for backend in backends:
+        for metric in metrics:
+            name = f"backend_{backend}_{metric}"
+            if name not in cells:
+                errors += fail(f"missing grid cell {name}")
+                continue
+            median, _, path = cells[name]
+            if not isinstance(median, (int, float)) or not math.isfinite(
+                    median):
+                errors += fail(f"{path}: {name} median {median!r} not finite")
+            elif median <= 0.0:
+                errors += fail(
+                    f"{path}: {name} median {median} <= 0 "
+                    "(benchmarked no work?)")
+            elif median > args.max_ns:
+                errors += fail(
+                    f"{path}: {name} median {median} exceeds "
+                    f"--max-ns {args.max_ns}")
+
+    expected = {f"backend_{b}_{m}" for b in backends for m in metrics}
+    for name, (_, _, path) in sorted(cells.items()):
+        if name not in expected:
+            errors += fail(
+                f"{path}: unexpected cell {name} "
+                "(backend list out of date?)")
+
+    if errors:
+        return 1
+    print(
+        f"check_backend_grid: OK — {len(backends)}x{len(metrics)} grid "
+        f"complete across {len(args.results)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+// Backend-adaptation meta-controller ("adaptive", "adaptive:<inner>").
+//
+// RUBIC tunes *how many* threads run; this tunes *which protocol* they run.
+// The meta-controller wraps an ordinary level controller (default: rubic)
+// and delegates every level decision to it unchanged — it adds exactly one
+// behaviour, the BackendAdapter seam: a deterministic explore-then-commit
+// search over the backend candidate list driven by per-round
+// throughput/abort/latency signals.
+//
+// Schedule (all parameters fixed, so an audit-log replay reproduces every
+// decision byte-for-byte):
+//   1. warm up kWarmupRounds on the initial backend (discarded — the pool
+//      is still filling and the first rounds are noise);
+//   2. probe each candidate in list order: after each switch the first
+//      kProbeSkip rounds are discarded (they straddle the switch), the next
+//      kProbeRounds are scored by mean throughput;
+//   3. commit to the argmax candidate and hold it for kHoldRounds, then
+//      re-probe (workload phases move);
+//   4. early re-probe if throughput stays below kRetriggerFraction of the
+//      committed score for kDegradeRounds consecutive rounds.
+// Probing visits every candidate, which guarantees at least one online
+// switch per run — the property the audit/replay acceptance test pins.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/control/backend_adapter.hpp"
+#include "src/control/controller.hpp"
+
+namespace rubic::control {
+
+class AdaptiveController : public Controller, public BackendAdapter {
+ public:
+  // Takes ownership of the inner level controller. `candidates` must be
+  // non-empty; `initial` is an index into it.
+  AdaptiveController(std::unique_ptr<Controller> inner,
+                     std::vector<std::string> candidates, int initial);
+
+  // Controller: pure delegation to the inner policy.
+  int initial_level() const override;
+  int on_sample(double throughput) override;
+  void reset() override;
+  std::string_view name() const override;
+  DecisionInfo decision_info() const override;
+
+  // BackendAdapter.
+  void on_backend_signal(const BackendSignal& signal) override;
+  int desired_backend() const override;
+  const std::vector<std::string>& candidates() const override;
+
+  // Fixed schedule parameters (public: the tests and docs reference them).
+  static constexpr int kWarmupRounds = 4;
+  static constexpr int kProbeSkip = 1;
+  static constexpr int kProbeRounds = 4;
+  static constexpr int kHoldRounds = 64;
+  static constexpr double kRetriggerFraction = 0.7;
+  static constexpr int kDegradeRounds = 4;
+
+ private:
+  enum class Phase { kWarmup, kProbe, kHold };
+
+  void start_probe();
+
+  std::unique_ptr<Controller> inner_;
+  std::vector<std::string> candidates_;
+  const int initial_;
+  std::string name_;
+
+  Phase phase_ = Phase::kWarmup;
+  int desired_ = 0;          // current answer of desired_backend()
+  int rounds_in_phase_ = 0;  // rounds observed since the phase began
+  // Probe state.
+  int probe_index_ = 0;  // candidate currently being scored
+  int probe_seen_ = 0;   // scored rounds for that candidate (post-skip)
+  double probe_sum_ = 0.0;
+  std::vector<double> scores_;
+  // Hold state.
+  double committed_score_ = 0.0;
+  int degrade_streak_ = 0;
+};
+
+}  // namespace rubic::control

@@ -1,0 +1,53 @@
+// Backend-adaptation seam between the control layer and the STM.
+//
+// The control library sits *below* the STM in the link graph
+// (stm -> telemetry -> control: the audit log replays controller decisions,
+// and the STM's telemetry depends on that), so a controller that picks STM
+// backends cannot name stm::BackendKind. It speaks backend *names* instead:
+// the adapter exposes an ordered candidate list of name strings and answers
+// with an index into it; the runtime layer (monitor) maps the name onto a
+// BackendKind and applies it at a quiescent point. A test pins the default
+// candidate list to stm::known_backends() so the two can never drift.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rubic::control {
+
+// One monitor round of per-backend-relevant telemetry, as observed under
+// whatever backend was active during that round. All fields are already
+// sanitized by the caller (finite, non-negative).
+struct BackendSignal {
+  double throughput = 0.0;     // tasks per second over the round
+  double abort_rate = 0.0;     // 1 - commit ratio, in [0, 1]
+  double commit_lat_ns = 0.0;  // mean STM commit latency (0 when telemetry
+                               // is disarmed — advisory only)
+};
+
+// Implemented (alongside Controller) by policies that adapt the STM backend
+// online. Discovered by ControllerGuard via dynamic_cast, exactly like
+// ContentionSignalConsumer.
+class BackendAdapter {
+ public:
+  virtual ~BackendAdapter() = default;
+
+  // Feed one round of observations. Called once per monitor round, before
+  // desired_backend() is consulted for that round.
+  virtual void on_backend_signal(const BackendSignal& signal) = 0;
+
+  // Index into candidates() of the backend the policy wants active now.
+  // Deterministic: a pure function of the signal history since reset.
+  virtual int desired_backend() const = 0;
+
+  // The ordered universe of backend names this adapter picks from. Stable
+  // for the adapter's lifetime.
+  virtual const std::vector<std::string>& candidates() const = 0;
+};
+
+// The default candidate universe, kept in sync with stm::known_backends()
+// by tests/test_backend_adapt.cpp (this library cannot link the STM).
+std::vector<std::string> default_backend_candidates();
+
+}  // namespace rubic::control

@@ -1,8 +1,10 @@
 #include "src/control/factory.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
+#include "src/control/adaptive.hpp"
 #include "src/control/aimd.hpp"
 #include "src/control/ebs.hpp"
 #include "src/control/f2c2.hpp"
@@ -11,9 +13,43 @@
 
 namespace rubic::control {
 
+namespace {
+constexpr std::string_view kAdaptivePrefix = "adaptive:";
+
+bool is_adaptive_name(std::string_view policy) {
+  return policy == "adaptive" ||
+         policy.substr(0, kAdaptivePrefix.size()) == kAdaptivePrefix;
+}
+}  // namespace
+
 std::unique_ptr<Controller> make_controller(std::string_view policy,
                                             const PolicyConfig& config) {
   const LevelBounds bounds{1, config.effective_pool()};
+  if (is_adaptive_name(policy)) {
+    const std::string_view inner_name =
+        policy == "adaptive" ? std::string_view("rubic")
+                             : policy.substr(kAdaptivePrefix.size());
+    if (is_adaptive_name(inner_name)) {
+      throw std::invalid_argument("adaptive controllers cannot nest");
+    }
+    std::unique_ptr<Controller> inner = make_controller(inner_name, config);
+    std::vector<std::string> candidates = config.backend_candidates.empty()
+                                              ? default_backend_candidates()
+                                              : config.backend_candidates;
+    int initial = 0;
+    if (!config.initial_backend.empty()) {
+      const auto it = std::find(candidates.begin(), candidates.end(),
+                                config.initial_backend);
+      // An initial backend outside the candidate list falls back to index
+      // 0: the adapter's first desired name then differs from the active
+      // backend and the monitor converges at the first quiescent point.
+      if (it != candidates.end()) {
+        initial = static_cast<int>(it - candidates.begin());
+      }
+    }
+    return std::make_unique<AdaptiveController>(std::move(inner),
+                                                std::move(candidates), initial);
+  }
   if (policy == "rubic") {
     return std::make_unique<RubicController>(bounds, config.cubic);
   }
@@ -50,8 +86,20 @@ std::vector<std::string_view> evaluated_policies() {
 }
 
 std::vector<std::string_view> known_policies() {
-  return {"rubic", "ebs",    "aiad",   "f2c2",
-          "aimd",  "profiled", "greedy", "equalshare"};
+  return {"rubic", "ebs",      "aiad",   "f2c2",
+          "aimd",  "profiled", "greedy", "equalshare",
+          "adaptive"};
+}
+
+bool policy_known(std::string_view policy) {
+  std::string_view base = policy;
+  if (base != "adaptive" &&
+      base.substr(0, kAdaptivePrefix.size()) == kAdaptivePrefix) {
+    base = base.substr(kAdaptivePrefix.size());
+    if (is_adaptive_name(base)) return false;  // no nesting
+  }
+  const auto known = known_policies();
+  return std::find(known.begin(), known.end(), base) != known.end();
 }
 
 }  // namespace rubic::control

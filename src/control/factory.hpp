@@ -3,6 +3,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -23,6 +24,12 @@ struct PolicyConfig {
   double aimd_alpha = 0.5;
   // Shared central entity, required for "equalshare".
   std::shared_ptr<CentralAllocator> allocator;
+  // Backend-adaptation ("adaptive") parameters: the STM backend active at
+  // process start (by name; empty = first candidate) and the candidate
+  // universe (empty = default_backend_candidates()). Ignored by every
+  // non-adaptive policy.
+  std::string initial_backend;
+  std::vector<std::string> backend_candidates;
 
   int effective_pool() const noexcept {
     return pool_size > 0 ? pool_size : 2 * contexts;
@@ -30,7 +37,9 @@ struct PolicyConfig {
 };
 
 // Known names: "rubic", "ebs", "aiad", "f2c2", "aimd", "greedy",
-// "equalshare". Throws std::invalid_argument on anything else.
+// "equalshare", "adaptive" (= "adaptive:rubic"; "adaptive:<inner>" wraps
+// any non-adaptive inner policy). Throws std::invalid_argument on anything
+// else.
 std::unique_ptr<Controller> make_controller(std::string_view policy,
                                             const PolicyConfig& config);
 
@@ -40,6 +49,12 @@ std::vector<std::string_view> evaluated_policies();
 
 // Every name make_controller accepts — the single discovery path shared by
 // the sim CLI's --list-controllers and the rubic_colocate launcher.
+// "adaptive:<inner>" forms are not enumerated; use policy_known() to
+// validate a user-supplied string.
 std::vector<std::string_view> known_policies();
+
+// True iff make_controller(policy, ...) would resolve the name — including
+// the "adaptive:<inner>" prefix form (nesting rejected).
+bool policy_known(std::string_view policy);
 
 }  // namespace rubic::control

@@ -26,6 +26,7 @@
 #include <string>
 #include <string_view>
 
+#include "src/control/backend_adapter.hpp"
 #include "src/control/contention.hpp"
 #include "src/control/controller.hpp"
 #include "src/fault/fault.hpp"
@@ -40,9 +41,17 @@ class ControllerGuard final : public Controller,
   ControllerGuard(Controller& inner, LevelBounds bounds)
       : inner_(&inner),
         consumer_(dynamic_cast<ContentionSignalConsumer*>(&inner)),
+        adapter_(dynamic_cast<BackendAdapter*>(&inner)),
         bounds_(bounds),
         name_("Guarded(" + std::string(inner.name()) + ")") {
     last_good_ = initial_level();
+    if (adapter_ != nullptr) {
+      try {
+        last_backend_ = clamp_backend(adapter_->desired_backend());
+      } catch (...) {
+        last_backend_ = 0;
+      }
+    }
   }
 
   // Owning variant for callers that build the policy just to wrap it.
@@ -98,6 +107,45 @@ class ControllerGuard final : public Controller,
   }
 
   bool consumes_contention() const noexcept { return consumer_ != nullptr; }
+
+  // Backend-adaptation path (BackendAdapter policies only, discovered like
+  // the contention consumer). Feeds one round of observations and answers
+  // with the desired candidate index; a throwing or out-of-range adapter
+  // holds the last good answer, and the signal is sanitized first — the
+  // same three defenses as the level path.
+  bool adapts_backend() const noexcept { return adapter_ != nullptr; }
+
+  int on_backend_signal(const BackendSignal& signal) {
+    if (adapter_ == nullptr) return last_backend_;
+    BackendSignal clean;
+    clean.throughput = sanitize(signal.throughput);
+    clean.commit_lat_ns = sanitize(signal.commit_lat_ns);
+    clean.abort_rate = sanitize(signal.abort_rate);
+    if (clean.abort_rate > 1.0) {
+      clean.abort_rate = 1.0;
+      ++sanitized_inputs_;
+    }
+    if (fault::probe(fault::Site::kControllerThrow)) [[unlikely]] {
+      ++absorbed_exceptions_;
+      return last_backend_;
+    }
+    try {
+      adapter_->on_backend_signal(clean);
+      const int desired = adapter_->desired_backend();
+      const int clamped = clamp_backend(desired);
+      if (clamped != desired) ++clamped_outputs_;
+      last_backend_ = clamped;
+    } catch (...) {
+      ++absorbed_exceptions_;
+    }
+    return last_backend_;
+  }
+
+  // Candidate universe of the wrapped adapter; nullptr for plain policies.
+  const std::vector<std::string>* backend_candidates() const {
+    return adapter_ == nullptr ? nullptr : &adapter_->candidates();
+  }
+
   Controller& inner() noexcept { return *inner_; }
   int level() const noexcept { return last_good_; }
 
@@ -156,12 +204,22 @@ class ControllerGuard final : public Controller,
     return clamped;
   }
 
+  int clamp_backend(int index) const {
+    if (adapter_ == nullptr) return 0;
+    const int count = static_cast<int>(adapter_->candidates().size());
+    if (index < 0) return 0;
+    if (index >= count) return count - 1;
+    return index;
+  }
+
   Controller* inner_;
   std::unique_ptr<Controller> owned_;
   ContentionSignalConsumer* consumer_;
+  BackendAdapter* adapter_ = nullptr;
   LevelBounds bounds_;
   std::string name_;
   int last_good_ = 1;
+  int last_backend_ = 0;
   std::uint64_t sanitized_inputs_ = 0;
   std::uint64_t absorbed_exceptions_ = 0;
   std::uint64_t clamped_outputs_ = 0;

@@ -299,6 +299,7 @@ void CoLocationBus::publish(const SlotSample& sample) {
   own_.tasks_completed = sample.tasks_completed;
   own_.commits = sample.commits;
   own_.aborts = sample.aborts;
+  own_.backend = sample.backend;
   if (fault::probe(fault::Site::kBusSuppressHeartbeat)) {
     // Injected heartbeat suppression: the round's publish is dropped on the
     // floor. Readers must eventually classify the slot as stale; the own_
@@ -357,6 +358,9 @@ bool payload_plausible(const SlotPayload& p) noexcept {
   }
   if (p.level < 0 || p.level > kMaxPlausibleLevel) return false;
   if (p.final_level < 0 || p.final_level > kMaxPlausibleLevel) return false;
+  // Backend indexes into a short name list; -1 means "no STM wired". Loose
+  // upper bound — the reader cannot know the peer's actual backend count.
+  if (p.backend < -1 || p.backend > 1024) return false;
   if (!std::isfinite(p.seconds) || p.seconds < 0.0) return false;
   if (!std::isfinite(p.mean_level) || p.mean_level < 0.0 ||
       p.mean_level > static_cast<double>(kMaxPlausibleLevel)) {

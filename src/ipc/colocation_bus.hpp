@@ -40,7 +40,10 @@
 namespace rubic::ipc {
 
 inline constexpr std::uint32_t kBusMagic = 0x52554243;  // "RUBC"
-inline constexpr std::uint32_t kBusVersion = 1;
+// v2 filled the padding hole after `done` with the active STM backend
+// index (layout size unchanged; a v1 reader would merely see the field as
+// uninitialized padding, but versions must match exactly to attach).
+inline constexpr std::uint32_t kBusVersion = 2;
 inline constexpr int kDefaultMaxSlots = 16;
 inline constexpr int kLabelBytes = 48;
 // A torn snapshot read is retried this many times before being reported as
@@ -65,6 +68,9 @@ struct SlotPayload {
   std::uint64_t aborts = 0;   // cumulative STM aborts
   // Filled by publish_final when the process finished its run cleanly:
   std::uint32_t done = 0;
+  // Active STM backend as an index into stm::known_backends(); -1 when the
+  // publisher has no STM runtime wired (sim, plain pool runs).
+  std::int32_t backend = -1;
   double seconds = 0.0;
   double mean_level = 0.0;
   double tasks_per_second = 0.0;
@@ -79,6 +85,9 @@ struct SlotSample {
   std::uint64_t tasks_completed = 0;
   std::uint64_t commits = 0;
   std::uint64_t aborts = 0;
+  // Active STM backend (stm::known_backends() index; -1 = no STM wired).
+  // Lets co-runners observe a peer's online backend switches.
+  int backend = -1;
 };
 
 // What a process publishes once, after its run completed.

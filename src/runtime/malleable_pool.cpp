@@ -51,14 +51,32 @@ void MalleablePool::worker_loop(Worker& worker) {
           f.value < 0.0 ? 0.0 : f.value));
       continue;
     }
+    // Quiescence fence (run_quiesced): announce entry into the task region
+    // *before* re-checking paused_ — seq_cst on both sides means either the
+    // quiescer sees our in_task_ increment or we see its paused_ store, so
+    // no task can slip past a quiescent-point callback.
+    if (paused_.load(std::memory_order_seq_cst)) {
+      std::this_thread::yield();
+      continue;  // stopping_ is re-checked at the loop top
+    }
+    in_task_.fetch_add(1, std::memory_order_seq_cst);
+    if (paused_.load(std::memory_order_seq_cst)) {
+      in_task_.fetch_sub(1, std::memory_order_seq_cst);
+      std::this_thread::yield();
+      continue;
+    }
     // Finite workloads: the bag is empty, this worker retires (§3: the
     // worker "can then terminate"). run_task is never called after done().
-    if (workload_.done()) break;
+    if (workload_.done()) {
+      in_task_.fetch_sub(1, std::memory_order_seq_cst);
+      break;
+    }
     workload_.run_task(ctx, rng);
     // Single-writer counter (§3.1): plain load+store, no RMW.
     auto& counter = worker.completed.value;
     counter.store(counter.load(std::memory_order_relaxed) + 1,
                   std::memory_order_relaxed);
+    in_task_.fetch_sub(1, std::memory_order_seq_cst);
   }
 }
 
@@ -87,6 +105,22 @@ void MalleablePool::set_level(int new_level) {
       resize_latency.observe(trace::monotonic_ns() - resize_begin_ns);
     }
   }
+}
+
+void MalleablePool::run_quiesced(const std::function<void()>& fn) {
+  paused_.store(true, std::memory_order_seq_cst);
+  // Wait for in-flight tasks to drain. Parked workers hold no task; active
+  // ones finish their current run_task and then spin at the fence.
+  while (in_task_.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::yield();
+  }
+  try {
+    fn();
+  } catch (...) {
+    paused_.store(false, std::memory_order_seq_cst);
+    throw;
+  }
+  paused_.store(false, std::memory_order_seq_cst);
 }
 
 std::uint64_t MalleablePool::total_completed() const noexcept {

@@ -15,6 +15,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <semaphore>
 #include <thread>
@@ -47,6 +48,14 @@ class MalleablePool {
   // Monitor-side: publish a new parallelism level and wake the workers in
   // [old_level, new_level). Clamped to [1, pool_size].
   void set_level(int new_level);
+
+  // Monitor-side: pause every worker at a task boundary (no transaction in
+  // flight anywhere in the pool), run `fn`, resume. This is the hook for
+  // online STM backend switches — `Runtime::try_set_backend` requires that
+  // no context be mid-transaction, which holds exactly when all workers are
+  // outside `run_task`. Workers parked on their semaphore count as paused.
+  // `fn` must not enqueue work on this pool (it runs with workers fenced).
+  void run_quiesced(const std::function<void()>& fn);
 
   int level() const noexcept {
     return level_.load(std::memory_order_acquire);
@@ -86,6 +95,10 @@ class MalleablePool {
   alignas(util::kCacheLineSize) std::atomic<int> level_;
   std::atomic<bool> stopping_{false};
   std::atomic<int> blocked_{0};
+  // run_quiesced handshake (seq_cst Dekker with in_task_): workers that see
+  // paused_ spin at the gate instead of entering run_task.
+  std::atomic<bool> paused_{false};
+  std::atomic<int> in_task_{0};
   std::vector<std::unique_ptr<Worker>> workers_;
 };
 

@@ -3,7 +3,11 @@
 #include <pthread.h>
 #include <sched.h>
 
+#include <array>
 #include <cmath>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "src/fault/fault.hpp"
 #include "src/ipc/colocation_bus.hpp"
@@ -69,6 +73,21 @@ void Monitor::loop() {
   const auto period_ns =
       std::chrono::duration_cast<std::chrono::nanoseconds>(config_.period);
 
+  // Backend adaptation: only when the policy is a BackendAdapter and an STM
+  // runtime is wired. Candidate names are resolved to engine kinds once; an
+  // unresolvable name (custom candidate list) is simply never applied.
+  const bool adapt_backend = track_stm && guard_.adapts_backend();
+  std::vector<std::optional<stm::BackendKind>> candidate_kinds;
+  if (adapt_backend) {
+    for (const std::string& name : *guard_.backend_candidates()) {
+      candidate_kinds.push_back(stm::parse_backend(name));
+    }
+  }
+  // Per-backend commit-latency snapshot (the histogram is labelled by
+  // backend, so each engine accumulates separately), indexed by kind.
+  std::array<std::uint64_t, 8> last_lat_count{};
+  std::array<std::uint64_t, 8> last_lat_sum{};
+
   // Phase-transition tracking for the event tracer: only *changes* are
   // emitted, so a policy without decision_info() costs nothing extra.
   control::DecisionInfo last_info = guard_.decision_info();
@@ -130,6 +149,62 @@ void Monitor::loop() {
                        config_.overrun_factor *
                        static_cast<double>(period_ns.count())));
     const int prev_level = pool_.level();
+    // Backend adaptation happens before the level decision (the order the
+    // audit replay mirrors; the two state machines are independent). The
+    // signal is already finite here — the guard's sanitization is a second
+    // line of defense — so the recorded values are exactly what the adapter
+    // consumed, keeping replay byte-identical.
+    bool backend_round = false;
+    bool backend_switched = false;
+    std::string backend_desired;
+    control::BackendSignal backend_signal;
+    if (adapt_backend && !overrun) {
+      backend_round = true;
+      backend_signal.throughput = throughput;
+      backend_signal.abort_rate = 1.0 - commit_ratio;
+      const stm::BackendKind active = config_.stm_runtime->backend();
+      if (telemetry::armed()) {
+        telemetry::Histogram& latency = telemetry::registry().histogram(
+            "rubic_stm_commit_latency_ns",
+            {{"backend", std::string(stm::backend_name(active))}});
+        const std::uint64_t count = latency.count();
+        const std::uint64_t sum = latency.sum();
+        const std::size_t slot = static_cast<std::size_t>(active) & 7;
+        const std::uint64_t delta_count = count - last_lat_count[slot];
+        const std::uint64_t delta_sum = sum - last_lat_sum[slot];
+        last_lat_count[slot] = count;
+        last_lat_sum[slot] = sum;
+        if (delta_count > 0) {
+          backend_signal.commit_lat_ns = static_cast<double>(delta_sum) /
+                                         static_cast<double>(delta_count);
+        }
+      }
+      const int desired = guard_.on_backend_signal(backend_signal);
+      backend_desired =
+          (*guard_.backend_candidates())[static_cast<std::size_t>(desired)];
+      const std::optional<stm::BackendKind> kind =
+          candidate_kinds[static_cast<std::size_t>(desired)];
+      if (kind.has_value() && *kind != active) {
+        // Fence the pool at a task boundary and retarget the runtime. A
+        // still-active foreign context (a thread outside this pool mid-
+        // transaction) makes try_set_backend refuse; the adapter re-asks
+        // next round.
+        pool_.run_quiesced([&] {
+          backend_switched = config_.stm_runtime->try_set_backend(*kind);
+        });
+        if (backend_switched) {
+          backend_switches_.fetch_add(1, std::memory_order_acq_rel);
+          trace::emit(trace::EventType::kBackendSwitch,
+                      static_cast<std::uint32_t>(active),
+                      static_cast<std::uint64_t>(*kind));
+          if (telemetry::armed()) [[unlikely]] {
+            static telemetry::Counter& switches_total =
+                telemetry::registry().counter("rubic_backend_switches_total");
+            switches_total.add();
+          }
+        }
+      }
+    }
     int next_level;
     if (overrun) {
       // The measurement covers a window the controller never asked about
@@ -181,6 +256,14 @@ void Monitor::loop() {
         record.phase_name = std::string(info.phase_name);
         record.aux = info.aux;
       }
+      if (backend_round) {
+        record.backend_valid = true;
+        record.backend = backend_desired;
+        record.backend_switched = backend_switched;
+        record.backend_throughput = backend_signal.throughput;
+        record.backend_abort_rate = backend_signal.abort_rate;
+        record.backend_commit_lat_ns = backend_signal.commit_lat_ns;
+      }
       config_.audit->append(record);
     }
     if (telemetry::armed()) [[unlikely]] {
@@ -206,6 +289,9 @@ void Monitor::loop() {
       sample.tasks_completed = completed;
       sample.commits = now_stm.commits;
       sample.aborts = now_stm.total_aborts();
+      if (track_stm) {
+        sample.backend = static_cast<int>(config_.stm_runtime->backend());
+      }
       config_.bus->publish(sample);
     }
     elapsed_total += round_ns;

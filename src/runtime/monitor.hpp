@@ -62,7 +62,10 @@ struct MonitorConfig {
   // When set and the controller implements ContentionSignalConsumer, the
   // monitor also derives the commit ratio from this STM runtime's aggregate
   // statistics and feeds it instead of the raw throughput (used by the
-  // related-work ContentionRatioController, §5).
+  // related-work ContentionRatioController, §5). When the controller is a
+  // control::BackendAdapter (the "adaptive" meta-controller), the monitor
+  // additionally feeds it a per-round BackendSignal and applies requested
+  // STM backend switches to this runtime at pool quiescent points.
   stm::Runtime* stm_runtime = nullptr;
   // When set (and a slot was acquired), every monitor round is published to
   // this co-location bus: level, throughput, commit ratio, heartbeat. The
@@ -115,6 +118,11 @@ class Monitor {
     return overrun_rounds_.load(std::memory_order_acquire);
   }
 
+  // Online STM backend switches actually applied (adaptive policies only).
+  std::uint64_t backend_switches() const noexcept {
+    return backend_switches_.load(std::memory_order_acquire);
+  }
+
   const control::ControllerGuard& guard() const noexcept { return guard_; }
 
  private:
@@ -129,6 +137,7 @@ class Monitor {
   std::atomic<std::uint64_t> rounds_{0};
   std::atomic<std::uint64_t> sanitized_samples_{0};
   std::atomic<std::uint64_t> overrun_rounds_{0};
+  std::atomic<std::uint64_t> backend_switches_{0};
   bool priority_raised_ = false;
   std::vector<MonitorSample> trace_;
   std::thread thread_;

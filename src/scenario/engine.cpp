@@ -73,10 +73,10 @@ RunResult run_scenario(const ScenarioSpec& input, const EngineOptions& opt) {
   }
   if (spec.pool <= 0) spec.pool = 2 * spec.contexts;
 
-  // Fail on unknown policies before the first fork.
+  // Fail on unknown policies before the first fork. policy_known also
+  // resolves the "adaptive:<inner>" prefix form.
   for (const ProcessSpec& proc : spec.processes) {
-    const auto known = control::known_policies();
-    if (std::find(known.begin(), known.end(), proc.policy) == known.end()) {
+    if (!control::policy_known(proc.policy)) {
       throw std::invalid_argument("scenario: process '" + proc.name +
                                   "' names unknown policy '" + proc.policy +
                                   "'");

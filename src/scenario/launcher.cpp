@@ -113,6 +113,9 @@ int run_workload_child(const ChildRun& run, ipc::CoLocationBus* bus) {
     control::PolicyConfig policy_config;
     policy_config.contexts = run.contexts;
     policy_config.pool_size = run.pool;
+    // Adaptive policies start their backend search from the engine the
+    // child booted on (the audit meta records the same name for replay).
+    policy_config.initial_backend = std::string(stm::backend_name(run.backend));
     controller = control::make_controller(run.policy, policy_config);
   }
 

@@ -11,19 +11,24 @@ std::string_view backend_name(BackendKind kind) noexcept {
       return "orec_swiss";
     case BackendKind::kNorec:
       return "norec";
+    case BackendKind::kTl2:
+      return "tl2";
+    case BackendKind::k2plUndo:
+      return "2plundo";
   }
   return "?";
 }
 
 std::optional<BackendKind> parse_backend(std::string_view name) noexcept {
-  for (const BackendKind kind : {BackendKind::kOrecSwiss, BackendKind::kNorec}) {
+  for (const BackendKind kind : known_backends()) {
     if (name == backend_name(kind)) return kind;
   }
   return std::nullopt;
 }
 
 std::vector<BackendKind> known_backends() {
-  return {BackendKind::kOrecSwiss, BackendKind::kNorec};
+  return {BackendKind::kOrecSwiss, BackendKind::kNorec, BackendKind::kTl2,
+          BackendKind::k2plUndo};
 }
 
 BackendKind default_backend() {

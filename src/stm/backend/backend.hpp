@@ -26,6 +26,20 @@ enum class BackendKind : std::uint8_t {
   // write-back at commit. No orecs, no per-stripe metadata; writing
   // commits are fully serialized by the sequence lock.
   kNorec,
+  // TL2 (Dice, Shalev & Shavit): pure commit-time locking over the same
+  // orec table and global version clock as orec_swiss, but with the
+  // canonical speculative-read fast path — a read aborts immediately on a
+  // locked or too-new stripe (no timestamp extension, no encounter-time
+  // locks, no contention-manager waiting). Shortest lock hold times of the
+  // write-back engines.
+  kTl2,
+  // 2PL-undo (2PLSF-style): eager in-place writes guarded by per-stripe
+  // reader/writer lock words and an undo log, with a starvation-resistant
+  // contention manager — a transaction that keeps aborting claims a global
+  // priority token and is then allowed to wait for conflicting locks while
+  // everyone else aborts immediately. Reads take read locks held to commit,
+  // so validation is free; aborts pay the undo write-back.
+  k2plUndo,
 };
 
 // Canonical token, used by CLI flags, telemetry labels, JSON reports and

@@ -1,0 +1,34 @@
+#include "src/stm/backend/tl2.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace rubic::stm {
+
+void Tl2Engine::acquire_commit_locks(TxnDesc& d) {
+  // Lock every written stripe in sorted orec order (deadlock-free between
+  // concurrent committers). Unlike the orec_swiss commit-time path this
+  // never consults the contention manager: canonical TL2 aborts on any
+  // foreign lock and relies on atomically()'s randomized backoff for
+  // livelock freedom.
+  std::vector<Orec*> orecs;
+  orecs.reserve(d.write_set_.size());
+  for (const WriteEntry& e : d.write_set_.entries()) {
+    orecs.push_back(&d.rt_.orecs().for_address(e.addr));
+  }
+  std::sort(orecs.begin(), orecs.end());
+  orecs.erase(std::unique(orecs.begin(), orecs.end()), orecs.end());
+  for (Orec* o : orecs) {
+    const LockWord w = o->load();
+    if (is_locked(w)) {
+      // Dedup above guarantees the owner is foreign.
+      d.conflict_abort(AbortCause::kWriteConflict);
+    }
+    if (!o->try_lock(w, &d)) {
+      d.conflict_abort(AbortCause::kWriteConflict);  // lost the CAS race
+    }
+    d.owned_.record(o, w);
+  }
+}
+
+}  // namespace rubic::stm

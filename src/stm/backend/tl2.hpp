@@ -1,0 +1,90 @@
+// TL2 engine (Dice, Shalev & Shavit, DISC'06): pure commit-time locking.
+//
+// Shares the orec table and global version clock with the orec_swiss
+// hybrid but implements the canonical TL2 protocol without any of the
+// SwissTM extensions:
+//   * begin: sample the clock as the read version rv;
+//   * read: speculative fast path — load the orec, load the value, re-load
+//     the orec; abort immediately if the stripe is locked, changed under
+//     the read, or carries a version newer than rv. No timestamp
+//     extension, no waiting: a TL2 read is two orec loads and a branch;
+//   * write: buffer in the write set (no orec traffic before commit);
+//   * commit (writers): lock every written stripe in sorted orec order
+//     (deadlock-free), aborting on any foreign lock (the contention-manager
+//     and lock-timing knobs do not apply); draw wv from the clock; skip
+//     read-set validation iff wv == rv + 1 (nobody committed since begin —
+//     the GV fast path); write back; release every stripe at version wv.
+//
+// Because commit reuses the orec lock-word encoding, the abort path is the
+// shared OrecSwissEngine::rollback_locks, and read-set validation (needed
+// only off the fast path) is the shared OrecSwissEngine::validate_read_set.
+//
+// Like the other engine headers this is included only by txn_desc.cpp so
+// the per-word paths inline into TxnDesc::read_word/write_word.
+#pragma once
+
+#include <cstdint>
+
+#include "src/stm/backend/orec_swiss.hpp"
+#include "src/stm/raw_access.hpp"
+#include "src/stm/runtime.hpp"
+#include "src/stm/txn_desc.hpp"
+
+namespace rubic::stm {
+
+struct Tl2Engine {
+  // Fixes the read timestamp for a fresh attempt.
+  static void begin(TxnDesc& d) { d.rv_ = d.rt_.clock().load(); }
+
+  static std::uint64_t read_word(TxnDesc& d, const std::uint64_t* addr) {
+    Orec& o = d.rt_.orecs().for_address(addr);
+    const LockWord pre = o.load();
+    if (is_locked(pre)) [[unlikely]] {
+      // TL2 never holds locks during its read phase (commit-time locking),
+      // so the owner is always a foreign committer: abort, don't wait.
+      d.conflict_abort(AbortCause::kReadConflict);
+    }
+    const std::uint64_t v = load_raw(addr);
+    if (o.load() != pre) [[unlikely]] {
+      d.conflict_abort(AbortCause::kReadConflict);  // raced with a writer
+    }
+    if (version_of(pre) > d.rv_) [[unlikely]] {
+      // The stripe committed after our snapshot. orec_swiss would try a
+      // timestamp extension here; TL2 aborts — that is the protocol
+      // difference the backend grid measures.
+      d.conflict_abort(AbortCause::kValidationFailed);
+    }
+    d.read_set_.record(&o, pre);
+    return v;
+  }
+
+  static void write_word(TxnDesc& d, std::uint64_t* addr,
+                         std::uint64_t value) {
+    // Commit-time only: buffer, no orec traffic until commit.
+    d.write_set_.put(addr, value);
+  }
+
+  // Validates + publishes a writing transaction. Throws detail::AbortTx on
+  // failure. Inline for the read-only return and the GV fast path.
+  static void commit_writes(TxnDesc& d) {
+    if (d.write_set_.empty()) {
+      d.last_commit_ts_ = 0;
+      return;
+    }
+    acquire_commit_locks(d);  // aborts on any foreign lock
+    const std::uint64_t wv = d.rt_.clock().next();
+    d.last_commit_ts_ = wv;
+    // If nobody committed since begin() fixed rv, the read set is
+    // trivially still valid (the global-version-clock fast path).
+    if (wv != d.rv_ + 1) OrecSwissEngine::validate_read_set(d);
+    for (const WriteEntry& e : d.write_set_.entries()) {
+      store_raw(e.addr, e.value);
+    }
+    for (const OwnedOrec& oo : d.owned_.entries()) oo.orec->release(wv);
+  }
+
+  // --- cold path (tl2.cpp) ---
+  static void acquire_commit_locks(TxnDesc& d);
+};
+
+}  // namespace rubic::stm

@@ -1,0 +1,88 @@
+#include "src/stm/backend/twopl_undo.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace rubic::stm {
+
+void TwoPlUndoEngine::on_conflict(TxnDesc& d, RwLock& l,
+                                  std::uint64_t observed, AbortCause cause) {
+  if (!d.prio_holder_) {
+    // The no-wait rule that makes eager 2PL deadlock-free: ordinary
+    // transactions never block on a lock, they abort and retry after
+    // atomically()'s randomized backoff.
+    d.conflict_abort(cause);
+  }
+  // Priority-token holder: the one transaction allowed to wait. Everyone
+  // it waits on runs the no-wait rule, so the observed state changes in
+  // bounded time unless the holder thread is preempted indefinitely —
+  // which the spin bound converts into a plain abort.
+  for (std::uint32_t spins = 0; spins < (1u << 22); ++spins) {
+    if (l.load() != observed) return;
+    if ((spins & 1023u) == 1023u) std::this_thread::yield();
+  }
+  d.conflict_abort(cause);
+}
+
+void TwoPlUndoEngine::acquire_write(TxnDesc& d, RwLock& l) {
+  for (;;) {
+    const std::uint64_t w = l.load();
+    if (w == 0) {
+      if (l.try_write_lock(0, &d)) {
+        d.wlocks_.push_back(&l);
+        return;
+      }
+      continue;  // lost the CAS race
+    }
+    if ((w & kLockBit) != 0) {
+      // Foreign writer (the caller already handled our own write lock).
+      on_conflict(d, l, w, AbortCause::kWriteConflict);
+      continue;
+    }
+    // Readers hold the stripe: upgrade iff every unit is our own.
+    std::uint64_t mine = 0;
+    for (const RwLock* held : d.rlocks_) {
+      if (held == &l) mine += 2;
+    }
+    if (w == mine) {
+      if (!l.try_write_lock(w, &d)) continue;  // a reader slipped in
+      // The upgrade consumed our read units; drop them so the release
+      // path doesn't double-release.
+      d.rlocks_.erase(std::remove(d.rlocks_.begin(), d.rlocks_.end(), &l),
+                      d.rlocks_.end());
+      d.wlocks_.push_back(&l);
+      return;
+    }
+    // Foreign readers present. Two transactions upgrading the same stripe
+    // cannot wait on each other: at most one holds the priority token, and
+    // the other aborts immediately (releasing its units).
+    on_conflict(d, l, w, AbortCause::kWriteConflict);
+  }
+}
+
+void TwoPlUndoEngine::release_all(TxnDesc& d) noexcept {
+  for (RwLock* l : d.wlocks_) l->release_write();
+  // One release per read *unit*: duplicates in rlocks_ are real.
+  for (RwLock* l : d.rlocks_) l->release_read();
+}
+
+void TwoPlUndoEngine::release_token(TxnDesc& d) noexcept {
+  if (d.prio_holder_) [[unlikely]] {
+    d.prio_holder_ = false;
+    d.rt_.prio_token().store(nullptr, std::memory_order_release);
+  }
+}
+
+void TwoPlUndoEngine::rollback(TxnDesc& d) noexcept {
+  // Restore pre-images in reverse write order while the write locks are
+  // still held (repeated writes to one address net out to the original).
+  const auto& undo = d.undo_.entries();
+  for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+    store_raw(it->addr, it->value);
+  }
+  release_all(d);
+  ++d.consec_aborts_;
+  release_token(d);
+}
+
+}  // namespace rubic::stm

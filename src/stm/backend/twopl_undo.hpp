@@ -1,0 +1,128 @@
+// 2PL-undo engine (2PLSF-style eager locking with undo logging).
+//
+// Strict two-phase locking over per-stripe reader/writer lock words
+// (src/stm/rwlock.hpp), with in-place writes:
+//   * read: acquire one read unit on the stripe (held until commit/abort)
+//     and load memory directly — validation is free because a stripe we
+//     read can never change while we hold a unit on it;
+//   * write: acquire the stripe's write lock (upgrading from our own read
+//     units when no other reader is present), log the pre-image, store in
+//     place. Reads after our own write-lock just load memory — in-place
+//     writes make memory the single source of truth;
+//   * commit: writers draw their commit timestamp from the shared version
+//     clock while still holding every lock (so timestamp order equals lock
+//     order on every conflicting stripe — the serialization contract the
+//     replay checker verifies); read-only transactions adopt the clock
+//     value observed before releasing their read locks. Then release.
+//   * abort: restore pre-images in reverse order, then release.
+//
+// Contention management is the 2PLSF starvation-resistance scheme: on any
+// conflict a transaction normally aborts immediately (no waiting, hence no
+// deadlock), but after kPrioAbortThreshold consecutive aborts it claims the
+// runtime-wide priority token at begin() and may then *wait* (bounded) for
+// conflicting locks. At most one transaction ever waits, and everyone it
+// waits on either commits or aborts without waiting themselves, so the
+// token holder drains conflicts in bounded time and starvation cannot
+// persist. The cm/lock_timing config knobs do not apply.
+//
+// Like the other engine headers this is included only by txn_desc.cpp so
+// the per-word paths inline into TxnDesc::read_word/write_word.
+#pragma once
+
+#include <cstdint>
+
+#include "src/stm/raw_access.hpp"
+#include "src/stm/runtime.hpp"
+#include "src/stm/rwlock.hpp"
+#include "src/stm/txn_desc.hpp"
+
+namespace rubic::stm {
+
+struct TwoPlUndoEngine {
+  // Consecutive aborts before a transaction escalates to the priority
+  // token (2PLSF uses a similar small constant: late enough that ordinary
+  // contention never escalates, early enough to cap starvation).
+  static constexpr std::uint32_t kPrioAbortThreshold = 8;
+
+  static void begin(TxnDesc& d) {
+    // rv_ only feeds the greedy-priority stamp and diagnostics here; the
+    // read-side serialization point is re-adopted at commit.
+    d.rv_ = d.rt_.clock().load();
+    if (!d.prio_holder_ &&
+        d.consec_aborts_ >= kPrioAbortThreshold) [[unlikely]] {
+      TxnDesc* expected = nullptr;
+      if (d.rt_.prio_token().compare_exchange_strong(
+              expected, &d, std::memory_order_acq_rel,
+              std::memory_order_acquire)) {
+        d.prio_holder_ = true;
+      }
+    }
+  }
+
+  static bool holds_write(const TxnDesc& d, const RwLock& l) noexcept {
+    for (const RwLock* held : d.wlocks_) {
+      if (held == &l) return true;
+    }
+    return false;
+  }
+
+  static std::uint64_t read_word(TxnDesc& d, const std::uint64_t* addr) {
+    RwLock& l = d.rt_.rwlocks().for_address(addr);
+    // Own write-locked stripe (including orec-style aliasing): memory
+    // already holds our in-place writes, read it directly.
+    if (holds_write(d, l)) return load_raw(addr);
+    for (;;) {
+      const std::uint64_t w = l.load();
+      if ((w & kLockBit) != 0) [[unlikely]] {
+        on_conflict(d, l, w, AbortCause::kReadConflict);
+        continue;  // the holder released: retry
+      }
+      if (l.try_read_lock(w)) break;
+    }
+    d.rlocks_.push_back(&l);
+    return load_raw(addr);
+  }
+
+  static void write_word(TxnDesc& d, std::uint64_t* addr,
+                         std::uint64_t value) {
+    RwLock& l = d.rt_.rwlocks().for_address(addr);
+    if (!holds_write(d, l)) acquire_write(d, l);
+    d.undo_.record(addr, load_raw(addr));
+    store_raw(addr, value);
+  }
+
+  // Publication is trivial (writes are already in place); all that is left
+  // is drawing the serialization point and releasing locks. Never throws.
+  static void commit_writes(TxnDesc& d) {
+    if (d.undo_.empty()) {
+      // Read-only: serialize at the clock value observed while every read
+      // lock is still held — any later writer of a stripe we read must
+      // draw a strictly larger timestamp.
+      d.rv_ = d.rt_.clock().load();
+      d.last_commit_ts_ = 0;
+    } else {
+      // Drawn while holding all locks: conflicting writers' lock windows
+      // are disjoint, so timestamp order equals conflict order.
+      d.last_commit_ts_ = d.rt_.clock().next();
+    }
+    release_all(d);
+    d.consec_aborts_ = 0;
+    release_token(d);
+  }
+
+  // --- cold paths (twopl_undo.cpp) ---
+
+  // Restores pre-images (in reverse), releases every lock, bumps the
+  // consecutive-abort counter and hands back the priority token. Must run
+  // before TxnDesc::rollback frees speculative allocations: undo entries
+  // may point into them.
+  static void rollback(TxnDesc& d) noexcept;
+
+  static void acquire_write(TxnDesc& d, RwLock& l);
+  static void on_conflict(TxnDesc& d, RwLock& l, std::uint64_t observed,
+                          AbortCause cause);
+  static void release_all(TxnDesc& d) noexcept;
+  static void release_token(TxnDesc& d) noexcept;
+};
+
+}  // namespace rubic::stm

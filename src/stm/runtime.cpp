@@ -7,7 +7,37 @@
 
 namespace rubic::stm {
 
-Runtime::Runtime(RuntimeConfig config) : config_(config) {}
+Runtime::Runtime(RuntimeConfig config)
+    : config_(config), active_backend_(config.backend) {
+  if (config.backend == BackendKind::k2plUndo) ensure_rwlocks();
+}
+
+void Runtime::ensure_rwlocks() {
+  if (rwlocks_ptr_.load(std::memory_order_acquire) != nullptr) return;
+  auto table = std::make_unique<RwLockTable>();
+  rwlocks_owner_ = std::move(table);
+  rwlocks_ptr_.store(rwlocks_owner_.get(), std::memory_order_release);
+}
+
+bool Runtime::try_set_backend(BackendKind kind) {
+  {
+    // Belt-and-braces quiescence check: callers guarantee no transaction is
+    // running *or starting* for the whole call (e.g. via
+    // MalleablePool::run_quiesced), but refusing here turns a misuse into a
+    // deterministic no-switch instead of a protocol-mixing heisenbug.
+    std::lock_guard lock(registry_mutex_);
+    for (const auto& ctx : contexts_) {
+      if (ctx->active()) return false;
+    }
+  }
+  if (kind == backend()) return true;
+  if (kind == BackendKind::k2plUndo) ensure_rwlocks();
+  // Flush cross-protocol reclamation state: after this no limbo entry
+  // queued under the old protocol survives into the new one.
+  drain_all_matured_quiescent();
+  active_backend_.store(kind, std::memory_order_release);
+  return true;
+}
 
 Runtime::~Runtime() {
   // By contract all worker threads are done; every queued free is safe now.

@@ -1,0 +1,85 @@
+// Per-stripe reader/writer lock words for the 2PL-undo backend.
+//
+// Each RwLock guards a stripe of memory (same stripe mapping as the orec
+// table) and holds a single 64-bit word that is either
+//   * 0                — free;
+//   * (TxnDesc* | 1)   — write-locked by an in-flight transaction (the same
+//                        owner-pointer encoding as the orec lock word); or
+//   * (readers << 1)   — held by `readers` read units, LSB = 0.
+//
+// Read locking is per *read*, not per stripe: every transactional read
+// acquires one unit and releases it at commit/abort, so the hot read path
+// never scans the transaction's lock list for duplicates. Upgrading to a
+// write lock therefore counts the transaction's own units and CASes the
+// whole count into a write lock — it only succeeds when no other reader is
+// present, which is exactly the 2PL upgrade condition.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "src/stm/config.hpp"
+#include "src/stm/orec.hpp"
+
+namespace rubic::stm {
+
+struct RwLock {
+  std::atomic<std::uint64_t> word{0};
+
+  std::uint64_t load(
+      std::memory_order mo = std::memory_order_acquire) const noexcept {
+    return word.load(mo);
+  }
+
+  // One more read unit on top of the observed non-write-locked word.
+  bool try_read_lock(std::uint64_t expected) noexcept {
+    return word.compare_exchange_strong(expected, expected + 2,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire);
+  }
+
+  void release_read() noexcept {
+    word.fetch_sub(2, std::memory_order_acq_rel);
+  }
+
+  // Write-lock a free stripe, or upgrade when the observed word consists
+  // solely of this transaction's own read units (expected = own_units << 1).
+  bool try_write_lock(std::uint64_t expected, const TxnDesc* owner) noexcept {
+    return word.compare_exchange_strong(expected, make_lock(owner),
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire);
+  }
+
+  void release_write() noexcept {
+    word.store(0, std::memory_order_release);
+  }
+};
+
+static_assert(sizeof(RwLock) == 8, "rwlock table density matters for cache");
+
+// Same Fibonacci-hashed stripe mapping as OrecTable (see orec_table.hpp for
+// the rationale); a separate table because the word encodings differ and the
+// backends must not alias each other's metadata.
+class RwLockTable {
+ public:
+  RwLockTable() : locks_(std::make_unique<RwLock[]>(kOrecCount)) {}
+
+  RwLockTable(const RwLockTable&) = delete;
+  RwLockTable& operator=(const RwLockTable&) = delete;
+
+  RwLock& for_address(const void* addr) noexcept {
+    const auto stripe = reinterpret_cast<std::uintptr_t>(addr) >> kStripeShift;
+    const std::uint64_t h =
+        static_cast<std::uint64_t>(stripe) * 0x9e3779b97f4a7c15ULL;
+    return locks_[h >> (64 - kOrecCountLog2)];
+  }
+
+  RwLock& at(std::size_t index) noexcept { return locks_[index]; }
+  static constexpr std::size_t size() noexcept { return kOrecCount; }
+
+ private:
+  std::unique_ptr<RwLock[]> locks_;
+};
+
+}  // namespace rubic::stm

@@ -5,6 +5,8 @@
 #include "src/fault/fault.hpp"
 #include "src/stm/backend/norec.hpp"
 #include "src/stm/backend/orec_swiss.hpp"
+#include "src/stm/backend/tl2.hpp"
+#include "src/stm/backend/twopl_undo.hpp"
 #include "src/stm/raw_access.hpp"
 #include "src/stm/runtime.hpp"
 #include "src/telemetry/telemetry.hpp"
@@ -59,12 +61,24 @@ struct StmTelemetry {
   }
 
   static StmTelemetry& get(BackendKind backend) {
-    if (backend == BackendKind::kNorec) {
-      static StmTelemetry norec = make(BackendKind::kNorec);
-      return norec;
+    switch (backend) {
+      case BackendKind::kNorec: {
+        static StmTelemetry norec = make(BackendKind::kNorec);
+        return norec;
+      }
+      case BackendKind::kTl2: {
+        static StmTelemetry tl2 = make(BackendKind::kTl2);
+        return tl2;
+      }
+      case BackendKind::k2plUndo: {
+        static StmTelemetry twopl = make(BackendKind::k2plUndo);
+        return twopl;
+      }
+      default: {
+        static StmTelemetry orec = make(BackendKind::kOrecSwiss);
+        return orec;
+      }
     }
-    static StmTelemetry orec = make(BackendKind::kOrecSwiss);
-    return orec;
   }
 };
 
@@ -78,11 +92,25 @@ TxnDesc::TxnDesc(Runtime& rt, std::uint32_t ctx_id, std::uint64_t rng_seed)
 
 void TxnDesc::begin(bool first_attempt) {
   RUBIC_CHECK_MSG(!active(), "begin() with a transaction already running");
+  // Adopt the runtime's active backend for this transaction: one acquire
+  // load of a read-mostly word, the hook that makes online backend
+  // adaptation work. Switches only happen at quiescent points, so the tag
+  // cannot change between the attempts of one atomically() call.
+  backend_ = rt_.backend();
   rt_.epoch_enter(*this);
-  if (backend_ == BackendKind::kNorec) {
-    NorecEngine::begin(*this);
-  } else {
-    OrecSwissEngine::begin(*this);
+  switch (backend_) {
+    case BackendKind::kNorec:
+      NorecEngine::begin(*this);
+      break;
+    case BackendKind::kTl2:
+      Tl2Engine::begin(*this);
+      break;
+    case BackendKind::k2plUndo:
+      TwoPlUndoEngine::begin(*this);
+      break;
+    default:
+      OrecSwissEngine::begin(*this);
+      break;
   }
   if (first_attempt) {
     // Priority is fixed at the *first* attempt so a transaction that keeps
@@ -117,13 +145,21 @@ std::uint64_t TxnDesc::read_word(const std::uint64_t* addr) {
   check_word_aligned(addr);
   check_doomed();
   bump(stats_.reads);
-  // Read-own-writes first (both engines are write-back): the buffer is the
-  // only place this transaction's own writes are visible.
+  // Read-own-writes first for the write-back engines: the buffer is the
+  // only place this transaction's own writes are visible. Under 2plundo
+  // the buffer is always empty (writes go in place) and the probe is one
+  // generation check.
   if (const WriteEntry* e = write_set_.find(addr)) return e->value;
-  if (backend_ == BackendKind::kNorec) {
-    return NorecEngine::read_word(*this, addr);
+  switch (backend_) {
+    case BackendKind::kNorec:
+      return NorecEngine::read_word(*this, addr);
+    case BackendKind::kTl2:
+      return Tl2Engine::read_word(*this, addr);
+    case BackendKind::k2plUndo:
+      return TwoPlUndoEngine::read_word(*this, addr);
+    default:
+      return OrecSwissEngine::read_word(*this, addr);
   }
-  return OrecSwissEngine::read_word(*this, addr);
 }
 
 void TxnDesc::write_word(std::uint64_t* addr, std::uint64_t value) {
@@ -131,12 +167,21 @@ void TxnDesc::write_word(std::uint64_t* addr, std::uint64_t value) {
   check_word_aligned(addr);
   check_doomed();
   bump(stats_.writes);
-  if (backend_ == BackendKind::kNorec) {
-    // NOrec is commit-time by construction: no stripe to lock exists.
-    write_set_.put(addr, value);
-    return;
+  switch (backend_) {
+    case BackendKind::kNorec:
+      // NOrec is commit-time by construction: no stripe to lock exists.
+      write_set_.put(addr, value);
+      return;
+    case BackendKind::kTl2:
+      Tl2Engine::write_word(*this, addr, value);
+      return;
+    case BackendKind::k2plUndo:
+      TwoPlUndoEngine::write_word(*this, addr, value);
+      return;
+    default:
+      OrecSwissEngine::write_word(*this, addr, value);
+      return;
   }
-  OrecSwissEngine::write_word(*this, addr, value);
 }
 
 void TxnDesc::commit() {
@@ -148,14 +193,27 @@ void TxnDesc::commit() {
     // throws RetriesExhausted once the budget is spent).
     conflict_abort(AbortCause::kFaultInjected);
   }
-  const bool read_only = write_set_.empty();
+  // 2plundo writes in place: its write set is always empty and "read-only"
+  // means "logged no pre-image".
+  const bool read_only = backend_ == BackendKind::k2plUndo
+                             ? undo_.empty()
+                             : write_set_.empty();
   // Protocol-specific validation + publication. Throws detail::AbortTx on
   // failure; everything below is the shared success epilogue, identical
-  // for both engines.
-  if (backend_ == BackendKind::kNorec) {
-    NorecEngine::commit_writes(*this);
-  } else {
-    OrecSwissEngine::commit_writes(*this);
+  // for every engine.
+  switch (backend_) {
+    case BackendKind::kNorec:
+      NorecEngine::commit_writes(*this);
+      break;
+    case BackendKind::kTl2:
+      Tl2Engine::commit_writes(*this);
+      break;
+    case BackendKind::k2plUndo:
+      TwoPlUndoEngine::commit_writes(*this);
+      break;
+    default:
+      OrecSwissEngine::commit_writes(*this);
+      break;
   }
   bump(stats_.commits);
   if (read_only) bump(stats_.read_only_commits);
@@ -167,7 +225,7 @@ void TxnDesc::commit() {
     t.commits.add();
     if (read_only) t.read_only_commits.add();
     t.read_set_size.observe(read_set_size());
-    t.write_set_size.observe(write_set_.size());
+    t.write_set_size.observe(write_set_size());
     if (tm_begin_ns_ != 0) {
       t.commit_latency_ns.observe(trace::monotonic_ns() - tm_begin_ns_);
       t.retries.observe(tm_attempts_ - 1);
@@ -186,15 +244,26 @@ void TxnDesc::commit() {
   value_reads_.clear();
   write_set_.clear();
   owned_.clear();
+  undo_.clear();
+  rlocks_.clear();
+  wlocks_.clear();
   trace::emit(trace::EventType::kTxnCommit, ctx_id_, last_commit_ts_);
 }
 
 void TxnDesc::rollback(AbortCause cause) {
   RUBIC_CHECK_MSG(active(), "rollback without a running transaction");
-  // Only the orec engine acquires per-stripe locks; under NOrec the owned
-  // set is always empty and this is a no-op.
-  OrecSwissEngine::rollback_locks(*this);
-  // Speculative allocations were never published (write-back), free eagerly.
+  if (backend_ == BackendKind::k2plUndo) {
+    // Eager engine: restore pre-images and release the rw locks. Must run
+    // before the alloc free below — undo entries may point into
+    // speculative allocations.
+    TwoPlUndoEngine::rollback(*this);
+  } else {
+    // The orec-word engines release write-locked stripes; under NOrec the
+    // owned set is always empty and this is a no-op.
+    OrecSwissEngine::rollback_locks(*this);
+  }
+  // Speculative allocations were never published (write-back buffers, or
+  // 2plundo pre-images just restored), free eagerly.
   for (void* p : allocs_) ::operator delete(p);
   allocs_.clear();
   frees_.clear();  // deferred frees are cancelled with the transaction
@@ -208,6 +277,9 @@ void TxnDesc::rollback(AbortCause cause) {
   value_reads_.clear();
   write_set_.clear();
   owned_.clear();
+  undo_.clear();
+  rlocks_.clear();
+  wlocks_.clear();
   trace::emit(trace::EventType::kTxnAbort, ctx_id_,
               static_cast<std::uint64_t>(cause));
 }

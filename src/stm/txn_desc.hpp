@@ -2,14 +2,18 @@
 // read/write/commit/rollback entry points.
 //
 // The concurrency-control protocol behind those entry points is pluggable
-// (RuntimeConfig::backend): the orec-based SwissTM/TL2 hybrid in
-// backend/orec_swiss.* or the NOrec engine in backend/norec.*. TxnDesc owns
-// the protocol-independent pieces — lifecycle checks, statistics, telemetry,
+// (RuntimeConfig::backend, switchable online at quiescent points): the
+// orec-based SwissTM/TL2 hybrid in backend/orec_swiss.*, the NOrec engine
+// in backend/norec.*, the pure commit-time TL2 in backend/tl2.*, or the
+// eager 2PL-undo engine in backend/twopl_undo.*. TxnDesc owns the
+// protocol-independent pieces — lifecycle checks, statistics, telemetry,
 // tracing, fault injection, transactional allocation and epoch-based
-// reclamation — and tag-dispatches the per-word work to the engine chosen at
-// construction; both engines share write-back buffering, so aborts never
-// undo shared state. Engine hot paths are header-inline and compiled only
-// into txn_desc.cpp, keeping the dispatch a single predictable branch.
+// reclamation — and tag-dispatches the per-word work to the engine adopted
+// at begin(). The write-back engines never touch shared state before
+// commit; 2PL-undo writes in place under write locks and restores
+// pre-images from its undo log on abort. Engine hot paths are
+// header-inline and compiled only into txn_desc.cpp, keeping the dispatch
+// a single predictable branch.
 #pragma once
 
 #include <atomic>
@@ -27,6 +31,7 @@
 namespace rubic::stm {
 
 class Runtime;
+struct RwLock;
 
 namespace detail {
 // Control-flow exception that unwinds the user transaction body back to the
@@ -113,21 +118,33 @@ class alignas(util::kCacheLineSize) TxnDesc {
   BackendKind backend() const noexcept { return backend_; }
 
   std::size_t read_set_size() const noexcept {
-    return backend_ == BackendKind::kNorec ? value_reads_.size()
-                                           : read_set_.size();
+    switch (backend_) {
+      case BackendKind::kNorec:
+        return value_reads_.size();
+      case BackendKind::k2plUndo:
+        return rlocks_.size();  // read-lock units, one per transactional read
+      default:
+        return read_set_.size();
+    }
   }
-  std::size_t write_set_size() const noexcept { return write_set_.size(); }
+  std::size_t write_set_size() const noexcept {
+    return backend_ == BackendKind::k2plUndo ? wlocks_.size()
+                                             : write_set_.size();
+  }
 
   // Serialization-point diagnostics, valid after a successful commit and
   // until the next begin(): the commit timestamp of the last writing
   // transaction (0 if it was read-only), and the final read timestamp
   // (after any extensions / snapshot re-adoptions). A writing transaction
   // serializes at last_commit_timestamp(); a read-only one at
-  // last_read_timestamp(). Both backends provide the same contract — the
-  // orec engine uses version-clock timestamps, NOrec the global sequence
-  // (post-publish value for writers, final snapshot for readers) — so
-  // tests/test_stm_serializability.cpp replays the global commit order
-  // against these to verify serializability end-to-end on either engine.
+  // last_read_timestamp(). Every backend provides the same contract —
+  // orec_swiss/tl2/2plundo use version-clock timestamps (a 2PL-undo writer
+  // draws its timestamp while still holding every lock; a 2PL-undo reader
+  // adopts the clock value read before releasing its read locks), NOrec
+  // the global sequence (post-publish value for writers, final snapshot
+  // for readers) — so tests/test_stm_serializability.cpp replays the
+  // global commit order against these to verify serializability
+  // end-to-end on every engine.
   std::uint64_t last_commit_timestamp() const noexcept {
     return last_commit_ts_;
   }
@@ -139,6 +156,8 @@ class alignas(util::kCacheLineSize) TxnDesc {
   // the extension counter) so protocol state stays engine-owned.
   friend struct OrecSwissEngine;
   friend struct NorecEngine;
+  friend struct Tl2Engine;
+  friend struct TwoPlUndoEngine;
 
   [[noreturn]] void conflict_abort(AbortCause cause);
   void check_doomed();
@@ -146,7 +165,12 @@ class alignas(util::kCacheLineSize) TxnDesc {
 
   Runtime& rt_;
   const std::uint32_t ctx_id_;
-  const BackendKind backend_;
+  // Snapshot of the runtime's active backend, refreshed at every begin():
+  // the backend-adaptation meta-controller may retarget the runtime at
+  // quiescent points (Runtime::try_set_backend), and a transaction must run
+  // one protocol end-to-end. Stable across the retries of one atomically()
+  // call because switches only happen while no transaction is in flight.
+  BackendKind backend_;
 
   std::atomic<TxnStatus> status_{TxnStatus::kInactive};
   std::atomic<std::uint64_t> priority_{~std::uint64_t{0}};
@@ -160,8 +184,21 @@ class alignas(util::kCacheLineSize) TxnDesc {
   // spans the same cache lines as before the backend split.
   ReadSet read_set_;    // orec backend: (orec, seen-version) log
   WriteSet write_set_;  // both backends: write-back buffer
-  OwnedSet owned_;      // orec backend: write-locked stripes
+  OwnedSet owned_;      // orec/tl2 backends: write-locked stripes
   ValueReadSet value_reads_;  // norec backend: (address, value) log
+
+  // 2PL-undo backend state: pre-image log for the in-place writes, plus the
+  // reader/writer locks currently held (rlocks_ holds one entry per read
+  // unit — duplicates are real and each is released individually).
+  UndoLog undo_;
+  std::vector<RwLock*> rlocks_;
+  std::vector<RwLock*> wlocks_;
+  // Starvation-resistance bookkeeping: consecutive aborts since the last
+  // commit; once it crosses the engine's threshold the transaction tries to
+  // claim the runtime-wide priority token at begin() and may then wait on
+  // conflicts instead of aborting. prio_holder_ caches token ownership.
+  std::uint32_t consec_aborts_ = 0;
+  bool prio_holder_ = false;
 
   std::vector<void*> allocs_;
   std::vector<void*> frees_;

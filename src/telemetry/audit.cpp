@@ -102,6 +102,20 @@ void append_record(std::string& out, const AuditRecord& record) {
   } else {
     out += "null";
   }
+  // Conditional key: pre-adaptation logs stay byte-identical.
+  if (record.backend_valid) {
+    out += ",\"backend\":{\"name\":\"";
+    append_escaped(out, record.backend);
+    out += "\",\"switched\":";
+    out += record.backend_switched ? "true" : "false";
+    out += ",\"throughput\":";
+    append_double(out, record.backend_throughput);
+    out += ",\"abort_rate\":";
+    append_double(out, record.backend_abort_rate);
+    out += ",\"commit_lat_ns\":";
+    append_double(out, record.backend_commit_lat_ns);
+    out += '}';
+  }
   out += "}\n";
 }
 
@@ -207,6 +221,30 @@ bool parse_record(Cursor& cur, AuditRecord* record) {
         }
         if (!cur.consume('}')) return false;
       }
+    } else if (key == "backend") {
+      if (!cur.consume('{')) return false;
+      record->backend_valid = true;
+      bool first_backend = true;
+      while (!cur.peek('}')) {
+        if (!first_backend && !cur.consume(',')) return false;
+        first_backend = false;
+        std::string backend_key;
+        if (!cur.parse_string(&backend_key) || !cur.consume(':')) return false;
+        if (backend_key == "name") {
+          if (!cur.parse_string(&record->backend)) return false;
+        } else if (backend_key == "switched") {
+          if (!cur.parse_bool(&record->backend_switched)) return false;
+        } else if (backend_key == "throughput") {
+          if (!cur.parse_double(&record->backend_throughput)) return false;
+        } else if (backend_key == "abort_rate") {
+          if (!cur.parse_double(&record->backend_abort_rate)) return false;
+        } else if (backend_key == "commit_lat_ns") {
+          if (!cur.parse_double(&record->backend_commit_lat_ns)) return false;
+        } else {
+          return cur.fail("unknown backend key '" + backend_key + "'");
+        }
+      }
+      if (!cur.consume('}')) return false;
     } else {
       return cur.fail("unknown record key '" + key + "'");
     }
@@ -260,6 +298,9 @@ ReplayResult replay_audit(const AuditMeta& meta,
   config.contexts = meta.contexts;
   config.pool_size = meta.pool;
   config.aimd_alpha = meta.aimd_alpha;
+  // Adaptive policies start their backend search from the backend the run
+  // booted on; replay must seed the same starting index.
+  config.initial_backend = meta.stm_backend;
   if (meta.policy == "equalshare") {
     // The factory-built EqualShare consults a CentralAllocator; the share
     // is a pure function of (contexts, processes), both recorded.
@@ -289,6 +330,22 @@ ReplayResult replay_audit(const AuditMeta& meta,
       round.replayed_next = level;
       round.match = record.next == record.prev && record.next == level;
     } else {
+      // Backend signal first, mirroring the monitor's round order (the two
+      // state machines are independent; the shared order keeps the logs
+      // readable).
+      if (record.backend_valid) {
+        if (!guard.adapts_backend()) {
+          round.match = false;
+        } else {
+          control::BackendSignal signal;
+          signal.throughput = record.backend_throughput;
+          signal.abort_rate = record.backend_abort_rate;
+          signal.commit_lat_ns = record.backend_commit_lat_ns;
+          const int desired = guard.on_backend_signal(signal);
+          round.replayed_backend =
+              (*guard.backend_candidates())[static_cast<std::size_t>(desired)];
+        }
+      }
       const int next = record.used_commit_ratio
                            ? guard.on_commit_ratio(record.input)
                            : guard.on_sample(record.input);
@@ -297,6 +354,9 @@ ReplayResult replay_audit(const AuditMeta& meta,
       round.phase_name = std::string(info.phase_name);
       round.replayed_next = next;
       round.match = next == record.next;
+      if (record.backend_valid && round.replayed_backend != record.backend) {
+        round.match = false;
+      }
       level = next;
     }
     if (!round.match) {
@@ -334,11 +394,21 @@ std::string explain_replay(const AuditMeta& meta,
     if (rec.overrun) out += " [overrun: level held]";
     if (rec.sanitized) out += " [sanitized sample]";
     if (rec.phase_valid) out += " [" + rec.phase_name + "]";
+    if (rec.backend_valid) {
+      out += " [backend " + rec.backend;
+      if (rec.backend_switched) out += " switched";
+      out += "]";
+    }
     if (round.match) {
       out += " OK";
     } else {
       out += " MISMATCH (replayed " + std::to_string(round.replayed_next);
       if (round.phase_valid) out += ", " + round.phase_name;
+      if (rec.backend_valid && round.replayed_backend != rec.backend) {
+        out += ", backend " +
+               (round.replayed_backend.empty() ? std::string("<none>")
+                                               : round.replayed_backend);
+      }
       out += ")";
     }
     out += "\n";

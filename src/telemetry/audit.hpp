@@ -72,6 +72,19 @@ struct AuditRecord {
   std::uint32_t phase = 0;
   std::string phase_name;
   double aux = 0.0;
+  // Backend-adaptation sub-record, present only when the policy is a
+  // control::BackendAdapter and the round consulted it. The three signal
+  // fields are exactly what the guard was fed (post-sanitization), so
+  // `backend` — the *desired* candidate name the adapter answered — is a
+  // pure function of the recorded history and replay re-derives it.
+  // `backend_switched` reports whether the runtime actually applied the
+  // switch that round (informational: a busy context can defer it).
+  bool backend_valid = false;
+  std::string backend;
+  bool backend_switched = false;
+  double backend_throughput = 0.0;
+  double backend_abort_rate = 0.0;
+  double backend_commit_lat_ns = 0.0;
 
   bool operator==(const AuditRecord&) const = default;
 };
@@ -122,6 +135,9 @@ struct ReplayRound {
   // What the rebuilt policy reported for this round (for explanations).
   bool phase_valid = false;
   std::string phase_name;
+  // Backend the rebuilt adapter desired this round (adaptive policies);
+  // a name differing from recorded.backend fails the round's match.
+  std::string replayed_backend;
 };
 
 struct ReplayResult {

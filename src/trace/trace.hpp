@@ -53,6 +53,8 @@ enum class EventType : std::uint16_t {
   kBusPublish,     // bus seqlock write:      a = level, b = beat, v = tput
   kBusRead,        // bus snapshot taken:     a = slots, b = torn|corrupt<<16,
                    //                         v = live peers
+  kBackendSwitch,  // online STM backend switch applied at a quiescent
+                   // point:                  a = old BackendKind, b = new
   kCount,
 };
 

@@ -547,27 +547,46 @@ std::vector<BenchDef> make_benches(milliseconds scenario_ms) {
        bench_stm_commit_telemetry_disarmed_pct},
       {"stm_commit_telemetry_armed_pct", "percent", "lower", false, false,
        bench_stm_commit_telemetry_armed_pct},
-      // Cross-backend pairs: the orec rmw8 number is gated (it is the orec
-      // commit hot path end to end: reads, lock acquisition, write-back,
-      // orec release); the rest are recorded for orec-vs-norec medians.
+      // Cross-backend grid: the rmw8 numbers are gated for every engine (it
+      // is each protocol's commit hot path end to end: reads, lock
+      // acquisition or undo, write-back or write-through, release); the
+      // read/write/lookup cells are recorded for cross-engine medians.
       {"backend_orec_read1_ns", "ns_per_op", "lower", false, false,
        [] { return bench_backend_read1_ns(stm::BackendKind::kOrecSwiss); }},
       {"backend_norec_read1_ns", "ns_per_op", "lower", false, false,
        [] { return bench_backend_read1_ns(stm::BackendKind::kNorec); }},
+      {"backend_tl2_read1_ns", "ns_per_op", "lower", false, false,
+       [] { return bench_backend_read1_ns(stm::BackendKind::kTl2); }},
+      {"backend_2plundo_read1_ns", "ns_per_op", "lower", false, false,
+       [] { return bench_backend_read1_ns(stm::BackendKind::k2plUndo); }},
       {"backend_orec_write1_ns", "ns_per_op", "lower", false, false,
        [] { return bench_backend_write1_ns(stm::BackendKind::kOrecSwiss); }},
       {"backend_norec_write1_ns", "ns_per_op", "lower", false, false,
        [] { return bench_backend_write1_ns(stm::BackendKind::kNorec); }},
+      {"backend_tl2_write1_ns", "ns_per_op", "lower", false, false,
+       [] { return bench_backend_write1_ns(stm::BackendKind::kTl2); }},
+      {"backend_2plundo_write1_ns", "ns_per_op", "lower", false, false,
+       [] { return bench_backend_write1_ns(stm::BackendKind::k2plUndo); }},
       {"backend_orec_rmw8_ns", "ns_per_op", "lower", true, false,
        [] { return bench_backend_rmw8_ns(stm::BackendKind::kOrecSwiss); }},
       {"backend_norec_rmw8_ns", "ns_per_op", "lower", false, false,
        [] { return bench_backend_rmw8_ns(stm::BackendKind::kNorec); }},
+      {"backend_tl2_rmw8_ns", "ns_per_op", "lower", true, false,
+       [] { return bench_backend_rmw8_ns(stm::BackendKind::kTl2); }},
+      {"backend_2plundo_rmw8_ns", "ns_per_op", "lower", true, false,
+       [] { return bench_backend_rmw8_ns(stm::BackendKind::k2plUndo); }},
       {"backend_orec_rbtree_lookup_ns", "ns_per_op", "lower", false, false,
        [] {
          return bench_backend_rbtree_lookup_ns(stm::BackendKind::kOrecSwiss);
        }},
       {"backend_norec_rbtree_lookup_ns", "ns_per_op", "lower", false, false,
        [] { return bench_backend_rbtree_lookup_ns(stm::BackendKind::kNorec); }},
+      {"backend_tl2_rbtree_lookup_ns", "ns_per_op", "lower", false, false,
+       [] { return bench_backend_rbtree_lookup_ns(stm::BackendKind::kTl2); }},
+      {"backend_2plundo_rbtree_lookup_ns", "ns_per_op", "lower", false, false,
+       [] {
+         return bench_backend_rbtree_lookup_ns(stm::BackendKind::k2plUndo);
+       }},
       // Traffic subsystem: the sampler and the closed-loop request costs
       // are stable single-threaded micro paths (gated); schedule
       // generation is allocation-heavy and only recorded.
@@ -606,11 +625,18 @@ std::vector<std::string> suite_members(const std::string& suite) {
             "stm_commit_telemetry_armed_pct"};
   }
   if (suite == "micro_backend_compare") {
-    // Orec-vs-NOrec medians on identical single-threaded op sequences.
-    return {"backend_orec_read1_ns", "backend_norec_read1_ns",
-            "backend_orec_write1_ns", "backend_norec_write1_ns",
-            "backend_orec_rmw8_ns", "backend_norec_rmw8_ns",
-            "backend_orec_rbtree_lookup_ns", "backend_norec_rbtree_lookup_ns"};
+    // The full engine grid on identical single-threaded op sequences —
+    // one (backend, op) cell per entry; scripts/check_backend_grid.py
+    // asserts every cell is present and sane in the nightly artifacts.
+    return {"backend_orec_read1_ns",          "backend_norec_read1_ns",
+            "backend_tl2_read1_ns",           "backend_2plundo_read1_ns",
+            "backend_orec_write1_ns",         "backend_norec_write1_ns",
+            "backend_tl2_write1_ns",          "backend_2plundo_write1_ns",
+            "backend_orec_rmw8_ns",           "backend_norec_rmw8_ns",
+            "backend_tl2_rmw8_ns",            "backend_2plundo_rmw8_ns",
+            "backend_orec_rbtree_lookup_ns",  "backend_norec_rbtree_lookup_ns",
+            "backend_tl2_rbtree_lookup_ns",
+            "backend_2plundo_rbtree_lookup_ns"};
   }
   if (suite == "micro_traffic") {
     // Traffic generator + KV service hot paths (src/traffic/).
@@ -622,7 +648,8 @@ std::vector<std::string> suite_members(const std::string& suite) {
     // overhead percentages, sized to finish in about a minute.
     return {"trace_emit_disarmed_ns", "trace_emit_armed_ns",
             "stm_read_only_1_ns", "stm_write_1_ns", "stm_rbtree_lookup_ns",
-            "backend_orec_rmw8_ns",
+            "backend_orec_rmw8_ns", "backend_tl2_rmw8_ns",
+            "backend_2plundo_rmw8_ns",
             "runtime_overhead_disarmed_pct", "telemetry_count_disarmed_ns",
             "telemetry_count_armed_ns", "stm_commit_telemetry_disarmed_pct",
             "traffic_zipf_sample_ns", "traffic_arrival_gen_ns",
@@ -738,6 +765,10 @@ int main(int argc, char** argv) {
         static_cast<int>(cli.get_int("scenario-seconds", 1));
     const std::string out_path =
         cli.get_string("out", "BENCH_results.json");
+    // Substring filter applied after suite selection; the nightly backend
+    // grid slices micro_backend_compare into one run per engine with
+    // --filter backend_<name>_ so each artifact carries one engine's cells.
+    const std::string filter = cli.get_string("filter", "");
     const std::string trace_out = cli.get_string("trace-out", "");
     std::string git_sha = cli.get_string("git-sha", "");
     cli.check_unknown();
@@ -774,6 +805,18 @@ int main(int argc, char** argv) {
                    "rubic_bench: unknown suite '%s' (try --list)\n",
                    suite.c_str());
       return 2;
+    }
+    if (!filter.empty()) {
+      std::erase_if(selected, [&](const BenchDef* def) {
+        return def->name.find(filter) == std::string::npos;
+      });
+      if (selected.empty()) {
+        std::fprintf(stderr,
+                     "rubic_bench: --filter '%s' matches nothing in suite "
+                     "'%s'\n",
+                     filter.c_str(), suite.c_str());
+        return 2;
+      }
     }
 
     // --trace-out: record the scenario benches' timelines (micro benches

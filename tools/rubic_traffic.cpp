@@ -71,6 +71,8 @@ std::unique_ptr<control::Controller> make_policy(const std::string& policy,
   control::PolicyConfig config;
   config.contexts = opt.contexts;
   config.pool_size = opt.pool;
+  // "adaptive" starts its backend search from the engine of this run.
+  config.initial_backend = std::string(stm::backend_name(opt.stm_backend));
   if (policy == "equalshare") {
     // Single-process tool: the "central entity" sees one process and hands
     // it every context — EqualShare's intended degenerate behaviour.

@@ -41,6 +41,11 @@ Monitor::Monitor(MalleablePool& pool, control::Controller& controller,
 
 Monitor::~Monitor() { stop(); }
 
+LiveStatus Monitor::live_status() const {
+  std::lock_guard<std::mutex> lock(status_mutex_);
+  return status_;
+}
+
 void Monitor::stop() {
   stopping_.store(true, std::memory_order_release);
   // All callers funnel through the join so each of them returns only once
@@ -225,7 +230,8 @@ void Monitor::loop() {
       trace::emit(trace::EventType::kLevelDecision,
                   static_cast<std::uint32_t>(prev_level),
                   static_cast<std::uint64_t>(next_level), throughput);
-      if (trace::armed() != nullptr || config_.audit != nullptr) {
+      if (trace::armed() != nullptr || config_.audit != nullptr ||
+          config_.publish_status) {
         info = guard_.decision_info();
       }
       if (trace::armed() != nullptr) {
@@ -293,6 +299,25 @@ void Monitor::loop() {
         sample.backend = static_cast<int>(config_.stm_runtime->backend());
       }
       config_.bus->publish(sample);
+    }
+    if (config_.publish_status) {
+      // Copy for concurrent readers (the HTTP /status endpoint): the rest
+      // of the round's state is owned by this thread.
+      std::lock_guard<std::mutex> lock(status_mutex_);
+      status_.rounds = rounds_.load(std::memory_order_relaxed) + 1;
+      status_.level = next_level;
+      status_.throughput = throughput;
+      status_.commit_ratio = commit_ratio;
+      if (track_stm) {
+        status_.backend =
+            std::string(stm::backend_name(config_.stm_runtime->backend()));
+      }
+      if (!overrun) {
+        status_.phase_valid = info.valid;
+        status_.phase = info.phase;
+        status_.phase_name = std::string(info.phase_name);
+        status_.aux = info.aux;
+      }
     }
     elapsed_total += round_ns;
     if (config_.record_trace) {

@@ -78,6 +78,27 @@ struct MonitorConfig {
   // keep it alive until after stop(). One uncontended mutex acquisition per
   // round; leave null for zero cost.
   telemetry::AuditLog* audit = nullptr;
+  // When true, every round publishes a LiveStatus copy under a mutex for
+  // live_status() readers (the HTTP /status endpoint). Off by default: the
+  // monitor loop and a scrape thread must not share state without it, and
+  // the copy (strings included) is not free at a 10 ms cadence.
+  bool publish_status = false;
+};
+
+// A consistent copy of the monitor's most recent round, safe to read from
+// any thread while the loop runs (unlike guard().decision_info(), which is
+// owned by the monitor thread). Only populated when
+// MonitorConfig::publish_status is set.
+struct LiveStatus {
+  std::uint64_t rounds = 0;
+  int level = 0;
+  double throughput = 0.0;
+  double commit_ratio = 1.0;
+  std::string backend;  // active STM backend ("" when no runtime is wired)
+  bool phase_valid = false;
+  std::uint32_t phase = 0;
+  std::string phase_name;
+  double aux = 0.0;
 };
 
 class Monitor {
@@ -125,6 +146,11 @@ class Monitor {
 
   const control::ControllerGuard& guard() const noexcept { return guard_; }
 
+  // Copy of the latest round's status (see LiveStatus). Thread-safe; the
+  // default-constructed value until the first round completes or when
+  // publish_status is off.
+  LiveStatus live_status() const;
+
  private:
   void loop();
 
@@ -140,6 +166,8 @@ class Monitor {
   std::atomic<std::uint64_t> backend_switches_{0};
   bool priority_raised_ = false;
   std::vector<MonitorSample> trace_;
+  mutable std::mutex status_mutex_;
+  LiveStatus status_;
   std::thread thread_;
 };
 

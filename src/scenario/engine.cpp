@@ -8,11 +8,17 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 
 #include "src/control/factory.hpp"
+#include "src/stm/profiler.hpp"
+#include "src/telemetry/http_server.hpp"
 #include "src/telemetry/json.hpp"
+#include "src/telemetry/snapshot_signal.hpp"
+#include "src/trace/trace.hpp"
 
 namespace rubic::scenario {
 
@@ -101,6 +107,17 @@ RunResult run_scenario(const ScenarioSpec& input, const EngineOptions& opt) {
   auto bus = ipc::CoLocationBus::create_or_attach(bus_config);
 
   const std::int64_t horizon_ms = spec.seconds * 1000;
+
+  // Live introspection: children refresh their .tlive/.clive parts, the
+  // parent serves the merged view. The pid list is shared between the tick
+  // loop (writer) and the HTTP thread (reader), hence the mutex.
+  const bool live_parts = opt.live_parts || !opt.listen.empty();
+  std::mutex live_mutex;
+  std::vector<pid_t> live_pids;
+  const auto live_pids_copy = [&live_mutex, &live_pids] {
+    std::lock_guard<std::mutex> lock(live_mutex);
+    return live_pids;
+  };
   std::vector<ProcessState> states(spec.processes.size());
   for (std::size_t i = 0; i < states.size(); ++i) {
     states[i].spec = &spec.processes[i];
@@ -127,6 +144,38 @@ RunResult run_scenario(const ScenarioSpec& input, const EngineOptions& opt) {
   auto elapsed_ms = [&t0]() -> std::int64_t {
     return duration_cast<milliseconds>(steady_clock::now() - t0).count();
   };
+
+  std::unique_ptr<telemetry::HttpServer> server;
+  if (!opt.listen.empty()) {
+    const auto listen_spec = telemetry::parse_listen_spec(opt.listen);
+    if (!listen_spec) {
+      throw std::invalid_argument("scenario: bad listen spec '" + opt.listen +
+                                  "' (want PORT or HOST:PORT)");
+    }
+    server = std::make_unique<telemetry::HttpServer>(*listen_spec);
+    server->route("/healthz",
+                  [] { return telemetry::healthz_response(); });
+    server->route("/metrics", [part_base, live_pids_copy] {
+      return telemetry::HttpResponse{
+          200, "text/plain; version=0.0.4; charset=utf-8",
+          telemetry::to_prometheus(
+              merged_live_telemetry(part_base, live_pids_copy()))};
+    });
+    server->route("/status", [bus_ptr = bus.get(), elapsed_ms] {
+      return telemetry::HttpResponse{
+          200, "application/json; charset=utf-8",
+          bus_status_json("rubic_soak", *bus_ptr, elapsed_ms())};
+    });
+    server->route("/hotspots", [part_base, live_pids_copy] {
+      return telemetry::HttpResponse{
+          200, "application/json; charset=utf-8",
+          stm::profiler::to_json(
+              merged_live_contention(part_base, live_pids_copy()))};
+    });
+    server->start();
+    std::fprintf(stderr, "rubic_soak: introspection endpoint on %s:%u\n",
+                 server->host().c_str(), server->port());
+  }
 
   std::size_t trouble_cursor = 0;
   result.troubles.reserve(spec.troubles.size());
@@ -156,6 +205,8 @@ RunResult run_scenario(const ScenarioSpec& input, const EngineOptions& opt) {
       run.procs = static_cast<int>(spec.processes.size());
       run.telemetry = opt.telemetry;
       if (opt.telemetry) run.telemetry_base = part_base;
+      run.profiler = opt.profiler;
+      if (live_parts) run.live_base = part_base;
       run.tamper_zero_sum = s.spec->tamper_zero_sum;
       ipc::CoLocationBus* bus_ptr = bus.get();
       const bool quiet = !opt.echo_child_stderr;
@@ -177,6 +228,10 @@ RunResult run_scenario(const ScenarioSpec& input, const EngineOptions& opt) {
       s.started = true;
       s.started_at_ms = now_ms;
       s.last_progress_ms = now_ms;
+      if (live_parts) {
+        std::lock_guard<std::mutex> lock(live_mutex);
+        live_pids.push_back(pid);
+      }
     }
 
     // -- scripted troubles ---------------------------------------------
@@ -275,6 +330,21 @@ RunResult run_scenario(const ScenarioSpec& input, const EngineOptions& opt) {
       }
     }
 
+    // -- on-demand snapshot (kill -USR1 <parent pid>) ------------------
+    if (live_parts && telemetry::consume_snapshot_signal()) {
+      const std::vector<pid_t> pids = live_pids_copy();
+      trace::write_file(part_base + ".signal.telemetry.json",
+                        telemetry::to_json(
+                            merged_live_telemetry(part_base, pids)));
+      trace::write_file(
+          part_base + ".signal.contention.json",
+          stm::profiler::to_json(merged_live_contention(part_base, pids)));
+      std::fprintf(stderr,
+                   "rubic_soak: SIGUSR1 snapshot at %lld ms -> "
+                   "%s.signal.{telemetry,contention}.json\n",
+                   static_cast<long long>(now_ms), part_base.c_str());
+    }
+
     next_tick += milliseconds(spec.tick_ms);
     std::this_thread::sleep_until(next_tick);
   }
@@ -353,6 +423,16 @@ RunResult run_scenario(const ScenarioSpec& input, const EngineOptions& opt) {
       snapshots.push_back(snap);
     }
     result.merged_telemetry = telemetry::merge_snapshots(snapshots);
+  }
+
+  // The endpoint reads the bus and the live parts: stop it before either
+  // goes away.
+  if (server) server->stop();
+  if (live_parts) {
+    for (pid_t pid : live_pids_copy()) {
+      ::unlink(part_path(part_base, pid, ".tlive").c_str());
+      ::unlink(part_path(part_base, pid, ".clive").c_str());
+    }
   }
 
   bus.reset();

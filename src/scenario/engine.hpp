@@ -45,6 +45,18 @@ struct EngineOptions {
   std::string part_base;       // telemetry part base; "" = derived from bus
   bool telemetry = true;       // arm children, merge their snapshot parts
   bool echo_child_stderr = true;  // false: children write to /dev/null
+  // Live introspection (docs/observability.md). `listen` is a
+  // parse_listen_spec value ("PORT" or "HOST:PORT"); non-empty starts an
+  // HTTP endpoint on the parent serving /metrics (merged live child
+  // telemetry), /status (bus view), /hotspots (merged live contention) and
+  // /healthz for the duration of the run. `profiler` arms the contention
+  // profiler in every child. `live_parts` makes children refresh their
+  // .tlive/.clive part files mid-run (forced on by a non-empty listen);
+  // with it enabled the tick loop also answers SIGUSR1 (snapshot_signal.hpp)
+  // by dumping merged <part_base>.signal.*.json documents.
+  std::string listen;
+  bool profiler = false;
+  bool live_parts = false;
 };
 
 // One process's fate, as the report tells it.

@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <exception>
 #include <memory>
@@ -14,7 +15,9 @@
 #include "src/fault/fault.hpp"
 #include "src/ipc/equal_share.hpp"
 #include "src/runtime/process.hpp"
+#include "src/stm/profiler.hpp"
 #include "src/telemetry/audit.hpp"
+#include "src/telemetry/json.hpp"
 #include "src/trace/trace.hpp"
 #include "src/traffic/traffic.hpp"
 #include "src/workloads/registry.hpp"
@@ -36,6 +39,19 @@ std::string read_file(const std::string& path) {
   }
   std::fclose(f);
   return out;
+}
+
+// Write-to-tmp-then-rename: a concurrent reader (the parent's endpoint, or
+// a curious operator) sees either the previous complete file or the new one,
+// never a torn fragment.
+bool write_file_atomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  if (!trace::write_file(tmp, text)) return false;
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -84,6 +100,43 @@ int run_workload_child(const ChildRun& run, ipc::CoLocationBus* bus) {
   // Telemetry likewise arms before the first worker so every commit lands
   // in the registry; the registry itself is a process singleton.
   if (run.telemetry) telemetry::arm();
+  // The contention profiler follows the same arm-before-workers contract.
+  if (run.profiler) stm::profiler::arm();
+
+  // Live-part refresher: while the run is in flight, keep the .tlive /
+  // .clive files current so the parent's introspection endpoint can serve a
+  // merged mid-run view. Snapshots of live tables are statistical (see the
+  // profiler/telemetry headers) — exactly what a scrape wants.
+  std::atomic<bool> live_stop{false};
+  std::thread live_thread;
+  const bool live_parts =
+      !run.live_base.empty() && (run.telemetry || run.profiler);
+  const std::string tlive_path = part_path(run.live_base, getpid(), ".tlive");
+  const std::string clive_path = part_path(run.live_base, getpid(), ".clive");
+  const auto refresh_live_parts = [&run, &tlive_path, &clive_path] {
+    if (run.telemetry) {
+      write_file_atomic(tlive_path,
+                        telemetry::to_json(telemetry::registry().snapshot(),
+                                           telemetry::JsonStyle::kCompact));
+    }
+    if (run.profiler) {
+      write_file_atomic(clive_path,
+                        stm::profiler::to_json(stm::profiler::snapshot()));
+    }
+  };
+  if (live_parts) {
+    const int period_ms = std::max(run.live_period_ms, 50);
+    live_thread = std::thread([&live_stop, &refresh_live_parts, period_ms] {
+      while (!live_stop.load(std::memory_order_acquire)) {
+        refresh_live_parts();
+        for (int waited = 0;
+             waited < period_ms && !live_stop.load(std::memory_order_acquire);
+             waited += 20) {
+          std::this_thread::sleep_for(milliseconds(20));
+        }
+      }
+    });
+  }
 
   const bool have_slot =
       bus != nullptr && acquire_slot_with_backoff(*bus, run.label) >= 0;
@@ -156,6 +209,15 @@ int run_workload_child(const ChildRun& run, ipc::CoLocationBus* bus) {
   final_sample.commits = report.stm_stats.commits;
   final_sample.aborts = report.stm_stats.total_aborts();
   if (have_slot) bus->publish_final(final_sample);
+
+  if (live_thread.joinable()) {
+    live_stop.store(true, std::memory_order_release);
+    live_thread.join();
+    // One last refresh with the pool and monitor stopped: the final live
+    // parts cover the whole run, so a scrape racing the child's exit still
+    // sees complete numbers.
+    refresh_live_parts();
+  }
 
   if (tracer != nullptr) {
     // run_for() stopped the monitor and the pool: writers are quiesced, so
@@ -308,6 +370,79 @@ std::vector<ReapedChild> reap_with_watchdog(
     if (!pending.empty()) std::this_thread::sleep_for(milliseconds(20));
   }
   return reaped;
+}
+
+telemetry::Snapshot merged_live_telemetry(const std::string& base,
+                                          const std::vector<pid_t>& pids) {
+  std::vector<telemetry::Snapshot> snaps;
+  for (pid_t pid : pids) {
+    const std::string text = read_file(part_path(base, pid, ".tlive"));
+    if (text.empty()) continue;
+    telemetry::Snapshot snap;
+    if (telemetry::parse_json_snapshot(text, &snap)) {
+      snaps.push_back(std::move(snap));
+    }
+  }
+  return telemetry::merge_snapshots(snaps);
+}
+
+stm::profiler::ContentionSnapshot merged_live_contention(
+    const std::string& base, const std::vector<pid_t>& pids) {
+  std::vector<stm::profiler::ContentionSnapshot> snaps;
+  for (pid_t pid : pids) {
+    const std::string text = read_file(part_path(base, pid, ".clive"));
+    if (text.empty()) continue;
+    stm::profiler::ContentionSnapshot snap;
+    if (stm::profiler::parse_json(text, &snap)) {
+      snaps.push_back(std::move(snap));
+    }
+  }
+  return stm::profiler::merge(snaps);
+}
+
+std::string bus_status_json(std::string_view tool, ipc::CoLocationBus& bus,
+                            std::int64_t elapsed_ms) {
+  using telemetry::jsonutil::append_double;
+  using telemetry::jsonutil::append_escaped;
+  using telemetry::jsonutil::append_i64;
+  using telemetry::jsonutil::append_u64;
+  const auto quoted = [](std::string& out, std::string_view text) {
+    out += '"';
+    append_escaped(out, text);
+    out += '"';
+  };
+  std::string out = "{\"tool\": ";
+  quoted(out, tool);
+  out += ", \"elapsed_ms\": ";
+  append_i64(out, elapsed_ms);
+  out += ", \"live\": ";
+  append_i64(out, bus.live_count());
+  out += ", \"peers\": [";
+  bool first = true;
+  for (const ipc::PeerInfo& info : bus.snapshot()) {
+    if (info.slot < 0 || info.torn || info.corrupt) continue;
+    if (info.state == ipc::PeerState::kDead) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"label\": ";
+    quoted(out, info.payload.label);
+    out += ", \"pid\": ";
+    append_i64(out, info.pid);
+    out += ", \"level\": ";
+    append_i64(out, info.payload.done != 0 ? info.payload.final_level
+                                           : info.payload.level);
+    out += ", \"throughput\": ";
+    append_double(out, info.payload.throughput);
+    out += ", \"commit_ratio\": ";
+    append_double(out, info.payload.commit_ratio);
+    out += ", \"tasks_completed\": ";
+    append_u64(out, info.payload.tasks_completed);
+    out += ", \"done\": ";
+    out += info.payload.done != 0 ? "true" : "false";
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
 }
 
 CollectedTelemetry collect_telemetry_parts(

@@ -35,6 +35,7 @@
 
 #include "src/ipc/colocation_bus.hpp"
 #include "src/stm/backend/backend.hpp"
+#include "src/stm/profiler.hpp"
 #include "src/stm/stm.hpp"
 #include "src/telemetry/telemetry.hpp"
 #include "src/workloads/workload.hpp"
@@ -57,9 +58,16 @@ struct ChildRun {
   int child_index = 0;  // pool-seed disambiguator for slot-less children
   int procs = 1;        // audit-meta echo: co-located process count
   bool telemetry = false;
+  bool profiler = false;  // arm the contention profiler in the child
   std::string telemetry_base;  // "" = no telemetry part ("<base>.<pid>.tpart")
   std::string trace_base;      // "" = no trace part   ("<base>.<pid>.part")
   std::string audit_base;      // "" = no audit stream ("<base>.<pid>.jsonl")
+  // Live-introspection parts: while the run is in flight the child refreshes
+  // "<base>.<pid>.tlive" (telemetry snapshot) and "<base>.<pid>.clive"
+  // (contention snapshot) every live_period_ms via atomic tmp+rename, so the
+  // parent's HTTP endpoint can serve a merged mid-run view. "" = disabled.
+  std::string live_base;
+  int live_period_ms = 250;
   // Violation-demo knob: corrupt the zero-sum account state after the run
   // so verify() must reject it. Traffic workloads only.
   bool tamper_zero_sum = false;
@@ -130,5 +138,24 @@ struct CollectedTelemetry {
 // silently skipped: expected == merged + missing + discarded always holds.
 CollectedTelemetry collect_telemetry_parts(
     const std::vector<TelemetryPart>& parts);
+
+// --- live introspection (parent side) -----------------------------------
+//
+// Merged mid-run views from the children's live part files (.tlive /
+// .clive, refreshed by run_workload_child when ChildRun::live_base is set).
+// A part that is absent (child not yet started, or died before its first
+// refresh) or torn is skipped — the caller serves whatever is currently
+// readable, exactly like a scrape of a partially-up fleet. Files are read
+// but never unlinked (the run owns their lifetime).
+telemetry::Snapshot merged_live_telemetry(const std::string& base,
+                                          const std::vector<pid_t>& pids);
+stm::profiler::ContentionSnapshot merged_live_contention(
+    const std::string& base, const std::vector<pid_t>& pids);
+
+// The co-location bus rendered as a /status JSON body: live count plus one
+// row per healthy peer (label, pid, level, throughput, commit ratio, tasks,
+// done). Safe from any thread — bus reads are seqlock-validated.
+std::string bus_status_json(std::string_view tool, ipc::CoLocationBus& bus,
+                            std::int64_t elapsed_ms);
 
 }  // namespace rubic::scenario

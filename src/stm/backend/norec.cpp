@@ -1,5 +1,7 @@
 #include "src/stm/backend/norec.hpp"
 
+#include "src/stm/profiler.hpp"
+
 namespace rubic::stm {
 
 std::uint64_t NorecEngine::validate(TxnDesc& d) {
@@ -18,7 +20,15 @@ std::uint64_t NorecEngine::validate(TxnDesc& d) {
         break;
       }
     }
-    if (!consistent) d.conflict_abort(AbortCause::kValidationFailed);
+    if (!consistent) {
+      if (profiler::armed()) [[unlikely]] {
+        // NOrec has no per-stripe metadata; the "stripe" is the sequence
+        // generation of the writing commit that invalidated the snapshot.
+        // The writer is gone by now, so no owner label.
+        d.note_conflict(s >> 1, profiler::kUnlabeled);
+      }
+      d.conflict_abort(AbortCause::kValidationFailed);
+    }
     if (seq.load(std::memory_order_acquire) == s) {
       d.bump_extensions();
       return s;

@@ -4,10 +4,19 @@
 #include <thread>
 #include <vector>
 
+#include "src/stm/profiler.hpp"
+
 namespace rubic::stm {
 
 void OrecSwissEngine::on_conflict(TxnDesc& d, Orec& orec, LockWord observed,
                                   AbortCause cause) {
+  if (profiler::armed()) [[unlikely]] {
+    // Attribute the (potential) abort before any of the abort paths below:
+    // the stripe we hit, and the label of the owner we hit it through. The
+    // note is only consumed if this attempt actually rolls back.
+    d.note_conflict(d.rt_.orecs().index_of(orec),
+                    owner_of(observed)->profiler_label());
+  }
   if (d.rt_.config().cm == CmPolicy::kTimidBackoff) {
     d.conflict_abort(cause);
   }
@@ -42,6 +51,12 @@ void OrecSwissEngine::validate_read_set(TxnDesc& d) {
       const OwnedOrec* oo = d.owned_.find(e.orec);
       RUBIC_CHECK(oo != nullptr);
       if (oo->pre_lock == e.seen) continue;
+    }
+    if (profiler::armed()) [[unlikely]] {
+      d.note_conflict(d.rt_.orecs().index_of(*e.orec),
+                      is_locked(cur) && owner_of(cur) != &d
+                          ? owner_of(cur)->profiler_label()
+                          : profiler::kUnlabeled);
     }
     d.conflict_abort(AbortCause::kValidationFailed);
   }

@@ -22,10 +22,18 @@ void Tl2Engine::acquire_commit_locks(TxnDesc& d) {
     const LockWord w = o->load();
     if (is_locked(w)) {
       // Dedup above guarantees the owner is foreign.
+      if (profiler::armed()) [[unlikely]] {
+        d.note_conflict(d.rt_.orecs().index_of(*o),
+                        owner_of(w)->profiler_label());
+      }
       d.conflict_abort(AbortCause::kWriteConflict);
     }
     if (!o->try_lock(w, &d)) {
-      d.conflict_abort(AbortCause::kWriteConflict);  // lost the CAS race
+      // Lost the CAS race; the winner's identity is gone with the CAS.
+      if (profiler::armed()) [[unlikely]] {
+        d.note_conflict(d.rt_.orecs().index_of(*o), profiler::kUnlabeled);
+      }
+      d.conflict_abort(AbortCause::kWriteConflict);
     }
     d.owned_.record(o, w);
   }

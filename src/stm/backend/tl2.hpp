@@ -26,6 +26,7 @@
 #include <cstdint>
 
 #include "src/stm/backend/orec_swiss.hpp"
+#include "src/stm/profiler.hpp"
 #include "src/stm/raw_access.hpp"
 #include "src/stm/runtime.hpp"
 #include "src/stm/txn_desc.hpp"
@@ -42,16 +43,30 @@ struct Tl2Engine {
     if (is_locked(pre)) [[unlikely]] {
       // TL2 never holds locks during its read phase (commit-time locking),
       // so the owner is always a foreign committer: abort, don't wait.
+      if (profiler::armed()) [[unlikely]] {
+        d.note_conflict(d.rt_.orecs().index_of(o),
+                        owner_of(pre)->profiler_label());
+      }
       d.conflict_abort(AbortCause::kReadConflict);
     }
     const std::uint64_t v = load_raw(addr);
-    if (o.load() != pre) [[unlikely]] {
-      d.conflict_abort(AbortCause::kReadConflict);  // raced with a writer
+    const LockWord post = o.load();
+    if (post != pre) [[unlikely]] {
+      // Raced with a writer.
+      if (profiler::armed()) [[unlikely]] {
+        d.note_conflict(d.rt_.orecs().index_of(o),
+                        is_locked(post) ? owner_of(post)->profiler_label()
+                                        : profiler::kUnlabeled);
+      }
+      d.conflict_abort(AbortCause::kReadConflict);
     }
     if (version_of(pre) > d.rv_) [[unlikely]] {
       // The stripe committed after our snapshot. orec_swiss would try a
       // timestamp extension here; TL2 aborts — that is the protocol
       // difference the backend grid measures.
+      if (profiler::armed()) [[unlikely]] {
+        d.note_conflict(d.rt_.orecs().index_of(o), profiler::kUnlabeled);
+      }
       d.conflict_abort(AbortCause::kValidationFailed);
     }
     d.read_set_.record(&o, pre);

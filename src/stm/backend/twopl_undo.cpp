@@ -3,10 +3,20 @@
 #include <algorithm>
 #include <thread>
 
+#include "src/stm/profiler.hpp"
+
 namespace rubic::stm {
 
 void TwoPlUndoEngine::on_conflict(TxnDesc& d, RwLock& l,
                                   std::uint64_t observed, AbortCause cause) {
+  if (profiler::armed()) [[unlikely]] {
+    // A write-locked stripe names its owner; a reader-held stripe (blocked
+    // upgrade) does not — read units carry no identity.
+    d.note_conflict(d.rt_.rwlocks().index_of(l),
+                    (observed & kLockBit) != 0
+                        ? owner_of(observed)->profiler_label()
+                        : profiler::kUnlabeled);
+  }
   if (!d.prio_holder_) {
     // The no-wait rule that makes eager 2PL deadlock-free: ordinary
     // transactions never block on a lock, they abort and retry after

@@ -29,6 +29,11 @@ class OrecTable {
   }
 
   Orec& at(std::size_t index) noexcept { return orecs_[index]; }
+  // Inverse of at(): the stripe id the contention profiler attributes
+  // conflicts to. `o` must belong to this table.
+  std::size_t index_of(const Orec& o) const noexcept {
+    return static_cast<std::size_t>(&o - orecs_.get());
+  }
   static constexpr std::size_t size() noexcept { return kOrecCount; }
 
  private:

@@ -76,6 +76,11 @@ class RwLockTable {
   }
 
   RwLock& at(std::size_t index) noexcept { return locks_[index]; }
+  // Inverse of at(): the stripe id the contention profiler attributes
+  // conflicts to. `l` must belong to this table.
+  std::size_t index_of(const RwLock& l) const noexcept {
+    return static_cast<std::size_t>(&l - locks_.get());
+  }
   static constexpr std::size_t size() noexcept { return kOrecCount; }
 
  private:

@@ -15,6 +15,7 @@
 #include "src/stm/global_clock.hpp"  // IWYU pragma: export
 #include "src/stm/orec.hpp"          // IWYU pragma: export
 #include "src/stm/orec_table.hpp"    // IWYU pragma: export
+#include "src/stm/profiler.hpp"      // IWYU pragma: export
 #include "src/stm/runtime.hpp"       // IWYU pragma: export
 #include "src/stm/stats.hpp"         // IWYU pragma: export
 #include "src/stm/transaction.hpp"   // IWYU pragma: export

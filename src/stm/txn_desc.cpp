@@ -7,6 +7,7 @@
 #include "src/stm/backend/orec_swiss.hpp"
 #include "src/stm/backend/tl2.hpp"
 #include "src/stm/backend/twopl_undo.hpp"
+#include "src/stm/profiler.hpp"
 #include "src/stm/raw_access.hpp"
 #include "src/stm/runtime.hpp"
 #include "src/telemetry/telemetry.hpp"
@@ -124,6 +125,10 @@ void TxnDesc::begin(bool first_attempt) {
   if (telemetry::armed()) [[unlikely]] {
     tm_attempts_ = first_attempt ? 1 : tm_attempts_ + 1;
     tm_begin_ns_ = trace::monotonic_ns();
+  }
+  if (profiler::armed()) [[unlikely]] {
+    pf_label_.store(profiler::current_label(), std::memory_order_relaxed);
+    pf_note_ = false;
   }
   trace::emit(trace::EventType::kTxnBegin, ctx_id_, first_attempt ? 1 : 0);
 }
@@ -270,6 +275,12 @@ void TxnDesc::rollback(AbortCause cause) {
   stats_.bump_abort(cause);
   if (telemetry::armed()) [[unlikely]] {
     StmTelemetry::get(backend_).aborts[static_cast<std::size_t>(cause)]->add();
+  }
+  if (profiler::armed()) [[unlikely]] {
+    // The shared attribution epilogue: one sample per abort, built from the
+    // conflict note the engine site left (see profiler.hpp).
+    profiler::record_abort(*this, cause);
+    pf_note_ = false;
   }
   status_.store(TxnStatus::kInactive, std::memory_order_release);
   rt_.epoch_exit(*this);

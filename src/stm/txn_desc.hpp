@@ -150,6 +150,28 @@ class alignas(util::kCacheLineSize) TxnDesc {
   }
   std::uint64_t last_read_timestamp() const noexcept { return rv_; }
 
+  // --- contention-profiler surface (src/stm/profiler.*) ---
+
+  // The label this transaction was begun under (stamped from the thread's
+  // current profiler label at begin() while the profiler is armed). Atomic
+  // because a *conflicting* transaction reads it through the lock-word
+  // owner pointer to attribute the conflict pair.
+  std::uint16_t profiler_label() const noexcept {
+    return pf_label_.load(std::memory_order_relaxed);
+  }
+
+  // The conflict note left by the engine's conflict site just before it
+  // threw: the stripe the abort is attributed to plus the owner's label.
+  // Consumed (and invalidated) by rollback's record_abort hook.
+  struct ProfilerNote {
+    std::uint64_t stripe = 0;
+    std::uint16_t owner = 0;
+    bool valid = false;
+  };
+  ProfilerNote profiler_note() const noexcept {
+    return {pf_stripe_, pf_owner_, pf_note_};
+  }
+
  private:
   // The engines implement the protocol over this descriptor's state; the
   // private surface they share is deliberately narrow (abort, doom check,
@@ -162,6 +184,16 @@ class alignas(util::kCacheLineSize) TxnDesc {
   [[noreturn]] void conflict_abort(AbortCause cause);
   void check_doomed();
   void bump_extensions() noexcept;
+
+  // Engine conflict sites call this (gated on profiler::armed()) right
+  // before conflict_abort so rollback can attribute the abort. Owner-thread
+  // only; plain stores because the note is consumed on this thread's own
+  // rollback path.
+  void note_conflict(std::uint64_t stripe, std::uint16_t owner) noexcept {
+    pf_stripe_ = stripe;
+    pf_owner_ = owner;
+    pf_note_ = true;
+  }
 
   Runtime& rt_;
   const std::uint32_t ctx_id_;
@@ -205,6 +237,15 @@ class alignas(util::kCacheLineSize) TxnDesc {
 
   TxnStats stats_;
   util::Xoshiro256 rng_;
+
+  // Contention-profiler state, touched only while the profiler is armed
+  // (see the surface above): the transaction's label and the engine's
+  // last conflict note. pf_note_ is reset at begin() so a note can never
+  // leak across attempts.
+  std::atomic<std::uint16_t> pf_label_{0};
+  std::uint64_t pf_stripe_ = 0;
+  std::uint16_t pf_owner_ = 0;
+  bool pf_note_ = false;
 
   // Telemetry attempt state, touched only while telemetry is armed:
   // begin() stamps the attempt start and counts attempts; commit() turns

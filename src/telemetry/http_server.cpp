@@ -1,0 +1,251 @@
+#include "src/telemetry/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "src/telemetry/telemetry.hpp"
+
+namespace rubic::telemetry {
+
+namespace {
+
+std::string_view reason_phrase(int status) noexcept {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+// Writes the whole buffer, riding out EINTR / partial writes. The peer
+// closing early is fine — the response is best-effort.
+void write_all(int fd, std::string_view data) noexcept {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+std::optional<ListenSpec> parse_listen_spec(std::string_view spec) {
+  if (spec.empty()) return std::nullopt;
+  ListenSpec out;
+  std::string_view port_part = spec;
+  const std::size_t colon = spec.rfind(':');
+  if (colon != std::string_view::npos) {
+    const std::string_view host = spec.substr(0, colon);
+    if (host.empty()) return std::nullopt;
+    // Numeric IPv4 only: the server's sockaddr path is AF_INET and a name
+    // lookup here would drag in resolver behavior we don't want to depend
+    // on. "localhost" is accepted as a convenience alias.
+    std::string host_str(host);
+    if (host_str == "localhost") {
+      host_str = "127.0.0.1";
+    } else {
+      in_addr probe{};
+      if (::inet_pton(AF_INET, host_str.c_str(), &probe) != 1) {
+        return std::nullopt;
+      }
+    }
+    out.host = host_str;
+    port_part = spec.substr(colon + 1);
+  }
+  if (port_part.empty() || port_part.size() > 5) return std::nullopt;
+  std::uint32_t port = 0;
+  for (char c : port_part) {
+    if (c < '0' || c > '9') return std::nullopt;
+    port = port * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  if (port > 0xffff) return std::nullopt;
+  out.port = static_cast<std::uint16_t>(port);
+  return out;
+}
+
+HttpServer::HttpServer(ListenSpec spec) : host_(spec.host) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("http: socket: ") +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(spec.port);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("http: bad listen address: " + host_);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("http: cannot listen on " + host_ + ":" +
+                             std::to_string(spec.port) + ": " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  if (::pipe(stop_pipe_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(std::string("http: pipe: ") +
+                             std::strerror(errno));
+  }
+}
+
+HttpServer::~HttpServer() {
+  stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (int fd : stop_pipe_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void HttpServer::route(std::string path, Handler handler) {
+  std::lock_guard<std::mutex> lock(routes_mutex_);
+  for (auto& [existing, h] : routes_) {
+    if (existing == path) {
+      h = std::move(handler);
+      return;
+    }
+  }
+  routes_.emplace_back(std::move(path), std::move(handler));
+}
+
+void HttpServer::start() {
+  thread_ = std::thread([this] { serve(); });
+}
+
+void HttpServer::stop() {
+  stopping_.store(true, std::memory_order_release);
+  if (stop_pipe_[1] >= 0) {
+    const char byte = 0;
+    [[maybe_unused]] ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+  }
+  // Serialize the join so stop() is idempotent and thread-safe (same
+  // contract as Monitor::stop).
+  std::lock_guard<std::mutex> lock(join_mutex_);
+  if (thread_.joinable()) thread_.join();
+}
+
+void HttpServer::serve() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((fds[1].revents & POLLIN) != 0) return;  // stop() poked the pipe
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::handle_connection(int fd) {
+  // A slow or stuck client must not wedge the (single) serving thread.
+  timeval timeout{2, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  std::string request;
+  char buf[2048];
+  while (request.size() < 16 * 1024 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  requests_.fetch_add(1, std::memory_order_acq_rel);
+
+  // Request line: METHOD SP TARGET SP VERSION. Headers and body (GETs have
+  // none worth reading) are ignored.
+  HttpResponse response;
+  bool head = false;
+  const std::size_t line_end = request.find("\r\n");
+  std::string_view line =
+      line_end == std::string::npos
+          ? std::string_view()
+          : std::string_view(request).substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    response = {400, "text/plain; charset=utf-8", "bad request\n"};
+  } else {
+    const std::string_view method = line.substr(0, sp1);
+    std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::size_t query = target.find('?');
+    if (query != std::string_view::npos) target = target.substr(0, query);
+    head = method == "HEAD";
+    if (method != "GET" && !head) {
+      response = {405, "text/plain; charset=utf-8", "method not allowed\n"};
+    } else {
+      Handler handler;
+      {
+        std::lock_guard<std::mutex> lock(routes_mutex_);
+        for (const auto& [path, h] : routes_) {
+          if (path == target) {
+            handler = h;
+            break;
+          }
+        }
+      }
+      if (handler) {
+        response = handler();
+      } else {
+        response = {404, "text/plain; charset=utf-8", "not found\n"};
+      }
+    }
+  }
+
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " ";
+  out += reason_phrase(response.status);
+  out += "\r\nContent-Type: " + response.content_type;
+  out += "\r\nContent-Length: " + std::to_string(response.body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  if (!head) out += response.body;
+  write_all(fd, out);
+}
+
+HttpResponse metrics_response(const Registry& registry) {
+  return {200, "text/plain; version=0.0.4; charset=utf-8",
+          to_prometheus(registry.snapshot())};
+}
+
+HttpResponse healthz_response() {
+  return {200, "text/plain; charset=utf-8", "ok\n"};
+}
+
+}  // namespace rubic::telemetry

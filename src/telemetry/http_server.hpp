@@ -1,0 +1,107 @@
+// Live introspection endpoint (DESIGN: observability layer, live scrape).
+//
+// Every exporter in this repo is exit-time: telemetry JSON, trace files,
+// soak reports all appear when the run ends. This is the live counterpart —
+// a deliberately tiny, dependency-free blocking HTTP/1.1 server on one
+// dedicated thread, just enough protocol for `curl` and a Prometheus
+// scraper:
+//
+//   * GET only (plus HEAD); anything else is 405. One request per
+//     connection (`Connection: close`), no keep-alive, no chunking, no TLS.
+//   * Routes are exact paths registered as handler closures; the query
+//     string is ignored for matching. Unknown paths are 404.
+//   * Handlers run on the serving thread, so they must only touch state
+//     that is safe to read concurrently with the instrumented run
+//     (registry snapshots, seqlock bus reads, mutex-guarded copies —
+//     never the monitor's own loop state).
+//
+// Security posture: binds 127.0.0.1 by default and serves read-only
+// introspection; binding a non-loopback address is an explicit operator
+// decision via the --listen flag (docs/observability.md).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace rubic::telemetry {
+
+class Registry;
+
+struct ListenSpec {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = kernel-assigned (HttpServer::port() tells)
+};
+
+// Parses a --listen value: "PORT" (loopback) or "HOST:PORT" with a numeric
+// IPv4 host. nullopt on malformed input.
+std::optional<ListenSpec> parse_listen_spec(std::string_view spec);
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse()>;
+
+  // Binds and listens (throws std::runtime_error on failure — a busy port
+  // is an operator error worth failing loudly on). Serving starts with
+  // start(); register routes in between.
+  explicit HttpServer(ListenSpec spec);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Registers (or replaces) the handler for an exact path ("/metrics").
+  void route(std::string path, Handler handler);
+
+  // Spawns the serving thread. Call once.
+  void start();
+
+  // Stops the serving thread (idempotent, safe without start()).
+  void stop();
+
+  // The bound address, for "listening on ..." banners and tests.
+  std::uint16_t port() const noexcept { return port_; }
+  const std::string& host() const noexcept { return host_; }
+
+  std::uint64_t requests() const noexcept {
+    return requests_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void serve();
+  void handle_connection(int fd);
+
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::string host_;
+  std::uint16_t port_ = 0;
+  std::mutex routes_mutex_;
+  std::vector<std::pair<std::string, Handler>> routes_;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<bool> stopping_{false};
+  std::mutex join_mutex_;  // serializes the join across concurrent stop()s
+  std::thread thread_;
+};
+
+// Standard route bodies, shared by the tools:
+
+// Prometheus exposition of a registry snapshot (the /metrics content type).
+HttpResponse metrics_response(const Registry& registry);
+
+// Trivial liveness answer ("ok\n").
+HttpResponse healthz_response();
+
+}  // namespace rubic::telemetry

@@ -1,0 +1,46 @@
+#include "src/telemetry/snapshot_signal.hpp"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace rubic::telemetry {
+
+namespace {
+
+std::atomic<std::uint64_t> g_delivered{0};
+std::atomic<std::uint64_t> g_consumed{0};
+
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "the handler must not take a lock");
+
+void on_sigusr1(int) { g_delivered.fetch_add(1, std::memory_order_relaxed); }
+
+}  // namespace
+
+void install_snapshot_signal() {
+  struct sigaction action{};
+  action.sa_handler = on_sigusr1;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  ::sigaction(SIGUSR1, &action, nullptr);
+}
+
+std::uint64_t snapshot_signal_count() noexcept {
+  return g_delivered.load(std::memory_order_relaxed);
+}
+
+bool consume_snapshot_signal() noexcept {
+  const std::uint64_t delivered = g_delivered.load(std::memory_order_acquire);
+  std::uint64_t consumed = g_consumed.load(std::memory_order_relaxed);
+  while (consumed < delivered) {
+    if (g_consumed.compare_exchange_weak(consumed, delivered,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace rubic::telemetry

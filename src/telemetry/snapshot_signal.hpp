@@ -1,0 +1,27 @@
+// On-demand snapshot signal (SIGUSR1) for long-running tools.
+//
+// A multi-minute soak or a live rubic_traffic run should yield a telemetry
+// + contention snapshot on operator demand without stopping: `kill -USR1
+// <pid>` bumps a lock-free counter here (the only async-signal-safe thing a
+// handler may do), and the tool's main/tick loop polls consume() at its own
+// cadence and writes the dump files. Nothing happens in signal context
+// beyond the counter bump; a signal delivered before install() is the
+// default action (terminate), so install early.
+#pragma once
+
+#include <cstdint>
+
+namespace rubic::telemetry {
+
+// Installs the process-wide SIGUSR1 handler (idempotent, SA_RESTART so
+// interrupted syscalls in the run resume transparently).
+void install_snapshot_signal();
+
+// Total SIGUSR1 deliveries since install.
+std::uint64_t snapshot_signal_count() noexcept;
+
+// True once per batch of deliveries since the last consume (the poll the
+// tick loops use). Multiple signals between polls coalesce into one dump.
+bool consume_snapshot_signal() noexcept;
+
+}  // namespace rubic::telemetry

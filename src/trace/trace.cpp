@@ -21,7 +21,7 @@ constexpr std::string_view kEventNames[kEventTypeCount] = {
     "txn_begin",      "txn_commit",   "txn_abort",
     "level_decision", "phase_change", "pool_resize",
     "monitor_round",  "bus_publish",  "bus_read",
-    "backend_switch",
+    "backend_switch", "conflict",
 };
 
 // Registration generations: one per arm() call, process-wide, so a cached

@@ -55,6 +55,8 @@ enum class EventType : std::uint16_t {
                    //                         v = live peers
   kBackendSwitch,  // online STM backend switch applied at a quiescent
                    // point:                  a = old BackendKind, b = new
+  kConflict,       // contention-profiler sample: a = ctx id, b = stripe
+                   //                         (~0 = none), v = AbortCause
   kCount,
 };
 

@@ -1,10 +1,12 @@
 #include "src/traffic/kv_service.hpp"
 
 #include <algorithm>
+#include <array>
 #include <thread>
 #include <unordered_map>
 
 #include "src/fault/fault.hpp"
+#include "src/stm/profiler.hpp"
 #include "src/util/check.hpp"
 
 namespace rubic::traffic {
@@ -202,6 +204,19 @@ void KvTrafficWorkload::mark_applied(Txn& tx, const Request& req) {
 }
 
 void KvTrafficWorkload::execute(stm::TxnDesc& ctx, const Request& req) {
+  // Per-op contention-profiler labels ("kv:transfer" etc.): interned once
+  // per process, then two thread-local stores per request. The profiler's
+  // conflict-pair graph reports victim→owner edges at this granularity.
+  static const std::array<std::uint16_t, kOpKindCount> kOpLabels = [] {
+    std::array<std::uint16_t, kOpKindCount> ids{};
+    for (std::size_t i = 0; i < kOpKindCount; ++i) {
+      ids[i] = stm::profiler::intern_label(
+          "kv:" + std::string(op_name(static_cast<OpKind>(i))));
+    }
+    return ids;
+  }();
+  stm::profiler::ScopedTxnLabel txn_label(
+      kOpLabels[static_cast<std::size_t>(req.op)]);
   switch (req.op) {
     case OpKind::kRead:
       stm::atomically(ctx, [&](Txn& tx) { (void)map_.get(tx, req.key); });

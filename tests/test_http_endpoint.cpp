@@ -1,0 +1,224 @@
+// Live introspection endpoint (src/telemetry/http_server.*): --listen spec
+// parsing, the protocol subset (GET/HEAD, 404, 405, malformed requests),
+// route dispatch, the standard /metrics and /healthz bodies, and stop()
+// idempotence. The client side is a raw blocking socket speaking exactly
+// what curl would, so these tests pin the wire format, not a client
+// library's tolerance.
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "src/telemetry/http_server.hpp"
+#include "src/telemetry/telemetry.hpp"
+
+namespace rubic::telemetry {
+namespace {
+
+// One round trip: connect to 127.0.0.1:port, send `request` verbatim, read
+// to EOF (the server closes after one response).
+std::string http_exchange(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return {};
+  }
+  // The harness must never wedge on a server that accepted but won't
+  // answer (e.g. a stopped server whose listen backlog still connects).
+  timeval timeout{5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string get(std::uint16_t port, const std::string& path,
+                const std::string& method = "GET") {
+  return http_exchange(port, method + " " + path +
+                                 " HTTP/1.1\r\nHost: t\r\n"
+                                 "Connection: close\r\n\r\n");
+}
+
+TEST(ListenSpec, ParsesPortAndHostPortForms) {
+  const auto bare = parse_listen_spec("9100");
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(bare->host, "127.0.0.1") << "bare port stays loopback";
+  EXPECT_EQ(bare->port, 9100);
+  const auto pair = parse_listen_spec("0.0.0.0:8080");
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_EQ(pair->host, "0.0.0.0");
+  EXPECT_EQ(pair->port, 8080);
+  const auto localhost = parse_listen_spec("localhost:7000");
+  ASSERT_TRUE(localhost.has_value());
+  EXPECT_EQ(localhost->host, "127.0.0.1");
+  const auto ephemeral = parse_listen_spec("0");
+  ASSERT_TRUE(ephemeral.has_value());
+  EXPECT_EQ(ephemeral->port, 0);
+}
+
+TEST(ListenSpec, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_listen_spec("").has_value());
+  EXPECT_FALSE(parse_listen_spec("notaport").has_value());
+  EXPECT_FALSE(parse_listen_spec("70000").has_value());
+  EXPECT_FALSE(parse_listen_spec("-1").has_value());
+  EXPECT_FALSE(parse_listen_spec("example.com:80").has_value())
+      << "no resolver: numeric hosts (or localhost) only";
+  EXPECT_FALSE(parse_listen_spec("1.2.3:80").has_value());
+  EXPECT_FALSE(parse_listen_spec("127.0.0.1:").has_value());
+  EXPECT_FALSE(parse_listen_spec(":9100").has_value());
+}
+
+class HttpEndpointTest : public ::testing::Test {
+ protected:
+  // Port 0: the kernel assigns a free port, so parallel ctest shards never
+  // collide; port() reports the real one.
+  HttpEndpointTest() : server_(ListenSpec{"127.0.0.1", 0}) {
+    server_.route("/ping", [] {
+      HttpResponse r;
+      r.body = "pong\n";
+      return r;
+    });
+    server_.route("/healthz", [] { return healthz_response(); });
+    server_.start();
+  }
+
+  HttpServer server_;
+};
+
+TEST_F(HttpEndpointTest, ServesRegisteredRoute) {
+  const std::string response = get(server_.port(), "/ping");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 5"), std::string::npos);
+  EXPECT_NE(response.find("pong\n"), std::string::npos);
+  EXPECT_GE(server_.requests(), 1u);
+}
+
+TEST_F(HttpEndpointTest, HealthzAnswersOk) {
+  const std::string response = get(server_.port(), "/healthz");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("ok\n"), std::string::npos);
+}
+
+TEST_F(HttpEndpointTest, QueryStringIsIgnoredForMatching) {
+  const std::string response = get(server_.port(), "/ping?x=1&y=2");
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+}
+
+TEST_F(HttpEndpointTest, UnknownPathIs404) {
+  const std::string response = get(server_.port(), "/nope");
+  EXPECT_NE(response.find("404"), std::string::npos) << response;
+}
+
+TEST_F(HttpEndpointTest, PostIs405) {
+  const std::string response = get(server_.port(), "/ping", "POST");
+  EXPECT_NE(response.find("405"), std::string::npos) << response;
+}
+
+TEST_F(HttpEndpointTest, HeadReturnsHeadersWithoutBody) {
+  const std::string response = get(server_.port(), "/ping", "HEAD");
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("Content-Length: 5"), std::string::npos);
+  EXPECT_EQ(response.find("pong"), std::string::npos)
+      << "HEAD must omit the body";
+}
+
+TEST_F(HttpEndpointTest, MalformedRequestLineIs400) {
+  const std::string response =
+      http_exchange(server_.port(), "garbage\r\n\r\n");
+  EXPECT_NE(response.find("400"), std::string::npos) << response;
+}
+
+TEST_F(HttpEndpointTest, MetricsResponseIsPrometheusText) {
+  Registry registry;
+  registry.counter("http_test_events_total").add(3);
+  registry.histogram("http_test_latency_us").observe(7);
+  server_.route("/metrics", [&registry] { return metrics_response(registry); });
+  const std::string response = get(server_.port(), "/metrics");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(
+      response.find("Content-Type: text/plain; version=0.0.4"),
+      std::string::npos)
+      << response;
+  EXPECT_NE(response.find("# TYPE http_test_events_total counter"),
+            std::string::npos);
+  EXPECT_NE(response.find("http_test_events_total 3"), std::string::npos);
+  EXPECT_NE(response.find("http_test_latency_us_bucket"), std::string::npos);
+}
+
+TEST_F(HttpEndpointTest, RouteReplacementTakesEffect) {
+  server_.route("/ping", [] {
+    HttpResponse r;
+    r.body = "pong2\n";
+    return r;
+  });
+  const std::string response = get(server_.port(), "/ping");
+  EXPECT_NE(response.find("pong2\n"), std::string::npos) << response;
+}
+
+TEST(HttpServerLifecycle, StopIsIdempotentAndSafeWithoutStart) {
+  {
+    HttpServer server(ListenSpec{"127.0.0.1", 0});
+    server.stop();  // never started
+    server.stop();
+  }
+  std::uint16_t port = 0;
+  {
+    HttpServer server(ListenSpec{"127.0.0.1", 0});
+    server.route("/x", [] { return healthz_response(); });
+    server.start();
+    port = server.port();
+    EXPECT_NE(get(port, "/x").find("200 OK"), std::string::npos);
+    server.stop();
+    server.stop();  // second stop is a no-op
+  }
+  // Destroyed: the listener is closed, so connections are refused.
+  EXPECT_TRUE(get(port, "/x").empty());
+}
+
+TEST(HttpServerLifecycle, TwoServersCoexistOnDistinctPorts) {
+  HttpServer a(ListenSpec{"127.0.0.1", 0});
+  HttpServer b(ListenSpec{"127.0.0.1", 0});
+  a.route("/who", [] {
+    HttpResponse r;
+    r.body = "a";
+    return r;
+  });
+  b.route("/who", [] {
+    HttpResponse r;
+    r.body = "b";
+    return r;
+  });
+  a.start();
+  b.start();
+  EXPECT_NE(a.port(), b.port());
+  EXPECT_NE(get(a.port(), "/who").find("\r\n\r\na"), std::string::npos);
+  EXPECT_NE(get(b.port(), "/who").find("\r\n\r\nb"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rubic::telemetry

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -116,6 +117,62 @@ TEST(Quantile, MonotonicInQAndClamped) {
   // The member wrapper is the same estimator over the same snapshot.
   EXPECT_DOUBLE_EQ(histogram.quantile(0.9),
                    telemetry::quantile_from_buckets(buckets, 0.9));
+}
+
+TEST(Quantile, OverflowBucketStaysFiniteAndOrdered) {
+  // The top bucket (index 63) absorbs the whole tail [2^62, 2^64): samples
+  // up there must yield finite, in-bucket quantiles — no overflow, no inf.
+  telemetry::Histogram histogram;
+  histogram.observe(std::uint64_t{1} << 62);
+  histogram.observe(std::uint64_t{1} << 63);
+  histogram.observe(~std::uint64_t{0});
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    const double value = histogram.quantile(q);
+    EXPECT_TRUE(std::isfinite(value)) << q;
+    EXPECT_GE(value, static_cast<double>(std::uint64_t{1} << 62)) << q;
+    EXPECT_LE(value, 18446744073709551616.0 /* 2^64 */) << q;
+  }
+  // Mixed: mass below plus a tail in the overflow bucket — low quantiles
+  // stay low, the extreme ones climb into the top bucket.
+  telemetry::Histogram mixed;
+  for (int i = 0; i < 990; ++i) mixed.observe(100);
+  for (int i = 0; i < 10; ++i) mixed.observe(~std::uint64_t{0});
+  EXPECT_LE(mixed.quantile(0.5), 256.0);
+  EXPECT_GE(mixed.quantile(0.999),
+            static_cast<double>(std::uint64_t{1} << 62));
+}
+
+TEST(Quantile, HoldsAfterSnapshotMerge) {
+  // The SLO numbers a parent quotes come from histograms merged across
+  // child snapshots (merge_snapshots sums buckets): the estimator over the
+  // merged buckets must agree exactly with a histogram that observed the
+  // union of the samples directly.
+  telemetry::Registry child_a, child_b;
+  telemetry::Histogram& ha = child_a.histogram("merge_q_latency_us");
+  telemetry::Histogram& hb = child_b.histogram("merge_q_latency_us");
+  telemetry::Histogram combined;
+  util::Xoshiro256 rng(11);
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t value = rng.below(50000);
+    (i % 2 == 0 ? ha : hb).observe(value);
+    combined.observe(value);
+  }
+  const std::vector<telemetry::Snapshot> parts = {child_a.snapshot(),
+                                                  child_b.snapshot()};
+  const telemetry::Snapshot merged = telemetry::merge_snapshots(parts);
+  const telemetry::MetricSnapshot* metric = nullptr;
+  for (const auto& m : merged.metrics) {
+    if (m.name == "merge_q_latency_us") metric = &m;
+  }
+  ASSERT_NE(metric, nullptr);
+  EXPECT_EQ(metric->count, 4000u);
+  EXPECT_EQ(metric->count, combined.count());
+  EXPECT_EQ(metric->sum, combined.sum());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_DOUBLE_EQ(telemetry::quantile_from_buckets(metric->buckets, q),
+                     combined.quantile(q))
+        << q;
+  }
 }
 
 TEST(Metrics, CounterSumsAcrossThreads) {

@@ -392,6 +392,89 @@ double bench_stm_commit_telemetry_armed_pct() {
   return std::max(0.0, (armed - plain) / plain * 100.0);
 }
 
+// Cost of a disarmed profiler hook: one relaxed load of the armed flag
+// plus a predictable branch — the contract the abort-path attribution
+// sites rest on (src/stm/profiler.hpp).
+double bench_profiler_record_disarmed_ns() {
+  constexpr std::uint64_t kOps = 1 << 23;
+  const double start = now_seconds();
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    if (stm::profiler::armed()) [[unlikely]] {
+      stm::profiler::record(i & 1023, stm::BackendKind::kOrecSwiss,
+                            stm::AbortCause::kWriteConflict,
+                            stm::profiler::kUnlabeled,
+                            stm::profiler::kUnlabeled);
+    }
+  }
+  return (now_seconds() - start) * 1e9 / static_cast<double>(kOps);
+}
+
+// Cost of an armed record(): sampling check, open-addressed probe to this
+// thread's slot, relaxed count bump. Rotating over 1024 stripes keeps the
+// table warm without overflowing the probe window.
+double bench_profiler_record_armed_ns() {
+  constexpr std::uint64_t kOps = 1 << 21;
+  stm::profiler::Armed armed;
+  const double start = now_seconds();
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    if (stm::profiler::armed()) [[unlikely]] {
+      stm::profiler::record(i & 1023, stm::BackendKind::kOrecSwiss,
+                            stm::AbortCause::kWriteConflict,
+                            stm::profiler::kUnlabeled,
+                            stm::profiler::kUnlabeled);
+    }
+  }
+  return (now_seconds() - start) * 1e9 / static_cast<double>(kOps);
+}
+
+// The profiler acceptance number (same estimator as the telemetry one
+// above): loop B adds two explicit *disarmed* profiler probes per rb-tree
+// lookup transaction — more than the transaction's own abort-path hooks
+// ever execute on the commit path, since the profiler instruments aborts
+// only. The relative slowdown of B bounds the disarmed profiler cost of
+// the transaction itself; the budget in docs/observability.md is <= 1%
+// median.
+double bench_stm_commit_profiler_disarmed_pct() {
+  constexpr std::uint64_t kOps = 1 << 15;
+  constexpr int kRounds = 6;
+  auto& tree = bench_tree();
+  auto& ctx = bench_ctx();
+  const auto loop = [&](bool extra_probes) {
+    std::int64_t key = 0;
+    bool found = false;
+    const double start = now_seconds();
+    for (std::uint64_t i = 0; i < kOps; ++i) {
+      key = (key + 101) % 8192;
+      found ^= stm::atomically(
+          ctx, [&](stm::Txn& tx) { return tree.contains(tx, key); });
+      if (extra_probes) {
+        if (stm::profiler::armed()) [[unlikely]] {
+          stm::profiler::record(i & 1023, stm::BackendKind::kOrecSwiss,
+                                stm::AbortCause::kWriteConflict,
+                                stm::profiler::kUnlabeled,
+                                stm::profiler::kUnlabeled);
+        }
+        if (stm::profiler::armed()) [[unlikely]] {
+          stm::profiler::record(i & 1023, stm::BackendKind::kOrecSwiss,
+                                stm::AbortCause::kReadConflict,
+                                stm::profiler::kUnlabeled,
+                                stm::profiler::kUnlabeled);
+        }
+      }
+    }
+    const double elapsed = now_seconds() - start;
+    if (found && key == -1) std::abort();
+    return elapsed;
+  };
+  double plain = loop(false);  // warm-up round, also seeds the minima
+  double probed = loop(true);
+  for (int round = 0; round < kRounds; ++round) {
+    plain = std::min(plain, loop(false));
+    probed = std::min(probed, loop(true));
+  }
+  return std::max(0.0, (probed - plain) / plain * 100.0);
+}
+
 // --- traffic subsystem micro benches (micro_traffic suite) ---
 
 // Cost of one YCSB zipfian draw at the production size/skew — paid once per
@@ -547,6 +630,12 @@ std::vector<BenchDef> make_benches(milliseconds scenario_ms) {
        bench_stm_commit_telemetry_disarmed_pct},
       {"stm_commit_telemetry_armed_pct", "percent", "lower", false, false,
        bench_stm_commit_telemetry_armed_pct},
+      {"profiler_record_disarmed_ns", "ns_per_op", "lower", true, false,
+       bench_profiler_record_disarmed_ns},
+      {"profiler_record_armed_ns", "ns_per_op", "lower", true, false,
+       bench_profiler_record_armed_ns},
+      {"stm_commit_profiler_disarmed_pct", "percent", "lower", false, false,
+       bench_stm_commit_profiler_disarmed_pct},
       // Cross-backend grid: the rmw8 numbers are gated for every engine (it
       // is each protocol's commit hot path end to end: reads, lock
       // acquisition or undo, write-back or write-through, release); the
@@ -638,6 +727,13 @@ std::vector<std::string> suite_members(const std::string& suite) {
             "backend_tl2_rbtree_lookup_ns",
             "backend_2plundo_rbtree_lookup_ns"};
   }
+  if (suite == "micro_profiler_overhead") {
+    // Contention-profiler cost contract (src/stm/profiler.hpp): the
+    // disarmed hook and the armed sample path, plus the commit-path
+    // disarmed-delta acceptance percentage.
+    return {"profiler_record_disarmed_ns", "profiler_record_armed_ns",
+            "stm_commit_profiler_disarmed_pct"};
+  }
   if (suite == "micro_traffic") {
     // Traffic generator + KV service hot paths (src/traffic/).
     return {"traffic_zipf_sample_ns", "traffic_arrival_gen_ns",
@@ -652,6 +748,8 @@ std::vector<std::string> suite_members(const std::string& suite) {
             "backend_2plundo_rmw8_ns",
             "runtime_overhead_disarmed_pct", "telemetry_count_disarmed_ns",
             "telemetry_count_armed_ns", "stm_commit_telemetry_disarmed_pct",
+            "profiler_record_disarmed_ns", "profiler_record_armed_ns",
+            "stm_commit_profiler_disarmed_pct",
             "traffic_zipf_sample_ns", "traffic_arrival_gen_ns",
             "traffic_kv_request_ns"};
   }
@@ -776,8 +874,9 @@ int main(int argc, char** argv) {
     auto benches = make_benches(seconds(scenario_seconds));
     if (list) {
       std::printf("suites: micro_stm_overhead micro_runtime_overhead "
-                  "micro_telemetry_overhead micro_backend_compare "
-                  "micro_traffic colocate ci-fast all\nbenches:\n");
+                  "micro_telemetry_overhead micro_profiler_overhead "
+                  "micro_backend_compare micro_traffic colocate ci-fast "
+                  "all\nbenches:\n");
       for (const auto& bench : benches) {
         std::printf("  %-32s %-12s better=%s gate=%s\n", bench.name.c_str(),
                     bench.metric.c_str(), bench.better.c_str(),

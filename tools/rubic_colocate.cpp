@@ -43,6 +43,7 @@
 #include "src/metrics/metrics.hpp"
 #include "src/runtime/process.hpp"
 #include "src/scenario/launcher.hpp"
+#include "src/telemetry/http_server.hpp"
 #include "src/telemetry/telemetry.hpp"
 #include "src/trace/trace.hpp"
 #include "src/util/cli.hpp"
@@ -89,8 +90,17 @@ struct Options {
   // (src/telemetry/audit.hpp) to <prefix>.<pid>.jsonl — the streams
   // tools/rubic_replay re-drives offline.
   std::string audit_out;
+  // Non-empty: the parent serves /metrics (merged live child telemetry),
+  // /status (bus view), /hotspots (merged live contention) and /healthz for
+  // the duration of the run (implies --telemetry; docs/observability.md).
+  std::string listen;
+  // Arm the contention profiler in every child (children then refresh the
+  // .clive live parts the /hotspots route merges).
+  bool profile = false;
 
-  bool telemetry_enabled() const { return telemetry || !prom_out.empty(); }
+  bool telemetry_enabled() const {
+    return telemetry || !prom_out.empty() || !listen.empty();
+  }
 };
 
 // Base path for the per-child telemetry snapshot parts: any output path the
@@ -150,6 +160,8 @@ scenario::ChildRun make_child_run(const Options& opt, int child_index) {
   if (run.telemetry) run.telemetry_base = telemetry_base(opt);
   run.trace_base = opt.trace_out;
   run.audit_base = opt.audit_out;
+  run.profiler = opt.profile;
+  if (!opt.listen.empty()) run.live_base = telemetry_base(opt);
   return run;
 }
 
@@ -331,9 +343,19 @@ int main(int argc, char** argv) {
     opt.telemetry = cli.get_bool("telemetry");
     opt.prom_out = cli.get_string("prom-out", "");
     opt.audit_out = cli.get_string("audit-out", "");
+    opt.listen = cli.get_string("listen", "");
+    opt.profile = cli.get_bool("profile");
     cli.check_unknown();
     if (!opt.fault_spec.empty()) {
       fault::Plan::parse(opt.fault_spec);  // reject bad specs before forking
+    }
+    if (!opt.listen.empty() &&
+        !telemetry::parse_listen_spec(opt.listen)) {
+      std::fprintf(stderr,
+                   "rubic_colocate: bad --listen value '%s' "
+                   "(want PORT or HOST:PORT)\n",
+                   opt.listen.c_str());
+      return 2;
     }
 
     if (opt.procs < 1 || opt.seconds < 1) {
@@ -348,6 +370,7 @@ int main(int argc, char** argv) {
                    "[--json out.json] [--trace-out trace.json] "
                    "[--telemetry] [--prom-out metrics.prom] "
                    "[--audit-out prefix] "
+                   "[--listen PORT|HOST:PORT] [--profile] "
                    "[--list-workloads] [--list-controllers] "
                    "[--list-backends] [--list-fault-sites]\n");
       return 2;
@@ -391,6 +414,42 @@ int main(int argc, char** argv) {
     }
 
     const auto wall_start = steady_clock::now();
+
+    // Live introspection: all children are forked, so `pids` is final and
+    // the handlers can capture it by reference. The server stops before the
+    // bus and the live part files go away.
+    std::unique_ptr<telemetry::HttpServer> server;
+    if (!opt.listen.empty()) {
+      const std::string live_base = telemetry_base(opt);
+      server = std::make_unique<telemetry::HttpServer>(
+          *telemetry::parse_listen_spec(opt.listen));
+      server->route("/healthz",
+                    [] { return telemetry::healthz_response(); });
+      server->route("/metrics", [live_base, &pids] {
+        return telemetry::HttpResponse{
+            200, "text/plain; version=0.0.4; charset=utf-8",
+            telemetry::to_prometheus(
+                scenario::merged_live_telemetry(live_base, pids))};
+      });
+      server->route("/status", [bus_ptr = bus.get(), wall_start] {
+        return telemetry::HttpResponse{
+            200, "application/json; charset=utf-8",
+            scenario::bus_status_json(
+                "rubic_colocate", *bus_ptr,
+                duration_cast<milliseconds>(steady_clock::now() - wall_start)
+                    .count())};
+      });
+      server->route("/hotspots", [live_base, &pids] {
+        return telemetry::HttpResponse{
+            200, "application/json; charset=utf-8",
+            stm::profiler::to_json(
+                scenario::merged_live_contention(live_base, pids))};
+      });
+      server->start();
+      std::fprintf(stderr, "rubic_colocate: introspection endpoint on %s:%u\n",
+                   server->host().c_str(), server->port());
+    }
+
     if (opt.chaos_kill_ms > 0 && !pids.empty()) {
       std::this_thread::sleep_for(milliseconds(opt.chaos_kill_ms));
       kill(pids.front(), SIGKILL);
@@ -517,6 +576,16 @@ int main(int argc, char** argv) {
         std::fclose(f);
       } else {
         std::fprintf(stderr, "failed to write %s\n", opt.json_path.c_str());
+      }
+    }
+
+    if (server) {
+      server->stop();
+      for (const pid_t pid : pids) {
+        ::unlink(scenario::part_path(telemetry_base(opt), pid, ".tlive")
+                     .c_str());
+        ::unlink(scenario::part_path(telemetry_base(opt), pid, ".clive")
+                     .c_str());
       }
     }
 

@@ -11,14 +11,22 @@
 // Exit codes: 0 every invariant held and nothing died unexpectedly;
 // 1 a violation or unexpected death; 2 usage / unreadable or invalid spec.
 //
+// Live introspection (docs/observability.md): --listen PORT|HOST:PORT
+// serves /metrics, /status, /hotspots, /healthz from the parent for the
+// duration of the run; --profile arms the contention profiler in every
+// child. `kill -USR1 <pid>` dumps merged telemetry + contention snapshots
+// next to the part base without stopping the run.
+//
 // Run:  rubic_soak --scenario scenarios/tenant_churn.scn
 //       rubic_soak --scenario s.scn --json report.json --quiet-children
+//       rubic_soak --scenario s.scn --listen 9464 --profile
 //       rubic_soak --list-fault-sites
 #include <cstdio>
 #include <string>
 
 #include "src/fault/fault.hpp"
 #include "src/scenario/engine.hpp"
+#include "src/telemetry/snapshot_signal.hpp"
 #include "src/trace/trace.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/listing.hpp"
@@ -41,15 +49,24 @@ int main(int argc, char** argv) {
     opt.part_base = cli.get_string("part-base", "");
     opt.telemetry = !cli.get_bool("no-telemetry");
     opt.echo_child_stderr = !cli.get_bool("quiet-children");
+    opt.listen = cli.get_string("listen", "");
+    opt.profiler = cli.get_bool("profile");
     cli.check_unknown();
 
     if (scenario_path.empty()) {
       std::fprintf(stderr,
                    "usage: rubic_soak --scenario file.scn [--json out.json] "
                    "[--bus /name] [--part-base path] [--no-telemetry] "
-                   "[--quiet-children] [--list-fault-sites]\n");
+                   "[--quiet-children] [--listen PORT|HOST:PORT] [--profile] "
+                   "[--list-fault-sites]\n");
       return 2;
     }
+
+    // SIGUSR1 = on-demand merged snapshot dump; the engine's tick loop
+    // polls the counter. Live parts must be flowing for the dump (and the
+    // endpoint) to have anything to merge.
+    telemetry::install_snapshot_signal();
+    opt.live_parts = true;
 
     const scenario::ScenarioSpec spec =
         scenario::load_scenario(scenario_path);

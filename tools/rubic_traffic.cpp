@@ -10,10 +10,22 @@
 // ends with the zero-sum + per-client sequence verification, which makes
 // this binary double as a correctness harness under --fault-spec chaos.
 //
+// Live introspection (docs/observability.md): --listen PORT|HOST:PORT
+// serves /metrics (live registry), /status (level, backend, controller
+// phase, backlog, SLO attainment), /hotspots (contention profiler) and
+// /healthz while a run is in flight. --profile arms the contention profiler
+// without the endpoint; --contention-out writes the final
+// rubic-contention/v1 document. `kill -USR1 <pid>` dumps telemetry +
+// contention snapshots mid-run without stopping.
+//
 // Run:  rubic_traffic --mix ycsb-a --curve flash:base=500,spike=4000,seconds=6
 //                     --policies rubic,fixed:4 --json out.json
 //       rubic_traffic --mix tpcc-lite --rate 1500 --seconds 5 --policies rubic
+//       rubic_traffic --mix ycsb-b --rate 2000 --listen 9464 --contention-out c.json
 //       rubic_traffic --list-mixes / --list-controllers / --list-backends
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -24,6 +36,11 @@
 #include "src/control/fixed.hpp"
 #include "src/fault/fault.hpp"
 #include "src/runtime/process.hpp"
+#include "src/stm/profiler.hpp"
+#include "src/telemetry/http_server.hpp"
+#include "src/telemetry/json.hpp"
+#include "src/telemetry/snapshot_signal.hpp"
+#include "src/telemetry/telemetry.hpp"
 #include "src/traffic/traffic.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/listing.hpp"
@@ -44,6 +61,9 @@ struct Options {
   std::string fault_spec;
   std::string json_path;
   std::string bench_out;
+  std::string listen;          // "" = no live endpoint
+  std::string contention_out;  // "" = no final contention document
+  bool profile = false;        // arm the contention profiler
 };
 
 std::vector<std::string> split_list(const std::string& text) {
@@ -82,6 +102,100 @@ std::unique_ptr<control::Controller> make_policy(const std::string& policy,
   return control::make_controller(policy, config);
 }
 
+bool write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+void append_quoted(std::string& out, std::string_view text) {
+  out += '"';
+  telemetry::jsonutil::append_escaped(out, text);
+  out += '"';
+}
+
+// The /status body: the monitor's latest round (published under
+// MonitorConfig::publish_status) plus the workload's open-loop debt — what
+// an operator checks before blaming the SLO.
+std::string traffic_status_json(const std::string& policy,
+                                runtime::TunedProcess& process,
+                                traffic::KvTrafficWorkload& workload) {
+  using telemetry::jsonutil::append_double;
+  using telemetry::jsonutil::append_u64;
+  const runtime::LiveStatus status = process.monitor().live_status();
+  const traffic::TrafficSummary sum = workload.summary();
+  std::string out = "{\"tool\": \"rubic_traffic\", \"policy\": ";
+  append_quoted(out, policy);
+  out += ", \"backend\": ";
+  append_quoted(out, status.backend);
+  out += ", \"rounds\": ";
+  append_u64(out, status.rounds);
+  out += ", \"level\": ";
+  append_u64(out, static_cast<std::uint64_t>(
+                      status.level < 0 ? 0 : status.level));
+  out += ", \"throughput\": ";
+  append_double(out, status.throughput);
+  out += ", \"commit_ratio\": ";
+  append_double(out, status.commit_ratio);
+  out += ", \"phase\": ";
+  if (status.phase_valid) {
+    append_quoted(out, status.phase_name);
+  } else {
+    out += "null";
+  }
+  out += ", \"backlog\": ";
+  append_u64(out, workload.backlog_now());
+  out += ", \"executed\": ";
+  append_u64(out, sum.executed);
+  out += ", \"scheduled\": ";
+  append_u64(out, sum.scheduled);
+  out += ", \"slo_attainment\": ";
+  append_double(out, sum.overall.slo_attainment);
+  out += "}\n";
+  return out;
+}
+
+// Polls the SIGUSR1 counter (snapshot_signal.hpp) while runs are in flight
+// and dumps telemetry + contention JSON next to the process without
+// stopping it. One instance spans all policy runs.
+class SignalWatcher {
+ public:
+  SignalWatcher() {
+    thread_ = std::thread([this] {
+      const std::string base =
+          "rubic_traffic." + std::to_string(static_cast<int>(getpid()));
+      while (!stop_.load(std::memory_order_acquire)) {
+        if (telemetry::consume_snapshot_signal()) {
+          write_file(base + ".signal.telemetry.json",
+                     telemetry::to_json(telemetry::registry().snapshot()));
+          write_file(base + ".signal.contention.json",
+                     stm::profiler::to_json(stm::profiler::snapshot()));
+          std::fprintf(stderr,
+                       "rubic_traffic: SIGUSR1 snapshot -> "
+                       "%s.signal.{telemetry,contention}.json\n",
+                       base.c_str());
+        }
+        for (int waited = 0;
+             waited < 200 && !stop_.load(std::memory_order_acquire);
+             waited += 20) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+      }
+    });
+  }
+  ~SignalWatcher() {
+    stop_.store(true, std::memory_order_release);
+    thread_.join();
+  }
+  SignalWatcher(const SignalWatcher&) = delete;
+  SignalWatcher& operator=(const SignalWatcher&) = delete;
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
 traffic::RunResult run_policy(const std::string& policy, const Options& opt) {
   // Each policy gets a fresh fault plan so all runs see the identical
   // per-site schedule (hit counters restart from zero).
@@ -103,7 +217,36 @@ traffic::RunResult run_policy(const std::string& policy, const Options& opt) {
   config.monitor.period = milliseconds(opt.period_ms);
   config.monitor.stm_runtime = &rt;
   config.monitor.record_trace = false;
+  // The /status handler reads the monitor's round from another thread;
+  // publish_status makes the copy it reads.
+  config.monitor.publish_status = !opt.listen.empty();
   runtime::TunedProcess process(rt, workload, *controller, config);
+
+  // Declared after process/workload so the serving thread is gone before
+  // anything its handlers read (destruction is reverse order).
+  std::unique_ptr<telemetry::HttpServer> server;
+  if (!opt.listen.empty()) {
+    // main() validated the spec already.
+    server = std::make_unique<telemetry::HttpServer>(
+        *telemetry::parse_listen_spec(opt.listen));
+    server->route("/healthz", [] { return telemetry::healthz_response(); });
+    server->route("/metrics", [] {
+      return telemetry::metrics_response(telemetry::registry());
+    });
+    server->route("/status", [policy, &process, &workload] {
+      return telemetry::HttpResponse{
+          200, "application/json; charset=utf-8",
+          traffic_status_json(policy, process, workload)};
+    });
+    server->route("/hotspots", [] {
+      return telemetry::HttpResponse{
+          200, "application/json; charset=utf-8",
+          stm::profiler::to_json(stm::profiler::snapshot())};
+    });
+    server->start();
+    std::fprintf(stderr, "rubic_traffic: introspection endpoint on %s:%u\n",
+                 server->host().c_str(), server->port());
+  }
 
   const auto timeout = milliseconds(static_cast<std::int64_t>(
       1000.0 *
@@ -126,13 +269,6 @@ traffic::RunResult run_policy(const std::string& policy, const Options& opt) {
   result.commits = report.stm_stats.commits;
   result.aborts = report.stm_stats.total_aborts();
   return result;
-}
-
-bool write_file(const std::string& path, const std::string& text) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return false;
-  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
-  return std::fclose(f) == 0 && ok;
 }
 
 }  // namespace
@@ -213,6 +349,10 @@ int main(int argc, char** argv) {
     opt.fault_spec = cli.get_string("fault-spec", "");
     opt.json_path = cli.get_string("json", "");
     opt.bench_out = cli.get_string("bench-out", "");
+    opt.listen = cli.get_string("listen", "");
+    opt.contention_out = cli.get_string("contention-out", "");
+    opt.profile = cli.get_bool("profile") || !opt.contention_out.empty() ||
+                  !opt.listen.empty();
     const std::string git_sha = cli.get_string("git-sha", "");
     cli.check_unknown();
 
@@ -225,8 +365,16 @@ int main(int argc, char** argv) {
           "[--scan-len N] [--slo-ms MS] [--seed N] [--stm-backend B] "
           "[--contexts C] [--pool SZ] [--period-ms M] [--timeout-factor F] "
           "[--fault-spec SPEC] [--json out.json] [--bench-out bench.json] "
+          "[--listen PORT|HOST:PORT] [--profile] [--contention-out c.json] "
           "[--list-mixes] [--list-controllers] [--list-backends] "
           "[--list-fault-sites]\n");
+      return 2;
+    }
+    if (!opt.listen.empty() && !telemetry::parse_listen_spec(opt.listen)) {
+      std::fprintf(stderr,
+                   "rubic_traffic: bad --listen value '%s' "
+                   "(want PORT or HOST:PORT)\n",
+                   opt.listen.c_str());
       return 2;
     }
     if (opt.contexts <= 0) {
@@ -239,6 +387,13 @@ int main(int argc, char** argv) {
     }
     traffic::mix_by_name(config.mix);       // reject bad mixes up front
     traffic::RateCurve::parse(config.curve);
+
+    // Observability arming spans all policy runs: /metrics and the
+    // contention document are cumulative, the per-run /status is not.
+    telemetry::install_snapshot_signal();
+    if (!opt.listen.empty()) telemetry::arm();
+    if (opt.profile) stm::profiler::arm();
+    SignalWatcher signal_watcher;
 
     std::vector<traffic::RunResult> runs;
     bool all_verified = true;
@@ -274,6 +429,13 @@ int main(int argc, char** argv) {
                     traffic::format_bench_results(config, runs, git_sha))) {
       std::fprintf(stderr, "rubic_traffic: failed to write %s\n",
                    opt.bench_out.c_str());
+      return 1;
+    }
+    if (!opt.contention_out.empty() &&
+        !write_file(opt.contention_out,
+                    stm::profiler::to_json(stm::profiler::snapshot()))) {
+      std::fprintf(stderr, "rubic_traffic: failed to write %s\n",
+                   opt.contention_out.c_str());
       return 1;
     }
 

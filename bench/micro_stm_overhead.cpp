@@ -10,7 +10,7 @@
 
 #include "src/stm/stm.hpp"
 #include "src/workloads/intruder/detector.hpp"
-#include "src/workloads/rbtree.hpp"
+#include "src/tds/rbtree.hpp"
 
 namespace {
 
@@ -81,7 +81,7 @@ void BM_TxReadModifyWrite8(benchmark::State& state) {
 BENCHMARK(BM_TxReadModifyWrite8);
 
 void BM_RbTreeLookupTx(benchmark::State& state) {
-  static workloads::RbTree tree;
+  static tds::RbTree tree;
   static bool populated = [] {
     auto& ctx = bench_ctx();
     for (std::int64_t i = 0; i < 4096; ++i) {
@@ -101,7 +101,7 @@ void BM_RbTreeLookupTx(benchmark::State& state) {
 BENCHMARK(BM_RbTreeLookupTx);
 
 void BM_RbTreeInsertEraseTx(benchmark::State& state) {
-  workloads::RbTree tree;
+  tds::RbTree tree;
   auto& ctx = bench_ctx();
   std::int64_t key = 0;
   for (auto _ : state) {

@@ -22,7 +22,7 @@
 #include "src/runtime/process.hpp"
 #include "src/stm/stm.hpp"
 #include "src/util/cli.hpp"
-#include "src/workloads/tqueue.hpp"
+#include "src/tds/tqueue.hpp"
 #include "src/workloads/workload.hpp"
 
 namespace {
@@ -111,7 +111,7 @@ class PipelineWorkload final : public workloads::Workload {
   }
 
  private:
-  workloads::TQueue<Order> queue_;
+  tds::TQueue<Order> queue_;
   stm::TVar<std::int64_t> ledgers_[kCategories];
   stm::TVar<std::int64_t> produced_value_{0};
 };

@@ -1,0 +1,72 @@
+#include "src/tds/harness.hpp"
+
+#include <string>
+
+#include "src/stm/profiler.hpp"
+#include "src/util/rng.hpp"
+
+namespace rubic::tds {
+
+FillResult fill(TMap& map, stm::TxnDesc& ctx, std::size_t target_size,
+                std::int64_t key_range, std::uint64_t seed) {
+  const stm::profiler::ScopedTxnLabel label(
+      std::string("tds:") + std::string(map.structure()) + ":fill");
+  util::Xoshiro256 rng(seed);
+  FillResult result;
+  while (result.inserted < target_size) {
+    const auto key = static_cast<std::int64_t>(
+        rng.below(static_cast<std::uint64_t>(key_range)));
+    ++result.attempts;
+    result.inserted += stm::atomically(ctx, [&](stm::Txn& tx) {
+      return map.insert(tx, key, fill_value(key)) ? 1u : 0u;
+    });
+  }
+  return result;
+}
+
+std::map<std::int64_t, std::int64_t> reference_fill(std::size_t target_size,
+                                                    std::int64_t key_range,
+                                                    std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::map<std::int64_t, std::int64_t> model;
+  while (model.size() < target_size) {
+    const auto key = static_cast<std::int64_t>(
+        rng.below(static_cast<std::uint64_t>(key_range)));
+    model.emplace(key, fill_value(key));
+  }
+  return model;
+}
+
+bool verify_against(const TMap& map,
+                    const std::map<std::int64_t, std::int64_t>& expect,
+                    std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) {
+      *error = std::string(map.structure()) + ": " + msg;
+    }
+    return false;
+  };
+  if (!map.check_invariants(error)) return false;
+  std::map<std::int64_t, std::int64_t> got;
+  bool duplicate = false;
+  map.unsafe_for_each([&](std::int64_t k, std::int64_t v) {
+    duplicate = duplicate || !got.emplace(k, v).second;
+  });
+  if (duplicate) return fail("duplicate key during iteration");
+  if (got.size() != expect.size()) {
+    return fail("holds " + std::to_string(got.size()) + " entries, expected " +
+                std::to_string(expect.size()));
+  }
+  auto it = expect.begin();
+  for (const auto& [k, v] : got) {
+    if (k != it->first || v != it->second) {
+      return fail("entry (" + std::to_string(k) + ", " + std::to_string(v) +
+                  ") != expected (" + std::to_string(it->first) + ", " +
+                  std::to_string(it->second) + ")");
+    }
+    ++it;
+  }
+  return true;
+}
+
+}  // namespace rubic::tds

@@ -1,0 +1,48 @@
+// Seeded fill/verify harness shared by the stress suite, the Synchrobench
+// driver and the registry workloads.
+//
+// fill() and reference_fill() consume the identical seeded key stream, so a
+// structure filled through the STM must end up exactly equal to the
+// std::map reference model — verify_against() checks contents pairwise plus
+// the structure's own invariants. Any divergence is a serializability bug in
+// the structure or the backend, not a flaky tolerance.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/stm/stm.hpp"
+#include "src/tds/tmap.hpp"
+
+namespace rubic::tds {
+
+struct FillResult {
+  std::size_t inserted = 0;
+  std::size_t attempts = 0;  // draws, including duplicate-key misses
+};
+
+// Value stored for key k by both fills; also the convention the stress
+// suite asserts after mixed workloads.
+constexpr std::int64_t fill_value(std::int64_t key) noexcept {
+  return key * 2 + 1;
+}
+
+// Inserts unique keys drawn uniformly below `key_range` until the structure
+// holds `target_size` entries. One transaction per insert, labelled
+// "tds:<structure>:fill" for the contention profiler.
+FillResult fill(TMap& map, stm::TxnDesc& ctx, std::size_t target_size,
+                std::int64_t key_range, std::uint64_t seed);
+
+// The same seeded draw into a reference model (no STM involved).
+std::map<std::int64_t, std::int64_t> reference_fill(std::size_t target_size,
+                                                    std::int64_t key_range,
+                                                    std::uint64_t seed);
+
+// Quiescent check: contents equal `expect` exactly (keys, values, size) and
+// check_invariants passes. Writes a diagnostic to `error` on failure.
+bool verify_against(const TMap& map,
+                    const std::map<std::int64_t, std::int64_t>& expect,
+                    std::string* error = nullptr);
+
+}  // namespace rubic::tds

@@ -1,11 +1,11 @@
-#include "src/workloads/rbtree.hpp"
+#include "src/tds/rbtree.hpp"
 
 #include <algorithm>
 #include <vector>
 
 #include "src/util/check.hpp"
 
-namespace rubic::workloads {
+namespace rubic::tds {
 
 using stm::Txn;
 
@@ -390,4 +390,4 @@ bool RbTree::check_invariants(std::string* error) const {
   return true;
 }
 
-}  // namespace rubic::workloads
+}  // namespace rubic::tds

@@ -17,7 +17,7 @@
 
 #include "src/stm/stm.hpp"
 
-namespace rubic::workloads {
+namespace rubic::tds {
 
 class RbTree {
  public:
@@ -95,4 +95,4 @@ class RbTree {
   stm::TVar<std::int64_t> size_;
 };
 
-}  // namespace rubic::workloads
+}  // namespace rubic::tds

@@ -1,0 +1,32 @@
+#include "src/tds/registry.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "src/tds/adapters.hpp"
+#include "src/tds/btree.hpp"
+#include "src/tds/skiplist.hpp"
+
+namespace rubic::tds {
+
+std::vector<std::string_view> known_structures() {
+  return {"btree", "hashmap", "list", "rbtree", "skiplist"};
+}
+
+std::unique_ptr<TMap> make_structure(std::string_view name,
+                                     const StructureConfig& cfg) {
+  if (name == "btree") return std::make_unique<TBTree>();
+  if (name == "hashmap") return std::make_unique<HashMapMap>(cfg.capacity_hint);
+  if (name == "list") return std::make_unique<ListMap>();
+  if (name == "rbtree") return std::make_unique<RbTreeMap>();
+  if (name == "skiplist") return std::make_unique<TSkipList>(cfg.seed);
+  std::string known;
+  for (const auto& candidate : known_structures()) {
+    if (!known.empty()) known += ", ";
+    known += candidate;
+  }
+  throw std::invalid_argument("unknown structure '" + std::string(name) +
+                              "' (known: " + known + ")");
+}
+
+}  // namespace rubic::tds

@@ -1,0 +1,33 @@
+// Name → structure factory for the transactional data-structure library.
+//
+// The same listing/factory pattern as workloads::known_workloads /
+// make_workload: one sorted name list consumed by `--list-structures`, the
+// Synchrobench driver, the stress suite and the `synchro:<structure>`
+// registry workloads, and one factory that throws std::invalid_argument
+// naming the known structures on a miss.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/tds/tmap.hpp"
+
+namespace rubic::tds {
+
+struct StructureConfig {
+  // Seeds the skiplist tower draw; ignored by structures without
+  // randomized shape.
+  std::uint64_t seed = 0x51a9b0bcULL;
+  // Sizing hint for structures with fixed geometry (hash bucket count).
+  std::size_t capacity_hint = 1024;
+};
+
+// Sorted structure names: btree, hashmap, list, rbtree, skiplist.
+std::vector<std::string_view> known_structures();
+
+std::unique_ptr<TMap> make_structure(std::string_view name,
+                                     const StructureConfig& cfg = {});
+
+}  // namespace rubic::tds

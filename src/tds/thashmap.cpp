@@ -1,10 +1,10 @@
-#include "src/workloads/thashmap.hpp"
+#include "src/tds/thashmap.hpp"
 
 #include <algorithm>
 #include <bit>
 #include <string>
 
-namespace rubic::workloads {
+namespace rubic::tds {
 
 using stm::Txn;
 
@@ -128,4 +128,4 @@ bool THashMap::check_invariants(std::string* error) const {
   return true;
 }
 
-}  // namespace rubic::workloads
+}  // namespace rubic::tds

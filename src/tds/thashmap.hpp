@@ -18,7 +18,7 @@
 #include "src/stm/stm.hpp"
 #include "src/util/check.hpp"
 
-namespace rubic::workloads {
+namespace rubic::tds {
 
 class THashMap {
  public:
@@ -91,4 +91,4 @@ class THashMap {
   int shard_shift_;  // log2(shards)
 };
 
-}  // namespace rubic::workloads
+}  // namespace rubic::tds

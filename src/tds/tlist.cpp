@@ -1,6 +1,6 @@
-#include "src/workloads/tlist.hpp"
+#include "src/tds/tlist.hpp"
 
-namespace rubic::workloads {
+namespace rubic::tds {
 
 using stm::Txn;
 
@@ -107,4 +107,4 @@ bool TList::check_invariants(std::string* error) const {
   return true;
 }
 
-}  // namespace rubic::workloads
+}  // namespace rubic::tds

@@ -14,7 +14,7 @@
 
 #include "src/stm/stm.hpp"
 
-namespace rubic::workloads {
+namespace rubic::tds {
 
 class TList {
  public:
@@ -62,4 +62,4 @@ class TList {
   stm::TVar<std::int64_t> size_;
 };
 
-}  // namespace rubic::workloads
+}  // namespace rubic::tds

@@ -10,7 +10,7 @@
 
 #include "src/stm/stm.hpp"
 
-namespace rubic::workloads {
+namespace rubic::tds {
 
 template <typename T>
 class TQueue {
@@ -72,4 +72,4 @@ class TQueue {
   stm::TVar<std::int64_t> size_;
 };
 
-}  // namespace rubic::workloads
+}  // namespace rubic::tds

@@ -100,10 +100,12 @@ TrafficConfig parse_traffic_config(std::string_view spec) {
           parse_f64(value, key) * 1000.0);
     } else if (key == "slo_us") {
       config.slo_us = parse_u64(value, key);
+    } else if (key == "index") {
+      config.index = std::string(value);
     } else {
       bad_config("unknown key '" + std::string(key) +
                  "' (known: mix dist theta keys accounts clients scan_len "
-                 "seed curve slo_ms slo_us)");
+                 "seed curve slo_ms slo_us index)");
     }
   }
   return config;
@@ -116,6 +118,9 @@ Schedule build_schedule(const TrafficConfig& config) {
     bad_config("accounts must be >= 8");
   }
   if (config.scan_len == 0) bad_config("scan_len must be > 0");
+  if (config.index != "hash" && config.index != "btree") {
+    bad_config("index must be hash or btree, got '" + config.index + "'");
+  }
 
   const OpMix& mix = mix_by_name(config.mix);  // throws on unknown mix
   Schedule schedule{config, RateCurve::parse(config.curve), {}, 0, 0};
@@ -199,6 +204,13 @@ Schedule build_schedule(const TrafficConfig& config) {
       case OpKind::kStockScan:
         req.key = static_cast<std::int64_t>(rng.below(kStockKeys));
         req.aux = static_cast<std::int64_t>(kStockScanLen);
+        break;
+      case OpKind::kOrderScan:
+        // Window over the order rows created so far — recent orders when
+        // the draw lands near the tail, a miss-heavy scan early in the run.
+        req.key = kOrderBase + static_cast<std::int64_t>(rng.below(
+                                   schedule.order_rows + 1));
+        req.aux = static_cast<std::int64_t>(kOrderScanLen);
         break;
     }
     schedule.requests.push_back(req);

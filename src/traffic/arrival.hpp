@@ -33,6 +33,7 @@ inline constexpr std::uint64_t kStockKeys = 1024;   // contended stock rows
 inline constexpr std::uint64_t kDistricts = 16;     // new-order counters
 inline constexpr std::uint64_t kWarehouseAccounts = 4;  // payment sinks
 inline constexpr std::uint64_t kStockScanLen = 8;
+inline constexpr std::uint64_t kOrderScanLen = 16;  // order rows per scan
 
 struct TrafficConfig {
   std::string mix = "ycsb-b";
@@ -45,6 +46,11 @@ struct TrafficConfig {
   std::uint64_t seed = 1;
   std::string curve = "constant:rate=2000,seconds=5";
   std::uint64_t slo_us = 10000;  // per-request latency budget
+  // Backing for the TPC-C-lite order table: "hash" keeps order rows in the
+  // shared hash map; "btree" routes them through a transactional B+-tree
+  // (src/tds/btree.hpp) so order_scan walks a real leaf chain instead of
+  // probing per key.
+  std::string index = "hash";
 };
 
 // Parses the ';'-separated key=value grammar used by rubic_colocate's
@@ -63,6 +69,7 @@ TrafficConfig parse_traffic_config(std::string_view spec);
 //   new_order:       key = district counter, key2 = fresh order row,
 //                    aux = first stock index (two consecutive rows RMWed)
 //   stock_scan:      key = first stock index, aux = kStockScanLen
+//   order_scan:      key = first order-row key, aux = kOrderScanLen
 struct Request {
   std::uint64_t arrival_ns = 0;  // offset from run start
   std::int64_t key = 0;

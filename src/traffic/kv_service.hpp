@@ -31,7 +31,8 @@
 #include "src/telemetry/telemetry.hpp"
 #include "src/traffic/arrival.hpp"
 #include "src/util/rng.hpp"
-#include "src/workloads/thashmap.hpp"
+#include "src/tds/btree.hpp"
+#include "src/tds/thashmap.hpp"
 #include "src/workloads/workload.hpp"
 
 namespace rubic::traffic {
@@ -96,7 +97,12 @@ class KvTrafficWorkload final : public workloads::Workload {
 
   // Direct access to the shared map — for tests that tamper with state to
   // prove verify() catches it. Quiescent use only.
-  workloads::THashMap& map() noexcept { return map_; }
+  tds::THashMap& map() noexcept { return map_; }
+
+  // True when config index=btree routed the order table through the B+-tree.
+  bool order_index_is_btree() const noexcept { return use_btree_; }
+  // The order-table B+-tree (empty under index=hash). Quiescent use only.
+  tds::TBTree& orders() noexcept { return orders_; }
 
  private:
   struct PhaseAgg {
@@ -121,7 +127,11 @@ class KvTrafficWorkload final : public workloads::Workload {
   std::uint64_t due_by(std::uint64_t elapsed) const;
 
   Schedule schedule_;
-  workloads::THashMap map_;
+  tds::THashMap map_;
+  // TPC-C-lite order table under index=btree: new_order inserts land here
+  // and order_scan walks the leaf chain; under index=hash both ops use map_.
+  tds::TBTree orders_;
+  bool use_btree_ = false;
   std::vector<std::uint64_t> arrivals_;  // sorted copy for backlog search
 
   std::atomic<std::uint64_t> next_{0};      // dispatch cursor

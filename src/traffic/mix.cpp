@@ -35,9 +35,10 @@ const std::vector<OpMix>& all_mixes() {
       make_mix("ycsb-f", {{OpKind::kRead, 0.45},
                           {OpKind::kRmw, 0.45},
                           {OpKind::kTransfer, 0.10}}),
-      make_mix("tpcc-lite", {{OpKind::kNewOrder, 0.44},
-                             {OpKind::kPayment, 0.44},
-                             {OpKind::kStockScan, 0.12}}),
+      make_mix("tpcc-lite", {{OpKind::kNewOrder, 0.42},
+                             {OpKind::kPayment, 0.42},
+                             {OpKind::kStockScan, 0.08},
+                             {OpKind::kOrderScan, 0.08}}),
   };
   return mixes;
 }
@@ -64,6 +65,8 @@ std::string_view op_name(OpKind op) noexcept {
       return "payment";
     case OpKind::kStockScan:
       return "stock_scan";
+    case OpKind::kOrderScan:
+      return "order_scan";
   }
   return "unknown";
 }

@@ -26,8 +26,9 @@ enum class OpKind : std::uint8_t {
   kNewOrder,   // TPC-C-lite: district counter RMW + order insert + stock RMWs
   kPayment,    // TPC-C-lite: zero-sum customer -> warehouse transfer
   kStockScan,  // TPC-C-lite: read-only sweep over contended stock keys
+  kOrderScan,  // TPC-C-lite: read-only range scan over recent order rows
 };
-inline constexpr std::size_t kOpKindCount = 9;
+inline constexpr std::size_t kOpKindCount = 10;
 
 std::string_view op_name(OpKind op) noexcept;
 
@@ -37,6 +38,7 @@ constexpr bool op_writes(OpKind op) noexcept {
     case OpKind::kRead:
     case OpKind::kScan:
     case OpKind::kStockScan:
+    case OpKind::kOrderScan:
       return false;
     case OpKind::kUpdate:
     case OpKind::kInsert:

@@ -56,7 +56,7 @@ GenomeWorkload::GenomeWorkload(stm::Runtime& rt, GenomeParams params)
 
   overlap_shards_.reserve(kOverlapShards);
   for (int i = 0; i < kOverlapShards; ++i) {
-    overlap_shards_.push_back(std::make_unique<TList>());
+    overlap_shards_.push_back(std::make_unique<tds::TList>());
   }
   cursor_.unsafe_write(0);
   unique_epoch0_.unsafe_write(0);

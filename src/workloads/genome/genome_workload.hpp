@@ -7,7 +7,7 @@
 // segments (with duplicates, since sampling overlaps), workers claim segment
 // indices from a shared cursor and insert the segment's content hash into a
 // transactional hash set; the first inserter also appends the segment to a
-// per-bucket overlap list (a TList keyed by genome position), giving the
+// per-bucket overlap list (a tds::TList keyed by genome position), giving the
 // workload Genome's two-structure transaction shape. Replays are
 // epoch-renamed exactly as in Intruder.
 //
@@ -20,8 +20,8 @@
 #include <string>
 #include <vector>
 
-#include "src/workloads/thashmap.hpp"
-#include "src/workloads/tlist.hpp"
+#include "src/tds/thashmap.hpp"
+#include "src/tds/tlist.hpp"
 #include "src/workloads/workload.hpp"
 
 namespace rubic::workloads::genome {
@@ -58,10 +58,10 @@ class GenomeWorkload final : public Workload {
   std::int64_t unique_expected_ = 0;
 
   stm::TVar<std::int64_t> cursor_;  // shared claim index (capture hotspot)
-  THashMap dedup_;                  // epoch-scoped content key → position
+  tds::THashMap dedup_;                  // epoch-scoped content key → position
   // Overlap markers sharded by genome position so a single list does not
   // serialize the whole phase (STAMP genome uses a per-bucket structure).
-  std::vector<std::unique_ptr<TList>> overlap_shards_;
+  std::vector<std::unique_ptr<tds::TList>> overlap_shards_;
   stm::TVar<std::int64_t> unique_epoch0_;  // uniques seen in the first epoch
 };
 

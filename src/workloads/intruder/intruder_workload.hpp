@@ -17,7 +17,7 @@
 
 #include "src/workloads/intruder/detector.hpp"
 #include "src/workloads/intruder/stream.hpp"
-#include "src/workloads/rbtree.hpp"
+#include "src/tds/rbtree.hpp"
 #include "src/workloads/workload.hpp"
 
 namespace rubic::workloads::intruder {
@@ -55,7 +55,7 @@ class IntruderWorkload final : public Workload {
   Stream stream_;
   std::int64_t max_packets_ = 0;             // 0 = stream forever
   stm::TVar<std::int64_t> cursor_;           // shared claim index (hotspot)
-  RbTree reassembly_;                        // epoch-scoped flow key → FlowState*
+  tds::RbTree reassembly_;                        // epoch-scoped flow key → FlowState*
   stm::TVar<std::int64_t> flows_completed_;  // decoder-side completions
   stm::TVar<std::int64_t> attacks_expected_; // generator ground truth
   stm::TVar<std::int64_t> attacks_found_;    // detector results

@@ -11,7 +11,7 @@
 #include <cstdint>
 #include <memory>
 
-#include "src/workloads/rbtree.hpp"
+#include "src/tds/rbtree.hpp"
 #include "src/workloads/workload.hpp"
 
 namespace rubic::workloads {
@@ -46,13 +46,13 @@ class RbSetWorkload final : public Workload {
   void run_task(stm::TxnDesc& ctx, util::Xoshiro256& rng) override;
   bool verify(std::string* error = nullptr) override;
 
-  const RbTree& tree() const noexcept { return tree_; }
+  const tds::RbTree& tree() const noexcept { return tree_; }
   std::int64_t key_range() const noexcept { return key_range_; }
 
  private:
   RbSetParams params_;
   std::int64_t key_range_;
-  RbTree tree_;
+  tds::RbTree tree_;
 };
 
 }  // namespace rubic::workloads

@@ -10,14 +10,17 @@
 #include "src/workloads/montecarlo.hpp"
 #include "src/workloads/rbset_workload.hpp"
 #include "src/workloads/ssca2/graph_workload.hpp"
+#include "src/workloads/synchro_workload.hpp"
 #include "src/workloads/vacation/vacation_workload.hpp"
 
 namespace rubic::workloads {
 
 std::vector<std::string_view> known_workloads() {
-  return {"rbset",     "rbset-readonly", "vacation-low", "vacation-high",
-          "intruder",  "genome",         "kmeans",       "labyrinth",
-          "ssca2",     "montecarlo"};
+  return {"rbset",           "rbset-readonly",  "vacation-low",
+          "vacation-high",   "intruder",        "genome",
+          "kmeans",          "labyrinth",       "ssca2",
+          "montecarlo",      "synchro:btree",   "synchro:hashmap",
+          "synchro:list",    "synchro:rbtree",  "synchro:skiplist"};
 }
 
 std::unique_ptr<Workload> make_workload(std::string_view name,
@@ -66,6 +69,17 @@ std::unique_ptr<Workload> make_workload(std::string_view name,
   }
   if (name == "montecarlo") {
     return std::make_unique<MonteCarloPiWorkload>();
+  }
+  if (name.rfind("synchro:", 0) == 0) {
+    // Structure validity is checked by tds::make_structure inside the
+    // workload; a bad suffix reports the known structures.
+    SynchroParams params =
+        SynchroParams::defaults(std::string(name.substr(8)));
+    // The sorted list reads O(position) links per op; keep it small enough
+    // that co-located soak tasks complete at a useful rate.
+    params.initial_size = params.structure == "list" ? 1024 : 8 * 1024;
+    params.scan_pct = 5;
+    return std::make_unique<SynchroWorkload>(rt, params);
   }
   std::string known;
   for (const auto& candidate : known_workloads()) {

@@ -15,7 +15,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "src/workloads/thashmap.hpp"
+#include "src/tds/thashmap.hpp"
 #include "src/workloads/workload.hpp"
 
 namespace rubic::workloads::ssca2 {
@@ -49,7 +49,7 @@ class GraphWorkload final : public Workload {
   std::vector<std::int64_t> expected_degree_;  // epoch-0 ground truth
 
   stm::TVar<std::int64_t> cursor_;
-  THashMap edge_set_;  // epoch-scoped (u,v) key → 1
+  tds::THashMap edge_set_;  // epoch-scoped (u,v) key → 1
   std::vector<stm::TVar<std::int64_t>> degree_;  // cumulative across epochs
   stm::TVar<std::int64_t> unique_epoch0_;
 };

@@ -41,7 +41,7 @@ Manager::~Manager() {
 bool Manager::add_resource(Txn& tx, ResourceType t, std::int64_t id,
                            std::int64_t count, std::int64_t price) {
   if (count < 0 || price < 0) return false;
-  RbTree& rel = relation(t);
+  tds::RbTree& rel = relation(t);
   if (auto existing = rel.get(tx, id)) {
     auto* row = from_value<Reservation>(*existing);
     row->total.write(tx, row->total.read(tx) + count);
@@ -60,7 +60,7 @@ bool Manager::add_resource(Txn& tx, ResourceType t, std::int64_t id,
 bool Manager::delete_resource(Txn& tx, ResourceType t, std::int64_t id,
                               std::int64_t count) {
   if (count < 0) return false;
-  RbTree& rel = relation(t);
+  tds::RbTree& rel = relation(t);
   auto existing = rel.get(tx, id);
   if (!existing) return false;
   auto* row = from_value<Reservation>(*existing);

@@ -15,7 +15,7 @@
 #include <string>
 
 #include "src/stm/stm.hpp"
-#include "src/workloads/rbtree.hpp"
+#include "src/tds/rbtree.hpp"
 
 namespace rubic::workloads::vacation {
 
@@ -87,15 +87,15 @@ class Manager {
   bool check_tables(std::string* error = nullptr) const;
 
  private:
-  const RbTree& relation(ResourceType t) const noexcept {
+  const tds::RbTree& relation(ResourceType t) const noexcept {
     return relations_[static_cast<std::size_t>(t)];
   }
-  RbTree& relation(ResourceType t) noexcept {
+  tds::RbTree& relation(ResourceType t) noexcept {
     return relations_[static_cast<std::size_t>(t)];
   }
 
-  std::array<RbTree, kResourceTypes> relations_;
-  RbTree customers_;  // id → Customer*
+  std::array<tds::RbTree, kResourceTypes> relations_;
+  tds::RbTree customers_;  // id → Customer*
 };
 
 }  // namespace rubic::workloads::vacation

@@ -11,10 +11,10 @@
 #include "src/stm/stm.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/spin_barrier.hpp"
-#include "src/workloads/thashmap.hpp"
-#include "src/workloads/tlist.hpp"
+#include "src/tds/thashmap.hpp"
+#include "src/tds/tlist.hpp"
 
-namespace rubic::workloads {
+namespace rubic::tds {
 namespace {
 
 // ---------- THashMap ----------
@@ -326,4 +326,4 @@ TEST(TListConcurrent, ChurnKeepsSortedInvariant) {
 }
 
 }  // namespace
-}  // namespace rubic::workloads
+}  // namespace rubic::tds

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "src/stm/stm.hpp"
+#include "src/tds/btree.hpp"
+#include "src/tds/skiplist.hpp"
 
 namespace rubic::stm {
 namespace {
@@ -383,6 +385,107 @@ TEST(ProfilerAttribution, NorecValidationFailureNamesTheGeneration) {
     EXPECT_EQ(r.cause, "validation_failed");
     EXPECT_EQ(r.victim, "prof:norecvictim");
   }
+}
+
+// --- data-structure site attribution (src/tds/) ---
+//
+// The skiplist/B+-tree transaction sites run under "tds:<structure>:<op>"
+// labels; these tests stage the same conflict repeatedly through the real
+// structure code and pin the attribution: every sample lands on one stripe
+// and the victim→owner pair names the two structure sites that collided.
+
+TEST(ProfilerAttribution, SkipListSitesPinOneStripeAndNameTheirLabels) {
+  Runtime rt(with_backend(BackendKind::kOrecSwiss));
+  TxnDesc& holder = rt.register_thread();
+  TxnDesc& victim = rt.register_thread();
+  tds::TSkipList list(/*seed=*/0x5eed);
+  // Pre-populate quiescently; every insert/remove also writes the shared
+  // size counter, which guarantees a write-write clash below.
+  for (const std::int64_t key : {100, 200, 300}) {
+    atomically(holder, [&](Txn& tx) { list.insert(tx, key, key); });
+  }
+  profiler::Armed armed;
+  const std::uint16_t owner_id = profiler::intern_label("tds:skiplist:insert");
+  const std::uint16_t victim_id = profiler::intern_label("tds:skiplist:remove");
+  for (int i = 0; i < kHot; ++i) {
+    // Holder: a pending insert, write locks held at encounter time.
+    profiler::set_current_label(owner_id);
+    holder.begin(true);
+    Txn htx(holder);
+    ASSERT_TRUE(list.insert(htx, 150, 150));
+    // Victim: a remove elsewhere in the key space still collides (size
+    // counter at the latest) and must abort at the same stripe each round.
+    profiler::set_current_label(victim_id);
+    victim.begin(true);
+    Txn vtx(victim);
+    EXPECT_THROW((void)list.remove(vtx, 300), detail::AbortTx);
+    victim.rollback(AbortCause::kWriteConflict);
+    // Roll the holder back so every round replays the identical conflict.
+    holder.rollback(AbortCause::kUserRetry);
+    profiler::set_current_label(profiler::kUnlabeled);
+  }
+
+  const ContentionSnapshot snap = profiler::snapshot();
+  const auto top = profiler::hotspots(snap);
+  ASSERT_FALSE(top.empty());
+  EXPECT_NE(top[0].stripe, profiler::kNoStripe);
+  EXPECT_EQ(top[0].total, static_cast<std::uint64_t>(kHot))
+      << "the staged conflict must pin one stripe every round";
+  EXPECT_EQ(top[0].backend, "orec_swiss");
+  EXPECT_EQ(top[0].labels[0].first, "tds:skiplist:remove");
+  const auto pairs = profiler::conflict_pairs(snap);
+  bool found = false;
+  for (const auto& p : pairs) {
+    if (p.victim == "tds:skiplist:remove" && p.owner == "tds:skiplist:insert") {
+      EXPECT_EQ(p.count, static_cast<std::uint64_t>(kHot));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "victim→owner pair must name the skiplist sites";
+}
+
+TEST(ProfilerAttribution, BTreeSitesPinOneStripeAndNameTheirLabels) {
+  Runtime rt(with_backend(BackendKind::kOrecSwiss));
+  TxnDesc& holder = rt.register_thread();
+  TxnDesc& victim = rt.register_thread();
+  tds::TBTree tree;
+  // Small tree: both ops hit the root leaf's key array and count word.
+  for (const std::int64_t key : {10, 20, 30}) {
+    atomically(holder, [&](Txn& tx) { tree.insert(tx, key, key); });
+  }
+  profiler::Armed armed;
+  const std::uint16_t owner_id = profiler::intern_label("tds:btree:insert");
+  const std::uint16_t victim_id = profiler::intern_label("tds:btree:remove");
+  for (int i = 0; i < kHot; ++i) {
+    profiler::set_current_label(owner_id);
+    holder.begin(true);
+    Txn htx(holder);
+    ASSERT_TRUE(tree.insert(htx, 15, 15));
+    profiler::set_current_label(victim_id);
+    victim.begin(true);
+    Txn vtx(victim);
+    EXPECT_THROW((void)tree.remove(vtx, 30), detail::AbortTx);
+    victim.rollback(AbortCause::kWriteConflict);
+    holder.rollback(AbortCause::kUserRetry);
+    profiler::set_current_label(profiler::kUnlabeled);
+  }
+
+  const ContentionSnapshot snap = profiler::snapshot();
+  const auto top = profiler::hotspots(snap);
+  ASSERT_FALSE(top.empty());
+  EXPECT_NE(top[0].stripe, profiler::kNoStripe);
+  EXPECT_EQ(top[0].total, static_cast<std::uint64_t>(kHot));
+  EXPECT_EQ(top[0].backend, "orec_swiss");
+  EXPECT_EQ(top[0].labels[0].first, "tds:btree:remove");
+  const auto pairs = profiler::conflict_pairs(snap);
+  bool found = false;
+  for (const auto& p : pairs) {
+    if (p.victim == "tds:btree:remove" && p.owner == "tds:btree:insert") {
+      EXPECT_EQ(p.count, static_cast<std::uint64_t>(kHot));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "victim→owner pair must name the B+-tree sites";
 }
 
 TEST(ProfilerAttribution, NonConflictCausesRecordTheSentinel) {

@@ -11,9 +11,9 @@
 #include "src/stm/stm.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/spin_barrier.hpp"
-#include "src/workloads/rbtree.hpp"
+#include "src/tds/rbtree.hpp"
 
-namespace rubic::workloads {
+namespace rubic::tds {
 namespace {
 
 class RbTreeTest : public ::testing::Test {
@@ -261,4 +261,4 @@ TEST(RbTreeConcurrent, SizeMatchesNetInsertions) {
 }
 
 }  // namespace
-}  // namespace rubic::workloads
+}  // namespace rubic::tds

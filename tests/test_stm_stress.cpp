@@ -10,7 +10,7 @@
 
 #include "src/stm/stm.hpp"
 #include "src/util/spin_barrier.hpp"
-#include "src/workloads/rbtree.hpp"
+#include "src/tds/rbtree.hpp"
 #include "src/workloads/vacation/vacation_workload.hpp"
 
 namespace rubic::stm {
@@ -242,7 +242,7 @@ TEST(StmStress, RbTreeChurnWithTinyKeySpace) {
     RuntimeConfig cfg;
     cfg.backend = backend;
     Runtime rt(cfg);
-    workloads::RbTree tree;
+    tds::RbTree tree;
     constexpr int kThreads = 4;
     util::SpinBarrier barrier(kThreads);
     std::vector<std::thread> threads;

@@ -1,0 +1,545 @@
+// Tests for the transactional data-structure library (src/tds/):
+//
+//  - the shared serializability/stress suite every structure must pass on
+//    every backend (seeded fill vs. reference model, single-threaded mixed
+//    ops vs. std::map, 4-thread churn with operation-count accounting and
+//    in-transaction snapshot ordering checks),
+//  - structure-specific shape tests for the new skiplist and B+-tree,
+//  - FIFO/ordering invariants for TQueue and TList under 4-thread
+//    concurrent transactions on every backend (previously untested here),
+//  - registry round-trips and the listing the CLI agreement rides on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/stm/stm.hpp"
+#include "src/tds/btree.hpp"
+#include "src/tds/harness.hpp"
+#include "src/tds/registry.hpp"
+#include "src/tds/skiplist.hpp"
+#include "src/tds/tlist.hpp"
+#include "src/tds/tqueue.hpp"
+#include "src/util/listing.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/spin_barrier.hpp"
+
+namespace rubic::tds {
+namespace {
+
+stm::RuntimeConfig with_backend(stm::BackendKind kind) {
+  stm::RuntimeConfig cfg;
+  cfg.backend = kind;
+  return cfg;
+}
+
+// --- registry + listing ---
+
+TEST(TdsRegistry, KnownStructuresSortedAndConstructible) {
+  const auto names = known_structures();
+  ASSERT_EQ(names.size(), 5u);
+  for (std::size_t i = 1; i < names.size(); ++i) {
+    EXPECT_LT(names[i - 1], names[i]) << "listing must stay sorted";
+  }
+  for (const auto name : names) {
+    auto map = make_structure(name);
+    ASSERT_NE(map, nullptr);
+    EXPECT_EQ(map->structure(), name)
+        << "structure() must round-trip the registry name";
+  }
+}
+
+TEST(TdsRegistry, UnknownStructureNamesTheCandidates) {
+  try {
+    make_structure("btre");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    for (const auto name : known_structures()) {
+      EXPECT_NE(msg.find(name), std::string::npos)
+          << "error must list '" << name << "': " << msg;
+    }
+  }
+}
+
+TEST(TdsRegistry, ListingMatchesFormatNameList) {
+  // The CLI prints util::format_name_list(known_structures()); pin the
+  // rendered form so --list-structures output and the registry agree.
+  EXPECT_EQ(util::format_name_list(known_structures()),
+            "btree\nhashmap\nlist\nrbtree\nskiplist\n");
+}
+
+TEST(TdsRegistry, OrderedFlagMatchesStructure) {
+  for (const auto name : known_structures()) {
+    auto map = make_structure(name);
+    EXPECT_EQ(map->ordered(), name != "hashmap");
+  }
+}
+
+// --- TSet view ---
+
+TEST(TSetView, MembershipOverAnyMap) {
+  stm::Runtime rt;
+  stm::TxnDesc& ctx = rt.register_thread();
+  auto map = make_structure("skiplist");
+  TSet set(*map);
+  stm::atomically(ctx, [&](stm::Txn& tx) {
+    EXPECT_TRUE(set.add(tx, 7));
+    EXPECT_FALSE(set.add(tx, 7));
+    EXPECT_TRUE(set.contains(tx, 7));
+    EXPECT_FALSE(set.contains(tx, 8));
+    EXPECT_EQ(set.size(tx), 1);
+    EXPECT_TRUE(set.remove(tx, 7));
+    EXPECT_FALSE(set.remove(tx, 7));
+  });
+}
+
+// --- the shared structure × backend suite ---
+
+struct MatrixParam {
+  std::string_view structure;
+  stm::BackendKind backend;
+};
+
+std::vector<MatrixParam> matrix_params() {
+  std::vector<MatrixParam> params;
+  for (const auto structure : known_structures()) {
+    for (const auto backend : stm::known_backends()) {
+      params.push_back({structure, backend});
+    }
+  }
+  return params;
+}
+
+std::string matrix_name(const ::testing::TestParamInfo<MatrixParam>& info) {
+  return std::string(info.param.structure) + "_" +
+         std::string(stm::backend_name(info.param.backend));
+}
+
+class StructureMatrix : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(StructureMatrix, SeededFillMatchesReference) {
+  stm::Runtime rt(with_backend(GetParam().backend));
+  stm::TxnDesc& ctx = rt.register_thread();
+  auto map = make_structure(GetParam().structure);
+  const FillResult r = fill(*map, ctx, 512, 2048, /*seed=*/0xf111ed);
+  EXPECT_EQ(r.inserted, 512u);
+  EXPECT_GE(r.attempts, r.inserted);
+  const auto model = reference_fill(512, 2048, /*seed=*/0xf111ed);
+  std::string error;
+  EXPECT_TRUE(verify_against(*map, model, &error)) << error;
+}
+
+TEST_P(StructureMatrix, MixedOpsMatchStdMap) {
+  stm::Runtime rt(with_backend(GetParam().backend));
+  stm::TxnDesc& ctx = rt.register_thread();
+  auto map = make_structure(GetParam().structure);
+  std::map<std::int64_t, std::int64_t> model;
+  util::Xoshiro256 rng(0x0b5e55ed);
+  constexpr std::int64_t kRange = 256;
+  for (int op = 0; op < 3000; ++op) {
+    const auto key = static_cast<std::int64_t>(rng.below(kRange));
+    switch (rng.below(5)) {
+      case 0: {  // insert
+        const bool added = stm::atomically(ctx, [&](stm::Txn& tx) {
+          return map->insert(tx, key, fill_value(key));
+        });
+        EXPECT_EQ(added, model.emplace(key, fill_value(key)).second);
+        break;
+      }
+      case 1: {  // remove
+        const bool removed = stm::atomically(
+            ctx, [&](stm::Txn& tx) { return map->remove(tx, key); });
+        EXPECT_EQ(removed, model.erase(key) != 0);
+        break;
+      }
+      case 2: {  // get
+        const auto got = stm::atomically(
+            ctx, [&](stm::Txn& tx) { return map->get(tx, key); });
+        const auto it = model.find(key);
+        if (it == model.end()) {
+          EXPECT_FALSE(got.has_value());
+        } else {
+          ASSERT_TRUE(got.has_value());
+          EXPECT_EQ(*got, it->second);
+        }
+        break;
+      }
+      case 3: {  // size
+        const auto n = stm::atomically(
+            ctx, [&](stm::Txn& tx) { return map->size(tx); });
+        EXPECT_EQ(n, static_cast<std::int64_t>(model.size()));
+        break;
+      }
+      default: {  // range scan over a short window
+        const std::int64_t hi = key + 16;
+        std::vector<std::pair<std::int64_t, std::int64_t>> seen;
+        stm::atomically(ctx, [&](stm::Txn& tx) {
+          seen.clear();
+          map->range_scan(tx, key, hi, [&](std::int64_t k, std::int64_t v) {
+            seen.emplace_back(k, v);
+          });
+        });
+        std::vector<std::pair<std::int64_t, std::int64_t>> want;
+        for (auto it = model.lower_bound(key);
+             it != model.end() && it->first < hi; ++it) {
+          want.emplace_back(it->first, it->second);
+        }
+        if (!map->ordered()) {
+          std::sort(seen.begin(), seen.end());
+        }
+        EXPECT_EQ(seen, want);
+        break;
+      }
+    }
+  }
+  std::string error;
+  EXPECT_TRUE(verify_against(*map, model, &error)) << error;
+}
+
+// The stress half of the shared suite: 4 threads of mixed ops. Successful
+// insert/remove counts must reconcile with the final size (transactions
+// lost or doubled by a backend would break the ledger), scans inside a
+// transaction must observe a sorted snapshot, and the structure's own
+// invariants must hold quiescently.
+TEST_P(StructureMatrix, ConcurrentChurnReconcilesCounts) {
+  stm::Runtime rt(with_backend(GetParam().backend));
+  auto map = make_structure(GetParam().structure);
+  constexpr std::int64_t kRange = 512;
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 500;
+  {
+    stm::TxnDesc& ctx = rt.register_thread();
+    fill(*map, ctx, 256, kRange, /*seed=*/0xc0ffee);
+  }
+  const auto initial = static_cast<std::int64_t>(map->unsafe_size());
+  std::atomic<std::int64_t> net{0};
+  std::atomic<bool> scans_sorted{true};
+  util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      stm::TxnDesc& ctx = rt.register_thread();
+      util::Xoshiro256 rng(0x57a7e + t);
+      std::int64_t local_net = 0;
+      barrier.arrive_and_wait();
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const auto key = static_cast<std::int64_t>(rng.below(kRange));
+        switch (rng.below(4)) {
+          case 0:
+            local_net += stm::atomically(ctx, [&](stm::Txn& tx) {
+              return map->insert(tx, key, fill_value(key)) ? 1 : 0;
+            });
+            break;
+          case 1:
+            local_net -= stm::atomically(ctx, [&](stm::Txn& tx) {
+              return map->remove(tx, key) ? 1 : 0;
+            });
+            break;
+          case 2:
+            stm::atomically(ctx,
+                            [&](stm::Txn& tx) { (void)map->contains(tx, key); });
+            break;
+          default: {
+            std::int64_t prev = -1;
+            bool sorted = true;
+            stm::atomically(ctx, [&](stm::Txn& tx) {
+              prev = -1;
+              sorted = true;
+              map->range_scan(tx, key, key + 32,
+                              [&](std::int64_t k, std::int64_t) {
+                                sorted = sorted && k > prev;
+                                prev = k;
+                              });
+            });
+            if (map->ordered() && !sorted) scans_sorted = false;
+            break;
+          }
+        }
+      }
+      net += local_net;
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(scans_sorted.load())
+      << "a range scan observed an unsorted snapshot";
+  EXPECT_EQ(static_cast<std::int64_t>(map->unsafe_size()), initial + net.load())
+      << "successful op ledger does not reconcile with the final size";
+  std::string error;
+  EXPECT_TRUE(map->check_invariants(&error)) << error;
+  bool values_ok = true;
+  map->unsafe_for_each([&](std::int64_t k, std::int64_t v) {
+    values_ok = values_ok && v == fill_value(k);
+  });
+  EXPECT_TRUE(values_ok) << "a value diverged from the fill convention";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStructuresAllBackends, StructureMatrix,
+                         ::testing::ValuesIn(matrix_params()), matrix_name);
+
+// --- skiplist shape ---
+
+TEST(TSkipList, TowerHeightsAreSeededAndDeterministic) {
+  TSkipList a(42);
+  TSkipList b(42);
+  TSkipList c(43);
+  bool differs = false;
+  for (std::int64_t k = 0; k < 512; ++k) {
+    const int h = a.height_for(k);
+    EXPECT_GE(h, 1);
+    EXPECT_LE(h, TSkipList::kMaxHeight);
+    EXPECT_EQ(h, b.height_for(k)) << "same seed must give the same tower";
+    differs = differs || h != c.height_for(k);
+  }
+  EXPECT_TRUE(differs) << "different seeds should reshape some towers";
+}
+
+TEST(TSkipList, InsertRemoveKeepsAllLevelsConsistent) {
+  stm::Runtime rt;
+  stm::TxnDesc& ctx = rt.register_thread();
+  TSkipList list(7);
+  for (std::int64_t k = 0; k < 400; ++k) {
+    const std::int64_t key = (k * 37) % 400;  // permutation of 0..399
+    stm::atomically(ctx, [&](stm::Txn& tx) {
+      EXPECT_TRUE(list.insert(tx, key, fill_value(key)));
+    });
+  }
+  std::string error;
+  ASSERT_TRUE(list.check_invariants(&error)) << error;
+  for (std::int64_t key = 0; key < 400; key += 2) {
+    stm::atomically(ctx, [&](stm::Txn& tx) {
+      EXPECT_TRUE(list.remove(tx, key));
+      EXPECT_FALSE(list.remove(tx, key));
+    });
+  }
+  ASSERT_TRUE(list.check_invariants(&error)) << error;
+  EXPECT_EQ(list.unsafe_size(), 200u);
+}
+
+// --- B+-tree shape ---
+
+TEST(TBTree, AscendingInsertSplitsCleanly) {
+  stm::Runtime rt;
+  stm::TxnDesc& ctx = rt.register_thread();
+  TBTree tree;
+  constexpr std::int64_t kN = 1000;
+  for (std::int64_t k = 0; k < kN; ++k) {
+    stm::atomically(ctx, [&](stm::Txn& tx) {
+      EXPECT_TRUE(tree.insert(tx, k, fill_value(k)));
+      EXPECT_FALSE(tree.insert(tx, k, 0)) << "duplicate insert must refuse";
+    });
+  }
+  std::string error;
+  ASSERT_TRUE(tree.check_invariants(&error)) << error;
+  EXPECT_EQ(tree.unsafe_size(), static_cast<std::size_t>(kN));
+  stm::atomically(ctx, [&](stm::Txn& tx) {
+    EXPECT_EQ(tree.size(tx), kN);
+    EXPECT_EQ(tree.get(tx, 0), fill_value(0));
+    EXPECT_EQ(tree.get(tx, kN - 1), fill_value(kN - 1));
+    EXPECT_EQ(tree.get(tx, kN), std::nullopt);
+  });
+}
+
+TEST(TBTree, LazyDeletionToleratesEmptyLeaves) {
+  stm::Runtime rt;
+  stm::TxnDesc& ctx = rt.register_thread();
+  TBTree tree;
+  for (std::int64_t k = 0; k < 256; ++k) {
+    stm::atomically(ctx,
+                    [&](stm::Txn& tx) { tree.insert(tx, k, fill_value(k)); });
+  }
+  // Drain a whole aligned block so at least one leaf goes empty.
+  for (std::int64_t k = 0; k < 64; ++k) {
+    stm::atomically(ctx, [&](stm::Txn& tx) { EXPECT_TRUE(tree.remove(tx, k)); });
+  }
+  std::string error;
+  ASSERT_TRUE(tree.check_invariants(&error)) << error;
+  EXPECT_EQ(tree.unsafe_size(), 192u);
+  // Keys re-insert into the (possibly empty) leaves they map to.
+  for (std::int64_t k = 0; k < 64; ++k) {
+    stm::atomically(ctx, [&](stm::Txn& tx) {
+      EXPECT_TRUE(tree.insert(tx, k, fill_value(k)));
+    });
+  }
+  ASSERT_TRUE(tree.check_invariants(&error)) << error;
+  EXPECT_EQ(tree.unsafe_size(), 256u);
+}
+
+TEST(TBTree, RangeScanWalksLeafChain) {
+  stm::Runtime rt;
+  stm::TxnDesc& ctx = rt.register_thread();
+  TBTree tree;
+  for (std::int64_t k = 0; k < 500; k += 5) {
+    stm::atomically(ctx, [&](stm::Txn& tx) { tree.insert(tx, k, k); });
+  }
+  std::vector<std::int64_t> keys;
+  const std::size_t n = stm::atomically(ctx, [&](stm::Txn& tx) {
+    keys.clear();
+    return tree.range_scan(tx, 123, 321,
+                           [&](std::int64_t k, std::int64_t) {
+                             keys.push_back(k);
+                           });
+  });
+  ASSERT_EQ(n, keys.size());
+  std::vector<std::int64_t> want;
+  for (std::int64_t k = 125; k < 321; k += 5) want.push_back(k);
+  EXPECT_EQ(keys, want);
+}
+
+// --- TQueue FIFO under concurrency (per backend) ---
+
+// 4 threads (2 producers, 2 consumers) against one queue: every produced
+// item is consumed exactly once and each producer's items arrive in
+// per-producer FIFO order — transactional enqueue/dequeue may interleave
+// producers but must never reorder one producer's stream.
+TEST(TQueueConcurrent, FifoPerProducerOnEveryBackend) {
+  for (const auto backend : stm::known_backends()) {
+    SCOPED_TRACE(std::string(stm::backend_name(backend)));
+    stm::Runtime rt(with_backend(backend));
+    TQueue<std::int64_t> queue;
+    constexpr int kProducers = 2, kConsumers = 2, kPerProducer = 400;
+    // Payload pool outlives the queue nodes; values tag (producer, seq).
+    std::vector<std::int64_t> payloads(
+        static_cast<std::size_t>(kProducers) * kPerProducer);
+    for (int p = 0; p < kProducers; ++p) {
+      for (int i = 0; i < kPerProducer; ++i) {
+        payloads[static_cast<std::size_t>(p) * kPerProducer +
+                 static_cast<std::size_t>(i)] = p * 1000000 + i;
+      }
+    }
+    std::atomic<int> consumed{0};
+    std::vector<std::vector<std::int64_t>> per_consumer(kConsumers);
+    util::SpinBarrier barrier(kProducers + kConsumers);
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProducers; ++p) {
+      threads.emplace_back([&, p] {
+        stm::TxnDesc& ctx = rt.register_thread();
+        barrier.arrive_and_wait();
+        for (int i = 0; i < kPerProducer; ++i) {
+          auto* item = &payloads[static_cast<std::size_t>(p) * kPerProducer +
+                                 static_cast<std::size_t>(i)];
+          stm::atomically(ctx,
+                          [&](stm::Txn& tx) { queue.enqueue(tx, item); });
+        }
+      });
+    }
+    for (int c = 0; c < kConsumers; ++c) {
+      threads.emplace_back([&, c] {
+        stm::TxnDesc& ctx = rt.register_thread();
+        barrier.arrive_and_wait();
+        while (consumed.load() < kProducers * kPerProducer) {
+          std::int64_t* item = stm::atomically(
+              ctx, [&](stm::Txn& tx) { return queue.try_dequeue(tx); });
+          if (item != nullptr) {
+            per_consumer[static_cast<std::size_t>(c)].push_back(*item);
+            consumed.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(queue.unsafe_size(), 0);
+    // Exactly-once: multiset of consumed values == produced values.
+    std::vector<std::int64_t> all;
+    for (const auto& v : per_consumer) all.insert(all.end(), v.begin(), v.end());
+    ASSERT_EQ(all.size(), payloads.size());
+    std::vector<std::int64_t> sorted_all = all;
+    std::sort(sorted_all.begin(), sorted_all.end());
+    std::vector<std::int64_t> sorted_payloads = payloads;
+    std::sort(sorted_payloads.begin(), sorted_payloads.end());
+    EXPECT_EQ(sorted_all, sorted_payloads);
+    // Per-producer FIFO within each consumer's observed stream.
+    for (const auto& stream : per_consumer) {
+      std::vector<std::int64_t> last(kProducers, -1);
+      for (const std::int64_t v : stream) {
+        const auto p = static_cast<std::size_t>(v / 1000000);
+        const std::int64_t seq = v % 1000000;
+        EXPECT_GT(seq, last[p]) << "producer stream reordered";
+        last[p] = seq;
+      }
+    }
+  }
+}
+
+// --- TList ordering under concurrency (per backend) ---
+
+TEST(TListConcurrent, InterleavedInsertsStaySortedOnEveryBackend) {
+  for (const auto backend : stm::known_backends()) {
+    SCOPED_TRACE(std::string(stm::backend_name(backend)));
+    stm::Runtime rt(with_backend(backend));
+    TList list;
+    constexpr int kThreads = 4, kPerThread = 250;
+    util::SpinBarrier barrier(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        stm::TxnDesc& ctx = rt.register_thread();
+        barrier.arrive_and_wait();
+        // Thread t owns keys ≡ t (mod kThreads): disjoint but interleaved,
+        // so every insert races on neighbouring links.
+        for (int i = 0; i < kPerThread; ++i) {
+          const std::int64_t key = static_cast<std::int64_t>(i) * kThreads + t;
+          stm::atomically(ctx, [&](stm::Txn& tx) {
+            EXPECT_TRUE(list.insert(tx, key, fill_value(key)));
+          });
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    std::string error;
+    EXPECT_TRUE(list.check_invariants(&error)) << error;
+    std::vector<std::int64_t> keys;
+    list.unsafe_for_each(
+        [&](std::int64_t k, std::int64_t) { keys.push_back(k); });
+    ASSERT_EQ(keys.size(), static_cast<std::size_t>(kThreads * kPerThread));
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      EXPECT_EQ(keys[i], static_cast<std::int64_t>(i)) << "dense sorted keys";
+    }
+  }
+}
+
+TEST(TListConcurrent, ChurnReconcilesCountsOnEveryBackend) {
+  for (const auto backend : stm::known_backends()) {
+    SCOPED_TRACE(std::string(stm::backend_name(backend)));
+    stm::Runtime rt(with_backend(backend));
+    TList list;
+    constexpr std::int64_t kRange = 128;
+    constexpr int kThreads = 4;
+    std::atomic<std::int64_t> net{0};
+    util::SpinBarrier barrier(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        stm::TxnDesc& ctx = rt.register_thread();
+        util::Xoshiro256 rng(0x11f0 + t);
+        std::int64_t local = 0;
+        barrier.arrive_and_wait();
+        for (int op = 0; op < 400; ++op) {
+          const auto key = static_cast<std::int64_t>(rng.below(kRange));
+          if (rng.below(2) == 0) {
+            local += stm::atomically(ctx, [&](stm::Txn& tx) {
+              return list.insert(tx, key, fill_value(key)) ? 1 : 0;
+            });
+          } else {
+            local -= stm::atomically(ctx, [&](stm::Txn& tx) {
+              return list.erase(tx, key) ? 1 : 0;
+            });
+          }
+        }
+        net += local;
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(static_cast<std::int64_t>(list.unsafe_size()), net.load());
+    std::string error;
+    EXPECT_TRUE(list.check_invariants(&error)) << error;
+  }
+}
+
+}  // namespace
+}  // namespace rubic::tds

@@ -174,7 +174,7 @@ TEST(OpMix, RegistryRoundTripsAndSharesSumToOne) {
 TEST(TrafficConfig, ParsesSemicolonGrammarWithNestedCurve) {
   const traffic::TrafficConfig config = traffic::parse_traffic_config(
       "mix=ycsb-e;dist=uniform;keys=2048;accounts=64;clients=8;seed=9;"
-      "curve=flash:base=100,spike=900,seconds=6;slo_ms=2.5");
+      "curve=flash:base=100,spike=900,seconds=6;slo_ms=2.5;index=btree");
   EXPECT_EQ(config.mix, "ycsb-e");
   EXPECT_EQ(config.dist, "uniform");
   EXPECT_EQ(config.keys, 2048u);
@@ -183,6 +183,7 @@ TEST(TrafficConfig, ParsesSemicolonGrammarWithNestedCurve) {
   EXPECT_EQ(config.seed, 9u);
   EXPECT_EQ(config.curve, "flash:base=100,spike=900,seconds=6");
   EXPECT_EQ(config.slo_us, 2500u);
+  EXPECT_EQ(config.index, "btree");
 }
 
 TEST(TrafficConfig, RejectsUnknownKeysAndBadValues) {
@@ -279,6 +280,9 @@ TEST(Arrival, RejectsUndersizedConfigs) {
   config = small_config();
   config.mix = "nope";
   EXPECT_THROW(traffic::build_schedule(config), std::invalid_argument);
+  config = small_config();
+  config.index = "lsm";  // only hash and btree back the order table
+  EXPECT_THROW(traffic::build_schedule(config), std::invalid_argument);
 }
 
 // --- end-to-end on the malleable runtime ------------------------------------
@@ -336,6 +340,50 @@ TEST(KvService, TpccLiteMixDrainsAndVerifies) {
   const RunOutcome outcome = run_workload(workload, rt, 4);
   ASSERT_TRUE(outcome.completed);
   EXPECT_TRUE(outcome.verified) << outcome.error;
+}
+
+TEST(KvService, BTreeOrderIndexDrainsScansAndVerifies) {
+  traffic::TrafficConfig config = small_config();
+  config.mix = "tpcc-lite";
+  config.index = "btree";
+  stm::Runtime rt;
+  traffic::KvTrafficWorkload workload(rt, traffic::build_schedule(config));
+  ASSERT_TRUE(workload.order_index_is_btree());
+  const RunOutcome outcome = run_workload(workload, rt, 4);
+  ASSERT_TRUE(outcome.completed);
+  EXPECT_TRUE(outcome.verified) << outcome.error;
+  // Every scheduled new_order landed exactly one row in the B+-tree, all
+  // of them inside the order-key namespace and in insertion (= key) order.
+  EXPECT_EQ(static_cast<std::uint64_t>(workload.orders().unsafe_size()),
+            workload.schedule().order_rows);
+  std::int64_t last_key = traffic::kOrderBase - 1;
+  workload.orders().unsafe_for_each([&](std::int64_t key, std::int64_t) {
+    EXPECT_GT(key, last_key);
+    EXPECT_LT(key, traffic::kDistrictBase);
+    last_key = key;
+  });
+}
+
+TEST(KvService, VerifyCatchesOrderBtreeTampering) {
+  traffic::TrafficConfig config = small_config();
+  config.mix = "tpcc-lite";
+  config.index = "btree";
+  config.curve = "constant:rate=400,seconds=1";
+  stm::Runtime rt;
+  traffic::KvTrafficWorkload workload(rt, traffic::build_schedule(config));
+  const RunOutcome outcome = run_workload(workload, rt, 4);
+  ASSERT_TRUE(outcome.completed);
+  ASSERT_TRUE(outcome.verified) << outcome.error;
+
+  // A phantom order with no new_order behind it must trip the row count.
+  stm::TxnDesc& ctx = rt.register_thread();
+  stm::atomically(ctx, [&](stm::Txn& tx) {
+    workload.orders().insert(
+        tx, traffic::kOrderBase + (std::int64_t{1} << 30), 0);
+  });
+  std::string error;
+  EXPECT_FALSE(workload.verify(&error));
+  EXPECT_NE(error.find("order rows"), std::string::npos) << error;
 }
 
 TEST(KvService, VerifyCatchesZeroSumTampering) {

@@ -10,7 +10,7 @@
 #include "src/util/spin_barrier.hpp"
 #include "src/workloads/intruder/intruder_workload.hpp"
 #include "src/workloads/rbset_workload.hpp"
-#include "src/workloads/tqueue.hpp"
+#include "src/tds/tqueue.hpp"
 #include "src/workloads/vacation/vacation_workload.hpp"
 
 namespace rubic::workloads {
@@ -24,7 +24,7 @@ using vacation::ResourceType;
 TEST(TQueue, FifoOrder) {
   stm::Runtime rt;
   stm::TxnDesc& ctx = rt.register_thread();
-  TQueue<int> q;
+  tds::TQueue<int> q;
   int items[3] = {1, 2, 3};
   stm::atomically(ctx, [&](stm::Txn& tx) {
     for (auto& item : items) q.enqueue(tx, &item);
@@ -42,7 +42,7 @@ TEST(TQueue, FifoOrder) {
 
 TEST(TQueue, ConcurrentProducersConsumers) {
   stm::Runtime rt;
-  TQueue<std::int64_t> q;
+  tds::TQueue<std::int64_t> q;
   constexpr int kProducers = 2, kConsumers = 2, kPerProducer = 500;
   std::vector<std::int64_t> values(kProducers * kPerProducer);
   for (std::size_t i = 0; i < values.size(); ++i) values[i] = static_cast<std::int64_t>(i);

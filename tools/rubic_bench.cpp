@@ -43,7 +43,8 @@
 #include "src/util/cli.hpp"
 #include "src/util/rng.hpp"
 #include "src/workloads/rbset_workload.hpp"
-#include "src/workloads/rbtree.hpp"
+#include "src/tds/rbtree.hpp"
+#include "src/tds/registry.hpp"
 
 using namespace rubic;
 using namespace std::chrono;
@@ -157,8 +158,8 @@ double bench_stm_write_1_ns() {
   return (now_seconds() - start) * 1e9 / static_cast<double>(kOps);
 }
 
-workloads::RbTree& bench_tree() {
-  static workloads::RbTree tree;
+tds::RbTree& bench_tree() {
+  static tds::RbTree tree;
   static bool populated = [] {
     auto& ctx = bench_ctx();
     for (std::int64_t i = 0; i < 4096; ++i) {
@@ -264,7 +265,7 @@ double bench_backend_rbtree_lookup_ns(stm::BackendKind backend) {
   cfg.backend = backend;
   stm::Runtime rt(cfg);
   stm::TxnDesc& ctx = rt.register_thread();
-  workloads::RbTree tree;
+  tds::RbTree tree;
   for (std::int64_t i = 0; i < 4096; ++i) {
     stm::atomically(ctx, [&](stm::Txn& tx) { tree.insert(tx, i * 2, i); });
   }
@@ -475,6 +476,37 @@ double bench_stm_commit_profiler_disarmed_pct() {
   return std::max(0.0, (probed - plain) / plain * 100.0);
 }
 
+// --- transactional data-structure micro benches (micro_tds suite) ---
+//
+// One cell per tds structure: a single-threaded uncontended
+// remove-then-insert pair over a prefilled instance on the orec backend —
+// each structure's transactional write path end to end (skiplist tower
+// unlink/relink, B+-tree in-node key-array shifts, rb-tree rebalance,
+// bucket-chain splice, sorted-list splice). Uncontended and seeded, so the
+// skiplist/btree cells are stable enough to gate in ci-fast.
+double bench_synchro_rmw_ns(std::string_view structure) {
+  constexpr std::uint64_t kOps = 1 << 14;  // one op = remove + insert
+  constexpr std::int64_t kKeys = 1024;
+  tds::StructureConfig cfg;
+  cfg.capacity_hint = kKeys;
+  const std::unique_ptr<tds::TMap> map = tds::make_structure(structure, cfg);
+  auto& ctx = bench_ctx();
+  for (std::int64_t k = 0; k < kKeys; ++k) {
+    stm::atomically(ctx, [&](stm::Txn& tx) { map->insert(tx, k, k); });
+  }
+  std::int64_t key = 0;
+  const double start = now_seconds();
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    key = (key + 401) % kKeys;  // gcd(401, 1024) = 1: full-cycle walk
+    stm::atomically(ctx, [&](stm::Txn& tx) {
+      if (!map->remove(tx, key) || !map->insert(tx, key, key)) std::abort();
+    });
+  }
+  const double elapsed = now_seconds() - start;
+  if (key == -1) std::abort();
+  return elapsed * 1e9 / static_cast<double>(kOps);
+}
+
 // --- traffic subsystem micro benches (micro_traffic suite) ---
 
 // Cost of one YCSB zipfian draw at the production size/skew — paid once per
@@ -676,6 +708,19 @@ std::vector<BenchDef> make_benches(milliseconds scenario_ms) {
        [] {
          return bench_backend_rbtree_lookup_ns(stm::BackendKind::k2plUndo);
        }},
+      // Per-structure RMW cells (src/tds/): the two new index structures
+      // are gated — they are this PR's regression surface; the adapted
+      // containers are recorded for cross-structure comparison.
+      {"synchro_btree_rmw_ns", "ns_per_op", "lower", true, false,
+       [] { return bench_synchro_rmw_ns("btree"); }},
+      {"synchro_hashmap_rmw_ns", "ns_per_op", "lower", false, false,
+       [] { return bench_synchro_rmw_ns("hashmap"); }},
+      {"synchro_list_rmw_ns", "ns_per_op", "lower", false, false,
+       [] { return bench_synchro_rmw_ns("list"); }},
+      {"synchro_rbtree_rmw_ns", "ns_per_op", "lower", false, false,
+       [] { return bench_synchro_rmw_ns("rbtree"); }},
+      {"synchro_skiplist_rmw_ns", "ns_per_op", "lower", true, false,
+       [] { return bench_synchro_rmw_ns("skiplist"); }},
       // Traffic subsystem: the sampler and the closed-loop request costs
       // are stable single-threaded micro paths (gated); schedule
       // generation is allocation-heavy and only recorded.
@@ -734,6 +779,13 @@ std::vector<std::string> suite_members(const std::string& suite) {
     return {"profiler_record_disarmed_ns", "profiler_record_armed_ns",
             "stm_commit_profiler_disarmed_pct"};
   }
+  if (suite == "micro_tds") {
+    // One RMW cell per data structure in src/tds/ (same op sequence, same
+    // seed); docs/datastructures.md reads these side by side.
+    return {"synchro_btree_rmw_ns", "synchro_hashmap_rmw_ns",
+            "synchro_list_rmw_ns", "synchro_rbtree_rmw_ns",
+            "synchro_skiplist_rmw_ns"};
+  }
   if (suite == "micro_traffic") {
     // Traffic generator + KV service hot paths (src/traffic/).
     return {"traffic_zipf_sample_ns", "traffic_arrival_gen_ns",
@@ -750,6 +802,7 @@ std::vector<std::string> suite_members(const std::string& suite) {
             "telemetry_count_armed_ns", "stm_commit_telemetry_disarmed_pct",
             "profiler_record_disarmed_ns", "profiler_record_armed_ns",
             "stm_commit_profiler_disarmed_pct",
+            "synchro_skiplist_rmw_ns", "synchro_btree_rmw_ns",
             "traffic_zipf_sample_ns", "traffic_arrival_gen_ns",
             "traffic_kv_request_ns"};
   }
@@ -875,8 +928,8 @@ int main(int argc, char** argv) {
     if (list) {
       std::printf("suites: micro_stm_overhead micro_runtime_overhead "
                   "micro_telemetry_overhead micro_profiler_overhead "
-                  "micro_backend_compare micro_traffic colocate ci-fast "
-                  "all\nbenches:\n");
+                  "micro_backend_compare micro_tds micro_traffic colocate "
+                  "ci-fast all\nbenches:\n");
       for (const auto& bench : benches) {
         std::printf("  %-32s %-12s better=%s gate=%s\n", bench.name.c_str(),
                     bench.metric.c_str(), bench.better.c_str(),

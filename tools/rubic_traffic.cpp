@@ -313,6 +313,7 @@ int main(int argc, char** argv) {
         cli.get_int("scan-len", static_cast<std::int64_t>(config.scan_len)));
     config.seed = static_cast<std::uint64_t>(
         cli.get_int("seed", static_cast<std::int64_t>(config.seed)));
+    config.index = cli.get_string("index", config.index);
     config.slo_us = static_cast<std::uint64_t>(
         cli.get_double("slo-ms", static_cast<double>(config.slo_us) / 1000.0) *
         1000.0);
